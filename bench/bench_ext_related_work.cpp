@@ -1,0 +1,81 @@
+// EXTENSION (beyond the paper's own figures): head-to-head of all seven
+// implemented warp schedulers — the paper's three baselines (LRR, GTO,
+// TL), PRO, the adaptive-PRO future-work variant, and the two §V
+// related-work policies (CAWS criticality-aware, OWL CTA-group-aware) —
+// across the full Table II workload suite.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace prosim;
+using namespace prosim::bench;
+
+constexpr SchedulerKind kAll[] = {
+    SchedulerKind::kLrr,  SchedulerKind::kGto,        SchedulerKind::kTl,
+    SchedulerKind::kCaws, SchedulerKind::kOwl,        SchedulerKind::kPro,
+    SchedulerKind::kProAdaptive};
+
+void bm_kernel(benchmark::State& state, const Workload* w,
+               SchedulerKind kind) {
+  for (auto _ : state) {
+    const GpuResult& r = run_workload(*w, kind);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.counters["sim_cycles"] =
+      static_cast<double>(run_workload(*w, kind).cycles);
+}
+
+void register_benchmarks() {
+  for (const Workload& w : all_workloads()) {
+    for (SchedulerKind kind : kAll) {
+      benchmark::RegisterBenchmark(
+          ("related/" + w.kernel + "/" + scheduler_name(kind)).c_str(),
+          bm_kernel, &w, kind)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_report() {
+  Table t({"Kernel", "LRR", "GTO", "TL", "CAWS", "OWL", "PRO", "PRO-A"});
+  std::vector<std::vector<double>> speedups(7);  // vs LRR, per scheduler
+  for (const Workload& w : all_workloads()) {
+    std::vector<std::string> row{w.kernel};
+    const Cycle lrr = run_workload(w, SchedulerKind::kLrr).cycles;
+    int i = 0;
+    for (SchedulerKind kind : kAll) {
+      const Cycle c = run_workload(w, kind).cycles;
+      row.push_back(Table::fmt(c));
+      speedups[static_cast<std::size_t>(i++)].push_back(
+          static_cast<double>(lrr) / c);
+    }
+    t.add_row(row);
+  }
+  std::vector<std::string> geo{"GEOMEAN speedup vs LRR"};
+  for (const auto& s : speedups) geo.push_back(Table::fmt(geomean(s)));
+  t.add_row(geo);
+
+  std::cout << "\nEXTENSION: all implemented schedulers, simulated cycles "
+               "per kernel\n";
+  std::cout << "(CAWS and OWL are the paper's §V related work; PRO-A is "
+               "its §IV future work)\n";
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  print_report();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 1: breakdown of stall cycles (Scoreboard / Idle / Pipeline) for
+// the three baseline schedulers (TL, LRR, GTO) across the Table II
+// applications. The paper's headline observation: LRR shows the largest
+// Idle share because equal progress makes warps hit barriers and
+// long-latency instructions together.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace prosim;
+using namespace prosim::bench;
+
+constexpr SchedulerKind kBaselines[] = {
+    SchedulerKind::kTl, SchedulerKind::kLrr, SchedulerKind::kGto};
+
+void bm_app(benchmark::State& state, std::string app, SchedulerKind kind) {
+  for (auto _ : state) {
+    const AppStats stats = run_app(app, kind);
+    benchmark::DoNotOptimize(&stats);
+  }
+  const AppStats stats = run_app(app, kind);
+  state.counters["idle"] = static_cast<double>(stats.idle);
+  state.counters["scoreboard"] = static_cast<double>(stats.scoreboard);
+  state.counters["pipeline"] = static_cast<double>(stats.pipeline);
+}
+
+void register_benchmarks() {
+  for (const std::string& app : all_app_names()) {
+    for (SchedulerKind kind : kBaselines) {
+      benchmark::RegisterBenchmark(
+          ("fig1/" + app + "/" + scheduler_name(kind)).c_str(), bm_app, app,
+          kind)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_report() {
+  for (SchedulerKind kind : kBaselines) {
+    Table t({"Application", "sb%", "idle%", "pipe%"});
+    double idle_share_sum = 0.0;
+    int rows = 0;
+    for (const std::string& app : all_app_names()) {
+      const AppStats s = run_app(app, kind);
+      const double total = static_cast<double>(s.total_stalls());
+      if (total == 0) continue;
+      t.add_row({app, Table::fmt(100.0 * s.scoreboard / total, 1),
+                 Table::fmt(100.0 * s.idle / total, 1),
+                 Table::fmt(100.0 * s.pipeline / total, 1)});
+      idle_share_sum += 100.0 * s.idle / total;
+      ++rows;
+    }
+    std::cout << "\nFIGURE 1 (" << scheduler_name(kind)
+              << " stalls): share of Scoreboard / Idle / Pipeline stall "
+                 "cycles per application\n";
+    t.print(std::cout);
+    std::cout << "mean idle share: "
+              << Table::fmt(idle_share_sum / rows, 1) << "%\n";
+  }
+  std::cout << "\n(paper: LRR has the highest Idle-stall share of the "
+               "three baselines)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  print_report();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 2: execution intervals of thread blocks on one SM under LRR vs
+// PRO. The paper's observation: under LRR, thread blocks execute in
+// batches (a whole batch finishes before the next starts); under PRO,
+// resident TBs are in very different phases of execution and new TBs
+// overlap old ones.
+//
+// We reproduce the figure's data as (TB, start, end) rows for SM 0 and
+// report a batching metric: the completion-time spread of each residency
+// batch, plus the overlap between consecutive batches.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace prosim;
+using namespace prosim::bench;
+
+// LPS has the multi-batch structure of the paper's example (and 3 TBs per
+// SM batch under the 48KB/6KB shared-memory residency... actually
+// residency is thread-limited to 6).
+const Workload& figure_workload() { return find_workload("GPU_laplace3d"); }
+
+std::vector<TbTimelineEntry> sm0_timeline(SchedulerKind kind) {
+  const GpuResult& r = run_workload(figure_workload(), kind);
+  std::vector<TbTimelineEntry> t = r.timelines.at(0);
+  std::sort(t.begin(), t.end(),
+            [](const TbTimelineEntry& a, const TbTimelineEntry& b) {
+              return a.start < b.start;
+            });
+  return t;
+}
+
+/// Mean completion spread (max end - min end) within consecutive groups of
+/// `batch` TBs in launch order — small under batched execution.
+double mean_batch_spread(const std::vector<TbTimelineEntry>& t, int batch) {
+  double sum = 0.0;
+  int groups = 0;
+  for (std::size_t i = 0; i + batch <= t.size(); i += batch) {
+    Cycle lo = t[i].end;
+    Cycle hi = t[i].end;
+    for (int j = 1; j < batch; ++j) {
+      lo = std::min(lo, t[i + j].end);
+      hi = std::max(hi, t[i + j].end);
+    }
+    sum += static_cast<double>(hi - lo);
+    ++groups;
+  }
+  return groups == 0 ? 0.0 : sum / groups;
+}
+
+void bm_timeline(benchmark::State& state, SchedulerKind kind) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sm0_timeline(kind).size());
+  }
+  state.counters["tbs_on_sm0"] =
+      static_cast<double>(sm0_timeline(kind).size());
+  state.counters["batch_spread"] = mean_batch_spread(sm0_timeline(kind), 4);
+}
+
+void print_report() {
+  for (SchedulerKind kind : {SchedulerKind::kLrr, SchedulerKind::kPro}) {
+    const auto timeline = sm0_timeline(kind);
+    Table t({"TB#", "ctaid", "start", "end", "duration"});
+    int idx = 0;
+    for (const TbTimelineEntry& e : timeline) {
+      t.add_row({Table::fmt(idx++), Table::fmt(e.ctaid),
+                 Table::fmt(e.start), Table::fmt(e.end),
+                 Table::fmt(e.end - e.start)});
+    }
+    std::cout << "\nFIGURE 2 (" << scheduler_name(kind)
+              << "): thread-block execution intervals on SM 0, kernel "
+              << figure_workload().kernel << "\n";
+    t.print(std::cout);
+    std::cout << "mean completion spread within a residency batch: "
+              << Table::fmt(mean_batch_spread(timeline, 4), 1)
+              << " cycles\n";
+  }
+  const double lrr = mean_batch_spread(sm0_timeline(SchedulerKind::kLrr), 4);
+  const double pro = mean_batch_spread(sm0_timeline(SchedulerKind::kPro), 4);
+  std::cout << "\nbatch-spread ratio PRO/LRR = " << Table::fmt(pro / lrr, 2)
+            << "  (paper: PRO staggers TB completions; LRR retires them in "
+               "lockstep batches)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("fig2/timeline/LRR", bm_timeline,
+                               SchedulerKind::kLrr)
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("fig2/timeline/PRO", bm_timeline,
+                               SchedulerKind::kPro)
+      ->Iterations(1);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  print_report();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 4: performance of PRO relative to TL, LRR and GTO on all 25
+// Table II kernels, plus the geometric means the paper headlines
+// (paper: 1.13x over TL, 1.12x over LRR, 1.02x over GTO).
+//
+// Each (kernel, scheduler) simulation is registered as a google-benchmark
+// case reporting simulated cycles and IPC; after the benchmark pass the
+// paper-style speedup table is printed.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace prosim;
+using namespace prosim::bench;
+
+constexpr SchedulerKind kAll[] = {SchedulerKind::kTl, SchedulerKind::kLrr,
+                                  SchedulerKind::kGto, SchedulerKind::kPro};
+
+void bm_kernel(benchmark::State& state, const Workload* w,
+               SchedulerKind kind) {
+  for (auto _ : state) {
+    const GpuResult& r = run_workload(*w, kind);
+    benchmark::DoNotOptimize(&r);
+  }
+  const GpuResult& r = run_workload(*w, kind);
+  state.counters["sim_cycles"] = static_cast<double>(r.cycles);
+  state.counters["ipc"] = r.ipc();
+  state.counters["l1_miss"] = static_cast<double>(r.l1_misses);
+}
+
+void register_benchmarks() {
+  for (const Workload& w : all_workloads()) {
+    for (SchedulerKind kind : kAll) {
+      benchmark::RegisterBenchmark(
+          ("fig4/" + w.kernel + "/" + scheduler_name(kind)).c_str(),
+          bm_kernel, &w, kind)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_report() {
+  std::cout << "\n";
+  print_table1(std::cout);
+  print_table2(std::cout);
+
+  Table t({"Kernel", "TL", "LRR", "GTO", "PRO", "PRO/TL", "PRO/LRR",
+           "PRO/GTO"});
+  std::vector<double> vs_tl;
+  std::vector<double> vs_lrr;
+  std::vector<double> vs_gto;
+  for (const Workload& w : all_workloads()) {
+    const Cycle tl = run_workload(w, SchedulerKind::kTl).cycles;
+    const Cycle lrr = run_workload(w, SchedulerKind::kLrr).cycles;
+    const Cycle gto = run_workload(w, SchedulerKind::kGto).cycles;
+    const Cycle pro = run_workload(w, SchedulerKind::kPro).cycles;
+    const double s_tl = static_cast<double>(tl) / pro;
+    const double s_lrr = static_cast<double>(lrr) / pro;
+    const double s_gto = static_cast<double>(gto) / pro;
+    vs_tl.push_back(s_tl);
+    vs_lrr.push_back(s_lrr);
+    vs_gto.push_back(s_gto);
+    t.add_row({w.kernel, Table::fmt(tl), Table::fmt(lrr), Table::fmt(gto),
+               Table::fmt(pro), Table::fmt(s_tl), Table::fmt(s_lrr),
+               Table::fmt(s_gto)});
+  }
+  t.add_row({"GEOMEAN", "", "", "", "", Table::fmt(geomean(vs_tl)),
+             Table::fmt(geomean(vs_lrr)), Table::fmt(geomean(vs_gto))});
+  std::cout << "FIGURE 4: simulated cycles per kernel and PRO speedups\n";
+  std::cout << "(paper reports geomeans of 1.13x/1.12x/1.02x over "
+               "TL/LRR/GTO)\n";
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  print_report();
+  return 0;
+}

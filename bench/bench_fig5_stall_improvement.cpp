@@ -1,0 +1,77 @@
+// Figure 5: improvement in total stall cycles with PRO — the ratio
+// baseline-stalls / PRO-stalls per application, for TL, LRR and GTO
+// (paper geomeans: 1.32x over TL, 1.19x over LRR, 1.04x over GTO).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace prosim;
+using namespace prosim::bench;
+
+void bm_app(benchmark::State& state, std::string app, SchedulerKind kind) {
+  for (auto _ : state) {
+    const AppStats stats = run_app(app, kind);
+    benchmark::DoNotOptimize(&stats);
+  }
+  state.counters["total_stalls"] =
+      static_cast<double>(run_app(app, kind).total_stalls());
+}
+
+void register_benchmarks() {
+  for (const std::string& app : all_app_names()) {
+    for (SchedulerKind kind :
+         {SchedulerKind::kTl, SchedulerKind::kLrr, SchedulerKind::kGto,
+          SchedulerKind::kPro}) {
+      benchmark::RegisterBenchmark(
+          ("fig5/" + app + "/" + scheduler_name(kind)).c_str(), bm_app, app,
+          kind)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_report() {
+  Table t({"Application", "TL/PRO", "LRR/PRO", "GTO/PRO"});
+  std::vector<double> tl_ratio;
+  std::vector<double> lrr_ratio;
+  std::vector<double> gto_ratio;
+  for (const std::string& app : all_app_names()) {
+    const auto pro = static_cast<double>(
+        run_app(app, SchedulerKind::kPro).total_stalls());
+    const auto tl =
+        static_cast<double>(run_app(app, SchedulerKind::kTl).total_stalls());
+    const auto lrr = static_cast<double>(
+        run_app(app, SchedulerKind::kLrr).total_stalls());
+    const auto gto = static_cast<double>(
+        run_app(app, SchedulerKind::kGto).total_stalls());
+    tl_ratio.push_back(tl / pro);
+    lrr_ratio.push_back(lrr / pro);
+    gto_ratio.push_back(gto / pro);
+    t.add_row({app, Table::fmt(tl / pro), Table::fmt(lrr / pro),
+               Table::fmt(gto / pro)});
+  }
+  t.add_row({"GEOMEAN", Table::fmt(geomean(tl_ratio)),
+             Table::fmt(geomean(lrr_ratio)), Table::fmt(geomean(gto_ratio))});
+  std::cout << "\nFIGURE 5: total-stall-cycle ratio, baseline / PRO "
+               "(greater than 1 means PRO stalls less)\n";
+  std::cout << "(paper geomeans: 1.32x TL, 1.19x LRR, 1.04x GTO)\n";
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  print_report();
+  return 0;
+}

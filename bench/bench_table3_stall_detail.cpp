@@ -1,0 +1,109 @@
+// Table III: per-application stall-cycle detail — PRO's absolute
+// Pipe/Idle/Scoreboard stall cycles, and per-type + total improvement
+// ratios over TL, LRR and GTO. (Paper geomean row: TL 0.70/2.40/1.58/1.32,
+// LRR 1.24/3.21/0.70/1.19, GTO 1.00/1.10/1.10/1.04.)
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace prosim;
+using namespace prosim::bench;
+
+void bm_app(benchmark::State& state, std::string app, SchedulerKind kind) {
+  for (auto _ : state) {
+    const AppStats stats = run_app(app, kind);
+    benchmark::DoNotOptimize(&stats);
+  }
+}
+
+void register_benchmarks() {
+  for (const std::string& app : all_app_names()) {
+    for (SchedulerKind kind :
+         {SchedulerKind::kTl, SchedulerKind::kLrr, SchedulerKind::kGto,
+          SchedulerKind::kPro}) {
+      benchmark::RegisterBenchmark(
+          ("table3/" + app + "/" + scheduler_name(kind)).c_str(), bm_app,
+          app, kind)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+double safe_ratio(double num, double den) { return den == 0 ? 1.0 : num / den; }
+
+void print_report() {
+  Table t({"Application", "PRO Pipe", "PRO Idle", "PRO SB",
+           "TL:Pipe", "TL:Idle", "TL:SB", "TL:Total",
+           "LRR:Pipe", "LRR:Idle", "LRR:SB", "LRR:Total",
+           "GTO:Pipe", "GTO:Idle", "GTO:SB", "GTO:Total"});
+
+  struct Geo {
+    std::vector<double> pipe, idle, sb, total;
+  };
+  Geo tl_g, lrr_g, gto_g;
+
+  for (const std::string& app : all_app_names()) {
+    const AppStats pro = run_app(app, SchedulerKind::kPro);
+    const AppStats tl = run_app(app, SchedulerKind::kTl);
+    const AppStats lrr = run_app(app, SchedulerKind::kLrr);
+    const AppStats gto = run_app(app, SchedulerKind::kGto);
+
+    auto row_ratios = [&](const AppStats& base, Geo& g) {
+      const double p = safe_ratio(static_cast<double>(base.pipeline),
+                                  static_cast<double>(pro.pipeline));
+      const double i = safe_ratio(static_cast<double>(base.idle),
+                                  static_cast<double>(pro.idle));
+      const double s = safe_ratio(static_cast<double>(base.scoreboard),
+                                  static_cast<double>(pro.scoreboard));
+      const double tot = safe_ratio(static_cast<double>(base.total_stalls()),
+                                    static_cast<double>(pro.total_stalls()));
+      g.pipe.push_back(p);
+      g.idle.push_back(i);
+      g.sb.push_back(s);
+      g.total.push_back(tot);
+      return std::vector<std::string>{Table::fmt(p), Table::fmt(i),
+                                      Table::fmt(s), Table::fmt(tot)};
+    };
+
+    std::vector<std::string> row{app, Table::fmt(pro.pipeline),
+                                 Table::fmt(pro.idle),
+                                 Table::fmt(pro.scoreboard)};
+    for (const std::string& c : row_ratios(tl, tl_g)) row.push_back(c);
+    for (const std::string& c : row_ratios(lrr, lrr_g)) row.push_back(c);
+    for (const std::string& c : row_ratios(gto, gto_g)) row.push_back(c);
+    t.add_row(row);
+  }
+
+  std::vector<std::string> geo_row{"GEOMEAN", "", "", ""};
+  for (Geo* g : {&tl_g, &lrr_g, &gto_g}) {
+    geo_row.push_back(Table::fmt(geomean(g->pipe)));
+    geo_row.push_back(Table::fmt(geomean(g->idle)));
+    geo_row.push_back(Table::fmt(geomean(g->sb)));
+    geo_row.push_back(Table::fmt(geomean(g->total)));
+  }
+  t.add_row(geo_row);
+
+  std::cout << "\nTABLE III: stall-cycle improvement with PRO "
+               "(ratio > 1 means PRO has fewer stalls of that type)\n";
+  std::cout << "(paper geomeans — TL: 0.70/2.40/1.58/1.32, "
+               "LRR: 1.24/3.21/0.70/1.19, GTO: 1.00/1.10/1.10/1.04)\n";
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  print_report();
+  return 0;
+}

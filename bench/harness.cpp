@@ -1,0 +1,100 @@
+#include "harness.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace prosim::bench {
+
+GpuConfig bench_config(SchedulerKind kind) {
+  GpuConfig cfg;  // defaults are the paper's Table I GTX480
+  cfg.scheduler.kind = kind;
+  return cfg;
+}
+
+const GpuResult& run_workload(const Workload& workload, SchedulerKind kind,
+                              const ProConfig* pro_config,
+                              bool record_tb_order) {
+  static std::map<std::string, GpuResult> cache;
+  std::string key = workload.kernel + "/" + scheduler_name(kind);
+  if (pro_config != nullptr) {
+    key += "/th" + std::to_string(pro_config->sort_threshold) +
+           (pro_config->handle_barriers ? "/b1" : "/b0") +
+           (pro_config->handle_finish ? "/f1" : "/f0") +
+           (pro_config->fast_nowait_increasing ? "/inc" : "/dec") +
+           (pro_config->model_sort_latency ? "/slat" : "");
+  }
+  if (record_tb_order) key += "/trace";
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  GpuConfig cfg = bench_config(kind);
+  if (pro_config != nullptr) cfg.scheduler.pro = *pro_config;
+  cfg.record_tb_order_sm0 = record_tb_order;
+  GlobalMemory mem;
+  workload.init(mem);
+  GpuResult result = simulate(cfg, workload.program, mem);
+  return cache.emplace(std::move(key), std::move(result)).first->second;
+}
+
+const GpuResult& run_custom(const Workload& workload, const GpuConfig& config,
+                            const std::string& tag) {
+  static std::map<std::string, GpuResult> cache;
+  std::string key = workload.kernel + "/" + tag;
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  GlobalMemory mem;
+  workload.init(mem);
+  GpuResult result = simulate(config, workload.program, mem);
+  return cache.emplace(std::move(key), std::move(result)).first->second;
+}
+
+AppStats run_app(const std::string& app, SchedulerKind kind) {
+  AppStats stats;
+  stats.app = app;
+  for (const Workload* w : app_workloads(app)) {
+    const GpuResult& r = run_workload(*w, kind);
+    stats.cycles += r.cycles;
+    stats.idle += r.totals.idle_stalls;
+    stats.scoreboard += r.totals.scoreboard_stalls;
+    stats.pipeline += r.totals.pipeline_stalls;
+  }
+  return stats;
+}
+
+void print_table1(std::ostream& os) {
+  const GpuConfig cfg = bench_config(SchedulerKind::kLrr);
+  Table t({"Parameter", "Value"});
+  t.add_row({"Architecture", "NVIDIA Fermi GTX480 (simulated)"});
+  t.add_row({"Number of SMs", Table::fmt(cfg.num_sms)});
+  t.add_row({"Max Thread Blocks per SM", Table::fmt(cfg.sm.max_tbs)});
+  t.add_row({"Max Threads per Core", Table::fmt(cfg.sm.max_threads)});
+  t.add_row({"Shared Memory per Core",
+             Table::fmt(cfg.sm.smem_bytes / 1024) + "KB"});
+  t.add_row({"L1-Cache per Core",
+             Table::fmt(cfg.sm.l1d.size_bytes / 1024) + "KB"});
+  t.add_row({"L2-Cache",
+             Table::fmt(cfg.mem.num_partitions * cfg.mem.l2.size_bytes /
+                        1024) +
+                 "KB"});
+  t.add_row({"Max Registers per Core", Table::fmt(cfg.sm.num_registers)});
+  t.add_row({"Number of Schedulers", Table::fmt(cfg.sm.num_schedulers)});
+  t.add_row({"DRAM Scheduler", "FR-FCFS"});
+  os << "TABLE I: GPGPU-Sim-equivalent configuration\n";
+  t.print(os);
+  os << "\n";
+}
+
+void print_table2(std::ostream& os) {
+  Table t({"Application", "Kernel", "Paper TBs", "Our TBs"});
+  for (const Workload& w : all_workloads()) {
+    t.add_row({w.app, w.kernel, Table::fmt(w.paper_tbs),
+               Table::fmt(w.program.info.grid_dim)});
+  }
+  os << "TABLE II: benchmark applications (grids scaled per DESIGN.md)\n";
+  t.print(os);
+  os << "\n";
+}
+
+}  // namespace prosim::bench

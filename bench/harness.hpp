@@ -1,0 +1,49 @@
+// Shared bench-harness plumbing: memoized simulation runs, per-application
+// aggregation (Fig 1/5 and Table III report per app, not per kernel), and
+// headline-table helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim::bench {
+
+/// Simulates one workload under one scheduler on the full GTX480 config
+/// (Table I). Results are memoized per process, so google-benchmark
+/// registration and the report table share one simulation.
+const GpuResult& run_workload(const Workload& workload, SchedulerKind kind,
+                              const ProConfig* pro_config = nullptr,
+                              bool record_tb_order = false);
+
+/// Per-application aggregate (sums over the app's kernels, as the paper's
+/// "numbers reported are per application, not per kernel").
+struct AppStats {
+  std::string app;
+  Cycle cycles = 0;  // summed kernel runtimes
+  std::uint64_t idle = 0;
+  std::uint64_t scoreboard = 0;
+  std::uint64_t pipeline = 0;
+
+  std::uint64_t total_stalls() const { return idle + scoreboard + pipeline; }
+};
+
+AppStats run_app(const std::string& app, SchedulerKind kind);
+
+/// Simulates with an arbitrary configuration; memoized under `tag` (the
+/// caller guarantees tag uniquely identifies the configuration).
+const GpuResult& run_custom(const Workload& workload, const GpuConfig& config,
+                            const std::string& tag);
+
+/// The GTX480 configuration every bench uses.
+GpuConfig bench_config(SchedulerKind kind);
+
+/// Prints the Table I configuration block (for bench headers).
+void print_table1(std::ostream& os);
+
+/// Prints the Table II workload inventory.
+void print_table2(std::ostream& os);
+
+}  // namespace prosim::bench

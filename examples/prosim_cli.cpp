@@ -1,0 +1,232 @@
+// Full command-line driver: run any Table II workload (or a .sasm file)
+// under any scheduler with configuration overrides, and emit reports in
+// table, CSV, or chrome-trace form.
+//
+//   $ ./examples/prosim_cli --kernel render --scheduler PRO
+//   $ ./examples/prosim_cli --kernel bfs_kernel --scheduler TL \
+//         --sms 8 --threshold 500 --csv
+//   $ ./examples/prosim_cli --asm my_kernel.sasm --scheduler GTO
+//   $ ./examples/prosim_cli --kernel GPU_laplace3d --trace out.json
+//   $ ./examples/prosim_cli --list
+//
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "gpu/gpu.hpp"
+#include "gpu/report.hpp"
+#include "gpu/trace_export.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/registry.hpp"
+
+using namespace prosim;
+
+namespace {
+
+struct Options {
+  std::string kernel = "scalarProdGPU";
+  std::string asm_path;
+  SchedulerKind scheduler = SchedulerKind::kPro;
+  int num_sms = -1;
+  Cycle threshold = 0;
+  bool no_barrier_handling = false;
+  bool no_finish_handling = false;
+  bool no_l1 = false;
+  bool fcfs_dram = false;
+  bool csv = false;
+  bool json = false;
+  bool list = false;
+  bool disasm = false;
+  std::string trace_path;
+};
+
+bool parse_scheduler(const std::string& s, SchedulerKind& out) {
+  if (s == "LRR") out = SchedulerKind::kLrr;
+  else if (s == "GTO") out = SchedulerKind::kGto;
+  else if (s == "TL") out = SchedulerKind::kTl;
+  else if (s == "PRO") out = SchedulerKind::kPro;
+  else if (s == "PRO-A") out = SchedulerKind::kProAdaptive;
+  else if (s == "CAWS") out = SchedulerKind::kCaws;
+  else if (s == "OWL") out = SchedulerKind::kOwl;
+  else return false;
+  return true;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: prosim_cli [options]\n"
+      "  --kernel NAME        Table II workload to run (default scalarProdGPU)\n"
+      "  --asm FILE           run an assembly file instead of a workload\n"
+      "  --scheduler S        LRR | GTO | TL | PRO | PRO-A | CAWS | OWL\n"
+      "  --sms N              override number of SMs (default 14)\n"
+      "  --threshold N        PRO sort threshold in cycles (default 1000)\n"
+      "  --no-barrier         disable PRO barrier handling\n"
+      "  --no-finish          disable PRO finish handling\n"
+      "  --no-l1              bypass the L1 data cache\n"
+      "  --fcfs-dram          plain FCFS DRAM scheduling (default FR-FCFS)\n"
+      "  --trace FILE         write a chrome://tracing JSON of the TB timeline\n"
+      "  --csv                emit the result row as CSV\n"
+      "  --json               emit the full result as JSON\n"
+      "  --disasm             print the kernel disassembly before running\n"
+      "  --list               list available workloads and exit\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--kernel") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.kernel = v;
+    } else if (arg == "--asm") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.asm_path = v;
+    } else if (arg == "--scheduler") {
+      const char* v = next();
+      if (v == nullptr || !parse_scheduler(v, opt.scheduler)) return false;
+    } else if (arg == "--sms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.num_sms = std::atoi(v);
+      if (opt.num_sms <= 0) return false;
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.threshold = static_cast<Cycle>(std::atoll(v));
+    } else if (arg == "--no-barrier") {
+      opt.no_barrier_handling = true;
+    } else if (arg == "--no-finish") {
+      opt.no_finish_handling = true;
+    } else if (arg == "--no-l1") {
+      opt.no_l1 = true;
+    } else if (arg == "--fcfs-dram") {
+      opt.fcfs_dram = true;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.trace_path = v;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--disasm") {
+      opt.disasm = true;
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  if (opt.list) {
+    Table t({"Kernel", "Suite", "App", "TBs", "Block"});
+    for (const Workload& w : all_workloads()) {
+      t.add_row({w.kernel, w.suite, w.app,
+                 Table::fmt(w.program.info.grid_dim),
+                 Table::fmt(w.program.info.block_dim)});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  // Resolve the program + input data.
+  Program program;
+  std::function<void(GlobalMemory&)> init;
+  if (!opt.asm_path.empty()) {
+    std::ifstream in(opt.asm_path);
+    if (!in) {
+      std::cerr << "cannot open " << opt.asm_path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    AssembleResult result = assemble(text.str());
+    if (auto* error = std::get_if<AssemblerError>(&result)) {
+      std::cerr << opt.asm_path << ":" << error->line << ": "
+                << error->message << "\n";
+      return 1;
+    }
+    program = std::get<Program>(std::move(result));
+    init = [](GlobalMemory&) {};
+  } else {
+    bool known = false;
+    for (const Workload& w : all_workloads())
+      known = known || w.kernel == opt.kernel;
+    if (!known) {
+      std::cerr << "unknown kernel '" << opt.kernel
+                << "' (use --list)\n";
+      return 1;
+    }
+    const Workload& w = find_workload(opt.kernel);
+    program = w.program;
+    init = w.init;
+  }
+
+  if (opt.disasm) std::cout << program.disassemble_all() << "\n";
+
+  GpuConfig cfg;
+  cfg.scheduler.kind = opt.scheduler;
+  if (opt.num_sms > 0) cfg.num_sms = opt.num_sms;
+  if (opt.threshold > 0) {
+    cfg.scheduler.pro.sort_threshold = opt.threshold;
+    cfg.scheduler.adaptive.base.sort_threshold = opt.threshold;
+  }
+  cfg.scheduler.pro.handle_barriers = !opt.no_barrier_handling;
+  cfg.scheduler.pro.handle_finish = !opt.no_finish_handling;
+  cfg.sm.l1_enabled = !opt.no_l1;
+  if (opt.fcfs_dram) cfg.mem.dram.scheduler = DramSchedulerKind::kFcfs;
+
+  GlobalMemory mem;
+  init(mem);
+  GpuResult r = simulate(cfg, program, mem);
+
+  Table t({"kernel", "scheduler", "cycles", "ipc", "issued", "idle",
+           "scoreboard", "pipeline", "l1_hits", "l1_misses", "l2_misses",
+           "barrier_wait", "tbs"});
+  t.add_row({program.info.name, scheduler_name(opt.scheduler),
+             Table::fmt(r.cycles), Table::fmt(r.ipc(), 2),
+             Table::fmt(r.totals.issued), Table::fmt(r.totals.idle_stalls),
+             Table::fmt(r.totals.scoreboard_stalls),
+             Table::fmt(r.totals.pipeline_stalls), Table::fmt(r.l1_hits),
+             Table::fmt(r.l1_misses), Table::fmt(r.l2_misses),
+             Table::fmt(r.totals.barrier_wait_cycles),
+             Table::fmt(r.totals.tbs_executed)});
+  if (opt.json) {
+    JsonReportOptions jopt;
+    jopt.kernel = program.info.name;
+    jopt.scheduler = scheduler_name(opt.scheduler);
+    jopt.include_timelines = true;
+    write_json_report(std::cout, r, jopt);
+  } else if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  if (!opt.trace_path.empty()) {
+    std::ofstream out(opt.trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.trace_path << "\n";
+      return 1;
+    }
+    write_chrome_trace(out, r);
+    std::cout << "wrote " << opt.trace_path << "\n";
+  }
+  return 0;
+}

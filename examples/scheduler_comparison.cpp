@@ -1,0 +1,51 @@
+// Compare all four warp schedulers (LRR, GTO, TL, PRO) on one of the
+// paper's Table II workloads.
+//
+//   $ ./examples/scheduler_comparison [kernel-name]
+//   $ ./examples/scheduler_comparison scalarProdGPU
+//
+// With no argument, runs scalarProdGPU (the kernel the paper singles out
+// for its barrier-handling discussion).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpu/gpu.hpp"
+#include "kernels/registry.hpp"
+
+using namespace prosim;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "scalarProdGPU";
+  bool known = false;
+  for (const Workload& w : all_workloads()) known = known || w.kernel == name;
+  if (!known) {
+    std::cerr << "unknown kernel '" << name << "'. Available:\n";
+    for (const Workload& w : all_workloads())
+      std::cerr << "  " << w.kernel << "\n";
+    return 1;
+  }
+  const Workload& w = find_workload(name);
+  std::cout << "kernel " << w.kernel << " (" << w.suite << "/" << w.app
+            << "), " << w.program.info.grid_dim << " TBs x "
+            << w.program.info.block_dim << " threads\n\n";
+
+  Table t({"Scheduler", "Cycles", "IPC", "Idle", "Scoreboard", "Pipeline",
+           "L1 miss", "Speedup vs LRR"});
+  Cycle lrr_cycles = 0;
+  for (SchedulerKind kind : {SchedulerKind::kLrr, SchedulerKind::kGto,
+                             SchedulerKind::kTl, SchedulerKind::kPro}) {
+    GlobalMemory mem;
+    w.init(mem);
+    GpuConfig cfg;
+    cfg.scheduler.kind = kind;
+    GpuResult r = simulate(cfg, w.program, mem);
+    if (kind == SchedulerKind::kLrr) lrr_cycles = r.cycles;
+    t.add_row({scheduler_name(kind), Table::fmt(r.cycles),
+               Table::fmt(r.ipc(), 1), Table::fmt(r.totals.idle_stalls),
+               Table::fmt(r.totals.scoreboard_stalls),
+               Table::fmt(r.totals.pipeline_stalls), Table::fmt(r.l1_misses),
+               Table::fmt(static_cast<double>(lrr_cycles) / r.cycles)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Always-on invariant checks. A cycle-level simulator silently producing
+// wrong timing is worse than one that aborts, so these stay enabled in
+// release builds; the hot path uses them sparingly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PROSIM_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PROSIM_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define PROSIM_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PROSIM_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

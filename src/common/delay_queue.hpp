@@ -1,0 +1,74 @@
+// DelayQueue models a latency + bandwidth limited link: items become visible
+// `latency` cycles after push, and at most `bandwidth` items can be popped
+// per cycle. Used for interconnect ports, cache response paths, and the
+// DRAM data bus return path.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace prosim {
+
+template <typename T>
+class DelayQueue {
+ public:
+  DelayQueue() = default;
+  DelayQueue(Cycle latency, int bandwidth_per_cycle, std::size_t capacity)
+      : latency_(latency),
+        bandwidth_(bandwidth_per_cycle),
+        capacity_(capacity) {
+    PROSIM_CHECK(bandwidth_per_cycle > 0);
+    PROSIM_CHECK(capacity > 0);
+  }
+
+  bool can_push() const { return queue_.size() < capacity_; }
+
+  /// Pushes an item that becomes poppable at `now + latency`.
+  void push(T item, Cycle now) {
+    PROSIM_CHECK_MSG(can_push(), "DelayQueue overflow");
+    queue_.emplace_back(now + latency_, std::move(item));
+  }
+
+  /// Must be called once per cycle before pops to reset the bandwidth
+  /// budget for cycle `now`.
+  void begin_cycle(Cycle now) {
+    current_cycle_ = now;
+    pops_this_cycle_ = 0;
+  }
+
+  /// True if an item is ready and bandwidth remains this cycle.
+  bool can_pop() const {
+    return pops_this_cycle_ < bandwidth_ && !queue_.empty() &&
+           queue_.front().first <= current_cycle_;
+  }
+
+  T pop() {
+    PROSIM_CHECK(can_pop());
+    ++pops_this_cycle_;
+    T item = std::move(queue_.front().second);
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Peek at the head item (which must be ready).
+  const T& front() const {
+    PROSIM_CHECK(!queue_.empty());
+    return queue_.front().second;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  Cycle latency_ = 0;
+  int bandwidth_ = 1;
+  std::size_t capacity_ = 64;
+  Cycle current_cycle_ = 0;
+  int pops_this_cycle_ = 0;
+  std::deque<std::pair<Cycle, T>> queue_;
+};
+
+}  // namespace prosim

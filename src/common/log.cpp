@@ -1,0 +1,57 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace prosim::logging {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+bool g_initialized = false;
+}  // namespace
+
+void init_from_env() {
+  if (g_initialized) return;
+  g_initialized = true;
+  const char* env = std::getenv("PROSIM_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "error") == 0) {
+    g_level = LogLevel::kError;
+  } else if (std::strcmp(env, "warn") == 0) {
+    g_level = LogLevel::kWarn;
+  } else if (std::strcmp(env, "info") == 0) {
+    g_level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "debug") == 0) {
+    g_level = LogLevel::kDebug;
+  }
+}
+
+LogLevel level() {
+  init_from_env();
+  return g_level;
+}
+
+void set_level(LogLevel lvl) {
+  g_initialized = true;
+  g_level = lvl;
+}
+
+void vlog(LogLevel lvl, const char* fmt, ...) {
+  const char* tag = "?";
+  switch (lvl) {
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "[prosim %s] ", tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace prosim::logging

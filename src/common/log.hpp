@@ -1,0 +1,37 @@
+// Minimal leveled logging. Off by default; enable with PROSIM_LOG=debug or
+// set_level(). Not used on the simulator hot path.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace prosim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+namespace logging {
+
+LogLevel level();
+void set_level(LogLevel level);
+
+/// Reads PROSIM_LOG from the environment ("off"/"error"/"warn"/"info"/
+/// "debug"); called once on first use.
+void init_from_env();
+
+void vlog(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace logging
+
+#define PROSIM_LOG(lvl, ...)                                        \
+  do {                                                              \
+    if (::prosim::logging::level() >= (lvl)) {                      \
+      ::prosim::logging::vlog((lvl), __VA_ARGS__);                  \
+    }                                                               \
+  } while (0)
+
+#define PROSIM_DEBUG(...) PROSIM_LOG(::prosim::LogLevel::kDebug, __VA_ARGS__)
+#define PROSIM_INFO(...) PROSIM_LOG(::prosim::LogLevel::kInfo, __VA_ARGS__)
+#define PROSIM_WARN(...) PROSIM_LOG(::prosim::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace prosim

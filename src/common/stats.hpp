@@ -1,0 +1,64 @@
+// Lightweight statistics helpers: named counters, ratio summaries, and the
+// geometric means used throughout the paper's evaluation section.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prosim {
+
+/// A bag of named 64-bit counters. Components register counters lazily;
+/// lookup cost is irrelevant because hot-path counters are plain members —
+/// this bag is for end-of-run reporting only.
+class CounterBag {
+ public:
+  void add(const std::string& name, std::uint64_t delta) {
+    counters_[name] += delta;
+  }
+  void set(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
+  }
+  std::uint64_t get(const std::string& name) const;
+  bool has(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void merge(const CounterBag& other);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Geometric mean of a vector of positive ratios. Returns 0 for an empty
+/// input. Values <= 0 are rejected (PROSIM_CHECK).
+double geomean(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& values);
+
+/// Simple fixed-width histogram for distribution-style reporting
+/// (e.g. warp-level divergence spreads).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+  void add(double value);
+  std::uint64_t bin_count(int bin) const { return bins_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  double bin_lo(int bin) const;
+  double bin_hi(int bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace prosim

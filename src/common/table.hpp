@@ -1,0 +1,38 @@
+// ASCII table and CSV emission for bench harness reports. Every bench binary
+// prints the same rows/series the paper's tables and figures report; this
+// keeps the formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prosim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(std::uint64_t value);
+  static std::string fmt(int value);
+
+  /// Renders with aligned columns: first column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish quoting of commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prosim

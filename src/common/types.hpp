@@ -1,0 +1,31 @@
+// Core scalar types and small constants shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace prosim {
+
+/// Simulation time, in core clock cycles. The whole machine runs in a single
+/// clock domain (see DESIGN.md, "Known simplifications").
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated global address space.
+using Addr = std::uint64_t;
+
+/// Value held by one architectural register of one thread.
+using RegValue = std::int64_t;
+
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// SIMT width: threads per warp (NVIDIA terminology, fixed at 32).
+inline constexpr int kWarpSize = 32;
+
+/// Lane-participation mask for one warp (bit i = thread i active).
+using ActiveMask = std::uint32_t;
+
+inline constexpr ActiveMask kFullMask = 0xFFFFFFFFu;
+
+inline int popcount_mask(ActiveMask m) { return __builtin_popcount(m); }
+
+}  // namespace prosim

@@ -1,0 +1,91 @@
+#include "core/adaptive_pro.hpp"
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+AdaptiveProPolicy::AdaptiveProPolicy(const AdaptiveProConfig& config)
+    : config_(config), inner_(config.base) {
+  PROSIM_CHECK(config_.epoch_cycles > 0);
+  PROSIM_CHECK(config_.epoch_pairs > 0);
+  barrier_enabled_ = config.base.handle_barriers;
+}
+
+void AdaptiveProPolicy::attach(const PolicyContext& ctx) {
+  inner_.attach(ctx);
+  phase_ = Phase::kProfiling;
+  barrier_enabled_ = config_.base.handle_barriers;
+  inner_.set_barrier_handling(barrier_enabled_);
+  epoch_start_ = 0;
+  epochs_done_ = 0;
+  epoch_issues_ = 0;
+  on_rate_sum_ = 0.0;
+  off_rate_sum_ = 0.0;
+}
+
+void AdaptiveProPolicy::finish_epoch(Cycle now) {
+  const double rate = static_cast<double>(epoch_issues_) /
+                      static_cast<double>(config_.epoch_cycles);
+  if (barrier_enabled_) {
+    on_rate_sum_ += rate;
+  } else {
+    off_rate_sum_ += rate;
+  }
+  ++epochs_done_;
+  epoch_issues_ = 0;
+  epoch_start_ = now;
+
+  if (epochs_done_ >= 2 * config_.epoch_pairs) {
+    // Decision time: keep whichever configuration issued more per cycle.
+    phase_ = Phase::kDecided;
+    barrier_enabled_ = on_rate_sum_ >= off_rate_sum_;
+  } else {
+    barrier_enabled_ = !barrier_enabled_;  // A/B alternation
+  }
+  inner_.set_barrier_handling(barrier_enabled_);
+}
+
+void AdaptiveProPolicy::begin_cycle(Cycle now) {
+  if (phase_ == Phase::kProfiling &&
+      now - epoch_start_ >= config_.epoch_cycles) {
+    finish_epoch(now);
+  }
+  inner_.begin_cycle(now);
+}
+
+int AdaptiveProPolicy::pick(int sched_id, std::uint64_t ready_mask,
+                            Cycle now) {
+  return inner_.pick(sched_id, ready_mask, now);
+}
+
+std::uint64_t AdaptiveProPolicy::consider_mask(int sched_id) {
+  return inner_.consider_mask(sched_id);
+}
+
+void AdaptiveProPolicy::on_tb_launch(int tb_slot) {
+  inner_.on_tb_launch(tb_slot);
+}
+
+void AdaptiveProPolicy::on_tb_finish(int tb_slot) {
+  inner_.on_tb_finish(tb_slot);
+}
+
+void AdaptiveProPolicy::on_warp_issue(int warp_slot, int active_threads,
+                                      bool long_latency) {
+  if (phase_ == Phase::kProfiling) ++epoch_issues_;
+  inner_.on_warp_issue(warp_slot, active_threads, long_latency);
+}
+
+void AdaptiveProPolicy::on_warp_barrier_arrive(int warp_slot, int tb_slot) {
+  inner_.on_warp_barrier_arrive(warp_slot, tb_slot);
+}
+
+void AdaptiveProPolicy::on_barrier_release(int tb_slot) {
+  inner_.on_barrier_release(tb_slot);
+}
+
+void AdaptiveProPolicy::on_warp_finish(int warp_slot, int tb_slot) {
+  inner_.on_warp_finish(warp_slot, tb_slot);
+}
+
+}  // namespace prosim

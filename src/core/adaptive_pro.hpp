@@ -1,0 +1,69 @@
+// Adaptive PRO — the paper's proposed future work (§IV): "we would like to
+// dynamically enable or disable special handling of barrier statements,
+// long latency statements, etc., by profiling each application."
+//
+// The paper observed that PRO's barrier handling *hurts* scalarProd by
+// ~10% while helping barrier-divergent kernels elsewhere; this policy
+// decides at runtime. It A/B-profiles the two configurations in
+// alternating epochs during the early part of the kernel — measuring
+// issue slots per cycle — then locks in the winner for the rest of the
+// execution. Profiling is per SM and fully online; no prior knowledge of
+// the kernel is needed.
+#pragma once
+
+#include "core/pro_scheduler.hpp"
+
+namespace prosim {
+
+struct AdaptiveProConfig {
+  ProConfig base;
+  /// Length of one profiling epoch in cycles.
+  Cycle epoch_cycles = 2000;
+  /// Number of (on, off) epoch pairs to average before deciding.
+  int epoch_pairs = 2;
+};
+
+class AdaptiveProPolicy final : public SchedulerPolicy {
+ public:
+  explicit AdaptiveProPolicy(const AdaptiveProConfig& config = {});
+
+  std::string name() const override { return "pro-adaptive"; }
+  void attach(const PolicyContext& ctx) override;
+
+  int pick(int sched_id, std::uint64_t ready_mask, Cycle now) override;
+  std::uint64_t consider_mask(int sched_id) override;
+  void begin_cycle(Cycle now) override;
+  void on_tb_launch(int tb_slot) override;
+  void on_tb_finish(int tb_slot) override;
+  void on_warp_issue(int warp_slot, int active_threads,
+                     bool long_latency) override;
+  void on_warp_barrier_arrive(int warp_slot, int tb_slot) override;
+  void on_barrier_release(int tb_slot) override;
+  void on_warp_finish(int warp_slot, int tb_slot) override;
+
+  // Introspection for tests/benches.
+  bool decided() const { return phase_ == Phase::kDecided; }
+  bool barrier_handling_enabled() const { return barrier_enabled_; }
+  ProPolicy& inner() { return inner_; }
+
+ private:
+  enum class Phase { kProfiling, kDecided };
+
+  void finish_epoch(Cycle now);
+
+  AdaptiveProConfig config_;
+  /// One inner PRO instance; we toggle its barrier handling live. The
+  /// inner policy's state machine keeps running through toggles (counts
+  /// are tracked regardless; only prioritization changes).
+  ProPolicy inner_;
+
+  Phase phase_ = Phase::kProfiling;
+  bool barrier_enabled_ = true;   // current epoch's setting
+  Cycle epoch_start_ = 0;
+  int epochs_done_ = 0;
+  std::uint64_t epoch_issues_ = 0;
+  double on_rate_sum_ = 0.0;
+  double off_rate_sum_ = 0.0;
+};
+
+}  // namespace prosim

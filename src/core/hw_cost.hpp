@@ -1,0 +1,45 @@
+// Hardware-cost model for PRO (paper §III-E).
+//
+// The paper accounts for the extra per-SM state PRO needs:
+//  - one 4-byte progress register per warp and per TB,
+//  - one 1-byte nWarpsAtBar/nWarpsFin counter per TB (shared register —
+//    every warp either reaches the barrier or finishes),
+//  - a 1-byte sorted-order entry per TB,
+// for a total of (4W + 4T) + T + T bytes — 240 bytes on Fermi (W=48,
+// T=8) — plus two adders per warp scheduler, one comparator per TB for
+// warp sorting, and one comparator shared by the TB-level sorts.
+#pragma once
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+struct ProHardwareCost {
+  int warp_progress_bytes = 0;      ///< 4 bytes per warp slot
+  int tb_progress_bytes = 0;        ///< 4 bytes per TB slot
+  int barrier_counter_bytes = 0;    ///< 1 byte per TB (nWarpsAtBar/Fin)
+  int sorted_order_bytes = 0;       ///< 1 byte per TB
+  int total_bytes = 0;
+
+  int adders_per_scheduler = 2;     ///< warp + TB progress increment
+  int warp_sort_comparators = 0;    ///< one per TB slot
+  int tb_sort_comparators = 1;      ///< shared by the TB sorting passes
+};
+
+/// Storage/logic cost for an SM with `max_warps` warp slots and `max_tbs`
+/// resident-TB slots. For the paper's Fermi parameters (48, 8) the total
+/// is 240 bytes.
+inline ProHardwareCost compute_pro_hw_cost(int max_warps, int max_tbs) {
+  PROSIM_CHECK(max_warps > 0 && max_tbs > 0);
+  ProHardwareCost cost;
+  cost.warp_progress_bytes = 4 * max_warps;
+  cost.tb_progress_bytes = 4 * max_tbs;
+  cost.barrier_counter_bytes = max_tbs;
+  cost.sorted_order_bytes = max_tbs;
+  cost.total_bytes = cost.warp_progress_bytes + cost.tb_progress_bytes +
+                     cost.barrier_counter_bytes + cost.sorted_order_bytes;
+  cost.warp_sort_comparators = max_tbs;
+  return cost;
+}
+
+}  // namespace prosim

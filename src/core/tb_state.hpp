@@ -1,0 +1,37 @@
+// Thread-block states of the PRO scheduler (paper Fig. 3).
+//
+// We fold the paper's barrierWait1 into kBarrierWait: barrierWait1 exists
+// in the paper only to name "barrierWait during slowTBPhase", and its sole
+// difference is the exit target once all warps arrive (fastTBPhase ->
+// noWait / finishWait, slowTBPhase -> finishNoWait). We keep one state and
+// pick the exit target by phase — transition-for-transition equivalent to
+// Fig. 3 (covered by unit tests).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace prosim {
+
+enum class TbState : std::uint8_t {
+  kFree = 0,       // slot not occupied
+  kNoWait,         // default running state (fastTBPhase)
+  kBarrierWait,    // >=1 warp waiting at a barrier (both phases)
+  kFinishWait,     // >=1 warp finished (fastTBPhase)
+  kFinishNoWait,   // merged noWait+finishWait state (slowTBPhase)
+  kFinished,       // terminal
+};
+
+inline std::string_view tb_state_name(TbState s) {
+  switch (s) {
+    case TbState::kFree: return "free";
+    case TbState::kNoWait: return "noWait";
+    case TbState::kBarrierWait: return "barrierWait";
+    case TbState::kFinishWait: return "finishWait";
+    case TbState::kFinishNoWait: return "finishNoWait";
+    case TbState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+}  // namespace prosim

@@ -1,0 +1,162 @@
+#include "gpu/gpu.hpp"
+
+#include "core/pro_scheduler.hpp"
+#include "sched/caws.hpp"
+#include "sched/gto.hpp"
+#include "sched/lrr.hpp"
+#include "sched/owl.hpp"
+#include "sched/tl.hpp"
+
+namespace prosim {
+
+const char* scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kLrr: return "LRR";
+    case SchedulerKind::kGto: return "GTO";
+    case SchedulerKind::kTl: return "TL";
+    case SchedulerKind::kPro: return "PRO";
+    case SchedulerKind::kProAdaptive: return "PRO-A";
+    case SchedulerKind::kCaws: return "CAWS";
+    case SchedulerKind::kOwl: return "OWL";
+  }
+  return "?";
+}
+
+GpuConfig GpuConfig::test_config() {
+  GpuConfig cfg;
+  cfg.num_sms = 2;
+  cfg.mem.num_partitions = 2;
+  return cfg;
+}
+
+std::unique_ptr<SchedulerPolicy> make_policy(const SchedulerSpec& spec) {
+  switch (spec.kind) {
+    case SchedulerKind::kLrr:
+      return std::make_unique<LrrPolicy>();
+    case SchedulerKind::kGto:
+      return std::make_unique<GtoPolicy>();
+    case SchedulerKind::kTl:
+      return std::make_unique<TlPolicy>(spec.tl_active_set);
+    case SchedulerKind::kPro:
+      return std::make_unique<ProPolicy>(spec.pro);
+    case SchedulerKind::kProAdaptive:
+      return std::make_unique<AdaptiveProPolicy>(spec.adaptive);
+    case SchedulerKind::kCaws:
+      return std::make_unique<CawsPolicy>();
+    case SchedulerKind::kOwl:
+      return std::make_unique<OwlPolicy>(spec.owl_group_size);
+  }
+  PROSIM_CHECK_MSG(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
+    : config_(config),
+      program_(std::move(program)),
+      memory_(memory),
+      tb_scheduler_(program.info.grid_dim),
+      mem_(config.mem, config.num_sms) {
+  const std::string error = program_.validate();
+  PROSIM_CHECK_MSG(error.empty(), error.c_str());
+
+  if (config_.record_registers) {
+    register_dump_.assign(
+        static_cast<std::size_t>(program_.info.grid_dim) *
+            program_.info.block_dim * program_.info.regs_per_thread,
+        0);
+  }
+
+  sms_.reserve(static_cast<std::size_t>(config_.num_sms));
+  for (int s = 0; s < config_.num_sms; ++s) {
+    auto policy = make_policy(config_.scheduler);
+    if (s == 0 && config_.record_tb_order_sm0) {
+      if (auto* pro = dynamic_cast<ProPolicy*>(policy.get())) {
+        pro->set_order_trace(&tb_order_sm0_);
+      }
+    }
+    sms_.push_back(std::make_unique<SmCore>(
+        s, config_.sm, program_, memory_, mem_, std::move(policy),
+        [this] { return tb_scheduler_.has_waiting(); }));
+    if (config_.record_registers) {
+      sms_.back()->set_register_dump(register_dump_.data());
+    }
+  }
+}
+
+void Gpu::assign_tbs() {
+  // One TB per SM per cycle, round-robin over SMs — models the global work
+  // distribution engine refilling an SM as soon as a resident TB retires.
+  const int n = static_cast<int>(sms_.size());
+  for (int i = 0; i < n && tb_scheduler_.has_waiting(); ++i) {
+    const int s = (next_sm_ + i) % n;
+    if (sms_[s]->can_accept_tb()) {
+      sms_[s]->launch_tb(tb_scheduler_.pop(), now_);
+    }
+  }
+  next_sm_ = (next_sm_ + 1) % n;
+}
+
+bool Gpu::step() {
+  assign_tbs();
+  mem_.cycle(now_);
+  for (auto& sm : sms_) sm->cycle(now_);
+  ++now_;
+  PROSIM_CHECK_MSG(now_ < config_.max_cycles,
+                   "simulation exceeded max_cycles (livelock?)");
+
+  if (tb_scheduler_.has_waiting()) return true;
+  for (const auto& sm : sms_) {
+    if (!sm->drained()) return true;
+  }
+  return !mem_.idle();
+}
+
+GpuResult Gpu::run() {
+  while (step()) {
+  }
+  return collect();
+}
+
+GpuResult Gpu::collect() const {
+  GpuResult result;
+  result.cycles = now_;
+  result.regs_per_thread = program_.info.regs_per_thread;
+  result.block_dim = program_.info.block_dim;
+  for (const auto& sm : sms_) {
+    const SmStats& s = sm->stats();
+    result.per_sm.push_back(s);
+    result.totals.issued += s.issued;
+    result.totals.idle_stalls += s.idle_stalls;
+    result.totals.scoreboard_stalls += s.scoreboard_stalls;
+    result.totals.pipeline_stalls += s.pipeline_stalls;
+    result.totals.sched_cycles += s.sched_cycles;
+    result.totals.thread_insts += s.thread_insts;
+    result.totals.warp_insts += s.warp_insts;
+    result.totals.tbs_executed += s.tbs_executed;
+    result.totals.smem_conflict_extra_cycles += s.smem_conflict_extra_cycles;
+    result.totals.gmem_transactions += s.gmem_transactions;
+    result.totals.const_transactions += s.const_transactions;
+    result.totals.barrier_releases += s.barrier_releases;
+    result.totals.barrier_wait_cycles += s.barrier_wait_cycles;
+    result.totals.warp_finish_disparity_sum += s.warp_finish_disparity_sum;
+    result.totals.occupancy_tb_cycles += s.occupancy_tb_cycles;
+    result.l1_hits += sm->l1().hits;
+    result.l1_misses += sm->l1().misses;
+    result.timelines.push_back(sm->timeline());
+  }
+  result.l2_hits = mem_.l2_hits();
+  result.l2_misses = mem_.l2_misses();
+  result.dram_row_hits = mem_.dram_row_hits();
+  result.dram_row_misses = mem_.dram_row_misses();
+  result.tb_order_sm0 = tb_order_sm0_;
+  result.registers = register_dump_;
+  return result;
+}
+
+GpuResult simulate(const GpuConfig& config, const Program& program,
+                   GlobalMemory& memory) {
+  Gpu gpu(config, program, memory);
+  return gpu.run();
+}
+
+}  // namespace prosim

@@ -1,0 +1,67 @@
+// Top-level GPU simulator: instantiates SMs and the memory subsystem,
+// drives the global cycle loop, assigns thread blocks (one whole TB per SM,
+// refilled as residents retire — paper §II-C), and collects results.
+//
+// This is the primary public entry point:
+//
+//   GlobalMemory mem;
+//   setup_inputs(mem);
+//   GpuConfig cfg;                       // GTX480 defaults (Table I)
+//   cfg.scheduler.kind = SchedulerKind::kPro;
+//   GpuResult r = simulate(cfg, program, mem);
+//
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpu/gpu_config.hpp"
+#include "gpu/gpu_result.hpp"
+#include "isa/program.hpp"
+#include "mem/global_memory.hpp"
+#include "mem/memory_subsystem.hpp"
+#include "sched/tb_scheduler.hpp"
+#include "sm/sm_core.hpp"
+
+namespace prosim {
+
+class Gpu {
+ public:
+  /// `memory` must outlive the Gpu; kernels mutate it in place. The
+  /// program is copied (temporaries are safe to pass).
+  Gpu(const GpuConfig& config, Program program, GlobalMemory& memory);
+
+  /// Runs the kernel to completion and returns the collected results.
+  GpuResult run();
+
+  /// Single-step interface for tests: returns true while still running.
+  bool step();
+  Cycle now() const { return now_; }
+  const SmCore& sm(int index) const { return *sms_[index]; }
+  int num_sms() const { return static_cast<int>(sms_.size()); }
+
+  GpuResult collect() const;
+
+ private:
+  void assign_tbs();
+
+  GpuConfig config_;
+  const Program program_;
+  GlobalMemory& memory_;
+  TbScheduler tb_scheduler_;
+  MemorySubsystem mem_;
+  std::vector<std::unique_ptr<SmCore>> sms_;
+  std::vector<RegValue> register_dump_;
+  std::vector<TbOrderSample> tb_order_sm0_;
+  Cycle now_ = 0;
+  int next_sm_ = 0;
+};
+
+/// One-shot convenience wrapper.
+GpuResult simulate(const GpuConfig& config, const Program& program,
+                   GlobalMemory& memory);
+
+/// Creates a scheduler policy instance from a spec (one per SM).
+std::unique_ptr<SchedulerPolicy> make_policy(const SchedulerSpec& spec);
+
+}  // namespace prosim

@@ -1,0 +1,50 @@
+// Whole-GPU configuration: paper Table I (NVIDIA Fermi GTX480) by default.
+#pragma once
+
+#include "core/adaptive_pro.hpp"
+#include "core/pro_config.hpp"
+#include "mem/mem_config.hpp"
+#include "sm/sm_config.hpp"
+
+namespace prosim {
+
+enum class SchedulerKind {
+  kLrr,          // Loose Round Robin (paper baseline)
+  kGto,          // Greedy Then Oldest (paper baseline)
+  kTl,           // Two-Level, Narasiman et al. (paper baseline)
+  kPro,          // the paper's contribution
+  kProAdaptive,  // paper's stated future work (profile-driven barriers)
+  kCaws,         // related work: criticality-aware (Lee & Wu)
+  kOwl,          // related work: CTA-group-aware (Jog et al.)
+};
+
+const char* scheduler_name(SchedulerKind kind);
+
+/// Which policy to instantiate per SM, plus its parameters.
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::kLrr;
+  int tl_active_set = 6;
+  int owl_group_size = 2;
+  ProConfig pro;
+  AdaptiveProConfig adaptive;  // for kProAdaptive (paper's future work)
+};
+
+struct GpuConfig {
+  int num_sms = 14;  // Table I
+  SmConfig sm;
+  MemConfig mem;
+  SchedulerSpec scheduler;
+
+  /// Hard stop for runaway simulations (PROSIM_CHECK on overrun).
+  Cycle max_cycles = 200'000'000;
+
+  /// Record final per-thread registers (golden-model comparisons).
+  bool record_registers = false;
+  /// Record the PRO TB priority order on SM 0 (Table IV).
+  bool record_tb_order_sm0 = false;
+
+  /// A small test-sized GPU (fewer SMs/partitions) for unit tests.
+  static GpuConfig test_config();
+};
+
+}  // namespace prosim

@@ -1,0 +1,55 @@
+// Results of one kernel simulation: the cycle count the paper's Figure 4
+// compares, the stall breakdown of Figures 1/5 and Table III, per-TB
+// timelines for Figure 2, and the PRO TB-order trace for Table IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/pro_scheduler.hpp"
+#include "sm/sm_core.hpp"
+
+namespace prosim {
+
+struct GpuResult {
+  Cycle cycles = 0;
+
+  /// Summed over all SMs and hardware schedulers.
+  SmStats totals;
+  std::vector<SmStats> per_sm;
+
+  /// Per-SM thread-block execution intervals (Fig 2).
+  std::vector<std::vector<TbTimelineEntry>> timelines;
+
+  /// PRO's sorted TB order on SM 0 at every THRESHOLD sort (Table IV);
+  /// empty unless record_tb_order_sm0 was set and the policy is PRO.
+  std::vector<TbOrderSample> tb_order_sm0;
+
+  // Memory-system accounting.
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dram_row_hits = 0;
+  std::uint64_t dram_row_misses = 0;
+
+  /// Final per-thread registers, [ctaid][tid][reg] flattened; only filled
+  /// when record_registers was set.
+  std::vector<RegValue> registers;
+  int regs_per_thread = 0;
+  int block_dim = 0;
+
+  std::uint64_t total_stalls() const {
+    return totals.idle_stalls + totals.scoreboard_stalls +
+           totals.pipeline_stalls;
+  }
+  double ipc() const {
+    return cycles == 0
+               ? 0.0
+               : static_cast<double>(totals.thread_insts) /
+                     static_cast<double>(cycles);
+  }
+};
+
+}  // namespace prosim

@@ -1,0 +1,96 @@
+#include "gpu/report.hpp"
+
+#include <ostream>
+
+namespace prosim {
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_json_report(std::ostream& os, const GpuResult& r,
+                       const JsonReportOptions& options) {
+  os << "{\n";
+  if (!options.kernel.empty()) {
+    os << "  \"kernel\": ";
+    json_string(os, options.kernel);
+    os << ",\n";
+  }
+  if (!options.scheduler.empty()) {
+    os << "  \"scheduler\": ";
+    json_string(os, options.scheduler);
+    os << ",\n";
+  }
+  os << "  \"cycles\": " << r.cycles << ",\n";
+  os << "  \"ipc\": " << r.ipc() << ",\n";
+  os << "  \"issued\": " << r.totals.issued << ",\n";
+  os << "  \"stalls\": {\n";
+  os << "    \"idle\": " << r.totals.idle_stalls << ",\n";
+  os << "    \"scoreboard\": " << r.totals.scoreboard_stalls << ",\n";
+  os << "    \"pipeline\": " << r.totals.pipeline_stalls << ",\n";
+  os << "    \"total\": " << r.total_stalls() << "\n";
+  os << "  },\n";
+  os << "  \"thread_insts\": " << r.totals.thread_insts << ",\n";
+  os << "  \"warp_insts\": " << r.totals.warp_insts << ",\n";
+  os << "  \"simt_efficiency\": " << r.totals.simt_efficiency() << ",\n";
+  os << "  \"tbs_executed\": " << r.totals.tbs_executed << ",\n";
+  os << "  \"barrier_releases\": " << r.totals.barrier_releases << ",\n";
+  os << "  \"barrier_wait_cycles\": " << r.totals.barrier_wait_cycles
+     << ",\n";
+  os << "  \"warp_finish_disparity_sum\": "
+     << r.totals.warp_finish_disparity_sum << ",\n";
+  os << "  \"occupancy_tb_cycles\": " << r.totals.occupancy_tb_cycles
+     << ",\n";
+  os << "  \"memory\": {\n";
+  os << "    \"l1_hits\": " << r.l1_hits << ",\n";
+  os << "    \"l1_misses\": " << r.l1_misses << ",\n";
+  os << "    \"l2_hits\": " << r.l2_hits << ",\n";
+  os << "    \"l2_misses\": " << r.l2_misses << ",\n";
+  os << "    \"dram_row_hits\": " << r.dram_row_hits << ",\n";
+  os << "    \"dram_row_misses\": " << r.dram_row_misses << ",\n";
+  os << "    \"gmem_transactions\": " << r.totals.gmem_transactions
+     << ",\n";
+  os << "    \"const_transactions\": " << r.totals.const_transactions
+     << ",\n";
+  os << "    \"smem_conflict_extra_cycles\": "
+     << r.totals.smem_conflict_extra_cycles << "\n";
+  os << "  }";
+  if (options.include_timelines) {
+    os << ",\n  \"timelines\": [\n";
+    for (std::size_t sm = 0; sm < r.timelines.size(); ++sm) {
+      os << "    [";
+      for (std::size_t i = 0; i < r.timelines[sm].size(); ++i) {
+        const TbTimelineEntry& e = r.timelines[sm][i];
+        if (i != 0) os << ", ";
+        os << "{\"ctaid\": " << e.ctaid << ", \"start\": " << e.start
+           << ", \"end\": " << e.end << "}";
+      }
+      os << "]" << (sm + 1 == r.timelines.size() ? "\n" : ",\n");
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
+}
+
+}  // namespace prosim

@@ -1,0 +1,63 @@
+#include "gpu/trace_export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+namespace prosim {
+
+namespace {
+
+/// Packs intervals into the fewest tracks such that no track overlaps —
+/// greedy first-fit over end times (intervals sorted by start).
+std::vector<int> assign_tracks(const std::vector<TbTimelineEntry>& entries) {
+  std::vector<int> track(entries.size(), 0);
+  std::vector<Cycle> track_free;  // next free cycle per track
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    int chosen = -1;
+    for (std::size_t t = 0; t < track_free.size(); ++t) {
+      if (track_free[t] <= entries[i].start) {
+        chosen = static_cast<int>(t);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(track_free.size());
+      track_free.push_back(0);
+    }
+    track_free[static_cast<std::size_t>(chosen)] = entries[i].end;
+    track[i] = chosen;
+  }
+  return track;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const GpuResult& result) {
+  os << "[\n";
+  bool first = true;
+  for (std::size_t sm = 0; sm < result.timelines.size(); ++sm) {
+    std::vector<TbTimelineEntry> entries = result.timelines[sm];
+    std::sort(entries.begin(), entries.end(),
+              [](const TbTimelineEntry& a, const TbTimelineEntry& b) {
+                return a.start < b.start;
+              });
+    const std::vector<int> tracks = assign_tracks(entries);
+    // Process metadata: name the SM row.
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":"process_name","ph":"M","pid":)" << sm
+       << R"(,"args":{"name":"SM )" << sm << R"("}})";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const TbTimelineEntry& e = entries[i];
+      os << ",\n"
+         << R"({"name":"TB )" << e.ctaid << R"(","ph":"X","pid":)" << sm
+         << R"(,"tid":)" << tracks[i] << R"(,"ts":)" << e.start
+         << R"(,"dur":)" << (e.end - e.start) << R"(,"args":{"ctaid":)"
+         << e.ctaid << "}}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace prosim

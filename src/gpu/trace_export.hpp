@@ -1,0 +1,17 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of a simulation's
+// thread-block timeline: one process row per SM, TBs packed into tracks,
+// one complete event per TB execution interval. Open the resulting JSON
+// in a trace viewer to see the paper's Figure 2 batching effect directly.
+#pragma once
+
+#include <iosfwd>
+
+#include "gpu/gpu_result.hpp"
+
+namespace prosim {
+
+/// Writes the Trace Event Format JSON array. Timestamps are simulated
+/// cycles (1 "microsecond" per cycle in the viewer).
+void write_chrome_trace(std::ostream& os, const GpuResult& result);
+
+}  // namespace prosim

@@ -1,0 +1,457 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+namespace {
+
+// ---- Lexing helpers --------------------------------------------------------
+
+std::string strip_comment(const std::string& line) {
+  std::string out;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ';') break;
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    out += line[i];
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits an operand list on commas, trimming each piece.
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  return out;
+}
+
+bool parse_int(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoll(s.c_str(), &end, 0);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_reg(const std::string& s, std::uint8_t& out) {
+  if (s.size() < 2 || s[0] != 'r') return false;
+  std::int64_t v;
+  if (!parse_int(s.substr(1), v)) return false;
+  if (v < 0 || v >= kMaxRegs) return false;
+  out = static_cast<std::uint8_t>(v);
+  return true;
+}
+
+// A branch-target reference: either a label name or a raw @pc.
+struct TargetRef {
+  std::string label;  // empty when raw
+  int raw_pc = -1;
+};
+
+bool parse_target(const std::string& s, TargetRef& out) {
+  if (s.empty()) return false;
+  if (s[0] == '@') {
+    std::int64_t v;
+    if (!parse_int(s.substr(1), v) || v < 0) return false;
+    out.raw_pc = static_cast<int>(v);
+    out.label.clear();
+    return true;
+  }
+  out.label = s;
+  out.raw_pc = -1;
+  return true;
+}
+
+// ---- Per-instruction pending fixups ---------------------------------------
+
+struct PendingBranch {
+  int pc;
+  int line;
+  TargetRef target;
+  bool has_reconv = false;
+  TargetRef reconv;
+};
+
+struct ParseState {
+  Program program;
+  std::map<std::string, int> labels;
+  std::vector<PendingBranch> branches;
+  int max_reg_used = -1;
+  bool explicit_regs = false;
+};
+
+void note_reg(ParseState& st, std::uint8_t r) {
+  if (r != kNoReg && r > st.max_reg_used) st.max_reg_used = r;
+}
+
+std::optional<AssemblerError> err(int line, const std::string& message) {
+  return AssemblerError{line, message};
+}
+
+// Parses "[rN+off]" or "[rN-off]" or "[rN]".
+bool parse_mem(const std::string& s, std::uint8_t& addr_reg,
+               std::int64_t& off) {
+  if (s.size() < 4 || s.front() != '[' || s.back() != ']') return false;
+  const std::string inner = s.substr(1, s.size() - 2);
+  std::size_t sign = inner.find_first_of("+-", 1);
+  std::string reg_part = inner;
+  std::string off_part;
+  if (sign != std::string::npos) {
+    reg_part = inner.substr(0, sign);
+    off_part = inner.substr(sign);  // keep sign character
+  }
+  if (!parse_reg(trim(reg_part), addr_reg)) return false;
+  off = 0;
+  if (!off_part.empty() && !parse_int(trim(off_part), off)) return false;
+  return true;
+}
+
+/// Handles a ".directive value" line. Returns error or nullopt.
+std::optional<AssemblerError> handle_directive(ParseState& st, int line_no,
+                                               const std::string& line) {
+  std::istringstream iss(line);
+  std::string directive;
+  iss >> directive;
+  if (directive == ".kernel") {
+    std::string name;
+    iss >> name;
+    if (name.empty()) return err(line_no, ".kernel requires a name");
+    st.program.info.name = name;
+    return std::nullopt;
+  }
+  std::int64_t value = 0;
+  std::string value_str;
+  iss >> value_str;
+  if (!parse_int(value_str, value))
+    return err(line_no, directive + " requires an integer argument");
+  if (directive == ".blockdim") {
+    st.program.info.block_dim = static_cast<int>(value);
+  } else if (directive == ".grid") {
+    st.program.info.grid_dim = static_cast<int>(value);
+  } else if (directive == ".regs") {
+    st.program.info.regs_per_thread = static_cast<int>(value);
+    st.explicit_regs = true;
+  } else if (directive == ".smem") {
+    st.program.info.smem_bytes = static_cast<int>(value);
+  } else {
+    return err(line_no, "unknown directive " + directive);
+  }
+  return std::nullopt;
+}
+
+std::optional<AssemblerError> handle_instruction(ParseState& st, int line_no,
+                                                 std::string text) {
+  // Optional predicate prefix: "@rN " or "@!rN ".
+  std::uint8_t pred = kNoReg;
+  bool pred_invert = false;
+  if (!text.empty() && text[0] == '@' && text.size() > 1 &&
+      (text[1] == 'r' || text[1] == '!')) {
+    std::size_t space = text.find(' ');
+    if (space == std::string::npos)
+      return err(line_no, "predicate prefix without instruction");
+    std::string p = text.substr(1, space - 1);
+    if (!p.empty() && p[0] == '!') {
+      pred_invert = true;
+      p = p.substr(1);
+    }
+    if (!parse_reg(p, pred))
+      return err(line_no, "bad predicate register '" + p + "'");
+    text = trim(text.substr(space + 1));
+  }
+
+  // Mnemonic (possibly with .suffix for setp/atom).
+  std::size_t sp = text.find_first_of(" \t");
+  std::string mnemonic = sp == std::string::npos ? text : text.substr(0, sp);
+  std::string rest = sp == std::string::npos ? "" : trim(text.substr(sp + 1));
+
+  CmpOp cmp = CmpOp::kLt;
+  bool has_cmp = false;
+  if (mnemonic.rfind("setp.", 0) == 0) {
+    if (!parse_cmp(mnemonic.substr(5), cmp))
+      return err(line_no, "bad comparison in '" + mnemonic + "'");
+    has_cmp = true;
+    mnemonic = "setp";
+  }
+
+  const Opcode op = parse_opcode(mnemonic);
+  if (op == Opcode::kNumOpcodes)
+    return err(line_no, "unknown mnemonic '" + mnemonic + "'");
+  if (pred != kNoReg && op != Opcode::kBra)
+    return err(line_no, "predicate prefix only valid on bra");
+
+  Instruction inst;
+  inst.op = op;
+  inst.cmp = cmp;
+  inst.pred = pred;
+  inst.pred_invert = pred_invert;
+  (void)has_cmp;
+
+  const OpcodeInfo& info = opcode_info(op);
+  std::vector<std::string> ops = split_operands(rest);
+  if (ops.size() == 1 && ops[0].empty()) ops.clear();
+
+  auto want = [&](std::size_t n) -> std::optional<AssemblerError> {
+    if (ops.size() != n)
+      return err(line_no, mnemonic + " expects " + std::to_string(n) +
+                              " operands, got " + std::to_string(ops.size()));
+    return std::nullopt;
+  };
+  auto reg_at = [&](std::size_t i, std::uint8_t& out)
+      -> std::optional<AssemblerError> {
+    if (!parse_reg(ops[i], out))
+      return err(line_no, "expected register, got '" + ops[i] + "'");
+    note_reg(st, out);
+    return std::nullopt;
+  };
+  // Register or '#imm' in a src1 slot.
+  auto reg_or_imm_at = [&](std::size_t i) -> std::optional<AssemblerError> {
+    if (!ops[i].empty() && ops[i][0] == '#') {
+      if (!parse_int(ops[i].substr(1), inst.imm))
+        return err(line_no, "bad immediate '" + ops[i] + "'");
+      inst.src1_is_imm = true;
+      return std::nullopt;
+    }
+    if (auto e = reg_at(i, inst.src1)) return e;
+    return std::nullopt;
+  };
+  auto mem_at = [&](std::size_t i) -> std::optional<AssemblerError> {
+    if (!parse_mem(ops[i], inst.src0, inst.imm))
+      return err(line_no, "bad memory operand '" + ops[i] + "'");
+    note_reg(st, inst.src0);
+    return std::nullopt;
+  };
+
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kBar:
+    case Opcode::kExit:
+      if (auto e = want(0)) return e;
+      break;
+
+    case Opcode::kMovi: {
+      if (auto e = want(2)) return e;
+      if (auto e = reg_at(0, inst.dst)) return e;
+      // Accept both plain and '#'-prefixed immediates.
+      std::string imm_text = ops[1];
+      if (!imm_text.empty() && imm_text[0] == '#') imm_text = imm_text.substr(1);
+      if (!parse_int(imm_text, inst.imm))
+        return err(line_no, "bad immediate '" + ops[1] + "'");
+      break;
+    }
+
+    case Opcode::kMov:
+    case Opcode::kRsqrt:
+    case Opcode::kFsin:
+    case Opcode::kFexp:
+    case Opcode::kFlog:
+      if (auto e = want(2)) return e;
+      if (auto e = reg_at(0, inst.dst)) return e;
+      if (auto e = reg_at(1, inst.src0)) return e;
+      break;
+
+    case Opcode::kS2r: {
+      if (auto e = want(2)) return e;
+      if (auto e = reg_at(0, inst.dst)) return e;
+      if (ops[1].empty() || ops[1][0] != '%')
+        return err(line_no, "s2r expects %sreg, got '" + ops[1] + "'");
+      if (!parse_sreg(ops[1].substr(1), inst.sreg))
+        return err(line_no, "unknown special register '" + ops[1] + "'");
+      break;
+    }
+
+    case Opcode::kImad:
+    case Opcode::kFfma:
+      if (auto e = want(4)) return e;
+      if (auto e = reg_at(0, inst.dst)) return e;
+      if (auto e = reg_at(1, inst.src0)) return e;
+      if (auto e = reg_or_imm_at(2)) return e;
+      if (auto e = reg_at(3, inst.src2)) return e;
+      break;
+
+    case Opcode::kSel:
+      if (auto e = want(4)) return e;
+      if (auto e = reg_at(0, inst.dst)) return e;
+      if (auto e = reg_at(1, inst.src0)) return e;
+      if (auto e = reg_at(2, inst.src1)) return e;
+      if (auto e = reg_at(3, inst.src2)) return e;
+      break;
+
+    case Opcode::kLdg:
+    case Opcode::kLds:
+    case Opcode::kLdc:
+      if (auto e = want(2)) return e;
+      if (auto e = reg_at(0, inst.dst)) return e;
+      if (auto e = mem_at(1)) return e;
+      break;
+
+    case Opcode::kStg:
+    case Opcode::kSts:
+      if (auto e = want(2)) return e;
+      if (auto e = mem_at(0)) return e;
+      if (auto e = reg_at(1, inst.src1)) return e;
+      break;
+
+    case Opcode::kAtomGAdd:
+    case Opcode::kAtomSAdd:
+      if (ops.size() == 3) {
+        if (auto e = reg_at(0, inst.dst)) return e;
+        if (auto e = mem_at(1)) return e;
+        if (auto e = reg_at(2, inst.src1)) return e;
+      } else {
+        if (auto e = want(2)) return e;
+        if (auto e = mem_at(0)) return e;
+        if (auto e = reg_at(1, inst.src1)) return e;
+      }
+      break;
+
+    case Opcode::kBra: {
+      // "bra target" or "@rN bra target !reconv"; reconv may also follow an
+      // unconditional bra (ignored semantically but preserved).
+      PendingBranch pending;
+      pending.pc = static_cast<int>(st.program.code.size());
+      pending.line = line_no;
+      // Operands may be space- or comma-separated; re-tokenize on spaces too.
+      std::vector<std::string> parts;
+      for (const std::string& o : ops) {
+        std::istringstream iss(o);
+        std::string piece;
+        while (iss >> piece) parts.push_back(piece);
+      }
+      if (parts.empty()) return err(line_no, "bra requires a target");
+      if (!parse_target(parts[0], pending.target))
+        return err(line_no, "bad branch target '" + parts[0] + "'");
+      if (parts.size() >= 2) {
+        if (parts[1].empty() || parts[1][0] != '!')
+          return err(line_no, "reconvergence ref must start with '!'");
+        if (!parse_target(parts[1].substr(1), pending.reconv))
+          return err(line_no, "bad reconvergence ref '" + parts[1] + "'");
+        pending.has_reconv = true;
+      }
+      if (inst.pred != kNoReg && !pending.has_reconv)
+        return err(line_no, "conditional bra requires '!reconv'");
+      st.branches.push_back(pending);
+      break;
+    }
+
+    default:
+      // Two-source ALU ops (iadd .. setp, fadd, fmul, fdiv).
+      if (auto e = want(3)) return e;
+      if (auto e = reg_at(0, inst.dst)) return e;
+      if (auto e = reg_at(1, inst.src0)) return e;
+      if (auto e = reg_or_imm_at(2)) return e;
+      break;
+  }
+
+  if (info.has_dst) note_reg(st, inst.dst);
+  st.program.code.push_back(inst);
+  return std::nullopt;
+}
+
+}  // namespace
+
+AssembleResult assemble(const std::string& source) {
+  ParseState st;
+  st.program.info.name = "anonymous";
+
+  std::istringstream stream(source);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string line = trim(strip_comment(raw_line));
+    if (line.empty()) continue;
+
+    if (line[0] == '.') {
+      if (auto e = handle_directive(st, line_no, line)) return *e;
+      continue;
+    }
+
+    // Leading "label:" (possibly followed by an instruction on same line).
+    // A ':' inside operands never occurs in this ISA, so a ':' before any
+    // whitespace means a label.
+    std::size_t colon = line.find(':');
+    std::size_t space = line.find_first_of(" \t");
+    if (colon != std::string::npos &&
+        (space == std::string::npos || colon < space)) {
+      std::string label = trim(line.substr(0, colon));
+      if (label.empty()) return AssemblerError{line_no, "empty label"};
+      if (st.labels.count(label))
+        return AssemblerError{line_no, "duplicate label '" + label + "'"};
+      st.labels[label] = static_cast<int>(st.program.code.size());
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) continue;
+    }
+
+    if (auto e = handle_instruction(st, line_no, line)) return *e;
+  }
+
+  // Resolve branch targets.
+  const int n = static_cast<int>(st.program.code.size());
+  auto resolve = [&](const TargetRef& ref, int line,
+                     int& out) -> std::optional<AssemblerError> {
+    if (ref.raw_pc >= 0) {
+      if (ref.raw_pc >= n)
+        return err(line, "branch pc out of range");
+      out = ref.raw_pc;
+      return std::nullopt;
+    }
+    auto it = st.labels.find(ref.label);
+    if (it == st.labels.end())
+      return err(line, "undefined label '" + ref.label + "'");
+    out = it->second;
+    return std::nullopt;
+  };
+  for (const PendingBranch& b : st.branches) {
+    int target = -1;
+    if (auto e = resolve(b.target, b.line, target)) return *e;
+    st.program.code[b.pc].target = target;
+    if (b.has_reconv) {
+      int reconv = -1;
+      if (auto e = resolve(b.reconv, b.line, reconv)) return *e;
+      st.program.code[b.pc].reconv = reconv;
+    }
+  }
+
+  if (!st.explicit_regs)
+    st.program.info.regs_per_thread = std::max(1, st.max_reg_used + 1);
+
+  const std::string error = st.program.validate();
+  if (!error.empty()) return AssemblerError{0, "validation: " + error};
+  return st.program;
+}
+
+Program assemble_or_die(const std::string& source) {
+  AssembleResult result = assemble(source);
+  if (auto* error = std::get_if<AssemblerError>(&result)) {
+    std::fprintf(stderr, "assembly failed at line %d: %s\n", error->line,
+                 error->message.c_str());
+    std::abort();
+  }
+  return std::move(std::get<Program>(result));
+}
+
+}  // namespace prosim

@@ -1,0 +1,49 @@
+// Two-pass text assembler for the mini ISA.
+//
+// Syntax (one instruction per line; ';' and '//' start comments):
+//
+//   .kernel scalar_prod        ; kernel name
+//   .blockdim 128              ; threads per TB
+//   .grid 64                   ; TBs in the grid
+//   .regs 24                   ; optional; auto-sized if omitted
+//   .smem 4096                 ; shared memory bytes per TB
+//
+//       s2r r0, %tid
+//       movi r1, 0
+//   top:
+//       ldg r2, [r3+16]
+//       iadd r1, r1, r2
+//       setp.lt r4, r1, #100
+//       @r4 bra top !after     ; conditional branch, reconvergence at 'after'
+//   after:
+//       bar
+//       exit
+//
+// Conditional branches require a reconvergence label ('!label'); predicates
+// are '@rN' (taken when != 0) or '@!rN' (taken when == 0). Unconditional
+// 'bra label' needs no reconvergence point. Raw numeric targets ('@12') are
+// accepted so that disassembler output re-assembles.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "isa/program.hpp"
+
+namespace prosim {
+
+struct AssemblerError {
+  int line = 0;          // 1-based source line
+  std::string message;
+};
+
+/// Either a program or the first error encountered.
+using AssembleResult = std::variant<Program, AssemblerError>;
+
+AssembleResult assemble(const std::string& source);
+
+/// Convenience wrapper that aborts on assembly errors; for tests and
+/// statically-known-good sources.
+Program assemble_or_die(const std::string& source);
+
+}  // namespace prosim

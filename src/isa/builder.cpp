@@ -1,0 +1,404 @@
+#include "isa/builder.hpp"
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+ProgramBuilder::ProgramBuilder(std::string name) { info_.name = std::move(name); }
+
+ProgramBuilder& ProgramBuilder::block_dim(int threads) {
+  info_.block_dim = threads;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::grid_dim(int blocks) {
+  info_.grid_dim = blocks;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::regs(int regs_per_thread) {
+  explicit_regs_ = regs_per_thread;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::smem(int bytes) {
+  info_.smem_bytes = bytes;
+  return *this;
+}
+
+Instruction& ProgramBuilder::emit(Opcode op) {
+  code_.emplace_back();
+  code_.back().op = op;
+  return code_.back();
+}
+
+void ProgramBuilder::note_reg(Reg r) {
+  if (r != kNoReg && r > max_reg_used_) max_reg_used_ = r;
+}
+
+ProgramBuilder& ProgramBuilder::alu2(Opcode op, Reg d, Reg a, Reg b) {
+  Instruction& i = emit(op);
+  i.dst = d;
+  i.src0 = a;
+  i.src1 = b;
+  note_reg(d);
+  note_reg(a);
+  note_reg(b);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alu2i(Opcode op, Reg d, Reg a,
+                                      std::int64_t imm) {
+  Instruction& i = emit(op);
+  i.dst = d;
+  i.src0 = a;
+  i.src1_is_imm = true;
+  i.imm = imm;
+  note_reg(d);
+  note_reg(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alu1(Opcode op, Reg d, Reg a) {
+  Instruction& i = emit(op);
+  i.dst = d;
+  i.src0 = a;
+  note_reg(d);
+  note_reg(a);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::nop() {
+  emit(Opcode::kNop);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::movi(Reg d, std::int64_t imm) {
+  Instruction& i = emit(Opcode::kMovi);
+  i.dst = d;
+  i.imm = imm;
+  note_reg(d);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mov(Reg d, Reg a) {
+  return alu1(Opcode::kMov, d, a);
+}
+
+ProgramBuilder& ProgramBuilder::s2r(Reg d, SpecialReg sreg) {
+  Instruction& i = emit(Opcode::kS2r);
+  i.dst = d;
+  i.sreg = sreg;
+  note_reg(d);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::iadd(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kIadd, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::iaddi(Reg d, Reg a, std::int64_t imm) {
+  return alu2i(Opcode::kIadd, d, a, imm);
+}
+ProgramBuilder& ProgramBuilder::isub(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kIsub, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::isubi(Reg d, Reg a, std::int64_t imm) {
+  return alu2i(Opcode::kIsub, d, a, imm);
+}
+ProgramBuilder& ProgramBuilder::imul(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kImul, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::imuli(Reg d, Reg a, std::int64_t imm) {
+  return alu2i(Opcode::kImul, d, a, imm);
+}
+ProgramBuilder& ProgramBuilder::imin(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kImin, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::imax(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kImax, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::iand_(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kIand, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::iandi(Reg d, Reg a, std::int64_t imm) {
+  return alu2i(Opcode::kIand, d, a, imm);
+}
+ProgramBuilder& ProgramBuilder::ior_(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kIor, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::ixor_(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kIxor, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::ixori(Reg d, Reg a, std::int64_t imm) {
+  return alu2i(Opcode::kIxor, d, a, imm);
+}
+ProgramBuilder& ProgramBuilder::ishl(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kIshl, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::ishli(Reg d, Reg a, std::int64_t imm) {
+  return alu2i(Opcode::kIshl, d, a, imm);
+}
+ProgramBuilder& ProgramBuilder::ishr(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kIshr, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::ishri(Reg d, Reg a, std::int64_t imm) {
+  return alu2i(Opcode::kIshr, d, a, imm);
+}
+
+ProgramBuilder& ProgramBuilder::imad(Reg d, Reg a, Reg b, Reg c) {
+  Instruction& i = emit(Opcode::kImad);
+  i.dst = d;
+  i.src0 = a;
+  i.src1 = b;
+  i.src2 = c;
+  note_reg(d);
+  note_reg(a);
+  note_reg(b);
+  note_reg(c);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::setp(CmpOp cmp, Reg d, Reg a, Reg b) {
+  alu2(Opcode::kSetp, d, a, b);
+  code_.back().cmp = cmp;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::setpi(CmpOp cmp, Reg d, Reg a,
+                                      std::int64_t imm) {
+  alu2i(Opcode::kSetp, d, a, imm);
+  code_.back().cmp = cmp;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::sel(Reg d, Reg a, Reg b, Reg p) {
+  Instruction& i = emit(Opcode::kSel);
+  i.dst = d;
+  i.src0 = a;
+  i.src1 = b;
+  i.src2 = p;
+  note_reg(d);
+  note_reg(a);
+  note_reg(b);
+  note_reg(p);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::fadd(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kFadd, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::fmul(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kFmul, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::ffma(Reg d, Reg a, Reg b, Reg c) {
+  Instruction& i = emit(Opcode::kFfma);
+  i.dst = d;
+  i.src0 = a;
+  i.src1 = b;
+  i.src2 = c;
+  note_reg(d);
+  note_reg(a);
+  note_reg(b);
+  note_reg(c);
+  return *this;
+}
+ProgramBuilder& ProgramBuilder::fdiv(Reg d, Reg a, Reg b) {
+  return alu2(Opcode::kFdiv, d, a, b);
+}
+ProgramBuilder& ProgramBuilder::rsqrt(Reg d, Reg a) {
+  return alu1(Opcode::kRsqrt, d, a);
+}
+ProgramBuilder& ProgramBuilder::fsin(Reg d, Reg a) {
+  return alu1(Opcode::kFsin, d, a);
+}
+ProgramBuilder& ProgramBuilder::fexp(Reg d, Reg a) {
+  return alu1(Opcode::kFexp, d, a);
+}
+ProgramBuilder& ProgramBuilder::flog(Reg d, Reg a) {
+  return alu1(Opcode::kFlog, d, a);
+}
+
+ProgramBuilder& ProgramBuilder::ldg(Reg d, Reg addr, std::int64_t off) {
+  Instruction& i = emit(Opcode::kLdg);
+  i.dst = d;
+  i.src0 = addr;
+  i.imm = off;
+  note_reg(d);
+  note_reg(addr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::stg(Reg addr, std::int64_t off, Reg value) {
+  Instruction& i = emit(Opcode::kStg);
+  i.src0 = addr;
+  i.src1 = value;
+  i.imm = off;
+  note_reg(addr);
+  note_reg(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::lds(Reg d, Reg addr, std::int64_t off) {
+  Instruction& i = emit(Opcode::kLds);
+  i.dst = d;
+  i.src0 = addr;
+  i.imm = off;
+  note_reg(d);
+  note_reg(addr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::sts(Reg addr, std::int64_t off, Reg value) {
+  Instruction& i = emit(Opcode::kSts);
+  i.src0 = addr;
+  i.src1 = value;
+  i.imm = off;
+  note_reg(addr);
+  note_reg(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ldc(Reg d, Reg addr, std::int64_t off) {
+  Instruction& i = emit(Opcode::kLdc);
+  i.dst = d;
+  i.src0 = addr;
+  i.imm = off;
+  note_reg(d);
+  note_reg(addr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::atomg_add(Reg addr, std::int64_t off,
+                                          Reg value) {
+  Instruction& i = emit(Opcode::kAtomGAdd);
+  i.src0 = addr;
+  i.src1 = value;
+  i.imm = off;
+  note_reg(addr);
+  note_reg(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::atoms_add(Reg addr, std::int64_t off,
+                                          Reg value) {
+  Instruction& i = emit(Opcode::kAtomSAdd);
+  i.src0 = addr;
+  i.src1 = value;
+  i.imm = off;
+  note_reg(addr);
+  note_reg(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bar() {
+  emit(Opcode::kBar);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::exit_() {
+  emit(Opcode::kExit);
+  return *this;
+}
+
+ProgramBuilder::Label ProgramBuilder::new_label() {
+  Label l;
+  l.id = static_cast<int>(label_pcs_.size());
+  label_pcs_.push_back(-1);
+  return l;
+}
+
+ProgramBuilder& ProgramBuilder::bind(Label label) {
+  PROSIM_CHECK(label.id >= 0 &&
+               label.id < static_cast<int>(label_pcs_.size()));
+  PROSIM_CHECK_MSG(label_pcs_[label.id] == -1, "label bound twice");
+  label_pcs_[label.id] = here();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::jump(Label target) {
+  Instruction& i = emit(Opcode::kBra);
+  i.pred = kNoReg;
+  fixups_.push_back({here() - 1, false, target.id});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bra(Reg pred, bool invert, Label target,
+                                    Label reconv) {
+  Instruction& i = emit(Opcode::kBra);
+  i.pred = pred;
+  i.pred_invert = invert;
+  note_reg(pred);
+  fixups_.push_back({here() - 1, false, target.id});
+  fixups_.push_back({here() - 1, true, reconv.id});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::if_begin(Reg pred, bool invert) {
+  IfFrame frame;
+  frame.else_or_end = new_label();
+  frame.end = new_label();
+  // Branch *around* the body when the condition is false.
+  bra(pred, !invert, frame.else_or_end, frame.end);
+  if_stack_.push_back(frame);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::if_else() {
+  PROSIM_CHECK_MSG(!if_stack_.empty(), "if_else without if_begin");
+  IfFrame& frame = if_stack_.back();
+  PROSIM_CHECK_MSG(!frame.saw_else, "double if_else");
+  frame.saw_else = true;
+  jump(frame.end);
+  bind(frame.else_or_end);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::if_end() {
+  PROSIM_CHECK_MSG(!if_stack_.empty(), "if_end without if_begin");
+  IfFrame frame = if_stack_.back();
+  if_stack_.pop_back();
+  if (!frame.saw_else) bind(frame.else_or_end);
+  bind(frame.end);
+  return *this;
+}
+
+ProgramBuilder::Label ProgramBuilder::loop_begin() {
+  Label top = new_label();
+  bind(top);
+  return top;
+}
+
+ProgramBuilder& ProgramBuilder::loop_end_if(Reg pred, Label top, bool invert) {
+  Label after = new_label();
+  bra(pred, invert, top, after);
+  bind(after);
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  PROSIM_CHECK_MSG(if_stack_.empty(), "unterminated if_begin");
+  for (const Fixup& fixup : fixups_) {
+    PROSIM_CHECK(fixup.label_id >= 0 &&
+                 fixup.label_id < static_cast<int>(label_pcs_.size()));
+    const int pc = label_pcs_[fixup.label_id];
+    PROSIM_CHECK_MSG(pc >= 0, "unbound label referenced by branch");
+    if (fixup.is_reconv) {
+      code_[fixup.pc].reconv = pc;
+    } else {
+      code_[fixup.pc].target = pc;
+    }
+  }
+
+  Program program;
+  program.info = info_;
+  program.info.regs_per_thread =
+      std::max(explicit_regs_, max_reg_used_ + 1);
+  if (program.info.regs_per_thread < 1) program.info.regs_per_thread = 1;
+  program.code = std::move(code_);
+
+  const std::string error = program.validate();
+  PROSIM_CHECK_MSG(error.empty(), error.c_str());
+  return program;
+}
+
+}  // namespace prosim

@@ -1,0 +1,142 @@
+// Fluent authoring API for mini-ISA kernels.
+//
+// Structured control-flow helpers (if_begin/if_else/if_end, loop_begin/
+// loop_end_if) emit branches with correct reconvergence PCs (the immediate
+// postdominator), which is what the SIMT stack in the timing model relies
+// on. Raw branches with explicit labels are also available for the
+// assembler and for tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace prosim {
+
+class ProgramBuilder {
+ public:
+  using Reg = std::uint8_t;
+
+  struct Label {
+    int id = -1;
+  };
+
+  explicit ProgramBuilder(std::string name);
+
+  // ---- Kernel metadata -------------------------------------------------
+  ProgramBuilder& block_dim(int threads);
+  ProgramBuilder& grid_dim(int blocks);
+  ProgramBuilder& regs(int regs_per_thread);
+  ProgramBuilder& smem(int bytes);
+
+  // ---- Straight-line instructions --------------------------------------
+  ProgramBuilder& nop();
+  ProgramBuilder& movi(Reg d, std::int64_t imm);
+  ProgramBuilder& mov(Reg d, Reg a);
+  ProgramBuilder& s2r(Reg d, SpecialReg sreg);
+
+  ProgramBuilder& iadd(Reg d, Reg a, Reg b);
+  ProgramBuilder& iaddi(Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& isub(Reg d, Reg a, Reg b);
+  ProgramBuilder& isubi(Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& imul(Reg d, Reg a, Reg b);
+  ProgramBuilder& imuli(Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& imad(Reg d, Reg a, Reg b, Reg c);
+  ProgramBuilder& imin(Reg d, Reg a, Reg b);
+  ProgramBuilder& imax(Reg d, Reg a, Reg b);
+  ProgramBuilder& iand_(Reg d, Reg a, Reg b);
+  ProgramBuilder& iandi(Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& ior_(Reg d, Reg a, Reg b);
+  ProgramBuilder& ixor_(Reg d, Reg a, Reg b);
+  ProgramBuilder& ixori(Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& ishl(Reg d, Reg a, Reg b);
+  ProgramBuilder& ishli(Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& ishr(Reg d, Reg a, Reg b);
+  ProgramBuilder& ishri(Reg d, Reg a, std::int64_t imm);
+
+  ProgramBuilder& setp(CmpOp cmp, Reg d, Reg a, Reg b);
+  ProgramBuilder& setpi(CmpOp cmp, Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& sel(Reg d, Reg a, Reg b, Reg p);
+
+  ProgramBuilder& fadd(Reg d, Reg a, Reg b);
+  ProgramBuilder& fmul(Reg d, Reg a, Reg b);
+  ProgramBuilder& ffma(Reg d, Reg a, Reg b, Reg c);
+  ProgramBuilder& fdiv(Reg d, Reg a, Reg b);
+  ProgramBuilder& rsqrt(Reg d, Reg a);
+  ProgramBuilder& fsin(Reg d, Reg a);
+  ProgramBuilder& fexp(Reg d, Reg a);
+  ProgramBuilder& flog(Reg d, Reg a);
+
+  /// Global/shared/const memory; effective byte address = [addr_reg + off].
+  ProgramBuilder& ldg(Reg d, Reg addr, std::int64_t off = 0);
+  ProgramBuilder& stg(Reg addr, std::int64_t off, Reg value);
+  ProgramBuilder& lds(Reg d, Reg addr, std::int64_t off = 0);
+  ProgramBuilder& sts(Reg addr, std::int64_t off, Reg value);
+  ProgramBuilder& ldc(Reg d, Reg addr, std::int64_t off = 0);
+  ProgramBuilder& atomg_add(Reg addr, std::int64_t off, Reg value);
+  ProgramBuilder& atoms_add(Reg addr, std::int64_t off, Reg value);
+
+  ProgramBuilder& bar();
+  ProgramBuilder& exit_();
+
+  // ---- Labels and raw branches -----------------------------------------
+  Label new_label();
+  ProgramBuilder& bind(Label label);
+  /// Unconditional branch (no divergence; no reconvergence PC needed).
+  ProgramBuilder& jump(Label target);
+  /// Conditional branch, taken when pred != 0 (or == 0 with invert).
+  /// `reconv` must be the immediate postdominator.
+  ProgramBuilder& bra(Reg pred, bool invert, Label target, Label reconv);
+
+  // ---- Structured control flow ------------------------------------------
+  /// Body runs for threads where pred != 0 (or == 0 with invert).
+  ProgramBuilder& if_begin(Reg pred, bool invert = false);
+  ProgramBuilder& if_else();
+  ProgramBuilder& if_end();
+
+  /// Binds and returns the loop-top label.
+  Label loop_begin();
+  /// Emits a backward branch to `top` taken while pred != 0 (or == 0 with
+  /// invert); the fall-through is the reconvergence point.
+  ProgramBuilder& loop_end_if(Reg pred, Label top, bool invert = false);
+
+  /// Current emission PC (for tests / diagnostics).
+  int here() const { return static_cast<int>(code_.size()); }
+
+  /// Resolves labels, auto-sizes regs_per_thread to cover every register
+  /// used (unless an explicit larger value was set), validates, and returns
+  /// the program. Aborts on invalid programs — builder misuse is a bug in
+  /// the caller, not a runtime condition.
+  Program build();
+
+ private:
+  Instruction& emit(Opcode op);
+  void note_reg(Reg r);
+  ProgramBuilder& alu2(Opcode op, Reg d, Reg a, Reg b);
+  ProgramBuilder& alu2i(Opcode op, Reg d, Reg a, std::int64_t imm);
+  ProgramBuilder& alu1(Opcode op, Reg d, Reg a);
+
+  struct Fixup {
+    int pc;
+    bool is_reconv;  // false = target field
+    int label_id;
+  };
+
+  struct IfFrame {
+    Label else_or_end;
+    Label end;
+    bool saw_else = false;
+  };
+
+  KernelInfo info_;
+  std::vector<Instruction> code_;
+  std::vector<int> label_pcs_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  std::vector<IfFrame> if_stack_;
+  int max_reg_used_ = -1;
+  int explicit_regs_ = 0;
+};
+
+}  // namespace prosim

@@ -1,0 +1,105 @@
+#include "isa/instruction.hpp"
+
+#include <string>
+
+namespace prosim {
+
+namespace {
+
+std::string reg(std::uint8_t r) {
+  return r == kNoReg ? std::string("r?") : "r" + std::to_string(r);
+}
+
+std::string mem_operand(const Instruction& inst) {
+  std::string out = "[" + reg(inst.src0);
+  if (inst.imm >= 0) {
+    out += "+" + std::to_string(inst.imm);
+  } else {
+    out += std::to_string(inst.imm);
+  }
+  out += "]";
+  return out;
+}
+
+std::string src1_or_imm(const Instruction& inst) {
+  if (inst.src1_is_imm) return "#" + std::to_string(inst.imm);
+  return reg(inst.src1);
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst) {
+  const OpcodeInfo& info = inst.info();
+  std::string out;
+
+  if (inst.op == Opcode::kBra && inst.pred != kNoReg) {
+    out += "@";
+    if (inst.pred_invert) out += "!";
+    out += reg(inst.pred) + " ";
+  }
+
+  out += std::string(info.mnemonic);
+  if (inst.op == Opcode::kSetp) out += "." + std::string(cmp_name(inst.cmp));
+
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kBar:
+    case Opcode::kExit:
+      break;
+    case Opcode::kMovi:
+      out += " " + reg(inst.dst) + ", " + std::to_string(inst.imm);
+      break;
+    case Opcode::kMov:
+      out += " " + reg(inst.dst) + ", " + reg(inst.src0);
+      break;
+    case Opcode::kS2r:
+      out += " " + reg(inst.dst) + ", %" + std::string(sreg_name(inst.sreg));
+      break;
+    case Opcode::kRsqrt:
+    case Opcode::kFsin:
+    case Opcode::kFexp:
+    case Opcode::kFlog:
+      out += " " + reg(inst.dst) + ", " + reg(inst.src0);
+      break;
+    case Opcode::kImad:
+    case Opcode::kFfma:
+      out += " " + reg(inst.dst) + ", " + reg(inst.src0) + ", " +
+             src1_or_imm(inst) + ", " + reg(inst.src2);
+      break;
+    case Opcode::kSel:
+      out += " " + reg(inst.dst) + ", " + reg(inst.src0) + ", " +
+             reg(inst.src1) + ", " + reg(inst.src2);
+      break;
+    case Opcode::kLdg:
+    case Opcode::kLds:
+    case Opcode::kLdc:
+      out += " " + reg(inst.dst) + ", " + mem_operand(inst);
+      break;
+    case Opcode::kStg:
+    case Opcode::kSts:
+      out += " " + mem_operand(inst) + ", " + reg(inst.src1);
+      break;
+    case Opcode::kAtomGAdd:
+    case Opcode::kAtomSAdd:
+      if (inst.dst != kNoReg) {
+        out += " " + reg(inst.dst) + ", " + mem_operand(inst) + ", " +
+               reg(inst.src1);
+      } else {
+        out += " " + mem_operand(inst) + ", " + reg(inst.src1);
+      }
+      break;
+    case Opcode::kBra:
+      out += " @" + std::to_string(inst.target);
+      // Unconditional branches carry no reconvergence point.
+      if (inst.reconv >= 0) out += " !@" + std::to_string(inst.reconv);
+      break;
+    default:
+      // Two-source ALU ops.
+      out += " " + reg(inst.dst) + ", " + reg(inst.src0) + ", " +
+             src1_or_imm(inst);
+      break;
+  }
+  return out;
+}
+
+}  // namespace prosim

@@ -1,0 +1,53 @@
+// A single decoded instruction. Plain value type; programs are vectors of
+// these and the PC is an index into that vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace prosim {
+
+/// Register file is at most 64 registers per thread.
+inline constexpr std::uint8_t kMaxRegs = 64;
+/// Sentinel meaning "no register" (e.g. atomics that discard the old value).
+inline constexpr std::uint8_t kNoReg = 0xFF;
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+
+  std::uint8_t dst = kNoReg;
+  std::uint8_t src0 = kNoReg;  // first source; address register for memory ops
+  std::uint8_t src1 = kNoReg;  // second source / store value register
+  std::uint8_t src2 = kNoReg;  // third source (imad/ffma/sel)
+
+  /// When set, src1 is replaced by `imm` (valid for two-source ALU ops and
+  /// setp). Memory ops always use `imm` as the byte offset added to src0.
+  bool src1_is_imm = false;
+
+  CmpOp cmp = CmpOp::kLt;         // for setp
+  SpecialReg sreg = SpecialReg::kTid;  // for s2r
+
+  std::int64_t imm = 0;  // immediate operand / memory byte offset
+
+  // Control flow (bra only). Targets are instruction indices.
+  std::int32_t target = -1;
+  std::int32_t reconv = -1;      // immediate postdominator of the branch
+  std::uint8_t pred = kNoReg;    // predicate register; kNoReg = unconditional
+  bool pred_invert = false;      // taken when pred == 0 instead of != 0
+
+  const OpcodeInfo& info() const { return opcode_info(op); }
+
+  /// True if this instruction's issue can diverge a warp.
+  bool is_divergent_branch() const {
+    return op == Opcode::kBra && pred != kNoReg;
+  }
+};
+
+/// Disassembles one instruction into the assembler's text syntax.
+/// `labels_by_pc` is optional context used to print branch targets as labels
+/// (pass nullptr to print raw PCs as @<pc>).
+std::string disassemble(const Instruction& inst);
+
+}  // namespace prosim

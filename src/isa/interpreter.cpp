@@ -1,0 +1,188 @@
+#include "isa/interpreter.hpp"
+
+#include "common/check.hpp"
+#include "isa/semantics.hpp"
+
+namespace prosim {
+
+namespace {
+
+struct ThreadCtx {
+  std::vector<RegValue> regs;
+  std::int32_t pc = 0;
+  bool done = false;
+  bool at_barrier = false;
+};
+
+class TbRun {
+ public:
+  TbRun(const Program& program, GlobalMemory& memory, int ctaid,
+        const InterpreterOptions& options)
+      : program_(program),
+        memory_(memory),
+        options_(options),
+        ctaid_(ctaid),
+        smem_(static_cast<std::size_t>(program.info.smem_bytes + 7) / 8, 0) {
+    threads_.resize(program.info.block_dim);
+    for (auto& t : threads_)
+      t.regs.assign(program.info.regs_per_thread, 0);
+  }
+
+  std::uint64_t run() {
+    std::uint64_t steps = 0;
+    int live = program_.info.block_dim;
+    while (live > 0) {
+      int blocked = 0;
+      for (int tid = 0; tid < program_.info.block_dim; ++tid) {
+        ThreadCtx& t = threads_[tid];
+        if (t.done) continue;
+        if (t.at_barrier) {
+          ++blocked;
+          continue;
+        }
+        step(tid, t);
+        ++steps;
+        PROSIM_CHECK_MSG(steps <= options_.max_steps_per_tb,
+                         "thread block exceeded step limit (infinite loop?)");
+        if (t.done) --live;
+        if (t.at_barrier) ++blocked;
+      }
+      // Barrier semantics (matches the timing model): the barrier releases
+      // once every still-live thread of the block is waiting at it.
+      if (live > 0 && blocked == live) {
+        for (auto& t : threads_)
+          if (!t.done) t.at_barrier = false;
+      }
+    }
+    return steps;
+  }
+
+  const std::vector<ThreadCtx>& threads() const { return threads_; }
+
+ private:
+
+  void step(int tid, ThreadCtx& t) {
+    PROSIM_CHECK(t.pc >= 0 &&
+                 t.pc < static_cast<std::int32_t>(program_.code.size()));
+    const Instruction& inst = program_.code[t.pc];
+    const ThreadGeom geom{tid, ctaid_, program_.info.block_dim,
+                          program_.info.grid_dim};
+
+    auto src1_val = [&]() -> RegValue {
+      return inst.src1_is_imm ? inst.imm : t.regs[inst.src1];
+    };
+    auto mem_addr = [&]() -> Addr {
+      return static_cast<Addr>(
+          static_cast<std::uint64_t>(t.regs[inst.src0]) +
+          static_cast<std::uint64_t>(inst.imm));
+    };
+
+    std::int32_t next_pc = t.pc + 1;
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kMov:
+        t.regs[inst.dst] = t.regs[inst.src0];
+        break;
+      case Opcode::kMovi:
+        t.regs[inst.dst] = inst.imm;
+        break;
+      case Opcode::kS2r:
+        t.regs[inst.dst] = eval_sreg(inst.sreg, geom);
+        break;
+      case Opcode::kLdg:
+      case Opcode::kLdc:
+        t.regs[inst.dst] = memory_.load(mem_addr());
+        break;
+      case Opcode::kStg:
+        memory_.store(mem_addr(), t.regs[inst.src1]);
+        break;
+      case Opcode::kLds:
+        t.regs[inst.dst] = smem_load(mem_addr());
+        break;
+      case Opcode::kSts:
+        smem_store(mem_addr(), t.regs[inst.src1]);
+        break;
+      case Opcode::kAtomGAdd: {
+        const RegValue old = memory_.atomic_add(mem_addr(), t.regs[inst.src1]);
+        if (inst.dst != kNoReg) t.regs[inst.dst] = old;
+        break;
+      }
+      case Opcode::kAtomSAdd: {
+        const Addr addr = mem_addr();
+        const RegValue old = smem_load(addr);
+        smem_store(addr, static_cast<RegValue>(
+                             static_cast<std::uint64_t>(old) +
+                             static_cast<std::uint64_t>(t.regs[inst.src1])));
+        if (inst.dst != kNoReg) t.regs[inst.dst] = old;
+        break;
+      }
+      case Opcode::kBra: {
+        bool taken = true;
+        if (inst.pred != kNoReg) {
+          const bool p = t.regs[inst.pred] != 0;
+          taken = inst.pred_invert ? !p : p;
+        }
+        if (taken) next_pc = inst.target;
+        break;
+      }
+      case Opcode::kBar:
+        t.at_barrier = true;
+        break;
+      case Opcode::kExit:
+        t.done = true;
+        break;
+      default:
+        t.regs[inst.dst] =
+            eval_alu(inst, t.regs[inst.src0], src1_val(),
+                     inst.src2 != kNoReg ? t.regs[inst.src2] : 0);
+        break;
+    }
+    t.pc = next_pc;
+  }
+
+  RegValue smem_load(Addr addr) const {
+    PROSIM_CHECK_MSG((addr & 7) == 0, "unaligned shared-memory access");
+    const std::size_t word = addr >> 3;
+    PROSIM_CHECK_MSG(word < smem_.size(), "shared-memory access out of range");
+    return smem_[word];
+  }
+
+  void smem_store(Addr addr, RegValue value) {
+    PROSIM_CHECK_MSG((addr & 7) == 0, "unaligned shared-memory access");
+    const std::size_t word = addr >> 3;
+    PROSIM_CHECK_MSG(word < smem_.size(), "shared-memory access out of range");
+    smem_[word] = value;
+  }
+
+  const Program& program_;
+  GlobalMemory& memory_;
+  const InterpreterOptions& options_;
+  int ctaid_;
+  std::vector<RegValue> smem_;
+  std::vector<ThreadCtx> threads_;
+};
+
+}  // namespace
+
+InterpreterResult interpret(const Program& program, GlobalMemory& memory,
+                            const InterpreterOptions& options) {
+  const std::string error = program.validate();
+  PROSIM_CHECK_MSG(error.empty(), error.c_str());
+
+  InterpreterResult result;
+  if (options.record_registers) result.registers.resize(program.info.grid_dim);
+
+  for (int ctaid = 0; ctaid < program.info.grid_dim; ++ctaid) {
+    TbRun tb(program, memory, ctaid, options);
+    result.instructions_executed += tb.run();
+    if (options.record_registers) {
+      auto& block = result.registers[ctaid];
+      block.reserve(tb.threads().size());
+      for (const ThreadCtx& t : tb.threads()) block.push_back(t.regs);
+    }
+  }
+  return result;
+}
+
+}  // namespace prosim

@@ -1,0 +1,41 @@
+// Scalar reference interpreter — the golden model.
+//
+// Executes a whole grid with no timing, no warps and no SIMT stack: thread
+// blocks run sequentially, and within a block the threads advance
+// round-robin one instruction at a time, honoring barriers. For kernels
+// whose result is schedule-independent (all of ours: cross-thread
+// communication only through barriers or commutative atomics), the final
+// registers and memory must match any valid execution — including the
+// timing simulator's, under every warp scheduler. Property tests rely on
+// this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "mem/global_memory.hpp"
+
+namespace prosim {
+
+struct InterpreterResult {
+  std::uint64_t instructions_executed = 0;
+  /// Final registers, indexed [ctaid][tid][reg].
+  std::vector<std::vector<std::vector<RegValue>>> registers;
+};
+
+struct InterpreterOptions {
+  /// Abort if any single thread block exceeds this many instructions —
+  /// catches accidental infinite loops in workload kernels.
+  std::uint64_t max_steps_per_tb = 100'000'000;
+  /// Record per-thread final register state (tests); memory is always
+  /// mutated in place.
+  bool record_registers = true;
+};
+
+/// Runs `program` against `memory`; aborts (PROSIM_CHECK) on malformed
+/// programs, barrier deadlocks, or step-limit overruns.
+InterpreterResult interpret(const Program& program, GlobalMemory& memory,
+                            const InterpreterOptions& options = {});
+
+}  // namespace prosim

@@ -1,0 +1,112 @@
+// The mini SASS-like instruction set executed by the simulator.
+//
+// Opcodes are grouped by the functional unit that executes them (SP integer
+// ALU, SP floating-point pipe, SFU, LDST) because that is what the timing
+// model cares about. Functional semantics operate on 64-bit integer
+// registers; the "floating point" opcodes keep their FP-unit latencies but
+// compute deterministic integer functions, which keeps the golden-model
+// comparison exact (see DESIGN.md, "Known simplifications").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace prosim {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // Register moves / special registers (SP).
+  kMov,
+  kMovi,
+  kS2r,
+  // Integer ALU (SP).
+  kIadd,
+  kIsub,
+  kImul,
+  kImad,
+  kImin,
+  kImax,
+  kIand,
+  kIor,
+  kIxor,
+  kIshl,
+  kIshr,
+  kSetp,
+  kSel,
+  // FP latency classes (SP FP pipe).
+  kFadd,
+  kFmul,
+  kFfma,
+  // Special function unit.
+  kFdiv,
+  kRsqrt,
+  kFsin,
+  kFexp,
+  kFlog,
+  // Memory (LDST).
+  kLdg,
+  kStg,
+  kLds,
+  kSts,
+  kLdc,
+  kAtomGAdd,
+  kAtomSAdd,
+  // Control.
+  kBra,
+  kBar,
+  kExit,
+
+  kNumOpcodes,
+};
+
+enum class CmpOp : std::uint8_t { kLt = 0, kLe, kGt, kGe, kEq, kNe };
+
+enum class SpecialReg : std::uint8_t {
+  kTid = 0,    // thread index within the TB
+  kCtaId,      // TB index within the grid
+  kNTid,       // threads per TB
+  kNCtaId,     // TBs in the grid
+  kWarpId,     // warp index within the TB
+  kLaneId,     // lane within the warp
+  kGlobalTid,  // ctaid * ntid + tid
+};
+
+/// Which execution pipeline an opcode issues to.
+enum class FuType : std::uint8_t {
+  kSpInt,   // integer ALU pipe
+  kSpFp,    // FP pipe (same issue port as SpInt, longer latency)
+  kSfu,     // special function unit
+  kMem,     // load/store unit
+  kControl  // branches / barrier / exit (resolved at issue)
+};
+
+/// Memory space addressed by a memory opcode.
+enum class MemSpace : std::uint8_t { kNone, kGlobal, kShared, kConst };
+
+/// Static properties of an opcode, used by decode, the timing model and the
+/// assembler/disassembler.
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  FuType fu;
+  MemSpace space;
+  bool has_dst;
+  std::uint8_t num_srcs;  // register sources read (excludes address regs)
+  bool is_branch;
+  bool is_barrier;
+  bool is_exit;
+  bool is_atomic;
+  bool is_load;   // holds the scoreboard until data returns
+  bool is_store;  // fire-and-forget write
+};
+
+const OpcodeInfo& opcode_info(Opcode op);
+
+std::string_view cmp_name(CmpOp cmp);
+std::string_view sreg_name(SpecialReg sreg);
+
+/// Parses a mnemonic; returns kNumOpcodes on failure.
+Opcode parse_opcode(std::string_view mnemonic);
+bool parse_cmp(std::string_view name, CmpOp& out);
+bool parse_sreg(std::string_view name, SpecialReg& out);
+
+}  // namespace prosim

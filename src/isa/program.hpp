@@ -1,0 +1,41 @@
+// A Program is a kernel: metadata (launch geometry, resource usage) plus a
+// flat instruction vector. The simulator and the reference interpreter both
+// execute Programs directly; there is no separate encoding step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace prosim {
+
+struct KernelInfo {
+  std::string name;
+  int block_dim = 32;        ///< threads per thread block (1D)
+  int grid_dim = 1;          ///< thread blocks in the grid (1D)
+  int regs_per_thread = 16;  ///< architectural registers used per thread
+  int smem_bytes = 0;        ///< shared memory per thread block
+};
+
+struct Program {
+  KernelInfo info;
+  std::vector<Instruction> code;
+
+  int num_warps_per_tb() const {
+    return (info.block_dim + kWarpSize - 1) / kWarpSize;
+  }
+
+  /// Validates static well-formedness; returns an empty string when valid,
+  /// otherwise a description of the first problem found. Checks: non-empty
+  /// code, code ends in exit or an unconditional branch, branch targets and
+  /// reconvergence PCs in range, register indices within regs_per_thread,
+  /// and resource limits (block_dim in [1,1024], regs <= kMaxRegs).
+  std::string validate() const;
+
+  /// Full textual disassembly (one instruction per line, PC-prefixed).
+  std::string disassemble_all() const;
+};
+
+}  // namespace prosim

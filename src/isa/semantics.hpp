@@ -1,0 +1,126 @@
+// Functional semantics of the mini ISA, shared by the scalar reference
+// interpreter and the timing simulator so the two can never disagree.
+//
+// All arithmetic wraps (performed on uint64 and cast back) — no UB on
+// overflow, and identical results everywhere. The "floating point" opcodes
+// compute deterministic integer functions (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace prosim {
+
+inline bool eval_cmp(CmpOp cmp, RegValue a, RegValue b) {
+  switch (cmp) {
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+  }
+  return false;
+}
+
+/// Geometry context needed to evaluate special registers.
+struct ThreadGeom {
+  int tid = 0;
+  int ctaid = 0;
+  int ntid = 1;
+  int nctaid = 1;
+};
+
+inline RegValue eval_sreg(SpecialReg sreg, const ThreadGeom& g) {
+  switch (sreg) {
+    case SpecialReg::kTid: return g.tid;
+    case SpecialReg::kCtaId: return g.ctaid;
+    case SpecialReg::kNTid: return g.ntid;
+    case SpecialReg::kNCtaId: return g.nctaid;
+    case SpecialReg::kWarpId: return g.tid / kWarpSize;
+    case SpecialReg::kLaneId: return g.tid % kWarpSize;
+    case SpecialReg::kGlobalTid:
+      return static_cast<RegValue>(g.ctaid) * g.ntid + g.tid;
+  }
+  return 0;
+}
+
+/// Computes an ALU/SFU opcode on already-fetched operand values.
+/// `a` = src0, `b` = src1 (or immediate), `c` = src2. Not valid for memory,
+/// control, mov/movi/s2r (those need external state).
+inline RegValue eval_alu(const Instruction& inst, RegValue a, RegValue b,
+                         RegValue c) {
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  const auto uc = static_cast<std::uint64_t>(c);
+  switch (inst.op) {
+    case Opcode::kIadd:
+    case Opcode::kFadd:
+      return static_cast<RegValue>(ua + ub);
+    case Opcode::kIsub:
+      return static_cast<RegValue>(ua - ub);
+    case Opcode::kImul:
+    case Opcode::kFmul:
+      return static_cast<RegValue>(ua * ub);
+    case Opcode::kImad:
+    case Opcode::kFfma:
+      return static_cast<RegValue>(ua * ub + uc);
+    case Opcode::kImin:
+      return a < b ? a : b;
+    case Opcode::kImax:
+      return a > b ? a : b;
+    case Opcode::kIand:
+      return static_cast<RegValue>(ua & ub);
+    case Opcode::kIor:
+      return static_cast<RegValue>(ua | ub);
+    case Opcode::kIxor:
+      return static_cast<RegValue>(ua ^ ub);
+    case Opcode::kIshl:
+      return static_cast<RegValue>(ua << (ub & 63));
+    case Opcode::kIshr:
+      return static_cast<RegValue>(ua >> (ub & 63));
+    case Opcode::kSetp:
+      return eval_cmp(inst.cmp, a, b) ? 1 : 0;
+    case Opcode::kSel:
+      return c != 0 ? a : b;
+    case Opcode::kFdiv:
+      return b == 0 ? 0 : a / b;
+    case Opcode::kRsqrt: {
+      // Integer sqrt of |a| — deterministic stand-in for 1/sqrt.
+      std::uint64_t v = ua;
+      if (a < 0) v = static_cast<std::uint64_t>(-a);
+      std::uint64_t r = 0;
+      std::uint64_t bit = 1ull << 62;
+      while (bit > v) bit >>= 2;
+      while (bit != 0) {
+        if (v >= r + bit) {
+          v -= r + bit;
+          r = (r >> 1) + bit;
+        } else {
+          r >>= 1;
+        }
+        bit >>= 2;
+      }
+      return static_cast<RegValue>(r);
+    }
+    case Opcode::kFsin: {
+      // SplitMix-style mix: a fixed deterministic scramble.
+      std::uint64_t z = ua + 0x9E3779B97F4A7C15ull;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<RegValue>(z ^ (z >> 31));
+    }
+    case Opcode::kFexp:
+      return static_cast<RegValue>(ua * 3 + 1);
+    case Opcode::kFlog:
+      return static_cast<RegValue>((ua >> 1) ^ ua);
+    default:
+      PROSIM_CHECK_MSG(false, "eval_alu on non-ALU opcode");
+      return 0;
+  }
+}
+
+}  // namespace prosim

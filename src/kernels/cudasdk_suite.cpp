@@ -1,0 +1,539 @@
+// Workloads modelled on the CUDA SDK benchmark entries of Table II.
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim {
+
+namespace {
+
+void fill_random(GlobalMemory& mem, Addr base, int count,
+                 std::uint64_t modulus, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    mem.store(base + static_cast<Addr>(i) * 8,
+              static_cast<RegValue>(rng.next_below(modulus)));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// convolutionSeparable convolutionRowsKernel — separable filter, row pass:
+// coalesced tile + halo load into shared memory, one barrier, then a
+// 9-tap FFMA loop over shared memory. Streaming with mild barrier use.
+// ---------------------------------------------------------------------------
+Workload make_convolution_rows() {
+  constexpr Addr kIn = 0;
+  constexpr Addr kFilter = 64u << 20;
+  constexpr Addr kOut = 96u << 20;
+  constexpr int kBlock = 128;
+  constexpr int kGrid = 280;
+  constexpr int kTaps = 9;
+  constexpr int kHalo = 8;
+
+  ProgramBuilder b("convolutionRowsKernel");
+  b.block_dim(kBlock).grid_dim(kGrid).smem((kBlock + 2 * kHalo) * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rAddr, rV, rSA, rAcc, rI, rF, rX, rP, rFA
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  // Main tile element.
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rV, rAddr, static_cast<std::int64_t>(kIn));
+  b.iaddi(rSA, rTid, kHalo);
+  b.ishli(rSA, rSA, 3);
+  b.sts(rSA, 0, rV);
+  // First 2*kHalo threads also load the halo.
+  b.setpi(CmpOp::kLt, rP, rTid, 2 * kHalo);
+  b.if_begin(rP);
+  {
+    b.imuli(rX, rTid, kBlock / (2 * kHalo));
+    b.iadd(rX, rX, rGid);
+    b.ishli(rX, rX, 3);
+    b.ldg(rV, rX, static_cast<std::int64_t>(kIn));
+    b.ishli(rX, rTid, 3);
+    b.sts(rX, 0, rV);
+  }
+  b.if_end();
+  b.bar();
+  b.movi(rAcc, 0);
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    b.ishli(rFA, rI, 3);
+    b.ldc(rF, rFA, static_cast<std::int64_t>(kFilter));
+    b.iadd(rX, rTid, rI);
+    b.ishli(rX, rX, 3);
+    b.lds(rV, rX, 0);
+    b.ffma(rAcc, rV, rF, rAcc);
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, kTaps);
+  }
+  b.loop_end_if(rP, top);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rAcc);
+  b.exit_();
+
+  Workload w;
+  w.suite = "cuda-sdk";
+  w.app = "convolutionSeparable";
+  w.kernel = "convolutionRowsKernel";
+  w.paper_tbs = 18432;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kIn, (kBlock + kBlock) * kGrid + 64, 1u << 16, 0xC01);
+    fill_random(mem, kFilter, kTaps, 1u << 8, 0xC02);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// convolutionSeparable convolutionColumnsKernel — column pass: threads map
+// to a 16-wide 2D tile, so each warp's load covers two pixel rows (two
+// cache lines instead of one — half the coalescing of the row pass) and
+// the tap loop walks the pitch dimension. More bandwidth-hungry than the
+// row kernel; interconnect/DRAM backpressure shows up as pipeline stalls.
+// ---------------------------------------------------------------------------
+Workload make_convolution_cols() {
+  constexpr Addr kIn = 0;
+  constexpr Addr kFilter = 160u << 20;
+  constexpr Addr kOut = 192u << 20;
+  constexpr int kBlock = 128;
+  constexpr int kGrid = 224;
+  constexpr int kTaps = 5;
+  constexpr int kTileW = 16;   // threads per pixel row
+  constexpr int kPitch = 512;  // words between vertically adjacent pixels
+
+  ProgramBuilder b("convolutionColumnsKernel");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rAcc, rI, rF, rX, rV, rP, rAddr, rFA, rSA
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  b.movi(rAcc, 0);
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    b.ishli(rFA, rI, 3);
+    b.ldc(rF, rFA, static_cast<std::int64_t>(kFilter));
+    // in[(gid/16 + i) * pitch + gid%16]: each 16-lane half-warp is
+    // contiguous; the tap index walks rows of the image.
+    b.ishri(rX, rGid, 4);
+    b.iadd(rX, rX, rI);
+    b.imuli(rX, rX, kPitch);
+    b.iandi(rV, rGid, kTileW - 1);
+    b.iadd(rX, rX, rV);
+    b.iandi(rX, rX, (1 << 22) - 1);
+    b.ishli(rX, rX, 3);
+    b.ldg(rV, rX, static_cast<std::int64_t>(kIn));
+    b.ffma(rAcc, rV, rF, rAcc);
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, kTaps);
+  }
+  b.loop_end_if(rP, top);
+  // Small shared-memory exchange + barrier as in the tiled original.
+  b.ishli(rSA, rTid, 3);
+  b.sts(rSA, 0, rAcc);
+  b.bar();
+  b.ixori(rX, rTid, 1);
+  b.ishli(rX, rX, 3);
+  b.lds(rV, rX, 0);
+  b.fadd(rAcc, rAcc, rV);
+  b.ishli(rAddr, rGid, 3);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rAcc);
+  b.exit_();
+
+  Workload w;
+  w.suite = "cuda-sdk";
+  w.app = "convolutionSeparable";
+  w.kernel = "convolutionColumnsKernel";
+  w.paper_tbs = 9216;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kIn, 1 << 18, 1u << 16, 0xC11);
+    fill_random(mem, kFilter, kTaps, 1u << 8, 0xC12);
+  };
+  return w;
+}
+
+namespace {
+
+// Shared builder for the two histogramNNKernel variants: per-block shared
+// histogram filled with shared-memory atomics (bank-conflict serialization
+// on hot bins), then merged into the global histogram with global atomics.
+Workload make_histogram(int bins, int block, int grid, int trips,
+                        const char* name, int paper_tbs) {
+  const Addr kData = 0;
+  const Addr kHist = 192u << 20;
+
+  ProgramBuilder b(name);
+  b.block_dim(block).grid_dim(grid).smem(bins * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rI, rAddr, rV, rBin, rOne, rP, rX, rNT
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  // Zero the shared histogram cooperatively.
+  b.movi(rOne, 0);
+  b.mov(rI, rTid);
+  auto zero = b.loop_begin();
+  {
+    b.ishli(rX, rI, 3);
+    b.sts(rX, 0, rOne);
+    b.iaddi(rI, rI, block);
+    b.setpi(CmpOp::kLt, rP, rI, bins);
+  }
+  b.loop_end_if(rP, zero);
+  b.bar();
+  // Accumulate: data-dependent shared atomics.
+  b.movi(rOne, 1);
+  b.s2r(rNT, SpecialReg::kNTid);
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    b.s2r(rX, SpecialReg::kNCtaId);
+    b.imul(rX, rX, rNT);  // total threads
+    b.imul(rX, rX, rI);
+    b.iadd(rX, rX, rGid);
+    b.ishli(rX, rX, 3);
+    b.ldg(rV, rX, static_cast<std::int64_t>(kData));
+    b.iandi(rBin, rV, bins - 1);
+    b.ishli(rBin, rBin, 3);
+    b.atoms_add(rBin, 0, rOne);
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, trips);
+  }
+  b.loop_end_if(rP, top);
+  b.bar();
+  // Merge into the global histogram.
+  b.mov(rI, rTid);
+  auto merge = b.loop_begin();
+  {
+    b.ishli(rX, rI, 3);
+    b.lds(rV, rX, 0);
+    b.atomg_add(rX, static_cast<std::int64_t>(kHist), rV);
+    b.iaddi(rI, rI, block);
+    b.setpi(CmpOp::kLt, rP, rI, bins);
+  }
+  b.loop_end_if(rP, merge);
+  b.exit_();
+
+  Workload w;
+  w.suite = "cuda-sdk";
+  w.app = "histogram";
+  w.kernel = name;
+  w.paper_tbs = paper_tbs;
+  w.program = b.build();
+  const int total = block * grid * trips;
+  w.init = [total](GlobalMemory& mem) {
+    fill_random(mem, 0, total, 1u << 20, 0x415);
+  };
+  return w;
+}
+
+// Shared builder for the merge kernels: each block reduces one bin across
+// all partial histograms with a shared-memory tree reduction.
+Workload make_merge_histogram(int partials, int block, int grid,
+                              const char* name, int paper_tbs) {
+  const Addr kPartials = 0;
+  const Addr kOut = 64u << 20;
+
+  ProgramBuilder b(name);
+  b.block_dim(block).grid_dim(grid).smem(block * 8);
+  enum : std::uint8_t {
+    rTid, rCta, rI, rAcc, rX, rV, rP, rSA, rStride, rT
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rCta, SpecialReg::kCtaId);
+  b.movi(rAcc, 0);
+  b.mov(rI, rTid);
+  auto top = b.loop_begin();
+  {
+    // partial[i * grid + cta]
+    b.imuli(rX, rI, grid);
+    b.iadd(rX, rX, rCta);
+    b.ishli(rX, rX, 3);
+    b.ldg(rV, rX, static_cast<std::int64_t>(kPartials));
+    b.iadd(rAcc, rAcc, rV);
+    b.iaddi(rI, rI, block);
+    b.setpi(CmpOp::kLt, rP, rI, partials);
+  }
+  b.loop_end_if(rP, top);
+  b.ishli(rSA, rTid, 3);
+  b.sts(rSA, 0, rAcc);
+  b.bar();
+  b.movi(rStride, block / 2);
+  auto red = b.loop_begin();
+  {
+    b.setp(CmpOp::kLt, rP, rTid, rStride);
+    b.if_begin(rP);
+    {
+      b.iadd(rT, rTid, rStride);
+      b.ishli(rT, rT, 3);
+      b.lds(rT, rT, 0);
+      b.lds(rV, rSA, 0);
+      b.iadd(rV, rV, rT);
+      b.sts(rSA, 0, rV);
+    }
+    b.if_end();
+    b.bar();
+    b.ishri(rStride, rStride, 1);
+    b.setpi(CmpOp::kGt, rP, rStride, 0);
+  }
+  b.loop_end_if(rP, red);
+  b.setpi(CmpOp::kEq, rP, rTid, 0);
+  b.if_begin(rP);
+  {
+    b.ishli(rX, rCta, 3);
+    b.lds(rV, rSA, 0);
+    b.stg(rX, static_cast<std::int64_t>(kOut), rV);
+  }
+  b.if_end();
+  b.exit_();
+
+  Workload w;
+  w.suite = "cuda-sdk";
+  w.app = "histogram";
+  w.kernel = name;
+  w.paper_tbs = paper_tbs;
+  w.program = b.build();
+  const int total = partials * grid;
+  w.init = [total](GlobalMemory& mem) {
+    fill_random(mem, 0, total, 1u << 12, 0x416);
+  };
+  return w;
+}
+
+}  // namespace
+
+Workload make_histogram64() {
+  return make_histogram(64, 64, 224, 32, "histogram64Kernel", 4370);
+}
+
+Workload make_merge_histogram64() {
+  // 28 TBs on a 112-TB-capacity GPU: like the paper's 64-TB grid, this
+  // kernel never oversubscribes — it runs entirely in slowTBPhase.
+  Workload w = make_merge_histogram(64, 64, 28, "mergeHistogram64Kernel", 64);
+  w.fits_residency = true;
+  return w;
+}
+
+Workload make_histogram256() {
+  return make_histogram(256, 192, 168, 48, "histogram256Kernel", 240);
+}
+
+Workload make_merge_histogram256() {
+  return make_merge_histogram(48, 256, 112, "mergeHistogram256Kernel", 256);
+}
+
+// ---------------------------------------------------------------------------
+// MonteCarlo inverseCNDKernel — inverse cumulative normal transform: a long
+// chain of SFU operations per element over a streaming grid-stride loop.
+// SFU initiation-interval bound.
+// ---------------------------------------------------------------------------
+Workload make_montecarlo_inverse_cnd() {
+  constexpr Addr kIn = 0;
+  constexpr Addr kOut = 64u << 20;
+  constexpr int kBlock = 128;
+  constexpr int kGrid = 128;  // paper's own grid: slightly oversubscribed
+  constexpr int kTrips = 4;
+
+  ProgramBuilder b("inverseCNDKernel");
+  b.block_dim(kBlock).grid_dim(kGrid);
+  enum : std::uint8_t { rGid, rI, rX, rV, rT, rP, rAddr, rNT };
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  b.s2r(rNT, SpecialReg::kNTid);
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    b.s2r(rX, SpecialReg::kNCtaId);
+    b.imul(rX, rX, rNT);
+    b.imul(rX, rX, rI);
+    b.iadd(rX, rX, rGid);
+    b.ishli(rAddr, rX, 3);
+    b.ldg(rV, rAddr, static_cast<std::int64_t>(kIn));
+    // Rational-approximation stand-in: log/exp/sqrt/sin chain.
+    b.flog(rT, rV);
+    b.rsqrt(rT, rT);
+    b.fexp(rV, rT);
+    b.fsin(rT, rV);
+    b.ffma(rV, rT, rV, rT);
+    b.stg(rAddr, static_cast<std::int64_t>(kOut), rV);
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, kTrips);
+  }
+  b.loop_end_if(rP, top);
+  b.exit_();
+
+  Workload w;
+  w.suite = "cuda-sdk";
+  w.app = "MonteCarlo";
+  w.kernel = "inverseCNDKernel";
+  w.paper_tbs = 128;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kIn, kBlock * kGrid * kTrips, 1u << 20, 0x31C);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MonteCarlo MonteCarloOneBlockPerOption — per-option path accumulation:
+// FFMA loop over simulated paths, then a full shared-memory tree reduction
+// (one barrier per level) and a single-thread store. Long barrier tail per
+// TB — the finishWait/barrierWait states get heavy use.
+// ---------------------------------------------------------------------------
+Workload make_montecarlo_one_block_per_option() {
+  constexpr Addr kPaths = 0;
+  constexpr Addr kOut = 96u << 20;
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 112;
+  constexpr int kTrips = 24;
+
+  ProgramBuilder b("MonteCarloOneBlockPerOption");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rCta, rI, rAcc, rX, rV, rP, rSA, rStride, rT
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rCta, SpecialReg::kCtaId);
+  b.movi(rAcc, 0);
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    // path[cta*block*trips + i*block + tid]
+    b.imuli(rX, rCta, kBlock * kTrips);
+    b.imuli(rT, rI, kBlock);
+    b.iadd(rX, rX, rT);
+    b.iadd(rX, rX, rTid);
+    b.ishli(rX, rX, 3);
+    b.ldg(rV, rX, static_cast<std::int64_t>(kPaths));
+    b.fexp(rV, rV);
+    b.ffma(rAcc, rV, rV, rAcc);
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, kTrips);
+  }
+  b.loop_end_if(rP, top);
+  b.ishli(rSA, rTid, 3);
+  b.sts(rSA, 0, rAcc);
+  b.bar();
+  b.movi(rStride, kBlock / 2);
+  auto red = b.loop_begin();
+  {
+    b.setp(CmpOp::kLt, rP, rTid, rStride);
+    b.if_begin(rP);
+    {
+      b.iadd(rT, rTid, rStride);
+      b.ishli(rT, rT, 3);
+      b.lds(rT, rT, 0);
+      b.lds(rV, rSA, 0);
+      b.fadd(rV, rV, rT);
+      b.sts(rSA, 0, rV);
+    }
+    b.if_end();
+    b.bar();
+    b.ishri(rStride, rStride, 1);
+    b.setpi(CmpOp::kGt, rP, rStride, 0);
+  }
+  b.loop_end_if(rP, red);
+  b.setpi(CmpOp::kEq, rP, rTid, 0);
+  b.if_begin(rP);
+  {
+    b.ishli(rX, rCta, 3);
+    b.lds(rV, rSA, 0);
+    b.stg(rX, static_cast<std::int64_t>(kOut), rV);
+  }
+  b.if_end();
+  b.exit_();
+
+  Workload w;
+  w.suite = "cuda-sdk";
+  w.app = "MonteCarlo";
+  w.kernel = "MonteCarloOneBlockPerOption";
+  w.paper_tbs = 256;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kPaths, kBlock * kGrid * kTrips, 1u << 16, 0x31D);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// scalarProd scalarProdGPU — dot products: FFMA accumulation over two
+// streamed vectors, then a shared-memory tree reduction with a barrier per
+// level. The paper singles this kernel out: PRO's special barrier handling
+// *hurts* it by ~10-11% (§IV) — reproduced by the ablation bench.
+// ---------------------------------------------------------------------------
+Workload make_scalar_prod() {
+  constexpr Addr kA = 0;
+  constexpr Addr kB = 64u << 20;
+  constexpr Addr kOut = 128u << 20;
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 112;
+  constexpr int kTrips = 16;
+
+  ProgramBuilder b("scalarProdGPU");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rCta, rI, rAcc, rX, rVa, rVb, rP, rSA, rStride, rT
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rCta, SpecialReg::kCtaId);
+  b.movi(rAcc, 0);
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    b.imuli(rX, rCta, kBlock * kTrips);
+    b.imuli(rT, rI, kBlock);
+    b.iadd(rX, rX, rT);
+    b.iadd(rX, rX, rTid);
+    b.ishli(rX, rX, 3);
+    b.ldg(rVa, rX, static_cast<std::int64_t>(kA));
+    b.ldg(rVb, rX, static_cast<std::int64_t>(kB));
+    b.ffma(rAcc, rVa, rVb, rAcc);
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, kTrips);
+  }
+  b.loop_end_if(rP, top);
+  b.ishli(rSA, rTid, 3);
+  b.sts(rSA, 0, rAcc);
+  b.bar();
+  b.movi(rStride, kBlock / 2);
+  auto red = b.loop_begin();
+  {
+    b.setp(CmpOp::kLt, rP, rTid, rStride);
+    b.if_begin(rP);
+    {
+      b.iadd(rT, rTid, rStride);
+      b.ishli(rT, rT, 3);
+      b.lds(rT, rT, 0);
+      b.lds(rVa, rSA, 0);
+      b.fadd(rVa, rVa, rT);
+      b.sts(rSA, 0, rVa);
+    }
+    b.if_end();
+    b.bar();
+    b.ishri(rStride, rStride, 1);
+    b.setpi(CmpOp::kGt, rP, rStride, 0);
+  }
+  b.loop_end_if(rP, red);
+  b.setpi(CmpOp::kEq, rP, rTid, 0);
+  b.if_begin(rP);
+  {
+    b.ishli(rX, rCta, 3);
+    b.lds(rVa, rSA, 0);
+    b.stg(rX, static_cast<std::int64_t>(kOut), rVa);
+  }
+  b.if_end();
+  b.exit_();
+
+  Workload w;
+  w.suite = "cuda-sdk";
+  w.app = "ScalarProd";
+  w.kernel = "scalarProdGPU";
+  w.paper_tbs = 128;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kA, kBlock * kGrid * kTrips, 1u << 16, 0x5CA);
+    fill_random(mem, kB, kBlock * kGrid * kTrips, 1u << 16, 0x5CB);
+  };
+  return w;
+}
+
+}  // namespace prosim

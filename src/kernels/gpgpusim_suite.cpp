@@ -1,0 +1,497 @@
+// Workloads modelled on the GPGPU-Sim benchmark suite entries of Table II.
+// Each builder documents which structural features of the original CUDA
+// kernel it reproduces; see DESIGN.md §4 for the substitution argument.
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim {
+
+namespace {
+
+/// Fills words [base, base + count*8) with deterministic pseudo-random
+/// values in [0, modulus).
+void fill_random(GlobalMemory& mem, Addr base, int count,
+                 std::uint64_t modulus, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    mem.store(base + static_cast<Addr>(i) * 8,
+              static_cast<RegValue>(rng.next_below(modulus)));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AES aesEncrypt128 — round-loop cipher: cooperative shared-memory T-table
+// load behind a barrier, then 10 rounds of data-dependent shared-memory
+// lookups (bank conflicts) mixed with ALU, two coalesced loads/stores of
+// state per thread. Compute-leaning with scattered LDS.
+// ---------------------------------------------------------------------------
+Workload make_aes() {
+  constexpr Addr kTable = 0;              // 256-word T-table
+  constexpr Addr kKeys = 1 << 19;         // expanded round keys (11 rounds)
+  constexpr Addr kState = 1 << 20;        // per-thread input state (4 words)
+  constexpr Addr kOut = 32u << 20;        // output
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 224;
+  constexpr int kRounds = 10;
+
+  ProgramBuilder b("aesEncrypt128");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(256 * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rA, rV, rAddr, rS0, rS1, rS2, rS3, rRound, rT, rL, rP, rK,
+    rKA
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  // Cooperative T-table load: smem[tid] = table[tid].
+  b.ishli(rA, rTid, 3);
+  b.ldg(rV, rA, static_cast<std::int64_t>(kTable));
+  b.sts(rA, 0, rV);
+  b.bar();
+  // Load the four state words.
+  b.ishli(rAddr, rGid, 5);
+  b.ldg(rS0, rAddr, static_cast<std::int64_t>(kState));
+  b.ldg(rS1, rAddr, static_cast<std::int64_t>(kState) + 8);
+  b.ldg(rS2, rAddr, static_cast<std::int64_t>(kState) + 16);
+  b.ldg(rS3, rAddr, static_cast<std::int64_t>(kState) + 24);
+  b.movi(rRound, kRounds);
+  auto top = b.loop_begin();
+  {
+    // Per-round key fetch (broadcast across the warp, as in the real
+    // kernel's expanded-key access).
+    b.ishli(rKA, rRound, 3);
+    b.ldg(rK, rKA, static_cast<std::int64_t>(kKeys));
+    // Four data-dependent T-table lookups (SubBytes/MixColumns stand-in),
+    // one per state word, each feeding the next word.
+    const std::uint8_t state[4] = {rS0, rS1, rS2, rS3};
+    for (int wd = 0; wd < 4; ++wd) {
+      b.ixor_(rT, state[wd], state[(wd + 1) % 4]);
+      b.iandi(rT, rT, 255);
+      b.ishli(rT, rT, 3);
+      b.lds(rL, rT, 0);
+      b.ixor_(state[(wd + 3) % 4], state[(wd + 3) % 4], rL);
+      b.ishli(rT, state[wd], 1);
+      b.ixor_(state[wd], rT, rK);
+    }
+    b.iaddi(rRound, rRound, -1);
+    b.setpi(CmpOp::kGt, rP, rRound, 0);
+  }
+  b.loop_end_if(rP, top);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rS0);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut) + 8, rS1);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut) + 16, rS2);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut) + 24, rS3);
+  b.exit_();
+
+  Workload w;
+  w.suite = "gpgpu-sim";
+  w.app = "AES";
+  w.kernel = "aesEncrypt128";
+  w.paper_tbs = 257;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kTable, 256, 1u << 20, 0xAE5);
+    fill_random(mem, kKeys, kRounds + 1, 1u << 30, 0xAE52);
+    fill_random(mem, kState, kBlock * kGrid * 4, 1u << 30, 0xAE51);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// BFS kernel — one frontier-expansion level over a random CSR graph:
+// data-dependent loads, degree-dependent loop trip counts (warp-level
+// divergence), tiny compute, idempotent flag/cost stores. Memory-latency
+// dominated with poor locality.
+// ---------------------------------------------------------------------------
+Workload make_bfs() {
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 224;
+  constexpr int kNodes = kBlock * kGrid;
+  constexpr Addr kFrontier = 0;
+  constexpr Addr kRows = 8u << 20;
+  constexpr Addr kEdges = 16u << 20;
+  constexpr Addr kVisited = 48u << 20;
+  constexpr Addr kCost = 64u << 20;
+  constexpr Addr kNewFrontier = 80u << 20;
+
+  ProgramBuilder b("bfs_kernel");
+  b.block_dim(kBlock).grid_dim(kGrid);
+  enum : std::uint8_t {
+    rGid, rAddr, rF, rP, rStart, rEnd, rI, rQ, rEA, rN, rNA, rVis, rP2, rOne,
+    rCost
+  };
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rF, rAddr, static_cast<std::int64_t>(kFrontier));
+  b.setpi(CmpOp::kEq, rP, rF, 1);
+  b.if_begin(rP);
+  {
+    b.ldg(rStart, rAddr, static_cast<std::int64_t>(kRows));
+    b.ldg(rEnd, rAddr, static_cast<std::int64_t>(kRows) + 8);
+    b.setp(CmpOp::kLt, rQ, rStart, rEnd);
+    b.if_begin(rQ);  // degree > 0
+    {
+      b.mov(rI, rStart);
+      auto top = b.loop_begin();
+      {
+        b.ishli(rEA, rI, 3);
+        b.ldg(rN, rEA, static_cast<std::int64_t>(kEdges));
+        b.ishli(rNA, rN, 3);
+        b.ldg(rVis, rNA, static_cast<std::int64_t>(kVisited));
+        b.setpi(CmpOp::kEq, rP2, rVis, 0);
+        b.if_begin(rP2);
+        {
+          b.movi(rOne, 1);
+          b.stg(rNA, static_cast<std::int64_t>(kVisited), rOne);
+          b.stg(rNA, static_cast<std::int64_t>(kNewFrontier), rOne);
+          b.movi(rCost, 2);  // level + 1: identical value from every writer
+          b.stg(rNA, static_cast<std::int64_t>(kCost), rCost);
+        }
+        b.if_end();
+        b.iaddi(rI, rI, 1);
+        b.setp(CmpOp::kLt, rQ, rI, rEnd);
+      }
+      b.loop_end_if(rQ, top);
+    }
+    b.if_end();
+  }
+  b.if_end();
+  b.exit_();
+
+  Workload w;
+  w.suite = "gpgpu-sim";
+  w.app = "BFS";
+  w.kernel = "bfs_kernel";
+  w.paper_tbs = 256;
+  // The visited-flag check races benignly (idempotent constant stores), so
+  // per-thread path lengths depend on the interleaving.
+  w.schedule_invariant_inst_count = false;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    Rng rng(0xBF5);
+    // ~30% of nodes are on the frontier.
+    for (int n = 0; n < kNodes; ++n) {
+      mem.store(kFrontier + static_cast<Addr>(n) * 8,
+                rng.next_bool(0.3) ? 1 : 0);
+    }
+    // CSR rows: degrees 0..7, strongly varying within a warp.
+    std::uint64_t edge = 0;
+    for (int n = 0; n < kNodes; ++n) {
+      mem.store(kRows + static_cast<Addr>(n) * 8,
+                static_cast<RegValue>(edge));
+      edge += rng.next_below(8);
+      mem.store(kRows + static_cast<Addr>(n) * 8 + 8,
+                static_cast<RegValue>(edge));
+    }
+    // Edge targets: uniform random nodes (poor locality).
+    for (std::uint64_t e = 0; e < edge; ++e) {
+      mem.store(kEdges + e * 8,
+                static_cast<RegValue>(rng.next_below(kNodes)));
+    }
+    // ~50% already visited.
+    for (int n = 0; n < kNodes; ++n) {
+      mem.store(kVisited + static_cast<Addr>(n) * 8,
+                rng.next_bool(0.5) ? 1 : 0);
+    }
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// CP cenergy — coulombic potential: compute-bound loop over an atom list in
+// constant memory (LDC), heavy FFMA + RSQRT (SFU) per iteration, one
+// coalesced store at the end. SFU initiation interval shows up as pipeline
+// pressure.
+// ---------------------------------------------------------------------------
+Workload make_cp() {
+  constexpr Addr kAtoms = 0;       // 64 atoms x 2 words (packed xy, zq)
+  constexpr Addr kOut = 16u << 20;
+  constexpr int kBlock = 128;
+  constexpr int kGrid = 288;
+  constexpr int kNumAtoms = 64;
+
+  ProgramBuilder b("cenergy");
+  b.block_dim(kBlock).grid_dim(kGrid);
+  enum : std::uint8_t {
+    rGid, rX, rE, rJ, rJA, rXY, rZQ, rDx, rD2, rRinv, rP, rAddr
+  };
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  b.imuli(rX, rGid, 13);  // grid-point coordinate
+  b.movi(rE, 0);
+  b.movi(rJ, 0);
+  auto top = b.loop_begin();
+  {
+    b.ishli(rJA, rJ, 4);  // atom j at kAtoms + j*16
+    b.ldc(rXY, rJA, static_cast<std::int64_t>(kAtoms));
+    b.ldc(rZQ, rJA, static_cast<std::int64_t>(kAtoms) + 8);
+    b.isub(rDx, rX, rXY);
+    b.imul(rD2, rDx, rDx);
+    b.iadd(rD2, rD2, rZQ);
+    b.rsqrt(rRinv, rD2);            // SFU
+    b.ffma(rE, rRinv, rZQ, rE);     // energy += q / r
+    b.iaddi(rJ, rJ, 1);
+    b.setpi(CmpOp::kLt, rP, rJ, kNumAtoms);
+  }
+  b.loop_end_if(rP, top);
+  b.ishli(rAddr, rGid, 3);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rE);
+  b.exit_();
+
+  Workload w;
+  w.suite = "gpgpu-sim";
+  w.app = "CP";
+  w.kernel = "cenergy";
+  w.paper_tbs = 256;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kAtoms, kNumAtoms * 2, 1u << 16, 0xC0);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// LPS GPU_laplace3d — 3D Jacobi stencil: per-z-plane tile staging through
+// shared memory with two barriers per plane, coalesced plane loads,
+// boundary-thread divergence on the store. Balanced compute/memory with
+// regular barrier pressure.
+// ---------------------------------------------------------------------------
+Workload make_lps() {
+  constexpr Addr kIn = 0;
+  constexpr Addr kOut = 64u << 20;
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 168;
+  constexpr int kPlanes = 4;
+
+  ProgramBuilder b("GPU_laplace3d");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rZ, rAddr, rC, rSA, rL, rR, rAcc, rT, rP, rPlane
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  b.movi(rZ, 0);
+  auto zloop = b.loop_begin();
+  {
+    // plane offset = z * grid_points; address = (gid + z*N)*8
+    b.imuli(rPlane, rZ, kBlock * kGrid);
+    b.iadd(rPlane, rPlane, rGid);
+    b.ishli(rAddr, rPlane, 3);
+    b.ldg(rC, rAddr, static_cast<std::int64_t>(kIn));
+    b.ishli(rSA, rTid, 3);
+    b.sts(rSA, 0, rC);
+    b.bar();
+    // Neighbours with clamped indices (no divergence on the loads).
+    b.iaddi(rT, rTid, -1);
+    b.movi(rL, 0);
+    b.imax(rT, rT, rL);
+    b.ishli(rT, rT, 3);
+    b.lds(rL, rT, 0);
+    b.iaddi(rT, rTid, 1);
+    b.movi(rR, kBlock - 1);
+    b.imin(rT, rT, rR);
+    b.ishli(rT, rT, 3);
+    b.lds(rR, rT, 0);
+    b.fadd(rAcc, rL, rR);
+    b.fadd(rAcc, rAcc, rC);
+    b.bar();
+    // Interior threads store (boundary divergence).
+    b.setpi(CmpOp::kGt, rP, rTid, 0);
+    b.if_begin(rP);
+    b.stg(rAddr, static_cast<std::int64_t>(kOut), rAcc);
+    b.if_end();
+    b.iaddi(rZ, rZ, 1);
+    b.setpi(CmpOp::kLt, rP, rZ, kPlanes);
+  }
+  b.loop_end_if(rP, zloop);
+  b.exit_();
+
+  Workload w;
+  w.suite = "gpgpu-sim";
+  w.app = "LPS";
+  w.kernel = "GPU_laplace3d";
+  w.paper_tbs = 100;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kIn, kBlock * kGrid * kPlanes, 1u << 24, 0x195);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// NN executeFirst..FourthLayer — dense-layer forward pass: per-neuron FFMA
+// reduction over a column-major weight matrix (weight[i][neuron]: lanes
+// contiguous, coalesced) and the input vector (same address across the
+// warp: broadcast, L1-friendly). Layers differ in trip count and grid
+// size, as in the paper where the four layers have very different TB
+// counts.
+// ---------------------------------------------------------------------------
+Workload make_nn_layer(int layer) {
+  PROSIM_CHECK(layer >= 1 && layer <= 4);
+  static constexpr int kTrips[4] = {24, 16, 8, 32};
+  static constexpr int kGrids[4] = {168, 280, 336, 168};
+  static const char* kNames[4] = {"executeFirstLayer", "executeSecondLayer",
+                                  "executeThirdLayer", "executeFourthLayer"};
+  static constexpr int kPaperTbs[4] = {168, 1400, 2800, 280};
+  constexpr Addr kWeights = 0;
+  constexpr Addr kInput = 96u << 20;
+  constexpr Addr kOut = 128u << 20;
+  constexpr int kBlock = 128;
+  const int trips = kTrips[layer - 1];
+  const int grid = kGrids[layer - 1];
+  const int neurons = kBlock * grid;
+
+  ProgramBuilder b(kNames[layer - 1]);
+  b.block_dim(kBlock).grid_dim(grid);
+  enum : std::uint8_t { rGid, rAcc, rI, rWA, rW, rIA, rX, rP, rAddr };
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  b.movi(rAcc, 0);
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    // weight[i * neurons + gid]: lanes contiguous -> coalesced.
+    b.imuli(rWA, rI, neurons);
+    b.iadd(rWA, rWA, rGid);
+    b.ishli(rWA, rWA, 3);
+    b.ldg(rW, rWA, static_cast<std::int64_t>(kWeights));
+    // input[i]: identical across the warp -> broadcast / L1 hit.
+    b.ishli(rIA, rI, 3);
+    b.ldg(rX, rIA, static_cast<std::int64_t>(kInput));
+    b.ffma(rAcc, rW, rX, rAcc);
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, trips);
+  }
+  b.loop_end_if(rP, top);
+  b.fsin(rAcc, rAcc);  // activation via SFU
+  b.ishli(rAddr, rGid, 3);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rAcc);
+  b.exit_();
+
+  Workload w;
+  w.suite = "gpgpu-sim";
+  w.app = "NN";
+  w.kernel = kNames[layer - 1];
+  w.paper_tbs = kPaperTbs[layer - 1];
+  w.program = b.build();
+  const int total_weights = kBlock * grid * trips;
+  w.init = [total_weights, trips](GlobalMemory& mem) {
+    fill_random(mem, kWeights, total_weights, 1u << 16, 0x44 + trips);
+    fill_random(mem, kInput, trips, 1u << 16, 0x45);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// RAY render — ray tracing: per-thread bounce loops with wildly varying
+// trip counts (classic warp-level divergence), random scene fetches and
+// RSQRT normalization inside the loop, final pixel store. The paper's
+// poster child for divergence-induced stalls.
+// ---------------------------------------------------------------------------
+Workload make_ray() {
+  constexpr Addr kScene = 0;              // 4096-word scene table
+  constexpr Addr kOut = 64u << 20;
+  constexpr int kBlock = 128;
+  constexpr int kGrid = 224;
+
+  ProgramBuilder b("render");
+  b.block_dim(kBlock).grid_dim(kGrid);
+  enum : std::uint8_t {
+    rGid, rDepth, rAcc, rDir, rSA, rS, rRinv, rP, rAddr, rT
+  };
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  // depth = 1 + (mix(gid) & 63): neighbouring lanes get very different
+  // bounce counts.
+  b.fsin(rDepth, rGid);
+  b.iandi(rDepth, rDepth, 63);
+  b.iaddi(rDepth, rDepth, 1);
+  b.mov(rDir, rGid);
+  b.movi(rAcc, 0);
+  auto top = b.loop_begin();
+  {
+    // Fetch a scene element addressed by the evolving ray state.
+    b.fsin(rT, rDir);
+    b.iandi(rSA, rT, 4095);
+    b.ishli(rSA, rSA, 3);
+    b.ldg(rS, rSA, static_cast<std::int64_t>(kScene));
+    b.iadd(rDir, rDir, rS);
+    b.rsqrt(rRinv, rDir);
+    b.ffma(rAcc, rS, rRinv, rAcc);
+    b.iaddi(rDepth, rDepth, -1);
+    b.setpi(CmpOp::kGt, rP, rDepth, 0);
+  }
+  b.loop_end_if(rP, top);
+  b.ishli(rAddr, rGid, 3);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rAcc);
+  b.exit_();
+
+  Workload w;
+  w.suite = "gpgpu-sim";
+  w.app = "RAY";
+  w.kernel = "render";
+  w.paper_tbs = 512;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kScene, 4096, 1u << 20, 0x4A1);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// STO sha1_overlap — storage hashing: long register-resident ALU rounds
+// (rotate/xor/add mixing) with a short coalesced input load and periodic
+// shared-memory state spills. Compute-bound, scheduler-insensitive memory.
+// ---------------------------------------------------------------------------
+Workload make_sto() {
+  constexpr Addr kIn = 0;
+  constexpr Addr kOut = 64u << 20;
+  constexpr int kBlock = 128;
+  constexpr int kGrid = 168;
+  constexpr int kRounds = 48;
+
+  ProgramBuilder b("sha1_overlap");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rA, rB, rC, rI, rT, rP, rAddr, rSA
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 4);
+  b.ldg(rA, rAddr, static_cast<std::int64_t>(kIn));
+  b.ldg(rB, rAddr, static_cast<std::int64_t>(kIn) + 8);
+  b.movi(rC, 0x5A827999);
+  b.movi(rI, 0);
+  b.ishli(rSA, rTid, 3);
+  auto top = b.loop_begin();
+  {
+    b.ishli(rT, rA, 5);
+    b.ixor_(rT, rT, rB);
+    b.iadd(rT, rT, rC);
+    b.ishri(rC, rB, 2);
+    b.mov(rB, rA);
+    b.mov(rA, rT);
+    // Spill state through shared memory every 8 rounds.
+    b.iandi(rT, rI, 7);
+    b.setpi(CmpOp::kEq, rT, rT, 7);
+    b.if_begin(rT);
+    b.sts(rSA, 0, rA);
+    b.lds(rC, rSA, 0);
+    b.if_end();
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, kRounds);
+  }
+  b.loop_end_if(rP, top);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rA);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut) + 8, rB);
+  b.exit_();
+
+  Workload w;
+  w.suite = "gpgpu-sim";
+  w.app = "STO";
+  w.kernel = "sha1_overlap";
+  w.paper_tbs = 384;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kIn, kBlock * kGrid * 2, 1ull << 32, 0x570);
+  };
+  return w;
+}
+
+}  // namespace prosim

@@ -1,0 +1,70 @@
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+const std::vector<Workload>& all_workloads() {
+  // Table II order.
+  static const std::vector<Workload> workloads = [] {
+    std::vector<Workload> all;
+    all.push_back(make_aes());
+    all.push_back(make_bfs());
+    all.push_back(make_cp());
+    all.push_back(make_lps());
+    all.push_back(make_nn_layer(1));
+    all.push_back(make_nn_layer(2));
+    all.push_back(make_nn_layer(3));
+    all.push_back(make_nn_layer(4));
+    all.push_back(make_ray());
+    all.push_back(make_sto());
+    all.push_back(make_backprop_layerforward());
+    all.push_back(make_backprop_adjust_weights());
+    all.push_back(make_btree_find_range_k());
+    all.push_back(make_btree_find_k());
+    all.push_back(make_hotspot());
+    all.push_back(make_pathfinder());
+    all.push_back(make_convolution_rows());
+    all.push_back(make_convolution_cols());
+    all.push_back(make_histogram64());
+    all.push_back(make_merge_histogram64());
+    all.push_back(make_histogram256());
+    all.push_back(make_merge_histogram256());
+    all.push_back(make_montecarlo_inverse_cnd());
+    all.push_back(make_montecarlo_one_block_per_option());
+    all.push_back(make_scalar_prod());
+    return all;
+  }();
+  return workloads;
+}
+
+const Workload& find_workload(const std::string& kernel_name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.kernel == kernel_name) return w;
+  }
+  PROSIM_CHECK_MSG(false, ("unknown workload: " + kernel_name).c_str());
+  static Workload dummy;
+  return dummy;
+}
+
+std::vector<std::string> all_app_names() {
+  std::vector<std::string> names;
+  for (const Workload& w : all_workloads()) {
+    if (std::find(names.begin(), names.end(), w.app) == names.end()) {
+      names.push_back(w.app);
+    }
+  }
+  return names;
+}
+
+std::vector<const Workload*> app_workloads(const std::string& app) {
+  std::vector<const Workload*> out;
+  for (const Workload& w : all_workloads()) {
+    if (w.app == app) out.push_back(&w);
+  }
+  return out;
+}
+
+}  // namespace prosim

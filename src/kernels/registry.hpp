@@ -1,0 +1,72 @@
+// Workload registry: the 25 kernels of the paper's Table II, re-expressed
+// in the mini ISA with the structural features that make each one
+// scheduler-sensitive (compute/memory mix, barrier placement, divergence
+// pattern, shared-memory usage, TB count relative to GPU residency). Grid
+// sizes are scaled down from the paper per DESIGN.md §4; every kernel still
+// oversubscribes the GPU so both fastTBPhase and slowTBPhase occur.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "mem/global_memory.hpp"
+
+namespace prosim {
+
+struct Workload {
+  std::string suite;   ///< "gpgpu-sim" | "rodinia" | "cuda-sdk"
+  std::string app;     ///< application name (Fig 1/5 + Table III rows)
+  std::string kernel;  ///< kernel name (Fig 4 + Table II rows)
+  int paper_tbs = 0;   ///< thread blocks in the paper's Table II
+  Program program;
+  /// Writes the kernel's input data into global memory. Must be called on a
+  /// fresh GlobalMemory before each simulation.
+  std::function<void(GlobalMemory&)> init;
+  /// False for kernels whose *instruction count* is legitimately
+  /// schedule-dependent (BFS: racy idempotent visited-flag reads steer
+  /// control flow). Final memory is schedule-invariant for every kernel.
+  bool schedule_invariant_inst_count = true;
+  /// True when the paper's own grid fits GPU residency (no slowTBPhase
+  /// oversubscription expected — e.g. mergeHistogram64's 64 TBs).
+  bool fits_residency = false;
+};
+
+/// All 25 workloads in Table II order.
+const std::vector<Workload>& all_workloads();
+
+/// Lookup by kernel name; aborts if unknown.
+const Workload& find_workload(const std::string& kernel_name);
+
+/// Distinct application names in registry order (Fig 1/5 + Table III).
+std::vector<std::string> all_app_names();
+
+/// All workloads belonging to one application.
+std::vector<const Workload*> app_workloads(const std::string& app);
+
+// Individual builders (exposed for unit tests).
+Workload make_aes();
+Workload make_bfs();
+Workload make_cp();
+Workload make_lps();
+Workload make_nn_layer(int layer);
+Workload make_ray();
+Workload make_sto();
+Workload make_backprop_layerforward();
+Workload make_backprop_adjust_weights();
+Workload make_btree_find_k();
+Workload make_btree_find_range_k();
+Workload make_hotspot();
+Workload make_pathfinder();
+Workload make_convolution_rows();
+Workload make_convolution_cols();
+Workload make_histogram64();
+Workload make_merge_histogram64();
+Workload make_histogram256();
+Workload make_merge_histogram256();
+Workload make_montecarlo_inverse_cnd();
+Workload make_montecarlo_one_block_per_option();
+Workload make_scalar_prod();
+
+}  // namespace prosim

@@ -1,0 +1,402 @@
+// Workloads modelled on the Rodinia benchmark suite entries of Table II.
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim {
+
+namespace {
+
+void fill_random(GlobalMemory& mem, Addr base, int count,
+                 std::uint64_t modulus, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    mem.store(base + static_cast<Addr>(i) * 8,
+              static_cast<RegValue>(rng.next_below(modulus)));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// backprop bpnn_layerforward — hidden-layer forward pass: stage inputs and
+// weights into shared memory, then a log2(width) shared-memory tree
+// reduction with a barrier per level and the active thread set halving
+// each time — warps drop out at different levels (finish-style warp-level
+// divergence at barriers).
+// ---------------------------------------------------------------------------
+Workload make_backprop_layerforward() {
+  constexpr Addr kInput = 0;
+  constexpr Addr kWeights = 32u << 20;
+  constexpr Addr kPartial = 96u << 20;
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 224;
+
+  ProgramBuilder b("bpnn_layerforward");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rAddr, rX, rW, rV, rSA, rStride, rP, rT, rPA, rCta
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rX, rAddr, static_cast<std::int64_t>(kInput));
+  b.ldg(rW, rAddr, static_cast<std::int64_t>(kWeights));
+  b.fmul(rV, rX, rW);
+  b.ishli(rSA, rTid, 3);
+  b.sts(rSA, 0, rV);
+  b.bar();
+  // Tree reduction: stride = 128, 64, ..., 1 — one barrier per level.
+  b.movi(rStride, kBlock / 2);
+  auto top = b.loop_begin();
+  {
+    b.setp(CmpOp::kLt, rP, rTid, rStride);
+    b.if_begin(rP);
+    {
+      b.iadd(rT, rTid, rStride);
+      b.ishli(rT, rT, 3);
+      b.lds(rT, rT, 0);
+      b.lds(rV, rSA, 0);
+      b.fadd(rV, rV, rT);
+      b.sts(rSA, 0, rV);
+    }
+    b.if_end();
+    b.bar();
+    b.ishri(rStride, rStride, 1);
+    b.setpi(CmpOp::kGt, rP, rStride, 0);
+  }
+  b.loop_end_if(rP, top);
+  // Thread 0 publishes the block's partial sum.
+  b.setpi(CmpOp::kEq, rP, rTid, 0);
+  b.if_begin(rP);
+  {
+    b.s2r(rCta, SpecialReg::kCtaId);
+    b.ishli(rPA, rCta, 3);
+    b.lds(rV, rSA, 0);
+    b.stg(rPA, static_cast<std::int64_t>(kPartial), rV);
+  }
+  b.if_end();
+  b.exit_();
+
+  Workload w;
+  w.suite = "rodinia";
+  w.app = "backprop";
+  w.kernel = "bpnn_layerforward";
+  w.paper_tbs = 4096;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kInput, kBlock * kGrid, 1u << 16, 0xB9);
+    fill_random(mem, kWeights, kBlock * kGrid, 1u << 16, 0xB10);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// backprop bpnn_adjust_weights — weight update: pure streaming
+// read-modify-write (load weight + delta, FFMA, store back), no barriers,
+// no divergence, fully coalesced. Bandwidth-bound; the batch-completion
+// effect of §II-C dominates its scheduler sensitivity.
+// ---------------------------------------------------------------------------
+Workload make_backprop_adjust_weights() {
+  constexpr Addr kWeights = 0;
+  constexpr Addr kDelta = 64u << 20;
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 224;
+
+  ProgramBuilder b("bpnn_adjust_weights_cuda");
+  b.block_dim(kBlock).grid_dim(kGrid);
+  enum : std::uint8_t { rGid, rAddr, rW, rD, rEta, rP };
+  (void)rP;
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rW, rAddr, static_cast<std::int64_t>(kWeights));
+  b.ldg(rD, rAddr, static_cast<std::int64_t>(kDelta));
+  b.movi(rEta, 3);
+  b.ffma(rW, rD, rEta, rW);
+  b.stg(rAddr, static_cast<std::int64_t>(kWeights), rW);
+  b.exit_();
+
+  Workload w;
+  w.suite = "rodinia";
+  w.app = "backprop";
+  w.kernel = "bpnn_adjust_weights_cuda";
+  w.paper_tbs = 4096;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kWeights, kBlock * kGrid, 1u << 16, 0xBA);
+    fill_random(mem, kDelta, kBlock * kGrid, 1u << 16, 0xBA2);
+  };
+  return w;
+}
+
+namespace {
+
+// Shared structure for the two b+tree kernels: pointer chasing through a
+// node array with key-comparison-driven child selection (data-dependent
+// loads with no locality, divergence on the search path).
+constexpr Addr kBtNodes = 0;
+constexpr int kBtNodeCount = 1 << 15;
+constexpr int kBtDepth = 6;
+constexpr Addr kBtKeys = 128u << 20;
+constexpr Addr kBtOut = 192u << 20;
+
+void init_btree(GlobalMemory& mem, int num_threads, std::uint64_t seed) {
+  // Node layout: 4 words = {split_key, left_child, right_child, payload}.
+  Rng rng(seed);
+  for (int n = 0; n < kBtNodeCount; ++n) {
+    const Addr base = kBtNodes + static_cast<Addr>(n) * 32;
+    mem.store(base, static_cast<RegValue>(rng.next_below(1u << 20)));
+    mem.store(base + 8, static_cast<RegValue>(rng.next_below(kBtNodeCount)));
+    mem.store(base + 16, static_cast<RegValue>(rng.next_below(kBtNodeCount)));
+    mem.store(base + 24, static_cast<RegValue>(rng.next_below(1u << 16)));
+  }
+  fill_random(mem, kBtKeys, num_threads, 1u << 20, seed + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// b+tree findK — point lookup: fixed-depth descent, each level loads the
+// node's split key and both child indices and selects a child by key
+// comparison (SEL keeps the loads uniform but the chased addresses random).
+// ---------------------------------------------------------------------------
+Workload make_btree_find_k() {
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 280;
+
+  ProgramBuilder b("findK");
+  b.block_dim(kBlock).grid_dim(kGrid);
+  enum : std::uint8_t {
+    rGid, rKey, rNode, rNA, rSplit, rL, rR, rP, rD, rPay, rAddr
+  };
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rKey, rAddr, static_cast<std::int64_t>(kBtKeys));
+  b.movi(rNode, 0);
+  b.movi(rD, 0);
+  auto top = b.loop_begin();
+  {
+    b.ishli(rNA, rNode, 5);  // node stride 32 bytes
+    b.ldg(rSplit, rNA, static_cast<std::int64_t>(kBtNodes));
+    b.ldg(rL, rNA, static_cast<std::int64_t>(kBtNodes) + 8);
+    b.ldg(rR, rNA, static_cast<std::int64_t>(kBtNodes) + 16);
+    b.setp(CmpOp::kLt, rP, rKey, rSplit);
+    b.sel(rNode, rL, rR, rP);
+    b.iaddi(rD, rD, 1);
+    b.setpi(CmpOp::kLt, rP, rD, kBtDepth);
+  }
+  b.loop_end_if(rP, top);
+  b.ishli(rNA, rNode, 5);
+  b.ldg(rPay, rNA, static_cast<std::int64_t>(kBtNodes) + 24);
+  b.stg(rAddr, static_cast<std::int64_t>(kBtOut), rPay);
+  b.exit_();
+
+  Workload w;
+  w.suite = "rodinia";
+  w.app = "b+tree";
+  w.kernel = "findK";
+  w.paper_tbs = 10000;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) { init_btree(mem, kBlock * kGrid, 0xB7); };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// b+tree findRangeK — range lookup: two descents (range start and end) and
+// an early-exit on matched keys, adding divergence on top of findK's
+// pointer chasing.
+// ---------------------------------------------------------------------------
+Workload make_btree_find_range_k() {
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 224;
+
+  ProgramBuilder b("findRangeK");
+  b.block_dim(kBlock).grid_dim(kGrid);
+  enum : std::uint8_t {
+    rGid, rKey, rNode, rNA, rSplit, rL, rR, rP, rD, rAcc, rAddr, rQ
+  };
+  b.s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rKey, rAddr, static_cast<std::int64_t>(kBtKeys));
+  b.movi(rAcc, 0);
+  // Two descents: range start (key) and range end (key + 4096).
+  for (int pass = 0; pass < 2; ++pass) {
+    b.movi(rNode, 0);
+    b.movi(rD, 0);
+    auto top = b.loop_begin();
+    {
+      b.ishli(rNA, rNode, 5);
+      b.ldg(rSplit, rNA, static_cast<std::int64_t>(kBtNodes));
+      // Early exit for exact matches: lanes leave the descent at
+      // different depths.
+      b.setp(CmpOp::kEq, rQ, rKey, rSplit);
+      b.if_begin(rQ);
+      b.movi(rD, kBtDepth);
+      b.if_end();
+      b.ldg(rL, rNA, static_cast<std::int64_t>(kBtNodes) + 8);
+      b.ldg(rR, rNA, static_cast<std::int64_t>(kBtNodes) + 16);
+      b.setp(CmpOp::kLt, rP, rKey, rSplit);
+      b.sel(rNode, rL, rR, rP);
+      b.iaddi(rD, rD, 1);
+      b.setpi(CmpOp::kLe, rP, rD, kBtDepth);
+    }
+    b.loop_end_if(rP, top);
+    b.iadd(rAcc, rAcc, rNode);
+    b.iaddi(rKey, rKey, 4096);
+  }
+  b.stg(rAddr, static_cast<std::int64_t>(kBtOut), rAcc);
+  b.exit_();
+
+  Workload w;
+  w.suite = "rodinia";
+  w.app = "b+tree";
+  w.kernel = "findRangeK";
+  w.paper_tbs = 6000;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) { init_btree(mem, kBlock * kGrid, 0xB8); };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// hotspot calculate_temp — thermal stencil: tile staged through shared
+// memory, two time steps per launch with two barriers each, halo threads
+// diverge (load but don't compute), 5-point neighbour reads from shared
+// memory. Barrier pressure plus boundary divergence.
+// ---------------------------------------------------------------------------
+Workload make_hotspot() {
+  constexpr Addr kTemp = 0;
+  constexpr Addr kPower = 64u << 20;
+  constexpr Addr kOut = 128u << 20;
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 224;
+  constexpr int kSteps = 2;
+
+  ProgramBuilder b("calculate_temp");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rAddr, rT, rPw, rSA, rL, rRt, rAcc, rP, rStep, rX
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rT, rAddr, static_cast<std::int64_t>(kTemp));
+  b.ldg(rPw, rAddr, static_cast<std::int64_t>(kPower));
+  b.ishli(rSA, rTid, 3);
+  b.movi(rStep, 0);
+  auto steps = b.loop_begin();
+  {
+    b.sts(rSA, 0, rT);
+    b.bar();
+    // Interior threads compute; halo threads (first/last 16) skip — the
+    // halo-divergence the paper's warp-level-divergence citation [16]
+    // characterizes.
+    b.iaddi(rX, rTid, -16);
+    b.setpi(CmpOp::kLt, rX, rX, kBlock - 32);
+    b.setpi(CmpOp::kGe, rP, rTid, 16);
+    b.iand_(rP, rP, rX);
+    b.if_begin(rP);
+    {
+      b.iaddi(rX, rTid, -1);
+      b.ishli(rX, rX, 3);
+      b.lds(rL, rX, 0);
+      b.iaddi(rX, rTid, 1);
+      b.ishli(rX, rX, 3);
+      b.lds(rRt, rX, 0);
+      b.fadd(rAcc, rL, rRt);
+      b.ffma(rT, rAcc, rPw, rT);
+    }
+    b.if_end();
+    b.bar();
+    b.iaddi(rStep, rStep, 1);
+    b.setpi(CmpOp::kLt, rP, rStep, kSteps);
+  }
+  b.loop_end_if(rP, steps);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rT);
+  b.exit_();
+
+  Workload w;
+  w.suite = "rodinia";
+  w.app = "hotspot";
+  w.kernel = "calculate_temp";
+  w.paper_tbs = 1849;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kTemp, kBlock * kGrid, 1u << 12, 0x407);
+    fill_random(mem, kPower, kBlock * kGrid, 1u << 8, 0x408);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// pathfinder dynproc_kernel — dynamic programming: iterative min-reduction
+// over shared-memory rows with *two barriers per step* and an
+// iteration-dependent valid range (the computing thread set shrinks every
+// step). The heaviest barrier pressure in the suite.
+// ---------------------------------------------------------------------------
+Workload make_pathfinder() {
+  constexpr Addr kWall = 0;
+  constexpr Addr kOut = 64u << 20;
+  constexpr int kBlock = 256;
+  constexpr int kGrid = 168;
+  constexpr int kSteps = 20;
+
+  ProgramBuilder b("dynproc_kernel");
+  b.block_dim(kBlock).grid_dim(kGrid).smem(kBlock * 8);
+  enum : std::uint8_t {
+    rTid, rGid, rAddr, rV, rSA, rL, rRt, rM, rP, rI, rX, rLo, rHi
+  };
+  b.s2r(rTid, SpecialReg::kTid).s2r(rGid, SpecialReg::kGlobalTid);
+  b.ishli(rAddr, rGid, 3);
+  b.ldg(rV, rAddr, static_cast<std::int64_t>(kWall));
+  b.ishli(rSA, rTid, 3);
+  b.sts(rSA, 0, rV);
+  b.bar();
+  b.movi(rI, 0);
+  auto top = b.loop_begin();
+  {
+    // Valid range shrinks by one from each side per step.
+    b.iaddi(rLo, rI, 0);
+    b.movi(rHi, kBlock - 1);
+    b.isub(rHi, rHi, rI);
+    b.setp(CmpOp::kGe, rP, rTid, rLo);
+    b.setp(CmpOp::kLe, rX, rTid, rHi);
+    b.iand_(rP, rP, rX);
+    b.if_begin(rP);
+    {
+      b.iaddi(rX, rTid, -1);
+      b.movi(rL, 0);
+      b.imax(rX, rX, rL);
+      b.ishli(rX, rX, 3);
+      b.lds(rL, rX, 0);
+      b.iaddi(rX, rTid, 1);
+      b.movi(rRt, kBlock - 1);
+      b.imin(rX, rX, rRt);
+      b.ishli(rX, rX, 3);
+      b.lds(rRt, rX, 0);
+      b.imin(rM, rL, rRt);
+      b.lds(rX, rSA, 0);
+      b.imin(rM, rM, rX);
+      b.iaddi(rV, rM, 1);
+    }
+    b.if_end();
+    b.bar();
+    b.sts(rSA, 0, rV);
+    b.bar();
+    b.iaddi(rI, rI, 1);
+    b.setpi(CmpOp::kLt, rP, rI, kSteps);
+  }
+  b.loop_end_if(rP, top);
+  b.stg(rAddr, static_cast<std::int64_t>(kOut), rV);
+  b.exit_();
+
+  Workload w;
+  w.suite = "rodinia";
+  w.app = "pathfinder";
+  w.kernel = "dynproc_kernel";
+  w.paper_tbs = 463;
+  w.program = b.build();
+  w.init = [](GlobalMemory& mem) {
+    fill_random(mem, kWall, kBlock * kGrid, 1u << 10, 0x9A7);
+  };
+  return w;
+}
+
+}  // namespace prosim

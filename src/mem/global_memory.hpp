@@ -1,0 +1,74 @@
+// Functional global memory: a sparse 64-bit word store over a byte address
+// space. Both the reference interpreter and the timing simulator read/write
+// through this, so final memory contents can be compared exactly.
+//
+// All accesses are 8-byte words at 8-byte-aligned addresses (the ISA has a
+// single access width; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace prosim {
+
+class GlobalMemory {
+ public:
+  RegValue load(Addr addr) const {
+    check_aligned(addr);
+    auto it = words_.find(addr >> 3);
+    return it == words_.end() ? 0 : it->second;
+  }
+
+  void store(Addr addr, RegValue value) {
+    check_aligned(addr);
+    words_[addr >> 3] = value;
+  }
+
+  /// Atomic read-modify-write add; returns the old value.
+  RegValue atomic_add(Addr addr, RegValue delta) {
+    check_aligned(addr);
+    RegValue& slot = words_[addr >> 3];
+    const RegValue old = slot;
+    slot = static_cast<RegValue>(static_cast<std::uint64_t>(slot) +
+                                 static_cast<std::uint64_t>(delta));
+    return old;
+  }
+
+  /// Bulk initialization helper for workload generators.
+  void fill(Addr base, const std::vector<RegValue>& values) {
+    check_aligned(base);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      words_[(base >> 3) + i] = values[i];
+  }
+
+  std::size_t footprint_words() const { return words_.size(); }
+
+  bool operator==(const GlobalMemory& other) const {
+    // Sparse compare that treats absent == 0.
+    for (const auto& [word, value] : words_) {
+      if (value != other.word_or_zero(word)) return false;
+    }
+    for (const auto& [word, value] : other.words_) {
+      if (value != word_or_zero(word)) return false;
+    }
+    return true;
+  }
+
+ private:
+  RegValue word_or_zero(std::uint64_t word) const {
+    auto it = words_.find(word);
+    return it == words_.end() ? 0 : it->second;
+  }
+
+  static void check_aligned(Addr addr) {
+    PROSIM_CHECK_MSG((addr & 7) == 0, "unaligned 8-byte memory access");
+  }
+
+  std::unordered_map<std::uint64_t, RegValue> words_;
+};
+
+}  // namespace prosim

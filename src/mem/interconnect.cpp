@@ -1,0 +1,83 @@
+#include "mem/interconnect.hpp"
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+Interconnect::Interconnect(const MemConfig& config, int num_sms)
+    : num_partitions_(config.num_partitions) {
+  PROSIM_CHECK(num_sms > 0);
+  PROSIM_CHECK(num_partitions_ > 0);
+  to_partition_.assign(
+      static_cast<std::size_t>(num_partitions_),
+      DelayQueue<MemRequest>(config.icnt_latency, config.icnt_bandwidth,
+                             static_cast<std::size_t>(
+                                 config.icnt_queue_capacity)));
+  to_sm_.assign(static_cast<std::size_t>(num_sms),
+                DelayQueue<MemResponse>(
+                    config.icnt_latency, config.icnt_bandwidth,
+                    static_cast<std::size_t>(config.icnt_queue_capacity)));
+}
+
+int Interconnect::partition_of(Addr line_addr) const {
+  // Spread consecutive lines across partitions; the shift skips the line
+  // offset (128B) so neighbouring lines land on different partitions.
+  return static_cast<int>((line_addr >> 7) % num_partitions_);
+}
+
+bool Interconnect::can_send_request(Addr line_addr) const {
+  return to_partition_[static_cast<std::size_t>(partition_of(line_addr))]
+      .can_push();
+}
+
+void Interconnect::send_request(const MemRequest& request, Cycle now) {
+  ++requests_sent;
+  to_partition_[static_cast<std::size_t>(partition_of(request.line_addr))]
+      .push(request, now);
+}
+
+bool Interconnect::has_request(int partition, Cycle) const {
+  return to_partition_[static_cast<std::size_t>(partition)].can_pop();
+}
+
+MemRequest Interconnect::peek_request(int partition) const {
+  return to_partition_[static_cast<std::size_t>(partition)].front();
+}
+
+MemRequest Interconnect::pop_request(int partition) {
+  return to_partition_[static_cast<std::size_t>(partition)].pop();
+}
+
+bool Interconnect::can_send_response(int sm_id) const {
+  return to_sm_[static_cast<std::size_t>(sm_id)].can_push();
+}
+
+void Interconnect::send_response(const MemResponse& response, Cycle now) {
+  ++responses_sent;
+  to_sm_[static_cast<std::size_t>(response.sm_id)].push(response, now);
+}
+
+bool Interconnect::has_response(int sm_id) const {
+  return to_sm_[static_cast<std::size_t>(sm_id)].can_pop();
+}
+
+MemResponse Interconnect::pop_response(int sm_id) {
+  return to_sm_[static_cast<std::size_t>(sm_id)].pop();
+}
+
+void Interconnect::begin_cycle(Cycle now) {
+  for (auto& q : to_partition_) q.begin_cycle(now);
+  for (auto& q : to_sm_) q.begin_cycle(now);
+}
+
+bool Interconnect::idle() const {
+  for (const auto& q : to_partition_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& q : to_sm_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace prosim

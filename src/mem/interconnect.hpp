@@ -1,0 +1,55 @@
+// Crossbar interconnect between SMs and memory partitions.
+//
+// Modelled as one latency/bandwidth-limited queue per destination port in
+// each direction (requests: SM -> partition, responses: partition -> SM).
+// Contention appears as destination-queue backpressure: a full queue makes
+// can_send() false and the sender retries, which surfaces in the SM as
+// LDST-unit pipeline pressure — the effect the paper's Pipeline stalls
+// capture.
+#pragma once
+
+#include <vector>
+
+#include "common/delay_queue.hpp"
+#include "mem/mem_config.hpp"
+#include "mem/request.hpp"
+
+namespace prosim {
+
+class Interconnect {
+ public:
+  Interconnect(const MemConfig& config, int num_sms);
+
+  /// Deterministic request routing: partition index for a line address.
+  int partition_of(Addr line_addr) const;
+
+  // ---- Request direction (SM -> partition) -----------------------------
+  bool can_send_request(Addr line_addr) const;
+  void send_request(const MemRequest& request, Cycle now);
+  bool has_request(int partition, Cycle) const;
+  MemRequest peek_request(int partition) const;
+  MemRequest pop_request(int partition);
+
+  // ---- Response direction (partition -> SM) ----------------------------
+  bool can_send_response(int sm_id) const;
+  void send_response(const MemResponse& response, Cycle now);
+  bool has_response(int sm_id) const;
+  MemResponse pop_response(int sm_id);
+
+  /// Must be called once per cycle before any pops.
+  void begin_cycle(Cycle now);
+
+  /// True when no request or response is in flight.
+  bool idle() const;
+
+  // Accounting.
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_sent = 0;
+
+ private:
+  int num_partitions_;
+  std::vector<DelayQueue<MemRequest>> to_partition_;
+  std::vector<DelayQueue<MemResponse>> to_sm_;
+};
+
+}  // namespace prosim

@@ -1,0 +1,56 @@
+// Memory-hierarchy configuration. Defaults approximate the paper's GTX480
+// (Fermi) setup from Table I at the level of detail the timing model keeps.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace prosim {
+
+struct CacheGeometry {
+  int size_bytes = 16 * 1024;
+  int line_bytes = 128;
+  int ways = 4;
+};
+
+struct MshrConfig {
+  int entries = 32;
+  int max_merges = 8;
+};
+
+/// DRAM request scheduling policy. The paper's configuration (Table I)
+/// uses FR-FCFS; plain FCFS is provided for the memory-system ablation
+/// bench (row-buffer locality off).
+enum class DramSchedulerKind { kFrFcfs, kFcfs };
+
+struct DramConfig {
+  DramSchedulerKind scheduler = DramSchedulerKind::kFrFcfs;
+  int num_banks = 8;
+  int row_bytes = 2048;
+  /// Bank busy time for a row-buffer hit / miss (core cycles).
+  Cycle row_hit_latency = 25;
+  Cycle row_miss_latency = 60;
+  /// Data-bus occupancy per 128B transfer (serializes accesses).
+  Cycle bus_cycles = 4;
+  int queue_capacity = 32;
+};
+
+struct MemConfig {
+  int num_partitions = 6;  // GTX480 has 6 memory partitions
+
+  CacheGeometry l2{128 * 1024, 128, 8};  // per partition: 6 x 128KB = 768KB
+  MshrConfig l2_mshr{32, 8};
+  Cycle l2_hit_latency = 30;
+
+  // Interconnect between SM and partitions (each way).
+  Cycle icnt_latency = 16;
+  int icnt_bandwidth = 1;        // accepted flits per port per cycle
+  int icnt_queue_capacity = 16;  // per destination port
+
+  DramConfig dram;
+
+  int line_bytes() const { return l2.line_bytes; }
+};
+
+}  // namespace prosim

@@ -1,0 +1,66 @@
+// One memory partition: an L2 cache slice backed by one DRAM channel.
+//
+// Policies (GPGPU-Sim-like at the granularity we keep):
+//  - reads/atomics: L2 write-back write-allocate; misses go through an MSHR
+//    (merging across SMs) to DRAM; atomics perform their read-modify-write
+//    at the L2 and dirty the line.
+//  - plain writes: update + dirty on hit, forwarded to DRAM on miss
+//    (no-allocate); always fire-and-forget toward the SM.
+//  - dirty victims generate DRAM writes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/delay_queue.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/mshr.hpp"
+
+namespace prosim {
+
+class MemoryPartition {
+ public:
+  MemoryPartition(const MemConfig& config, int partition_id);
+
+  /// Advances one cycle: drains DRAM completions, serves one incoming
+  /// request from the interconnect, and pushes ready responses back.
+  void cycle(Cycle now, Interconnect& icnt);
+
+  bool idle() const {
+    return dram_.idle() && ready_responses_.empty() &&
+           pending_writebacks_.empty() && hit_responses_.empty() &&
+           mshr_.occupancy() == 0;
+  }
+
+  const Cache& l2() const { return l2_; }
+  const Dram& dram() const { return dram_; }
+  std::uint64_t mshr_merges() const { return mshr_.merges; }
+
+ private:
+  struct MissToken {
+    int sm_id;
+    std::uint32_t token;
+    bool is_atomic;
+    bool is_const;
+  };
+
+  void drain_dram(Cycle now);
+  void serve_request(Cycle now, Interconnect& icnt);
+
+  MemConfig config_;
+  int partition_id_;
+  Cache l2_;
+  Mshr<MissToken> mshr_;
+  Dram dram_;
+
+  /// L2-hit responses delayed by the L2 access latency.
+  DelayQueue<MemResponse> hit_responses_;
+  /// Responses ready to enter the interconnect (waiting for credit).
+  std::deque<MemResponse> ready_responses_;
+  /// Dirty victim writebacks waiting for DRAM queue space.
+  std::deque<Addr> pending_writebacks_;
+};
+
+}  // namespace prosim

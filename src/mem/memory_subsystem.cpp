@@ -1,0 +1,50 @@
+#include "mem/memory_subsystem.hpp"
+
+namespace prosim {
+
+MemorySubsystem::MemorySubsystem(const MemConfig& config, int num_sms)
+    : config_(config), icnt_(config, num_sms) {
+  partitions_.reserve(static_cast<std::size_t>(config.num_partitions));
+  for (int p = 0; p < config.num_partitions; ++p) {
+    partitions_.emplace_back(config, p);
+  }
+}
+
+void MemorySubsystem::cycle(Cycle now) {
+  icnt_.begin_cycle(now);
+  for (auto& partition : partitions_) partition.cycle(now, icnt_);
+}
+
+bool MemorySubsystem::idle() const {
+  if (!icnt_.idle()) return false;
+  for (const auto& partition : partitions_) {
+    if (!partition.idle()) return false;
+  }
+  return true;
+}
+
+std::uint64_t MemorySubsystem::l2_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.l2().hits;
+  return total;
+}
+
+std::uint64_t MemorySubsystem::l2_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.l2().misses;
+  return total;
+}
+
+std::uint64_t MemorySubsystem::dram_row_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.dram().row_hits;
+  return total;
+}
+
+std::uint64_t MemorySubsystem::dram_row_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.dram().row_misses;
+  return total;
+}
+
+}  // namespace prosim

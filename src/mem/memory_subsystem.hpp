@@ -1,0 +1,55 @@
+// The SM-facing memory system: interconnect + all memory partitions.
+//
+// SMs inject line-granular requests (produced by their coalescer/L1 miss
+// path) and poll for responses addressed to them. All timing beyond the L1
+// lives here.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/interconnect.hpp"
+#include "mem/memory_partition.hpp"
+
+namespace prosim {
+
+class MemorySubsystem {
+ public:
+  MemorySubsystem(const MemConfig& config, int num_sms);
+
+  /// True if the interconnect can accept a request for this address now.
+  bool can_inject(Addr line_addr) const {
+    return icnt_.can_send_request(line_addr);
+  }
+
+  void inject(const MemRequest& request, Cycle now) {
+    icnt_.send_request(request, now);
+  }
+
+  bool has_response(int sm_id) const { return icnt_.has_response(sm_id); }
+  MemResponse pop_response(int sm_id) { return icnt_.pop_response(sm_id); }
+
+  /// Advances the interconnect and every partition by one cycle. Call once
+  /// per core cycle, before the SMs.
+  void cycle(Cycle now);
+
+  bool idle() const;
+
+  const std::vector<MemoryPartition>& partitions() const {
+    return partitions_;
+  }
+  const Interconnect& interconnect() const { return icnt_; }
+
+  // Aggregate accounting.
+  std::uint64_t l2_hits() const;
+  std::uint64_t l2_misses() const;
+  std::uint64_t dram_row_hits() const;
+  std::uint64_t dram_row_misses() const;
+
+ private:
+  MemConfig config_;
+  Interconnect icnt_;
+  std::vector<MemoryPartition> partitions_;
+};
+
+}  // namespace prosim

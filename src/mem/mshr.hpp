@@ -1,0 +1,66 @@
+// Miss-status holding registers. One entry per outstanding line; subsequent
+// misses to the same line merge into the entry (up to max_merges tokens).
+// When the fill arrives, release() hands back every waiting token.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "mem/mem_config.hpp"
+
+namespace prosim {
+
+template <typename Token>
+class Mshr {
+ public:
+  explicit Mshr(const MshrConfig& config) : config_(config) {}
+
+  bool has(Addr line_addr) const { return entries_.count(line_addr) != 0; }
+
+  /// True if a *new* entry can be allocated.
+  bool can_allocate() const {
+    return static_cast<int>(entries_.size()) < config_.entries;
+  }
+
+  /// True if a miss to this line can merge into an existing entry.
+  bool can_merge(Addr line_addr) const {
+    auto it = entries_.find(line_addr);
+    return it != entries_.end() &&
+           static_cast<int>(it->second.size()) < config_.max_merges;
+  }
+
+  void allocate(Addr line_addr, Token token) {
+    PROSIM_CHECK(can_allocate());
+    PROSIM_CHECK(!has(line_addr));
+    entries_[line_addr].push_back(std::move(token));
+  }
+
+  void merge(Addr line_addr, Token token) {
+    PROSIM_CHECK(can_merge(line_addr));
+    entries_[line_addr].push_back(std::move(token));
+  }
+
+  /// Removes the entry and returns all merged tokens.
+  std::vector<Token> release(Addr line_addr) {
+    auto it = entries_.find(line_addr);
+    PROSIM_CHECK_MSG(it != entries_.end(), "MSHR release of unknown line");
+    std::vector<Token> tokens = std::move(it->second);
+    entries_.erase(it);
+    return tokens;
+  }
+
+  int occupancy() const { return static_cast<int>(entries_.size()); }
+
+  // Accounting.
+  std::uint64_t merges = 0;
+  std::uint64_t allocation_fails = 0;
+
+ private:
+  MshrConfig config_;
+  std::unordered_map<Addr, std::vector<Token>> entries_;
+};
+
+}  // namespace prosim

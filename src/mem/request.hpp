@@ -1,0 +1,38 @@
+// Memory request/response records exchanged between SMs and the memory
+// partitions. One request = one cache-line-sized transaction produced by
+// the coalescer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace prosim {
+
+enum class MemReqKind : std::uint8_t {
+  kRead,    // load miss fetch
+  kWrite,   // write-through store (fire and forget)
+  kAtomic,  // read-modify-write performed at L2; responds like a read
+};
+
+struct MemRequest {
+  Addr line_addr = 0;  // aligned to the L1/L2 line size
+  MemReqKind kind = MemReqKind::kRead;
+  int sm_id = -1;
+  /// SM-local token identifying the pending-load bookkeeping entry that
+  /// this transaction belongs to; unused for writes.
+  std::uint32_t token = 0;
+  /// Constant-cache miss fetch: the response fills the SM's constant
+  /// cache instead of its L1D.
+  bool is_const = false;
+};
+
+struct MemResponse {
+  Addr line_addr = 0;
+  int sm_id = -1;
+  std::uint32_t token = 0;
+  bool is_atomic = false;
+  bool is_const = false;
+};
+
+}  // namespace prosim

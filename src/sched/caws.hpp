@@ -1,0 +1,61 @@
+// CAWS-style criticality-aware warp scheduler (after Lee & Wu, PACT-2014,
+// discussed in the paper's §V): prioritize the *critical* — i.e. slowest —
+// warp of each thread block to shrink the execution-time disparity among
+// sibling warps. Criticality is estimated online as lowest progress
+// (instructions executed weighted by active lanes), the same signal PRO
+// uses in its barrierWait/finishWait states but applied unconditionally.
+//
+// Thread blocks are served oldest-first (launch order), so the comparison
+// against PRO isolates the warp-prioritization policy: CAWS always boosts
+// laggards, PRO boosts leaders while a TB runs free and laggards only
+// when the TB is waiting at a barrier or partially finished.
+#pragma once
+
+#include <algorithm>
+
+#include "sm/scheduler_policy.hpp"
+
+namespace prosim {
+
+class CawsPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "caws"; }
+
+  void attach(const PolicyContext& ctx) override { ctx_ = ctx; }
+
+  int pick(int sched_id, std::uint64_t ready_mask, Cycle /*now*/) override {
+    // Order TB slots oldest-first, then pick the least-progressed ready
+    // warp of the first TB that has one.
+    int slots[64];
+    int n = 0;
+    for (int t = 0; t < ctx_.num_tb_slots; ++t) {
+      if (ctx_.tb_ctaid[t] >= 0) slots[n++] = t;
+    }
+    std::sort(slots, slots + n, [&](int a, int b) {
+      return ctx_.tb_launch_seq[a] < ctx_.tb_launch_seq[b];
+    });
+
+    for (int i = 0; i < n; ++i) {
+      const int base = slots[i] * ctx_.warps_per_tb;
+      int best = -1;
+      std::uint64_t best_progress = 0;
+      for (int wi = 0; wi < ctx_.warps_per_tb; ++wi) {
+        const int w = base + wi;
+        if (w % ctx_.num_schedulers != sched_id) continue;
+        if ((ready_mask & (1ull << w)) == 0) continue;
+        const std::uint64_t progress = ctx_.warp_progress[w];
+        if (best < 0 || progress < best_progress) {
+          best = w;
+          best_progress = progress;
+        }
+      }
+      if (best >= 0) return best;
+    }
+    return -1;  // unreachable: ready_mask is never empty
+  }
+
+ private:
+  PolicyContext ctx_;
+};
+
+}  // namespace prosim

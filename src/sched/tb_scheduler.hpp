@@ -1,0 +1,31 @@
+// GPU-level thread-block scheduler (the "global work distribution engine").
+// Hands out thread blocks in grid order; the unit of allocation to an SM is
+// one whole TB. `has_waiting()` is the signal the paper's
+// TBsWaitingInThrdBlkSched() exposes to PRO's phase detection.
+#pragma once
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+class TbScheduler {
+ public:
+  explicit TbScheduler(int grid_dim) : grid_dim_(grid_dim) {
+    PROSIM_CHECK(grid_dim > 0);
+  }
+
+  bool has_waiting() const { return next_ < grid_dim_; }
+  int remaining() const { return grid_dim_ - next_; }
+
+  /// Pops the next TB index to assign.
+  int pop() {
+    PROSIM_CHECK(has_waiting());
+    return next_++;
+  }
+
+ private:
+  int grid_dim_;
+  int next_ = 0;
+};
+
+}  // namespace prosim

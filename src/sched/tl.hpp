@@ -1,0 +1,162 @@
+// Two-Level (TL) warp scheduler, after Narasiman et al. (MICRO-2011) as
+// implemented in GPGPU-Sim ("two_level_active").
+//
+// Each hardware scheduler keeps a small *active* set of warps that are the
+// only candidates for issue (the rest wait in a FIFO *pending* queue —
+// hidden from the issue stage via consider_mask). Active warps issue in
+// loose round robin. A warp leaves the active set when it issues a
+// long-latency operation (global load) or reaches a barrier — GPGPU-Sim
+// demotes `waiting()` warps the same way — and the oldest *runnable*
+// pending warp is promoted in its place, so warp groups drift apart in
+// time and reach long-latency instructions at different points. Warps
+// parked at a barrier are never promoted until the barrier releases
+// (promoting them would let blocked warps squat in the active set and,
+// in the worst case, deadlock the SM).
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sm/scheduler_policy.hpp"
+
+namespace prosim {
+
+class TlPolicy final : public SchedulerPolicy {
+ public:
+  explicit TlPolicy(int active_set_size = 6) : active_size_(active_set_size) {
+    PROSIM_CHECK(active_set_size > 0);
+  }
+
+  std::string name() const override { return "tl"; }
+
+  void attach(const PolicyContext& ctx) override {
+    ctx_ = ctx;
+    const auto n = static_cast<std::size_t>(ctx.num_schedulers);
+    active_.assign(n, {});
+    pending_.assign(n, {});
+    next_.assign(n, 0);
+    at_barrier_.assign(static_cast<std::size_t>(ctx.num_warp_slots), false);
+  }
+
+  std::uint64_t consider_mask(int sched_id) override {
+    std::uint64_t mask = 0;
+    for (int w : active_[static_cast<std::size_t>(sched_id)])
+      mask |= 1ull << w;
+    return mask;
+  }
+
+  int pick(int sched_id, std::uint64_t ready_mask, Cycle /*now*/) override {
+    const auto s = static_cast<std::size_t>(sched_id);
+    const int n = ctx_.num_warp_slots;
+    const int start = next_[s];
+    for (int i = 0; i < n; ++i) {
+      const int w = (start + i) % n;
+      if (ready_mask & (1ull << w)) {
+        next_[s] = (w + 1) % n;
+        return w;
+      }
+    }
+    return -1;  // unreachable: ready_mask is never empty
+  }
+
+  void on_tb_launch(int tb_slot) override {
+    for (int i = 0; i < ctx_.warps_per_tb; ++i) {
+      const int w = tb_slot * ctx_.warps_per_tb + i;
+      const auto s = static_cast<std::size_t>(sched_of(w));
+      at_barrier_[w] = false;
+      if (static_cast<int>(active_[s].size()) < active_size_) {
+        active_[s].push_back(w);
+      } else {
+        pending_[s].push_back(w);
+      }
+    }
+  }
+
+  void on_warp_issue(int warp_slot, int /*active_threads*/,
+                     bool long_latency) override {
+    if (long_latency) demote(warp_slot);
+  }
+
+  void on_warp_barrier_arrive(int warp_slot, int /*tb_slot*/) override {
+    at_barrier_[warp_slot] = true;
+    demote(warp_slot);
+  }
+
+  void on_barrier_release(int tb_slot) override {
+    for (int i = 0; i < ctx_.warps_per_tb; ++i) {
+      at_barrier_[tb_slot * ctx_.warps_per_tb + i] = false;
+    }
+    // Demotions that found no runnable replacement left holes; refill.
+    for (int s = 0; s < ctx_.num_schedulers; ++s) top_up(s);
+  }
+
+  void on_warp_finish(int warp_slot, int /*tb_slot*/) override {
+    const auto s = static_cast<std::size_t>(sched_of(warp_slot));
+    auto it = std::find(active_[s].begin(), active_[s].end(), warp_slot);
+    if (it != active_[s].end()) {
+      active_[s].erase(it);
+    } else {
+      auto pit = std::find(pending_[s].begin(), pending_[s].end(), warp_slot);
+      if (pit != pending_[s].end()) pending_[s].erase(pit);
+    }
+    top_up(static_cast<int>(s));
+  }
+
+  // Test introspection.
+  const std::vector<int>& active_set(int sched_id) const {
+    return active_[static_cast<std::size_t>(sched_id)];
+  }
+  const std::deque<int>& pending_set(int sched_id) const {
+    return pending_[static_cast<std::size_t>(sched_id)];
+  }
+
+ private:
+  int sched_of(int warp_slot) const {
+    return warp_slot % ctx_.num_schedulers;
+  }
+
+  /// Promote the oldest runnable (not at-barrier) pending warp, if any.
+  void promote_one(std::size_t s) {
+    for (auto it = pending_[s].begin(); it != pending_[s].end(); ++it) {
+      if (!at_barrier_[*it]) {
+        active_[s].push_back(*it);
+        pending_[s].erase(it);
+        return;
+      }
+    }
+  }
+
+  void top_up(int sched_id) {
+    const auto s = static_cast<std::size_t>(sched_id);
+    while (static_cast<int>(active_[s].size()) < active_size_ &&
+           !pending_[s].empty()) {
+      const std::size_t before = active_[s].size();
+      promote_one(s);
+      if (active_[s].size() == before) break;  // only blocked warps left
+    }
+  }
+
+  /// Move a warp from active to the pending tail and promote a runnable
+  /// replacement (the set may transiently shrink when every pending warp
+  /// is blocked at a barrier).
+  void demote(int warp_slot) {
+    const auto s = static_cast<std::size_t>(sched_of(warp_slot));
+    auto it = std::find(active_[s].begin(), active_[s].end(), warp_slot);
+    if (it == active_[s].end()) return;
+    if (pending_[s].empty()) return;  // nobody could ever replace it
+    active_[s].erase(it);
+    pending_[s].push_back(warp_slot);
+    promote_one(s);
+  }
+
+  int active_size_;
+  PolicyContext ctx_;
+  std::vector<std::vector<int>> active_;
+  std::vector<std::deque<int>> pending_;
+  std::vector<int> next_;
+  std::vector<bool> at_barrier_;
+};
+
+}  // namespace prosim

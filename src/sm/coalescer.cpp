@@ -1,0 +1,45 @@
+#include "sm/coalescer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+std::vector<Addr> coalesce_lines(const Addr* addrs, ActiveMask active,
+                                 int line_bytes) {
+  PROSIM_CHECK(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0);
+  std::vector<Addr> lines;
+  lines.reserve(8);
+  const Addr mask = ~static_cast<Addr>(line_bytes - 1);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((active & (1u << lane)) == 0) continue;
+    const Addr line = addrs[lane] & mask;
+    if (std::find(lines.begin(), lines.end(), line) == lines.end()) {
+      lines.push_back(line);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+int smem_conflict_degree(const Addr* addrs, ActiveMask active, int banks) {
+  PROSIM_CHECK(banks > 0);
+  if (active == 0) return 0;
+  // words[b] collects the distinct 8-byte word indices observed on bank b.
+  // Warp size is 32, so linear scans of tiny vectors beat hashing here.
+  std::vector<std::vector<Addr>> words(static_cast<std::size_t>(banks));
+  int degree = 1;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((active & (1u << lane)) == 0) continue;
+    const Addr word = addrs[lane] >> 3;
+    auto& bank = words[static_cast<std::size_t>(word % banks)];
+    if (std::find(bank.begin(), bank.end(), word) == bank.end()) {
+      bank.push_back(word);
+      degree = std::max(degree, static_cast<int>(bank.size()));
+    }
+  }
+  return degree;
+}
+
+}  // namespace prosim

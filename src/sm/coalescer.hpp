@@ -1,0 +1,28 @@
+// Global-memory access coalescer and shared-memory bank-conflict model.
+//
+// Coalescing: the per-lane byte addresses of one warp memory instruction
+// are folded into the minimal set of cache-line (128B) transactions, in
+// ascending order — lanes touching the same line share one transaction.
+//
+// Bank conflicts: shared memory has `banks` banks of 8-byte words; lanes
+// hitting distinct words in the same bank serialize, lanes hitting the
+// same word broadcast. The conflict degree (max distinct words on one
+// bank) is the number of cycles the access occupies the LDST unit.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace prosim {
+
+/// Distinct line addresses covered by the active lanes, ascending.
+/// `addrs[i]` is only meaningful when bit i of `active` is set.
+std::vector<Addr> coalesce_lines(const Addr* addrs, ActiveMask active,
+                                 int line_bytes);
+
+/// Shared-memory conflict degree (>=1 when any lane is active, 0 when no
+/// lane is active).
+int smem_conflict_degree(const Addr* addrs, ActiveMask active, int banks);
+
+}  // namespace prosim

@@ -1,0 +1,71 @@
+#include "sm/simt_stack.hpp"
+
+namespace prosim {
+
+void SimtStack::reset(ActiveMask initial_mask) {
+  stack_.clear();
+  if (initial_mask != 0) stack_.push_back({0, -1, initial_mask});
+}
+
+void SimtStack::merge_pop() {
+  while (!stack_.empty() && stack_.back().rpc >= 0 &&
+         stack_.back().pc == stack_.back().rpc) {
+    stack_.pop_back();
+  }
+}
+
+void SimtStack::advance() {
+  PROSIM_CHECK(!stack_.empty());
+  ++stack_.back().pc;
+  merge_pop();
+}
+
+void SimtStack::jump(std::int32_t target) {
+  PROSIM_CHECK(!stack_.empty());
+  stack_.back().pc = target;
+  merge_pop();
+}
+
+void SimtStack::take_branch(const Instruction& inst, ActiveMask taken) {
+  PROSIM_CHECK(!stack_.empty());
+  Entry& top = stack_.back();
+  const ActiveMask mask = top.mask;
+  PROSIM_CHECK_MSG((taken & ~mask) == 0, "taken lanes outside active mask");
+  const ActiveMask not_taken = mask & ~taken;
+
+  if (taken == 0) {
+    ++top.pc;
+    merge_pop();
+    return;
+  }
+  if (not_taken == 0) {
+    top.pc = inst.target;
+    merge_pop();
+    return;
+  }
+
+  // Divergence: the current entry becomes the reconvergence placeholder;
+  // not-taken is pushed first so the taken path executes first.
+  PROSIM_CHECK_MSG(inst.reconv >= 0, "divergent branch without reconv pc");
+  const std::int32_t fallthrough = top.pc + 1;
+  top.pc = inst.reconv;
+  stack_.push_back({fallthrough, inst.reconv, not_taken});
+  stack_.push_back({inst.target, inst.reconv, taken});
+  merge_pop();
+}
+
+void SimtStack::exit_lanes(ActiveMask lanes) {
+  for (auto it = stack_.begin(); it != stack_.end();) {
+    it->mask &= ~lanes;
+    if (it->mask == 0) {
+      it = stack_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Exits can expose a parked reconvergence entry that is already at its
+  // rpc (all diverged lanes gone); merge it away.
+  merge_pop();
+}
+
+}  // namespace prosim

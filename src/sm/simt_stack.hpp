@@ -1,0 +1,63 @@
+// Per-warp SIMT reconvergence stack (thread-divergence handling).
+//
+// Entries are {pc, rpc, mask}. The top entry is the executing one; when its
+// pc reaches its rpc (the branch's immediate postdominator) it pops and the
+// entry below — which was parked at the reconvergence point with the
+// superset mask — resumes. Divergent branches turn the current top into the
+// reconvergence placeholder and push the not-taken then taken paths, so the
+// taken side executes first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace prosim {
+
+class SimtStack {
+ public:
+  /// Resets to a single base entry at pc 0. The base entry has rpc -1 and
+  /// only disappears when every lane exits.
+  void reset(ActiveMask initial_mask);
+
+  bool empty() const { return stack_.empty(); }
+  std::int32_t pc() const {
+    PROSIM_CHECK(!stack_.empty());
+    return stack_.back().pc;
+  }
+  ActiveMask active() const {
+    PROSIM_CHECK(!stack_.empty());
+    return stack_.back().mask;
+  }
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+  /// Sequential advance past a non-branch instruction.
+  void advance();
+
+  /// Unconditional control transfer of the whole top entry.
+  void jump(std::int32_t target);
+
+  /// Conditional branch executed at the current pc. `taken` must be a
+  /// subset of active(). `inst` supplies target and reconvergence pcs.
+  void take_branch(const Instruction& inst, ActiveMask taken);
+
+  /// Lanes in `lanes` executed exit: remove them from every entry.
+  void exit_lanes(ActiveMask lanes);
+
+ private:
+  struct Entry {
+    std::int32_t pc;
+    std::int32_t rpc;  // -1 for the base entry
+    ActiveMask mask;
+  };
+
+  /// Pops entries whose pc reached their rpc.
+  void merge_pop();
+
+  std::vector<Entry> stack_;
+};
+
+}  // namespace prosim

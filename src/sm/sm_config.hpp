@@ -1,0 +1,54 @@
+// SM (streaming multiprocessor) configuration. Defaults follow the paper's
+// Table I (NVIDIA Fermi GTX480): 48 warp slots, 8 TBs, 1536 threads, two
+// warp schedulers per SM. Latencies are Fermi-era approximations in core
+// cycles.
+#pragma once
+
+#include "common/types.hpp"
+#include "mem/mem_config.hpp"
+
+namespace prosim {
+
+struct SmConfig {
+  int max_warps = 48;
+  int max_tbs = 8;
+  int max_threads = 1536;
+  int num_schedulers = 2;
+  int smem_bytes = 48 * 1024;
+  int num_registers = 32768;  // 4-byte registers per SM (Table I)
+
+  CacheGeometry l1d{16 * 1024, 128, 4};
+  MshrConfig l1_mshr{32, 8};
+  /// Ablation switch: false sends every global access past the L1 (MSHR
+  /// merging still applies).
+  bool l1_enabled = true;
+
+  /// Per-SM read-only constant cache serving `ldc` (Fermi: 8KB per SM).
+  /// When disabled, constant loads complete in `const_latency`
+  /// unconditionally (the always-hit approximation).
+  CacheGeometry const_cache{8 * 1024, 128, 4};
+  bool const_cache_enabled = true;
+  MshrConfig const_mshr{8, 8};
+
+  // Writeback latencies (cycles from issue to scoreboard release).
+  Cycle alu_latency = 10;
+  Cycle fp_latency = 18;
+  Cycle sfu_latency = 32;
+  Cycle smem_latency = 24;
+  Cycle l1_hit_latency = 36;
+  Cycle const_latency = 24;
+
+  /// Minimum cycles between two SFU issues on one SM (initiation interval).
+  Cycle sfu_initiation_interval = 8;
+
+  /// Extra i-buffer refill delay after a control transfer (models the
+  /// fetch redirect; see DESIGN.md "simplified fetch").
+  Cycle branch_fetch_penalty = 3;
+
+  /// Coalesced transactions the LDST unit dispatches per cycle.
+  int ldst_dispatch_per_cycle = 2;
+
+  int smem_banks = 32;
+};
+
+}  // namespace prosim

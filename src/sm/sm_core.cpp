@@ -1,0 +1,672 @@
+#include "sm/sm_core.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "isa/semantics.hpp"
+#include "sm/coalescer.hpp"
+
+namespace prosim {
+
+SmCore::SmCore(int sm_id, const SmConfig& config, const Program& program,
+               GlobalMemory& gmem, MemorySubsystem& mem,
+               std::unique_ptr<SchedulerPolicy> policy,
+               std::function<bool()> tbs_waiting)
+    : sm_id_(sm_id),
+      config_(config),
+      program_(program),
+      gmem_(gmem),
+      mem_(mem),
+      policy_(std::move(policy)),
+      tbs_waiting_(std::move(tbs_waiting)),
+      warps_per_tb_(program.num_warps_per_tb()),
+      regs_per_thread_(program.info.regs_per_thread),
+      max_resident_tbs_(compute_residency(config, program.info)),
+      used_warp_slots_(max_resident_tbs_ * warps_per_tb_),
+      scoreboard_(config.max_warps),
+      l1_(config.l1d),
+      l1_mshr_(config.l1_mshr),
+      const_cache_(config.const_cache),
+      const_mshr_(config.const_mshr) {
+  PROSIM_CHECK_MSG(max_resident_tbs_ > 0,
+                   "kernel does not fit on the SM at all");
+  PROSIM_CHECK_MSG(config_.max_warps <= 64,
+                   "ready masks are 64-bit: max_warps must be <= 64");
+  warps_.resize(config_.max_warps);
+  tbs_.resize(max_resident_tbs_);
+  regs_.assign(static_cast<std::size_t>(config_.max_warps) * kWarpSize *
+                   regs_per_thread_,
+               0);
+  warp_progress_.assign(config_.max_warps, 0);
+  tb_progress_.assign(max_resident_tbs_, 0);
+  tb_ctaid_.assign(max_resident_tbs_, -1);
+  tb_launch_seq_.assign(max_resident_tbs_, 0);
+
+  PolicyContext ctx;
+  ctx.sm_id = sm_id_;
+  ctx.num_warp_slots = used_warp_slots_;
+  ctx.num_tb_slots = max_resident_tbs_;
+  ctx.warps_per_tb = warps_per_tb_;
+  ctx.num_schedulers = config_.num_schedulers;
+  ctx.warp_progress = warp_progress_.data();
+  ctx.tb_progress = tb_progress_.data();
+  ctx.tb_ctaid = tb_ctaid_.data();
+  ctx.tb_launch_seq = tb_launch_seq_.data();
+  ctx.tbs_waiting = tbs_waiting_;
+  policy_->attach(ctx);
+}
+
+int SmCore::compute_residency(const SmConfig& config, const KernelInfo& info) {
+  const int wpt = (info.block_dim + kWarpSize - 1) / kWarpSize;
+  const int padded_threads = wpt * kWarpSize;
+  int limit = config.max_tbs;
+  limit = std::min(limit, config.max_threads / padded_threads);
+  limit = std::min(limit, config.max_warps / wpt);
+  if (info.smem_bytes > 0)
+    limit = std::min(limit, config.smem_bytes / info.smem_bytes);
+  const int regs_per_tb = info.regs_per_thread * padded_threads;
+  if (regs_per_tb > 0)
+    limit = std::min(limit, config.num_registers / regs_per_tb);
+  return limit;
+}
+
+bool SmCore::can_accept_tb() const { return resident_tbs_ < max_resident_tbs_; }
+
+void SmCore::launch_tb(int ctaid, Cycle now) {
+  PROSIM_CHECK(can_accept_tb());
+  int slot = -1;
+  for (int t = 0; t < max_resident_tbs_; ++t) {
+    if (!tbs_[t].active) {
+      slot = t;
+      break;
+    }
+  }
+  PROSIM_CHECK(slot >= 0);
+
+  TbCtx& tb = tbs_[slot];
+  tb.active = true;
+  tb.ctaid = ctaid;
+  tb.launch_seq = next_launch_seq_++;
+  tb.warps_live = warps_per_tb_;
+  tb.warps_at_barrier = 0;
+  tb.start_cycle = now;
+  tb.smem.assign(static_cast<std::size_t>(program_.info.smem_bytes + 7) / 8,
+                 0);
+
+  tb_progress_[slot] = 0;
+  tb_ctaid_[slot] = ctaid;
+  tb_launch_seq_[slot] = tb.launch_seq;
+
+  for (int i = 0; i < warps_per_tb_; ++i) {
+    const int w = slot * warps_per_tb_ + i;
+    WarpCtx& wc = warps_[w];
+    const int threads =
+        std::min(kWarpSize, program_.info.block_dim - i * kWarpSize);
+    PROSIM_CHECK(threads > 0);
+    const ActiveMask mask =
+        threads == kWarpSize ? kFullMask : ((1u << threads) - 1);
+    wc.stack.reset(mask);
+    wc.allocated = true;
+    wc.finished = false;
+    wc.at_barrier = false;
+    wc.tb_slot = slot;
+    wc.ibuffer_ready = now + 1;
+    scoreboard_.reset(w);
+    warp_progress_[w] = 0;
+    std::memset(&reg(w, 0, 0), 0,
+                static_cast<std::size_t>(kWarpSize) * regs_per_thread_ *
+                    sizeof(RegValue));
+  }
+  ++resident_tbs_;
+  policy_->on_tb_launch(slot);
+}
+
+void SmCore::retire_tb(int tb_slot, Cycle now) {
+  TbCtx& tb = tbs_[tb_slot];
+  timeline_.push_back({tb.ctaid, tb.start_cycle, now});
+  ++stats_.tbs_executed;
+
+  // Warp-level divergence: spread of sibling-warp completion times.
+  Cycle first = kNoCycle;
+  Cycle last = 0;
+  for (int i = 0; i < warps_per_tb_; ++i) {
+    const Cycle f = warps_[tb_slot * warps_per_tb_ + i].finish_cycle;
+    first = std::min(first, f);
+    last = std::max(last, f);
+  }
+  stats_.warp_finish_disparity_sum += last - first;
+
+  if (register_dump_ != nullptr) {
+    for (int tid = 0; tid < program_.info.block_dim; ++tid) {
+      const int w = tb_slot * warps_per_tb_ + tid / kWarpSize;
+      const int lane = tid % kWarpSize;
+      RegValue* out =
+          register_dump_ +
+          (static_cast<std::size_t>(tb.ctaid) * program_.info.block_dim +
+           tid) *
+              regs_per_thread_;
+      std::memcpy(out, &reg(w, lane, 0),
+                  static_cast<std::size_t>(regs_per_thread_) *
+                      sizeof(RegValue));
+    }
+  }
+
+  policy_->on_tb_finish(tb_slot);
+  tb.active = false;
+  tb_ctaid_[tb_slot] = -1;
+  --resident_tbs_;
+}
+
+bool SmCore::drained() const {
+  return resident_tbs_ == 0 && !ldst_op_.valid && wb_.empty() &&
+         live_pending_loads_ == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Cycle phases
+// ---------------------------------------------------------------------------
+
+void SmCore::cycle(Cycle now) {
+  stats_.occupancy_tb_cycles += static_cast<std::uint64_t>(resident_tbs_);
+  drain_responses(now);
+  drain_writebacks(now);
+  ldst_cycle(now);
+  issue_cycle(now);
+}
+
+void SmCore::drain_responses(Cycle now) {
+  while (mem_.has_response(sm_id_)) {
+    const MemResponse resp = mem_.pop_response(sm_id_);
+    if (resp.is_atomic) {
+      // Atomics bypass the L1; the token (if any) is the pending load.
+      if (resp.token != kNoToken) complete_load_transaction(resp.token, now);
+      continue;
+    }
+    if (resp.is_const) {
+      const_cache_.fill(resp.line_addr, /*dirty=*/false);
+      for (std::uint32_t token : const_mshr_.release(resp.line_addr)) {
+        complete_load_transaction(token, now);
+      }
+      continue;
+    }
+    if (config_.l1_enabled) l1_.fill(resp.line_addr, /*dirty=*/false);
+    for (std::uint32_t token : l1_mshr_.release(resp.line_addr)) {
+      complete_load_transaction(token, now);
+    }
+  }
+}
+
+void SmCore::drain_writebacks(Cycle now) {
+  while (!wb_.empty() && wb_.top().at <= now) {
+    const WbEvent ev = wb_.top();
+    wb_.pop();
+    if (ev.kind == WbKind::kRegRelease) {
+      scoreboard_.release(ev.warp, ev.reg);
+    } else {
+      complete_load_transaction(ev.token, now);
+    }
+  }
+}
+
+void SmCore::ldst_cycle(Cycle now) {
+  if (!ldst_op_.valid) return;
+  int budget = config_.ldst_dispatch_per_cycle;
+  while (budget > 0 && ldst_op_.next < ldst_op_.lines.size()) {
+    const Addr line = ldst_op_.lines[ldst_op_.next];
+    switch (ldst_op_.kind) {
+      case MemReqKind::kRead: {
+        // Constant fetches go through the per-SM constant cache; global
+        // loads through the L1D. Same miss machinery, separate tags.
+        const bool is_const = ldst_op_.is_const;
+        Cache& cache = is_const ? const_cache_ : l1_;
+        Mshr<std::uint32_t>& mshr = is_const ? const_mshr_ : l1_mshr_;
+        const bool cacheable = is_const || config_.l1_enabled;
+        const Cycle hit_latency =
+            is_const ? config_.const_latency : config_.l1_hit_latency;
+        if (cacheable && cache.access(line)) {
+          ++cache.hits;
+          wb_.push({now + hit_latency, WbKind::kLoadComplete, 0, 0,
+                    ldst_op_.token});
+          break;
+        }
+        if (mshr.has(line)) {
+          if (!mshr.can_merge(line)) {
+            ++mshr.allocation_fails;
+            return;  // retry next cycle
+          }
+          ++cache.misses;
+          ++mshr.merges;
+          mshr.merge(line, ldst_op_.token);
+          break;
+        }
+        if (!mshr.can_allocate() || !mem_.can_inject(line)) {
+          ++mshr.allocation_fails;
+          return;
+        }
+        ++cache.misses;
+        mshr.allocate(line, ldst_op_.token);
+        mem_.inject({line, MemReqKind::kRead, sm_id_, 0, is_const}, now);
+        break;
+      }
+      case MemReqKind::kWrite: {
+        if (!mem_.can_inject(line)) return;
+        l1_.invalidate(line);  // write-evict, write-through
+        mem_.inject({line, MemReqKind::kWrite, sm_id_, 0}, now);
+        break;
+      }
+      case MemReqKind::kAtomic: {
+        if (!mem_.can_inject(line)) return;
+        l1_.invalidate(line);  // atomics operate at the L2
+        mem_.inject({line, MemReqKind::kAtomic, sm_id_, ldst_op_.token}, now);
+        break;
+      }
+    }
+    ++ldst_op_.next;
+    --budget;
+  }
+  if (ldst_op_.next == ldst_op_.lines.size()) ldst_op_.valid = false;
+}
+
+bool SmCore::fu_can_accept(const Instruction& inst, Cycle now) const {
+  switch (inst.info().fu) {
+    case FuType::kSpInt:
+    case FuType::kSpFp:
+    case FuType::kControl:
+      return true;
+    case FuType::kSfu:
+      return sfu_ready_at_ <= now;
+    case FuType::kMem:
+      return !ldst_op_.valid && ldst_busy_until_ <= now;
+  }
+  return false;
+}
+
+void SmCore::issue_cycle(Cycle now) {
+  policy_->begin_cycle(now);
+  for (int sched = 0; sched < config_.num_schedulers; ++sched) {
+    ++stats_.sched_cycles;
+    bool any_valid = false;
+    bool any_fu_blocked = false;
+    std::uint64_t ready = 0;
+    const std::uint64_t consider = policy_->consider_mask(sched);
+    for (int w = sched; w < used_warp_slots_; w += config_.num_schedulers) {
+      if ((consider & (1ull << w)) == 0) continue;
+      const WarpCtx& wc = warps_[w];
+      if (!wc.allocated || wc.finished) continue;
+      if (wc.at_barrier || wc.ibuffer_ready > now) continue;
+      const Instruction& inst =
+          program_.code[static_cast<std::size_t>(wc.stack.pc())];
+      any_valid = true;
+      if (!scoreboard_.available(w, inst)) continue;
+      // A warp may only retire once all its in-flight writebacks and loads
+      // have drained; otherwise the slot could be re-used by a new TB while
+      // stale completions are still queued.
+      if (inst.info().is_exit && scoreboard_.pending_mask(w) != 0) continue;
+      if (!fu_can_accept(inst, now)) {
+        any_fu_blocked = true;
+        continue;
+      }
+      ready |= 1ull << w;
+    }
+
+    if (ready != 0) {
+      const int w = policy_->pick(sched, ready, now);
+      PROSIM_CHECK_MSG(w >= 0 && w < used_warp_slots_ &&
+                           (ready & (1ull << w)) != 0,
+                       "policy picked a warp outside the ready mask");
+      const Instruction& inst =
+          program_.code[static_cast<std::size_t>(warps_[w].stack.pc())];
+      issue_warp(w, inst, now);
+      ++stats_.issued;
+    } else if (any_fu_blocked) {
+      ++stats_.pipeline_stalls;
+    } else if (any_valid) {
+      ++stats_.scoreboard_stalls;
+    } else {
+      ++stats_.idle_stalls;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Issue / functional execution
+// ---------------------------------------------------------------------------
+
+void SmCore::schedule_release(int warp, std::uint8_t reg_idx, Cycle at) {
+  wb_.push({at, WbKind::kRegRelease, warp, reg_idx, 0});
+}
+
+std::uint32_t SmCore::alloc_pending_load(int warp, std::uint8_t dst,
+                                         int outstanding) {
+  std::uint32_t token;
+  if (!free_pending_loads_.empty()) {
+    token = free_pending_loads_.back();
+    free_pending_loads_.pop_back();
+  } else {
+    token = static_cast<std::uint32_t>(pending_loads_.size());
+    pending_loads_.emplace_back();
+  }
+  pending_loads_[token] = {warp, dst, outstanding, true};
+  ++live_pending_loads_;
+  return token;
+}
+
+void SmCore::complete_load_transaction(std::uint32_t token, Cycle) {
+  PendingLoad& pl = pending_loads_[token];
+  PROSIM_CHECK(pl.valid && pl.outstanding > 0);
+  if (--pl.outstanding == 0) {
+    scoreboard_.release(pl.warp, pl.dst);
+    pl.valid = false;
+    free_pending_loads_.push_back(token);
+    --live_pending_loads_;
+  }
+}
+
+void SmCore::issue_warp(int warp, const Instruction& inst, Cycle now) {
+  WarpCtx& wc = warps_[warp];
+  const ActiveMask active = wc.stack.active();
+  const int lanes = popcount_mask(active);
+  const int tb_slot = wc.tb_slot;
+
+  warp_progress_[warp] += static_cast<std::uint64_t>(lanes);
+  tb_progress_[tb_slot] += static_cast<std::uint64_t>(lanes);
+  stats_.thread_insts += static_cast<std::uint64_t>(lanes);
+  ++stats_.warp_insts;
+  const bool long_latency =
+      inst.op == Opcode::kLdg || inst.op == Opcode::kAtomGAdd;
+  policy_->on_warp_issue(warp, lanes, long_latency);
+
+  const std::int32_t prev_pc = wc.stack.pc();
+
+  switch (inst.info().fu) {
+    case FuType::kControl:
+      if (inst.op == Opcode::kBra) {
+        execute_branch(warp, inst, active);
+      } else if (inst.op == Opcode::kBar) {
+        wc.stack.advance();
+        do_barrier(warp, now);
+      } else {  // exit
+        do_exit(warp, active, now);
+      }
+      break;
+    case FuType::kMem:
+      execute_memory(warp, inst, active, now);
+      break;
+    case FuType::kSfu:
+      sfu_ready_at_ = now + config_.sfu_initiation_interval;
+      execute_alu(warp, inst, active);
+      wc.stack.advance();
+      scoreboard_.reserve(warp, inst.dst);
+      schedule_release(warp, inst.dst, now + config_.sfu_latency);
+      break;
+    case FuType::kSpInt:
+    case FuType::kSpFp: {
+      if (inst.op != Opcode::kNop) execute_alu(warp, inst, active);
+      wc.stack.advance();
+      if (inst.info().has_dst) {
+        const Cycle lat = inst.info().fu == FuType::kSpFp
+                              ? config_.fp_latency
+                              : config_.alu_latency;
+        scoreboard_.reserve(warp, inst.dst);
+        schedule_release(warp, inst.dst, now + lat);
+      }
+      break;
+    }
+  }
+
+  if (wc.finished || wc.at_barrier) return;
+  PROSIM_CHECK(!wc.stack.empty());
+  const std::int32_t new_pc = wc.stack.pc();
+  const bool redirected = new_pc != prev_pc + 1;
+  wc.ibuffer_ready =
+      now + 1 + (redirected ? config_.branch_fetch_penalty : 0);
+}
+
+void SmCore::execute_alu(int warp, const Instruction& inst,
+                         ActiveMask active) {
+  const int tb_slot = warps_[warp].tb_slot;
+  const int ctaid = tbs_[tb_slot].ctaid;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((active & (1u << lane)) == 0) continue;
+    RegValue result;
+    switch (inst.op) {
+      case Opcode::kMov:
+        result = reg(warp, lane, inst.src0);
+        break;
+      case Opcode::kMovi:
+        result = inst.imm;
+        break;
+      case Opcode::kS2r: {
+        const ThreadGeom geom{tid_of(warp, lane), ctaid,
+                              program_.info.block_dim,
+                              program_.info.grid_dim};
+        result = eval_sreg(inst.sreg, geom);
+        break;
+      }
+      default: {
+        const RegValue a = reg_or_zero(warp, lane, inst.src0);
+        const RegValue b =
+            inst.src1_is_imm ? inst.imm : reg_or_zero(warp, lane, inst.src1);
+        const RegValue c = reg_or_zero(warp, lane, inst.src2);
+        result = eval_alu(inst, a, b, c);
+        break;
+      }
+    }
+    reg(warp, lane, inst.dst) = result;
+  }
+}
+
+void SmCore::execute_branch(int warp, const Instruction& inst,
+                            ActiveMask active) {
+  WarpCtx& wc = warps_[warp];
+  if (inst.pred == kNoReg) {
+    wc.stack.jump(inst.target);
+    return;
+  }
+  ActiveMask taken = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((active & (1u << lane)) == 0) continue;
+    const bool p = reg(warp, lane, inst.pred) != 0;
+    if (inst.pred_invert ? !p : p) taken |= 1u << lane;
+  }
+  wc.stack.take_branch(inst, taken);
+}
+
+void SmCore::execute_memory(int warp, const Instruction& inst,
+                            ActiveMask active, Cycle now) {
+  WarpCtx& wc = warps_[warp];
+  TbCtx& tb = tbs_[wc.tb_slot];
+
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((active & (1u << lane)) == 0) continue;
+    lane_addrs_[lane] = static_cast<Addr>(
+        static_cast<std::uint64_t>(reg_or_zero(warp, lane, inst.src0)) +
+        static_cast<std::uint64_t>(inst.imm));
+  }
+
+  auto smem_word = [&](int lane) -> RegValue& {
+    const Addr addr = lane_addrs_[lane];
+    PROSIM_CHECK_MSG((addr & 7) == 0, "unaligned shared-memory access");
+    const std::size_t word = addr >> 3;
+    PROSIM_CHECK_MSG(word < tb.smem.size(),
+                     "shared-memory access out of range");
+    return tb.smem[word];
+  };
+
+  switch (inst.op) {
+    case Opcode::kLdg: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        reg(warp, lane, inst.dst) = gmem_.load(lane_addrs_[lane]);
+      }
+      std::vector<Addr> lines =
+          coalesce_lines(lane_addrs_, active, config_.l1d.line_bytes);
+      stats_.gmem_transactions += lines.size();
+      const std::uint32_t token = alloc_pending_load(
+          warp, inst.dst, static_cast<int>(lines.size()));
+      scoreboard_.reserve(warp, inst.dst);
+      ldst_op_ = {true, warp, std::move(lines), 0, MemReqKind::kRead, token};
+      break;
+    }
+    case Opcode::kStg: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        gmem_.store(lane_addrs_[lane], reg(warp, lane, inst.src1));
+      }
+      std::vector<Addr> lines =
+          coalesce_lines(lane_addrs_, active, config_.l1d.line_bytes);
+      stats_.gmem_transactions += lines.size();
+      ldst_op_ = {true, warp, std::move(lines), 0, MemReqKind::kWrite,
+                  kNoToken};
+      break;
+    }
+    case Opcode::kAtomGAdd: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        const RegValue old = gmem_.atomic_add(lane_addrs_[lane],
+                                              reg(warp, lane, inst.src1));
+        if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
+      }
+      std::vector<Addr> lines =
+          coalesce_lines(lane_addrs_, active, config_.l1d.line_bytes);
+      stats_.gmem_transactions += lines.size();
+      std::uint32_t token = kNoToken;
+      if (inst.dst != kNoReg) {
+        token = alloc_pending_load(warp, inst.dst,
+                                   static_cast<int>(lines.size()));
+        scoreboard_.reserve(warp, inst.dst);
+      }
+      ldst_op_ = {true, warp, std::move(lines), 0, MemReqKind::kAtomic,
+                  token};
+      break;
+    }
+    case Opcode::kLds: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        reg(warp, lane, inst.dst) = smem_word(lane);
+      }
+      const int degree =
+          smem_conflict_degree(lane_addrs_, active, config_.smem_banks);
+      stats_.smem_conflict_extra_cycles +=
+          static_cast<std::uint64_t>(degree - 1);
+      ldst_busy_until_ = now + static_cast<Cycle>(degree);
+      scoreboard_.reserve(warp, inst.dst);
+      schedule_release(warp, inst.dst,
+                       now + config_.smem_latency + degree - 1);
+      break;
+    }
+    case Opcode::kSts: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        smem_word(lane) = reg(warp, lane, inst.src1);
+      }
+      const int degree =
+          smem_conflict_degree(lane_addrs_, active, config_.smem_banks);
+      stats_.smem_conflict_extra_cycles +=
+          static_cast<std::uint64_t>(degree - 1);
+      ldst_busy_until_ = now + static_cast<Cycle>(degree);
+      break;
+    }
+    case Opcode::kAtomSAdd: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        RegValue& word = smem_word(lane);
+        const RegValue old = word;
+        word = static_cast<RegValue>(
+            static_cast<std::uint64_t>(word) +
+            static_cast<std::uint64_t>(reg(warp, lane, inst.src1)));
+        if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
+      }
+      const int degree =
+          smem_conflict_degree(lane_addrs_, active, config_.smem_banks);
+      stats_.smem_conflict_extra_cycles +=
+          static_cast<std::uint64_t>(degree - 1);
+      ldst_busy_until_ = now + static_cast<Cycle>(degree);
+      if (inst.dst != kNoReg) {
+        scoreboard_.reserve(warp, inst.dst);
+        schedule_release(warp, inst.dst,
+                         now + config_.smem_latency + degree - 1);
+      }
+      break;
+    }
+    case Opcode::kLdc: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        reg(warp, lane, inst.dst) = gmem_.load(lane_addrs_[lane]);
+      }
+      scoreboard_.reserve(warp, inst.dst);
+      if (config_.const_cache_enabled) {
+        std::vector<Addr> lines = coalesce_lines(
+            lane_addrs_, active, config_.const_cache.line_bytes);
+        stats_.const_transactions += lines.size();
+        const std::uint32_t token = alloc_pending_load(
+            warp, inst.dst, static_cast<int>(lines.size()));
+        ldst_op_ = {true,  warp,  std::move(lines), 0, MemReqKind::kRead,
+                    token, /*is_const=*/true};
+      } else {
+        // Always-hit approximation: fixed latency, no tags.
+        ldst_busy_until_ = now + 1;
+        schedule_release(warp, inst.dst, now + config_.const_latency);
+      }
+      break;
+    }
+    default:
+      PROSIM_CHECK_MSG(false, "non-memory opcode in execute_memory");
+  }
+  wc.stack.advance();
+}
+
+// ---------------------------------------------------------------------------
+// Barriers / warp & TB completion
+// ---------------------------------------------------------------------------
+
+void SmCore::do_barrier(int warp, Cycle now) {
+  WarpCtx& wc = warps_[warp];
+  PROSIM_CHECK_MSG(wc.stack.depth() == 1,
+                   "barrier executed inside a divergent region");
+  wc.at_barrier = true;
+  wc.barrier_arrive = now;
+  TbCtx& tb = tbs_[wc.tb_slot];
+  ++tb.warps_at_barrier;
+  policy_->on_warp_barrier_arrive(warp, wc.tb_slot);
+  if (tb.warps_at_barrier == tb.warps_live) release_barrier(wc.tb_slot, now);
+}
+
+void SmCore::release_barrier(int tb_slot, Cycle now) {
+  TbCtx& tb = tbs_[tb_slot];
+  for (int i = 0; i < warps_per_tb_; ++i) {
+    WarpCtx& wc = warps_[tb_slot * warps_per_tb_ + i];
+    if (wc.allocated && !wc.finished && wc.at_barrier) {
+      wc.at_barrier = false;
+      wc.ibuffer_ready = now + 1;
+      stats_.barrier_wait_cycles += now - wc.barrier_arrive;
+    }
+  }
+  tb.warps_at_barrier = 0;
+  ++stats_.barrier_releases;
+  policy_->on_barrier_release(tb_slot);
+}
+
+void SmCore::do_exit(int warp, ActiveMask active, Cycle now) {
+  WarpCtx& wc = warps_[warp];
+  wc.stack.exit_lanes(active);
+  if (wc.stack.empty()) finish_warp(warp, now);
+}
+
+void SmCore::finish_warp(int warp, Cycle now) {
+  WarpCtx& wc = warps_[warp];
+  wc.finished = true;
+  wc.finish_cycle = now;
+  TbCtx& tb = tbs_[wc.tb_slot];
+  --tb.warps_live;
+  policy_->on_warp_finish(warp, wc.tb_slot);
+  if (tb.warps_live == 0) {
+    retire_tb(wc.tb_slot, now);
+  } else if (tb.warps_at_barrier > 0 &&
+             tb.warps_at_barrier == tb.warps_live) {
+    // The finished warp was the last one the barrier was waiting on.
+    release_barrier(wc.tb_slot, now);
+  }
+}
+
+}  // namespace prosim

@@ -1,0 +1,250 @@
+// The streaming-multiprocessor timing model.
+//
+// Per cycle (in order): memory responses are drained into the L1 /
+// pending-load bookkeeping, writeback events release scoreboard entries,
+// the LDST unit dispatches coalesced transactions, and each hardware warp
+// scheduler classifies its warps and (via the attached SchedulerPolicy)
+// issues at most one instruction.
+//
+// Functional execution happens at issue time against the shared
+// GlobalMemory / register files; the scoreboard guarantees dependents
+// cannot issue before the modelled writeback, so functional state is always
+// consistent with a real in-order SIMT pipeline (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "mem/cache.hpp"
+#include "mem/global_memory.hpp"
+#include "mem/memory_subsystem.hpp"
+#include "mem/mshr.hpp"
+#include "sm/scheduler_policy.hpp"
+#include "sm/scoreboard.hpp"
+#include "sm/simt_stack.hpp"
+#include "sm/sm_config.hpp"
+
+namespace prosim {
+
+/// GPGPU-Sim's stall taxonomy, counted per hardware scheduler per cycle.
+struct SmStats {
+  std::uint64_t issued = 0;
+  std::uint64_t idle_stalls = 0;
+  std::uint64_t scoreboard_stalls = 0;
+  std::uint64_t pipeline_stalls = 0;
+  std::uint64_t sched_cycles = 0;      ///< scheduler-cycles observed
+  std::uint64_t thread_insts = 0;      ///< instructions weighted by lanes
+  std::uint64_t warp_insts = 0;        ///< warp instructions issued
+  std::uint64_t tbs_executed = 0;
+  std::uint64_t smem_conflict_extra_cycles = 0;
+  std::uint64_t gmem_transactions = 0;
+  std::uint64_t const_transactions = 0;
+  std::uint64_t barrier_releases = 0;
+  /// Warp-cycles spent waiting at barriers (the §II-B barrierWait cost).
+  std::uint64_t barrier_wait_cycles = 0;
+  /// Sum over retired TBs of (last warp finish - first warp finish): the
+  /// warp-level divergence the paper's §II-B characterizes.
+  std::uint64_t warp_finish_disparity_sum = 0;
+  /// Sum over cycles of resident TBs (mean occupancy = sum / cycles):
+  /// the §II-C hardware-utilization signal.
+  std::uint64_t occupancy_tb_cycles = 0;
+
+  /// SIMT lanes utilized per issued warp instruction, in [0, 1].
+  double simt_efficiency() const {
+    return warp_insts == 0 ? 0.0
+                           : static_cast<double>(thread_insts) /
+                                 (32.0 * static_cast<double>(warp_insts));
+  }
+};
+
+struct TbTimelineEntry {
+  int ctaid = -1;
+  Cycle start = 0;
+  Cycle end = 0;
+};
+
+class SmCore {
+ public:
+  /// `tbs_waiting` reports whether the GPU-level thread-block scheduler
+  /// still holds unassigned TBs (drives the policy's phase detection).
+  SmCore(int sm_id, const SmConfig& config, const Program& program,
+         GlobalMemory& gmem, MemorySubsystem& mem,
+         std::unique_ptr<SchedulerPolicy> policy,
+         std::function<bool()> tbs_waiting);
+
+  SmCore(const SmCore&) = delete;
+  SmCore& operator=(const SmCore&) = delete;
+
+  /// Resident-TB limit for this kernel on this SM configuration.
+  static int compute_residency(const SmConfig& config, const KernelInfo& info);
+
+  int max_resident_tbs() const { return max_resident_tbs_; }
+  bool can_accept_tb() const;
+  void launch_tb(int ctaid, Cycle now);
+
+  void cycle(Cycle now);
+
+  int resident_tbs() const { return resident_tbs_; }
+  /// True when no TB is resident and no memory/writeback event is pending.
+  bool drained() const;
+
+  const SmStats& stats() const { return stats_; }
+  const Cache& l1() const { return l1_; }
+  const Cache& const_cache() const { return const_cache_; }
+  const std::vector<TbTimelineEntry>& timeline() const { return timeline_; }
+  SchedulerPolicy& policy() { return *policy_; }
+  const SchedulerPolicy& policy() const { return *policy_; }
+
+  /// Optional destination for final per-thread registers, laid out
+  /// [ctaid][tid][reg] over the whole grid; set by tests.
+  void set_register_dump(RegValue* base) { register_dump_ = base; }
+
+ private:
+  struct WarpCtx {
+    SimtStack stack;
+    bool allocated = false;
+    bool finished = false;
+    bool at_barrier = false;
+    Cycle ibuffer_ready = 0;
+    Cycle barrier_arrive = 0;  // when at_barrier was set (stats)
+    Cycle finish_cycle = 0;    // when the warp retired (stats)
+    int tb_slot = -1;
+  };
+
+  struct TbCtx {
+    bool active = false;
+    int ctaid = -1;
+    std::uint64_t launch_seq = 0;
+    int warps_live = 0;
+    int warps_at_barrier = 0;
+    Cycle start_cycle = 0;
+    std::vector<RegValue> smem;
+  };
+
+  /// In-flight load instruction bookkeeping (one per issued load).
+  struct PendingLoad {
+    int warp = -1;
+    std::uint8_t dst = kNoReg;
+    int outstanding = 0;
+    bool valid = false;
+  };
+
+  /// Current LDST-unit operation: remaining global transactions.
+  struct MemOp {
+    bool valid = false;
+    int warp = -1;
+    std::vector<Addr> lines;
+    std::size_t next = 0;
+    MemReqKind kind = MemReqKind::kRead;
+    std::uint32_t token = kNoToken;
+    bool is_const = false;  // route through the constant cache
+  };
+
+  enum class WbKind : std::uint8_t { kRegRelease, kLoadComplete };
+  struct WbEvent {
+    Cycle at;
+    WbKind kind;
+    int warp;
+    std::uint8_t reg;
+    std::uint32_t token;
+    bool operator>(const WbEvent& other) const { return at > other.at; }
+  };
+
+  static constexpr std::uint32_t kNoToken = 0xFFFFFFFFu;
+
+  // -- cycle phases --------------------------------------------------------
+  void drain_responses(Cycle now);
+  void drain_writebacks(Cycle now);
+  void ldst_cycle(Cycle now);
+  void issue_cycle(Cycle now);
+
+  // -- issue helpers --------------------------------------------------------
+  bool fu_can_accept(const Instruction& inst, Cycle now) const;
+  void issue_warp(int warp, const Instruction& inst, Cycle now);
+  void execute_alu(int warp, const Instruction& inst, ActiveMask active);
+  void execute_memory(int warp, const Instruction& inst, ActiveMask active,
+                      Cycle now);
+  void execute_branch(int warp, const Instruction& inst, ActiveMask active);
+  void do_barrier(int warp, Cycle now);
+  void do_exit(int warp, ActiveMask active, Cycle now);
+  void release_barrier(int tb_slot, Cycle now);
+  void finish_warp(int warp, Cycle now);
+  void retire_tb(int tb_slot, Cycle now);
+
+  std::uint32_t alloc_pending_load(int warp, std::uint8_t dst,
+                                   int outstanding);
+  void complete_load_transaction(std::uint32_t token, Cycle now);
+  void schedule_release(int warp, std::uint8_t reg, Cycle at);
+
+  RegValue& reg(int warp, int lane, int r) {
+    return regs_[(static_cast<std::size_t>(warp) * kWarpSize + lane) *
+                     regs_per_thread_ +
+                 r];
+  }
+  RegValue reg_or_zero(int warp, int lane, std::uint8_t r) const {
+    return r == kNoReg
+               ? 0
+               : regs_[(static_cast<std::size_t>(warp) * kWarpSize + lane) *
+                           regs_per_thread_ +
+                       r];
+  }
+  int tb_of_warp(int warp) const { return warps_[warp].tb_slot; }
+  int tid_of(int warp, int lane) const {
+    const int warp_in_tb = warp - warps_[warp].tb_slot * warps_per_tb_;
+    return warp_in_tb * kWarpSize + lane;
+  }
+
+  // -- immutable setup ------------------------------------------------------
+  const int sm_id_;
+  const SmConfig config_;
+  const Program& program_;
+  GlobalMemory& gmem_;
+  MemorySubsystem& mem_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  std::function<bool()> tbs_waiting_;
+
+  int warps_per_tb_;
+  int regs_per_thread_;
+  int max_resident_tbs_;
+  int used_warp_slots_;  // max_resident_tbs_ * warps_per_tb_
+
+  // -- machine state ---------------------------------------------------------
+  std::vector<WarpCtx> warps_;
+  std::vector<TbCtx> tbs_;
+  std::vector<RegValue> regs_;
+  std::vector<std::uint64_t> warp_progress_;
+  std::vector<std::uint64_t> tb_progress_;
+  std::vector<int> tb_ctaid_;
+  std::vector<std::uint64_t> tb_launch_seq_;
+  std::uint64_t next_launch_seq_ = 0;
+  int resident_tbs_ = 0;
+
+  Scoreboard scoreboard_;
+  Cache l1_;
+  Mshr<std::uint32_t> l1_mshr_;  // token = pending-load index
+  Cache const_cache_;
+  Mshr<std::uint32_t> const_mshr_;
+
+  std::vector<PendingLoad> pending_loads_;
+  std::vector<std::uint32_t> free_pending_loads_;
+  int live_pending_loads_ = 0;
+
+  std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<>> wb_;
+  MemOp ldst_op_;
+  Cycle ldst_busy_until_ = 0;
+  Cycle sfu_ready_at_ = 0;
+
+  // Scratch (per-issue) lane addresses.
+  Addr lane_addrs_[kWarpSize] = {};
+
+  SmStats stats_;
+  std::vector<TbTimelineEntry> timeline_;
+  RegValue* register_dump_ = nullptr;
+};
+
+}  // namespace prosim

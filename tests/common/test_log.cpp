@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+TEST(Log, SetLevelOverridesEnvironment) {
+  logging::set_level(LogLevel::kDebug);
+  EXPECT_EQ(logging::level(), LogLevel::kDebug);
+  logging::set_level(LogLevel::kOff);
+  EXPECT_EQ(logging::level(), LogLevel::kOff);
+}
+
+TEST(Log, MacrosCompileAndAreGated) {
+  logging::set_level(LogLevel::kOff);
+  // Must be safe (and cheap) when disabled.
+  PROSIM_DEBUG("never printed %d", 1);
+  PROSIM_INFO("never printed %s", "x");
+  PROSIM_WARN("never printed");
+  logging::set_level(LogLevel::kWarn);
+  PROSIM_WARN("printed to stderr during tests: %d", 42);
+  logging::set_level(LogLevel::kOff);
+}
+
+TEST(Log, LevelOrderingIsMonotonic) {
+  EXPECT_LT(static_cast<int>(LogLevel::kOff),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kDebug));
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace prosim {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "23"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Table, RightAlignsNumericColumns) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "100"});
+  std::ostringstream os;
+  t.print(os);
+  // "1" must be right-aligned in a 3-wide column -> two leading spaces.
+  EXPECT_NE(os.str().find("  1\n"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainValuesUnquoted) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\nplain\n");
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::fmt(-5), "-5");
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace prosim

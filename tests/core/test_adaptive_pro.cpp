@@ -1,0 +1,126 @@
+// Tests for the adaptive PRO variant (the paper's §IV future work:
+// profile-driven enable/disable of barrier handling).
+#include "core/adaptive_pro.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../sched/policy_test_util.hpp"
+#include "gpu/gpu.hpp"
+#include "isa/builder.hpp"
+#include "isa/interpreter.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(AdaptivePro, StartsProfilingWithBaseSetting) {
+  AdaptiveProConfig cfg;
+  AdaptiveProPolicy pol(cfg);
+  FakeSm sm(4, 4, 2);
+  pol.attach(sm.ctx);
+  EXPECT_FALSE(pol.decided());
+  EXPECT_TRUE(pol.barrier_handling_enabled());
+}
+
+TEST(AdaptivePro, AlternatesEpochsThenDecides) {
+  AdaptiveProConfig cfg;
+  cfg.epoch_cycles = 100;
+  cfg.epoch_pairs = 1;
+  AdaptiveProPolicy pol(cfg);
+  FakeSm sm(4, 4, 2);
+  pol.attach(sm.ctx);
+  sm.launch(pol, 0, 0);
+
+  pol.begin_cycle(0);
+  EXPECT_TRUE(pol.barrier_handling_enabled());  // epoch 1: ON
+  // Many issues during epoch 1.
+  for (int i = 0; i < 50; ++i) pol.on_warp_issue(0, 32, false);
+  pol.begin_cycle(100);
+  EXPECT_FALSE(pol.barrier_handling_enabled());  // epoch 2: OFF
+  EXPECT_FALSE(pol.decided());
+  // Few issues during epoch 2.
+  for (int i = 0; i < 5; ++i) pol.on_warp_issue(0, 32, false);
+  pol.begin_cycle(200);
+  EXPECT_TRUE(pol.decided());
+  EXPECT_TRUE(pol.barrier_handling_enabled());  // ON won
+}
+
+TEST(AdaptivePro, PicksOffWhenOffEpochIssuesMore) {
+  AdaptiveProConfig cfg;
+  cfg.epoch_cycles = 100;
+  cfg.epoch_pairs = 1;
+  AdaptiveProPolicy pol(cfg);
+  FakeSm sm(4, 4, 2);
+  pol.attach(sm.ctx);
+  sm.launch(pol, 0, 0);
+  pol.begin_cycle(0);
+  for (int i = 0; i < 5; ++i) pol.on_warp_issue(0, 32, false);
+  pol.begin_cycle(100);  // OFF epoch begins
+  for (int i = 0; i < 50; ++i) pol.on_warp_issue(0, 32, false);
+  pol.begin_cycle(200);
+  EXPECT_TRUE(pol.decided());
+  EXPECT_FALSE(pol.barrier_handling_enabled());
+}
+
+TEST(AdaptivePro, InnerStateMachineStillTracksBarriers) {
+  AdaptiveProConfig cfg;
+  AdaptiveProPolicy pol(cfg);
+  FakeSm sm(4, 4, 2);
+  pol.attach(sm.ctx);
+  pol.begin_cycle(0);
+  sm.launch(pol, 0, 0);
+  pol.on_warp_barrier_arrive(0, 0);
+  EXPECT_EQ(pol.inner().tb_state(0), TbState::kBarrierWait);
+  for (int w = 1; w < 4; ++w) pol.on_warp_barrier_arrive(w, 0);
+  pol.on_barrier_release(0);
+  EXPECT_EQ(pol.inner().tb_state(0), TbState::kNoWait);
+}
+
+TEST(AdaptivePro, EndToEndProducesCorrectResults) {
+  // A barrier-reduction kernel under the adaptive policy must still match
+  // the golden model exactly — adaptivity changes timing only.
+  ProgramBuilder b("adaptive_e2e");
+  b.block_dim(64).grid_dim(16).smem(64 * 8);
+  b.s2r(0, SpecialReg::kTid);
+  b.s2r(1, SpecialReg::kGlobalTid);
+  b.ishli(2, 1, 3);
+  b.ldg(3, 2, 0);
+  b.ishli(4, 0, 3);
+  b.sts(4, 0, 3);
+  b.bar();
+  b.ixori(5, 0, 1);
+  b.ishli(5, 5, 3);
+  b.lds(6, 5, 0);
+  b.iadd(6, 6, 3);
+  b.stg(2, 1 << 20, 6);
+  b.exit_();
+  Program p = b.build();
+
+  GlobalMemory ref;
+  for (int i = 0; i < 2048; ++i) ref.store(i * 8, i * 7);
+  interpret(p, ref);
+
+  GlobalMemory mem;
+  for (int i = 0; i < 2048; ++i) mem.store(i * 8, i * 7);
+  GpuConfig cfg = GpuConfig::test_config();
+  cfg.scheduler.kind = SchedulerKind::kProAdaptive;
+  cfg.scheduler.adaptive.epoch_cycles = 200;
+  GpuResult r = simulate(cfg, p, mem);
+  EXPECT_TRUE(mem == ref);
+  EXPECT_EQ(r.totals.tbs_executed, 16u);
+}
+
+TEST(AdaptivePro, FactoryAndNameWireUp) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kProAdaptive;
+  EXPECT_EQ(make_policy(spec)->name(), "pro-adaptive");
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kProAdaptive), "PRO-A");
+}
+
+TEST(AdaptiveProDeathTest, RejectsZeroEpoch) {
+  AdaptiveProConfig cfg;
+  cfg.epoch_cycles = 0;
+  EXPECT_DEATH(AdaptiveProPolicy pol(cfg), "");
+}
+
+}  // namespace
+}  // namespace prosim

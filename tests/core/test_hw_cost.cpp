@@ -1,0 +1,54 @@
+#include "core/hw_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sm/sm_config.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(HwCost, ReproducesThePaper240ByteFigure) {
+  // §III-E: "For NVIDIA Fermi architecture GPU, with W = 48 and T = 8,
+  // the extra storage per SM amounts to 240 bytes."
+  const ProHardwareCost cost = compute_pro_hw_cost(48, 8);
+  EXPECT_EQ(cost.total_bytes, 240);
+}
+
+TEST(HwCost, MatchesTheFormulaTermByTerm) {
+  const ProHardwareCost cost = compute_pro_hw_cost(48, 8);
+  EXPECT_EQ(cost.warp_progress_bytes, 4 * 48);
+  EXPECT_EQ(cost.tb_progress_bytes, 4 * 8);
+  EXPECT_EQ(cost.barrier_counter_bytes, 8);
+  EXPECT_EQ(cost.sorted_order_bytes, 8);
+  EXPECT_EQ(cost.adders_per_scheduler, 2);
+  EXPECT_EQ(cost.warp_sort_comparators, 8);
+  EXPECT_EQ(cost.tb_sort_comparators, 1);
+}
+
+TEST(HwCost, ScalesWithConfiguredSm) {
+  // Tie the cost model to the simulated configuration so a config change
+  // keeps the reported overhead honest.
+  const SmConfig sm;
+  const ProHardwareCost cost =
+      compute_pro_hw_cost(sm.max_warps, sm.max_tbs);
+  EXPECT_EQ(cost.total_bytes,
+            4 * sm.max_warps + 4 * sm.max_tbs + 2 * sm.max_tbs);
+}
+
+TEST(HwCost, OverheadIsNegligibleVersusSmStorage) {
+  // The paper's framing: "a very small increase in GPU hardware". The
+  // register file alone is 128KB (32768 x 4B); PRO adds < 0.2% of that.
+  const SmConfig sm;
+  const ProHardwareCost cost =
+      compute_pro_hw_cost(sm.max_warps, sm.max_tbs);
+  const int regfile_bytes = sm.num_registers * 4;
+  EXPECT_LT(cost.total_bytes * 500, regfile_bytes);
+}
+
+TEST(HwCostDeathTest, RejectsNonPositiveDimensions) {
+  EXPECT_DEATH(compute_pro_hw_cost(0, 8), "");
+  EXPECT_DEATH(compute_pro_hw_cost(48, 0), "");
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,221 @@
+// Priority-ordering tests for PRO (Algorithm 1): state-class precedence,
+// within-state keys, warp ordering, THRESHOLD stickiness, and the Table IV
+// order trace.
+#include <gtest/gtest.h>
+
+#include "core/pro_scheduler.hpp"
+#include "../sched/policy_test_util.hpp"
+
+namespace prosim {
+namespace {
+
+class ProPriorityTest : public ::testing::Test {
+ protected:
+  ProPriorityTest() : sm(4, 4, 2) {
+    pro.attach(sm.ctx);
+    sm.tbs_waiting = true;
+    pro.begin_cycle(0);
+  }
+
+  /// First warp PRO would pick for scheduler 0 with every warp ready.
+  int top_pick() {
+    return pro.pick(0, ~std::uint64_t{0}, 0);
+  }
+
+  /// TB slot of the top pick.
+  int top_tb() { return top_pick() / sm.ctx.warps_per_tb; }
+
+  FakeSm sm;
+  ProPolicy pro;
+};
+
+TEST_F(ProPriorityTest, FastPhaseMostProgressedNoWaitTbFirst) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.tb_progress[0] = 100;
+  sm.tb_progress[1] = 500;
+  pro.begin_cycle(1000);  // THRESHOLD sort picks up the progress
+  EXPECT_EQ(top_tb(), 1);
+}
+
+TEST_F(ProPriorityTest, NoWaitTieBreaksByGlobalIndex) {
+  sm.launch(pro, 1, 9);
+  sm.launch(pro, 0, 3);
+  sm.tb_progress[0] = 100;
+  sm.tb_progress[1] = 100;
+  pro.begin_cycle(1000);
+  EXPECT_EQ(top_tb(), 0);  // ctaid 3 < ctaid 9
+}
+
+TEST_F(ProPriorityTest, FinishWaitOutranksBarrierWaitOutranksNoWait) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.launch(pro, 2, 2);
+  sm.tb_progress[0] = 9999;  // noWait with huge progress still loses
+  pro.begin_cycle(1000);
+  pro.on_warp_barrier_arrive(1 * 4 + 0, 1);  // slot 1 -> barrierWait
+  EXPECT_EQ(top_tb(), 1);
+  pro.on_warp_finish(2 * 4 + 0, 2);  // slot 2 -> finishWait
+  EXPECT_EQ(top_tb(), 2);
+}
+
+TEST_F(ProPriorityTest, MoreFinishedWarpsWinsWithinFinishWait) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  pro.on_warp_finish(0, 0);
+  pro.on_warp_finish(4, 1);
+  pro.on_warp_finish(5, 1);  // slot 1 has 2 finished warps
+  EXPECT_EQ(top_tb(), 1);
+}
+
+TEST_F(ProPriorityTest, FinishWaitTieBreaksOnProgress) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.tb_progress[0] = 50;
+  sm.tb_progress[1] = 300;
+  pro.on_warp_finish(0, 0);
+  pro.on_warp_finish(4, 1);
+  EXPECT_EQ(top_tb(), 1);
+}
+
+TEST_F(ProPriorityTest, MoreWarpsAtBarrierWinsWithinBarrierWait) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  pro.on_warp_barrier_arrive(0, 0);
+  pro.on_warp_barrier_arrive(4, 1);
+  pro.on_warp_barrier_arrive(5, 1);
+  EXPECT_EQ(top_tb(), 1);
+}
+
+TEST_F(ProPriorityTest, FinishWaitWarpsOrderedLeastProgressFirst) {
+  sm.launch(pro, 0, 0);
+  // Warp progress (slot 0 warps are 0..3): 0 has most, 3 least.
+  sm.warp_progress[0] = 400;
+  sm.warp_progress[1] = 300;
+  sm.warp_progress[2] = 200;
+  sm.warp_progress[3] = 100;
+  pro.on_warp_finish(0, 0);  // enter finishWait: sort warps increasing
+  // Scheduler 0 owns even warp slots; least progress among {0,2} is 2.
+  EXPECT_EQ(pro.pick(0, (1ull << 0) | (1ull << 2), 0), 2);
+  // Scheduler 1 owns odd slots; least progress among {1,3} is 3.
+  EXPECT_EQ(pro.pick(1, (1ull << 1) | (1ull << 3), 0), 3);
+}
+
+TEST_F(ProPriorityTest, NoWaitWarpsOrderedMostProgressFirstInFastPhase) {
+  sm.launch(pro, 0, 0);
+  sm.warp_progress[0] = 10;
+  sm.warp_progress[2] = 900;
+  pro.begin_cycle(1000);  // THRESHOLD warp sort
+  EXPECT_EQ(pro.pick(0, (1ull << 0) | (1ull << 2), 0), 2);
+}
+
+TEST_F(ProPriorityTest, SlowPhaseLeastProgressedTbFirst) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.tb_progress[0] = 100;
+  sm.tb_progress[1] = 500;
+  sm.tbs_waiting = false;
+  pro.begin_cycle(1);  // transition resorts
+  EXPECT_EQ(top_tb(), 0);
+}
+
+TEST_F(ProPriorityTest, SlowPhaseWarpsLeastProgressFirst) {
+  sm.launch(pro, 0, 0);
+  sm.warp_progress[0] = 900;
+  sm.warp_progress[2] = 10;
+  sm.tbs_waiting = false;
+  pro.begin_cycle(1);
+  EXPECT_EQ(pro.pick(0, (1ull << 0) | (1ull << 2), 0), 2);
+}
+
+TEST_F(ProPriorityTest, ThresholdKeysAreStickyBetweenSorts) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.tb_progress[0] = 500;
+  sm.tb_progress[1] = 100;
+  pro.begin_cycle(1000);
+  EXPECT_EQ(top_tb(), 0);
+  // Progress flips between sorts — order must NOT change yet.
+  sm.tb_progress[1] = 10000;
+  pro.begin_cycle(1500);
+  EXPECT_EQ(top_tb(), 0);
+  // The next THRESHOLD sort picks it up.
+  pro.begin_cycle(2000);
+  EXPECT_EQ(top_tb(), 1);
+}
+
+TEST_F(ProPriorityTest, NewTbStartsLowestPriorityInFastPhase) {
+  sm.launch(pro, 0, 0);
+  sm.tb_progress[0] = 500;
+  pro.begin_cycle(1000);
+  sm.launch(pro, 1, 8);  // fresh TB, zero progress
+  EXPECT_EQ(top_tb(), 0);
+}
+
+TEST_F(ProPriorityTest, BarrierReleaseRestoresStickyNoWaitKey) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.tb_progress[0] = 500;
+  sm.tb_progress[1] = 100;
+  pro.begin_cycle(1000);
+  ASSERT_EQ(top_tb(), 0);
+  // Slot 1 visits barrierWait and comes back; slot 0 must still lead.
+  pro.on_warp_barrier_arrive(4, 1);
+  EXPECT_EQ(top_tb(), 1);  // barrierWait outranks noWait...
+  for (int w = 5; w < 8; ++w) pro.on_warp_barrier_arrive(w, 1);
+  pro.on_barrier_release(1);
+  EXPECT_EQ(top_tb(), 0);  // ...but the sticky noWait order returns
+}
+
+TEST_F(ProPriorityTest, AlgorithmLine59AblationFlipsFastOrder) {
+  ProConfig cfg;
+  cfg.fast_nowait_increasing = true;
+  ProPolicy flipped(cfg);
+  flipped.attach(sm.ctx);
+  flipped.begin_cycle(0);
+  sm.launch(flipped, 0, 0);
+  sm.launch(flipped, 1, 1);
+  sm.tb_progress[0] = 100;
+  sm.tb_progress[1] = 500;
+  flipped.begin_cycle(1000);
+  EXPECT_EQ(flipped.pick(0, ~std::uint64_t{0}, 0) / 4, 0);  // least first
+}
+
+TEST_F(ProPriorityTest, PickRespectsSchedulerOwnership) {
+  sm.launch(pro, 0, 0);
+  const int w0 = pro.pick(0, ~std::uint64_t{0}, 0);
+  const int w1 = pro.pick(1, ~std::uint64_t{0}, 0);
+  EXPECT_EQ(w0 % 2, 0);
+  EXPECT_EQ(w1 % 2, 1);
+}
+
+TEST_F(ProPriorityTest, OrderTraceRecordsThresholdSorts) {
+  std::vector<TbOrderSample> trace;
+  pro.set_order_trace(&trace);
+  sm.launch(pro, 0, 11);
+  sm.launch(pro, 1, 12);
+  sm.tb_progress[0] = 1;
+  sm.tb_progress[1] = 2;
+  pro.begin_cycle(1000);
+  pro.begin_cycle(2000);
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_EQ(trace.back().cycle, 2000u);
+  ASSERT_EQ(trace.back().ctaids.size(), 2u);
+  EXPECT_EQ(trace.back().ctaids[0], 12);  // more progress first
+  EXPECT_EQ(trace.back().ctaids[1], 11);
+}
+
+TEST_F(ProPriorityTest, FinishedTbExcludedFromOrder) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  for (int w = 0; w < 4; ++w) pro.on_warp_finish(w, 0);
+  pro.on_tb_finish(0);
+  sm.tb_ctaid[0] = -1;
+  EXPECT_EQ(top_tb(), 1);
+  for (int w : pro.priority_list()) {
+    EXPECT_GE(w, 4);  // no warp of the retired slot 0
+  }
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,97 @@
+// Tests for the §III-E non-blocking sort-latency model: staged THRESHOLD
+// sorts take effect only after the comparator cycles elapse.
+#include <gtest/gtest.h>
+
+#include "core/pro_scheduler.hpp"
+#include "../sched/policy_test_util.hpp"
+#include "gpu/gpu.hpp"
+#include "isa/builder.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(ProSortLatency, StagedSortAppliesAfterComparatorCycles) {
+  FakeSm sm(4, 4, 2);
+  ProConfig cfg;
+  cfg.model_sort_latency = true;
+  ProPolicy pro(cfg);
+  pro.attach(sm.ctx);
+  sm.tbs_waiting = true;
+  pro.begin_cycle(0);
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.tb_progress[0] = 100;
+  sm.tb_progress[1] = 500;
+
+  // Threshold hits at 1000 but only *stages* the sort; with 2 active TBs
+  // and 4 warps per TB the cost is 2*1/2 + 4*3/2 = 7 cycles.
+  pro.begin_cycle(1000);
+  EXPECT_EQ(pro.pick(0, ~std::uint64_t{0}, 1000) / 4, 0);  // old order
+  pro.begin_cycle(1003);
+  EXPECT_EQ(pro.pick(0, ~std::uint64_t{0}, 1003) / 4, 0);  // still old
+  pro.begin_cycle(1007);
+  EXPECT_EQ(pro.pick(0, ~std::uint64_t{0}, 1007) / 4, 1);  // applied
+}
+
+TEST(ProSortLatency, InstantaneousByDefault) {
+  FakeSm sm(4, 4, 2);
+  ProPolicy pro;  // default config
+  pro.attach(sm.ctx);
+  sm.tbs_waiting = true;
+  pro.begin_cycle(0);
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  sm.tb_progress[1] = 500;
+  pro.begin_cycle(1000);
+  EXPECT_EQ(pro.pick(0, ~std::uint64_t{0}, 1000) / 4, 1);
+}
+
+TEST(ProSortLatency, OrderTraceRecordsAtApplyTime) {
+  FakeSm sm(4, 4, 2);
+  ProConfig cfg;
+  cfg.model_sort_latency = true;
+  ProPolicy pro(cfg);
+  std::vector<TbOrderSample> trace;
+  pro.set_order_trace(&trace);
+  pro.attach(sm.ctx);
+  sm.tbs_waiting = true;
+  pro.begin_cycle(0);
+  sm.launch(pro, 0, 5);
+  sm.launch(pro, 1, 6);
+  pro.begin_cycle(1000);   // staged
+  EXPECT_TRUE(trace.empty());
+  pro.begin_cycle(1007);   // applied
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].cycle, 1007u);
+}
+
+TEST(ProSortLatency, EndToEndResultsUnchanged) {
+  // Modeling the latency changes timing, never results.
+  ProgramBuilder b("sortlat");
+  b.block_dim(64).grid_dim(16);
+  b.s2r(0, SpecialReg::kGlobalTid);
+  b.ishli(1, 0, 3);
+  b.ldg(2, 1, 0);
+  b.imad(2, 2, 2, 0);
+  b.stg(1, 1 << 20, 2);
+  b.exit_();
+  Program p = b.build();
+
+  auto run = [&](bool model) {
+    GlobalMemory mem;
+    for (int i = 0; i < 2048; ++i) mem.store(i * 8, i);
+    GpuConfig cfg = GpuConfig::test_config();
+    cfg.scheduler.kind = SchedulerKind::kPro;
+    cfg.scheduler.pro.model_sort_latency = model;
+    GpuResult r = simulate(cfg, p, mem);
+    return std::make_pair(r.cycles, mem.load((1 << 20) + 8 * 100));
+  };
+  auto [c0, v0] = run(false);
+  auto [c1, v1] = run(true);
+  EXPECT_EQ(v0, v1);
+  (void)c0;
+  (void)c1;  // cycles may legitimately differ either way
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,164 @@
+// TB state-machine tests for PRO, covering every edge of the paper's
+// Fig. 3 (with barrierWait1 folded into kBarrierWait as documented in
+// tb_state.hpp).
+#include <gtest/gtest.h>
+
+#include "core/pro_scheduler.hpp"
+#include "../sched/policy_test_util.hpp"
+
+namespace prosim {
+namespace {
+
+class ProStateTest : public ::testing::Test {
+ protected:
+  ProStateTest() : sm(4, 4, 2) {
+    pro.attach(sm.ctx);
+    sm.tbs_waiting = true;
+    pro.begin_cycle(0);  // initializes phase detection (fastTBPhase)
+  }
+
+  FakeSm sm;
+  ProPolicy pro;
+};
+
+TEST_F(ProStateTest, LaunchEntersNoWait) {
+  sm.launch(pro, 0, 0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kNoWait);
+  EXPECT_TRUE(pro.in_fast_phase());
+}
+
+TEST_F(ProStateTest, NoWaitToBarrierWaitOnFirstArrival) {
+  sm.launch(pro, 0, 0);
+  pro.on_warp_barrier_arrive(0, 0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kBarrierWait);
+}
+
+TEST_F(ProStateTest, BarrierWaitBackToNoWaitWhenAllArrive) {
+  sm.launch(pro, 0, 0);
+  for (int w = 0; w < 4; ++w) pro.on_warp_barrier_arrive(w, 0);
+  pro.on_barrier_release(0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kNoWait);
+}
+
+TEST_F(ProStateTest, NoWaitToFinishWaitOnFirstWarpFinish) {
+  sm.launch(pro, 0, 0);
+  pro.on_warp_finish(0, 0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kFinishWait);
+}
+
+TEST_F(ProStateTest, FinishWaitToFreeWhenTbFinishes) {
+  sm.launch(pro, 0, 0);
+  for (int w = 0; w < 4; ++w) pro.on_warp_finish(w, 0);
+  pro.on_tb_finish(0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kFree);
+}
+
+TEST_F(ProStateTest, BarrierExitReturnsToFinishWaitIfWarpsFinished) {
+  sm.launch(pro, 0, 0);
+  pro.on_warp_finish(0, 0);  // -> finishWait
+  pro.on_warp_barrier_arrive(1, 0);  // -> barrierWait (algorithm 1)
+  EXPECT_EQ(pro.tb_state(0), TbState::kBarrierWait);
+  // Remaining live warps (1,2,3) all arrive; release.
+  pro.on_warp_barrier_arrive(2, 0);
+  pro.on_warp_barrier_arrive(3, 0);
+  pro.on_barrier_release(0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kFinishWait);
+}
+
+TEST_F(ProStateTest, PhaseTransitionMergesNoWaitAndFinishWait) {
+  sm.launch(pro, 0, 0);
+  sm.launch(pro, 1, 1);
+  pro.on_warp_finish(0, 0);  // slot 0 -> finishWait
+  EXPECT_EQ(pro.tb_state(0), TbState::kFinishWait);
+  sm.tbs_waiting = false;  // last TB handed out
+  pro.begin_cycle(1);
+  EXPECT_FALSE(pro.in_fast_phase());
+  EXPECT_EQ(pro.tb_state(0), TbState::kFinishNoWait);
+  EXPECT_EQ(pro.tb_state(1), TbState::kFinishNoWait);
+}
+
+TEST_F(ProStateTest, BarrierWaitSurvivesPhaseTransition) {
+  // Fig 3: barrierWait -> barrierWait1 at the transition; with the folded
+  // state the TB stays kBarrierWait but must exit to finishNoWait.
+  sm.launch(pro, 0, 0);
+  pro.on_warp_barrier_arrive(0, 0);
+  sm.tbs_waiting = false;
+  pro.begin_cycle(1);
+  EXPECT_EQ(pro.tb_state(0), TbState::kBarrierWait);
+  for (int w = 1; w < 4; ++w) pro.on_warp_barrier_arrive(w, 0);
+  pro.on_barrier_release(0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kFinishNoWait);
+}
+
+TEST_F(ProStateTest, SlowPhaseBarrierRoundTripsToFinishNoWait) {
+  sm.launch(pro, 0, 0);
+  sm.tbs_waiting = false;
+  pro.begin_cycle(1);
+  ASSERT_EQ(pro.tb_state(0), TbState::kFinishNoWait);
+  pro.on_warp_barrier_arrive(0, 0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kBarrierWait);
+  for (int w = 1; w < 4; ++w) pro.on_warp_barrier_arrive(w, 0);
+  pro.on_barrier_release(0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kFinishNoWait);
+}
+
+TEST_F(ProStateTest, SlowPhaseFinishKeepsFinishNoWait) {
+  sm.launch(pro, 0, 0);
+  sm.tbs_waiting = false;
+  pro.begin_cycle(1);
+  pro.on_warp_finish(0, 0);
+  EXPECT_EQ(pro.tb_state(0), TbState::kFinishNoWait);
+}
+
+TEST_F(ProStateTest, KernelFittingEntirelyStartsInSlowPhase) {
+  FakeSm sm2(4, 4, 2);
+  sm2.tbs_waiting = false;
+  ProPolicy pro2;
+  pro2.attach(sm2.ctx);
+  sm2.launch(pro2, 0, 0);
+  pro2.begin_cycle(0);
+  EXPECT_FALSE(pro2.in_fast_phase());
+  EXPECT_EQ(pro2.tb_state(0), TbState::kFinishNoWait);
+}
+
+TEST_F(ProStateTest, LaunchDuringSlowPhaseEntersFinishNoWait) {
+  sm.launch(pro, 0, 0);
+  sm.tbs_waiting = false;
+  pro.begin_cycle(1);
+  sm.launch(pro, 1, 7);  // the very last TB arriving after the flip
+  EXPECT_EQ(pro.tb_state(1), TbState::kFinishNoWait);
+}
+
+TEST_F(ProStateTest, BarrierHandlingAblationKeepsNoWait) {
+  ProConfig cfg;
+  cfg.handle_barriers = false;
+  ProPolicy ablated(cfg);
+  ablated.attach(sm.ctx);
+  ablated.begin_cycle(0);
+  sm.launch(ablated, 0, 0);
+  ablated.on_warp_barrier_arrive(0, 0);
+  EXPECT_EQ(ablated.tb_state(0), TbState::kNoWait);
+}
+
+TEST_F(ProStateTest, FinishHandlingAblationKeepsNoWait) {
+  ProConfig cfg;
+  cfg.handle_finish = false;
+  ProPolicy ablated(cfg);
+  ablated.attach(sm.ctx);
+  ablated.begin_cycle(0);
+  sm.launch(ablated, 0, 0);
+  ablated.on_warp_finish(0, 0);
+  EXPECT_EQ(ablated.tb_state(0), TbState::kNoWait);
+}
+
+TEST_F(ProStateTest, StateNamesAreStable) {
+  EXPECT_EQ(tb_state_name(TbState::kNoWait), "noWait");
+  EXPECT_EQ(tb_state_name(TbState::kBarrierWait), "barrierWait");
+  EXPECT_EQ(tb_state_name(TbState::kFinishWait), "finishWait");
+  EXPECT_EQ(tb_state_name(TbState::kFinishNoWait), "finishNoWait");
+  EXPECT_EQ(tb_state_name(TbState::kFinished), "finished");
+  EXPECT_EQ(tb_state_name(TbState::kFree), "free");
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,119 @@
+// Configuration-sweep sanity: the simulator must respond to machine
+// parameters the way a GPU does (more SMs -> faster; more schedulers ->
+// faster; fewer partitions -> more memory contention), and results must
+// stay correct under every configuration.
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hpp"
+#include "isa/builder.hpp"
+#include "isa/interpreter.hpp"
+
+namespace prosim {
+namespace {
+
+Program work_kernel() {
+  ProgramBuilder b("sweep");
+  b.block_dim(128).grid_dim(24);
+  b.s2r(0, SpecialReg::kGlobalTid);
+  b.ishli(1, 0, 3);
+  b.ldg(2, 1, 0);
+  b.movi(3, 16);
+  auto top = b.loop_begin();
+  b.imad(2, 2, 2, 0);
+  b.iaddi(3, 3, -1);
+  b.setpi(CmpOp::kGt, 4, 3, 0);
+  b.loop_end_if(4, top);
+  b.stg(1, 1 << 20, 2);
+  b.exit_();
+  return b.build();
+}
+
+GpuResult run_with(const GpuConfig& cfg, GlobalMemory* out = nullptr) {
+  static const Program p = work_kernel();
+  GlobalMemory mem;
+  for (int i = 0; i < 4096; ++i) mem.store(i * 8, i * 3);
+  GpuResult r = simulate(cfg, p, mem);
+  if (out != nullptr) *out = std::move(mem);
+  return r;
+}
+
+TEST(ConfigSweep, MoreSmsReduceCycles) {
+  Cycle prev = 0;
+  for (int sms : {1, 2, 4}) {
+    GpuConfig cfg = GpuConfig::test_config();
+    cfg.num_sms = sms;
+    const Cycle cycles = run_with(cfg).cycles;
+    if (prev != 0) EXPECT_LT(cycles, prev) << sms << " SMs";
+    prev = cycles;
+  }
+}
+
+TEST(ConfigSweep, SingleSchedulerSmIsSlower) {
+  GpuConfig two = GpuConfig::test_config();
+  GpuConfig one = GpuConfig::test_config();
+  one.sm.num_schedulers = 1;
+  EXPECT_GT(run_with(one).cycles, run_with(two).cycles);
+}
+
+TEST(ConfigSweep, ResultsIdenticalAcrossMachineShapes) {
+  const Program p = work_kernel();
+  GlobalMemory ref;
+  for (int i = 0; i < 4096; ++i) ref.store(i * 8, i * 3);
+  interpret(p, ref);
+
+  for (int sms : {1, 3}) {
+    for (int partitions : {1, 2}) {
+      for (int schedulers : {1, 2}) {
+        GpuConfig cfg = GpuConfig::test_config();
+        cfg.num_sms = sms;
+        cfg.mem.num_partitions = partitions;
+        cfg.sm.num_schedulers = schedulers;
+        GlobalMemory mem;
+        run_with(cfg, &mem);
+        EXPECT_TRUE(mem == ref)
+            << sms << " SMs, " << partitions << " partitions, "
+            << schedulers << " schedulers";
+      }
+    }
+  }
+}
+
+TEST(ConfigSweep, FewerPartitionsIncreaseMemoryPressure) {
+  GpuConfig wide = GpuConfig::test_config();
+  wide.mem.num_partitions = 4;
+  GpuConfig narrow = GpuConfig::test_config();
+  narrow.mem.num_partitions = 1;
+  EXPECT_GE(run_with(narrow).cycles, run_with(wide).cycles);
+}
+
+TEST(ConfigSweep, SlowerAluLatencyCostsCycles) {
+  GpuConfig fast = GpuConfig::test_config();
+  GpuConfig slow = GpuConfig::test_config();
+  slow.sm.alu_latency = 40;
+  EXPECT_GT(run_with(slow).cycles, run_with(fast).cycles);
+}
+
+TEST(ConfigSweep, StallAccountingHoldsEverywhere) {
+  for (int sms : {1, 2}) {
+    for (int schedulers : {1, 2}) {
+      GpuConfig cfg = GpuConfig::test_config();
+      cfg.num_sms = sms;
+      cfg.sm.num_schedulers = schedulers;
+      const GpuResult r = run_with(cfg);
+      EXPECT_EQ(r.totals.issued + r.totals.idle_stalls +
+                    r.totals.scoreboard_stalls + r.totals.pipeline_stalls,
+                r.totals.sched_cycles);
+    }
+  }
+}
+
+TEST(ConfigSweep, MaxCyclesGuardTriggers) {
+  GpuConfig cfg = GpuConfig::test_config();
+  cfg.max_cycles = 50;  // far too few
+  const Program p = work_kernel();
+  GlobalMemory mem;
+  EXPECT_DEATH(simulate(cfg, p, mem), "max_cycles");
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,92 @@
+#include "gpu/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpu/gpu.hpp"
+#include "isa/builder.hpp"
+
+namespace prosim {
+namespace {
+
+GpuResult small_run() {
+  ProgramBuilder b("jsonk");
+  b.block_dim(32).grid_dim(3);
+  b.movi(0, 2);
+  b.imuli(0, 0, 21);
+  b.exit_();
+  GlobalMemory mem;
+  return simulate(GpuConfig::test_config(), b.build(), mem);
+}
+
+TEST(JsonReport, ContainsHeadlineFields) {
+  const GpuResult r = small_run();
+  std::ostringstream os;
+  JsonReportOptions opt;
+  opt.kernel = "jsonk";
+  opt.scheduler = "PRO";
+  write_json_report(os, r, opt);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"kernel\": \"jsonk\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\": \"PRO\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\": " + std::to_string(r.cycles)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tbs_executed\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"stalls\""), std::string::npos);
+  EXPECT_NE(json.find("\"l1_misses\""), std::string::npos);
+}
+
+TEST(JsonReport, TimelinesOnlyWhenRequested) {
+  const GpuResult r = small_run();
+  std::ostringstream without;
+  write_json_report(without, r);
+  EXPECT_EQ(without.str().find("timelines"), std::string::npos);
+
+  std::ostringstream with;
+  JsonReportOptions opt;
+  opt.include_timelines = true;
+  write_json_report(with, r, opt);
+  EXPECT_NE(with.str().find("\"timelines\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"ctaid\""), std::string::npos);
+}
+
+TEST(JsonReport, EscapesStrings) {
+  const GpuResult r = small_run();
+  std::ostringstream os;
+  JsonReportOptions opt;
+  opt.kernel = "we\"ird\\name";
+  write_json_report(os, r, opt);
+  EXPECT_NE(os.str().find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(JsonReport, BalancedBraces) {
+  const GpuResult r = small_run();
+  std::ostringstream os;
+  JsonReportOptions opt;
+  opt.include_timelines = true;
+  write_json_report(os, r, opt);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : os.str()) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,112 @@
+#include "gpu/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpu/gpu.hpp"
+#include "isa/builder.hpp"
+
+namespace prosim {
+namespace {
+
+GpuResult small_run() {
+  ProgramBuilder b("trace_me");
+  b.block_dim(64).grid_dim(9);
+  b.movi(0, 30);
+  auto top = b.loop_begin();
+  b.iaddi(0, 0, -1);
+  b.setpi(CmpOp::kGt, 1, 0, 0);
+  b.loop_end_if(1, top);
+  b.exit_();
+  GlobalMemory mem;
+  return simulate(GpuConfig::test_config(), b.build(), mem);
+}
+
+TEST(TraceExport, EmitsOneEventPerTbPlusMetadata) {
+  const GpuResult r = small_run();
+  std::ostringstream os;
+  write_chrome_trace(os, r);
+  const std::string json = os.str();
+
+  // One "ph":"X" complete event per executed TB.
+  std::size_t events = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++events;
+    ++pos;
+  }
+  EXPECT_EQ(events, r.totals.tbs_executed);
+
+  // One metadata record per SM.
+  std::size_t meta = 0;
+  pos = 0;
+  while ((pos = json.find("process_name", pos)) != std::string::npos) {
+    ++meta;
+    ++pos;
+  }
+  EXPECT_EQ(meta, r.timelines.size());
+
+  // Structurally a JSON array.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(TraceExport, DurationsAreNonNegativeAndBounded) {
+  const GpuResult r = small_run();
+  std::ostringstream os;
+  write_chrome_trace(os, r);
+  const std::string json = os.str();
+  // Every "dur": value must parse and be <= total cycles.
+  std::size_t pos = 0;
+  int checked = 0;
+  while ((pos = json.find("\"dur\":", pos)) != std::string::npos) {
+    pos += 6;
+    const unsigned long long dur = std::stoull(json.substr(pos));
+    EXPECT_LE(dur, r.cycles);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(TraceExport, TracksNeverOverlapWithinAnSm) {
+  // Parse back (pid, tid, ts, dur) triples and check per-(pid,tid)
+  // non-overlap — the packing invariant.
+  const GpuResult r = small_run();
+  std::ostringstream os;
+  write_chrome_trace(os, r);
+  std::string json = os.str();
+
+  struct Ev {
+    long pid, tid;
+    unsigned long long ts, dur;
+  };
+  std::vector<Ev> events;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    Ev e{};
+    auto grab = [&](const char* key) -> unsigned long long {
+      const std::size_t k = json.find(key, pos);
+      return std::stoull(json.substr(k + std::string(key).size()));
+    };
+    e.pid = static_cast<long>(grab("\"pid\":"));
+    e.tid = static_cast<long>(grab("\"tid\":"));
+    e.ts = grab("\"ts\":");
+    e.dur = grab("\"dur\":");
+    events.push_back(e);
+    ++pos;
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const Ev& a = events[i];
+      const Ev& b = events[j];
+      if (a.pid != b.pid || a.tid != b.tid) continue;
+      const bool overlap =
+          a.ts < b.ts + b.dur && b.ts < a.ts + a.dur;
+      EXPECT_FALSE(overlap) << "events " << i << " and " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prosim

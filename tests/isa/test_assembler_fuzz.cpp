@@ -1,0 +1,80 @@
+// Toolchain round-trip property test: for randomly generated programs,
+// disassemble -> reassemble must reproduce a semantically identical
+// program (verified instruction-by-instruction through the disassembler's
+// canonical text, and end-to-end through the golden-model interpreter).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../integration/program_fuzzer.hpp"
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
+
+namespace prosim {
+namespace {
+
+std::string to_assembly(const Program& p) {
+  std::ostringstream os;
+  os << ".kernel " << p.info.name << "\n";
+  os << ".blockdim " << p.info.block_dim << "\n";
+  os << ".grid " << p.info.grid_dim << "\n";
+  os << ".regs " << p.info.regs_per_thread << "\n";
+  os << ".smem " << p.info.smem_bytes << "\n";
+  for (const Instruction& inst : p.code) {
+    os << "    " << disassemble(inst) << "\n";
+  }
+  return os.str();
+}
+
+class AssemblerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssemblerFuzz, DisassembleReassembleRoundTrips) {
+  const std::uint64_t seed = 0xA55E + static_cast<std::uint64_t>(GetParam());
+  fuzz::ProgramFuzzer fuzzer(seed);
+  const Program original = fuzzer.generate();
+
+  const std::string text = to_assembly(original);
+  AssembleResult result = assemble(text);
+  auto* err = std::get_if<AssemblerError>(&result);
+  ASSERT_EQ(err, nullptr) << "line " << (err ? err->line : 0) << ": "
+                          << (err ? err->message : "") << "\n" << text;
+  const Program reparsed = std::get<Program>(std::move(result));
+
+  // Metadata round-trips.
+  EXPECT_EQ(reparsed.info.block_dim, original.info.block_dim);
+  EXPECT_EQ(reparsed.info.grid_dim, original.info.grid_dim);
+  EXPECT_EQ(reparsed.info.regs_per_thread, original.info.regs_per_thread);
+  EXPECT_EQ(reparsed.info.smem_bytes, original.info.smem_bytes);
+
+  // Instruction-by-instruction canonical-text equality.
+  ASSERT_EQ(reparsed.code.size(), original.code.size());
+  for (std::size_t pc = 0; pc < original.code.size(); ++pc) {
+    EXPECT_EQ(disassemble(reparsed.code[pc]),
+              disassemble(original.code[pc]))
+        << "pc " << pc << " seed " << seed;
+  }
+
+  // Behavioural equality through the golden model.
+  auto init = [](GlobalMemory& mem) {
+    Rng data(0x5EED);
+    for (Addr a = 0; a < 0x2000; a += 8) {
+      mem.store(a, static_cast<RegValue>(data.next_below(1u << 16)));
+    }
+  };
+  GlobalMemory m1;
+  init(m1);
+  GlobalMemory m2;
+  init(m2);
+  InterpreterOptions opts;
+  opts.record_registers = false;
+  opts.max_steps_per_tb = 10'000'000;
+  const auto r1 = interpret(original, m1, opts);
+  const auto r2 = interpret(reparsed, m2, opts);
+  EXPECT_TRUE(m1 == m2) << "seed " << seed;
+  EXPECT_EQ(r1.instructions_executed, r2.instructions_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,104 @@
+// Exact-format disassembler expectations (the assembler round-trip tests
+// check consistency; these pin the human-facing syntax itself).
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/instruction.hpp"
+
+namespace prosim {
+namespace {
+
+/// Builds a one-off instruction through the builder and disassembles it.
+std::string disasm_of(const std::function<void(ProgramBuilder&)>& emit) {
+  ProgramBuilder b("d");
+  emit(b);
+  b.exit_();
+  return disassemble(b.build().code[0]);
+}
+
+TEST(Disassembler, AluForms) {
+  EXPECT_EQ(disasm_of([](auto& b) { b.movi(1, -42); }), "movi r1, -42");
+  EXPECT_EQ(disasm_of([](auto& b) { b.mov(2, 3); }), "mov r2, r3");
+  EXPECT_EQ(disasm_of([](auto& b) { b.iadd(1, 2, 3); }), "iadd r1, r2, r3");
+  EXPECT_EQ(disasm_of([](auto& b) { b.iaddi(1, 2, 7); }), "iadd r1, r2, #7");
+  EXPECT_EQ(disasm_of([](auto& b) { b.imad(1, 2, 3, 4); }),
+            "imad r1, r2, r3, r4");
+  EXPECT_EQ(disasm_of([](auto& b) { b.sel(1, 2, 3, 4); }),
+            "sel r1, r2, r3, r4");
+}
+
+TEST(Disassembler, SetpCarriesComparison) {
+  EXPECT_EQ(disasm_of([](auto& b) { b.setp(CmpOp::kGe, 1, 2, 3); }),
+            "setp.ge r1, r2, r3");
+  EXPECT_EQ(disasm_of([](auto& b) { b.setpi(CmpOp::kNe, 1, 2, -5); }),
+            "setp.ne r1, r2, #-5");
+}
+
+TEST(Disassembler, SpecialRegisters) {
+  EXPECT_EQ(disasm_of([](auto& b) { b.s2r(0, SpecialReg::kGlobalTid); }),
+            "s2r r0, %gtid");
+  EXPECT_EQ(disasm_of([](auto& b) { b.s2r(5, SpecialReg::kLaneId); }),
+            "s2r r5, %laneid");
+}
+
+TEST(Disassembler, MemoryOperands) {
+  EXPECT_EQ(disasm_of([](auto& b) { b.ldg(1, 2, 64); }), "ldg r1, [r2+64]");
+  EXPECT_EQ(disasm_of([](auto& b) { b.ldg(1, 2, -8); }), "ldg r1, [r2-8]");
+  EXPECT_EQ(disasm_of([](auto& b) { b.stg(2, 0, 3); }), "stg [r2+0], r3");
+  EXPECT_EQ(disasm_of([](auto& b) { b.lds(4, 5, 16); }), "lds r4, [r5+16]");
+  EXPECT_EQ(disasm_of([](auto& b) { b.sts(5, 8, 6); }), "sts [r5+8], r6");
+  EXPECT_EQ(disasm_of([](auto& b) { b.ldc(7, 1, 0); }), "ldc r7, [r1+0]");
+}
+
+TEST(Disassembler, Atomics) {
+  EXPECT_EQ(disasm_of([](auto& b) { b.atomg_add(1, 0, 2); }),
+            "atomg.add [r1+0], r2");
+  EXPECT_EQ(disasm_of([](auto& b) { b.atoms_add(1, 8, 2); }),
+            "atoms.add [r1+8], r2");
+}
+
+TEST(Disassembler, SfuOps) {
+  EXPECT_EQ(disasm_of([](auto& b) { b.rsqrt(1, 2); }), "rsqrt r1, r2");
+  EXPECT_EQ(disasm_of([](auto& b) { b.fsin(3, 4); }), "fsin r3, r4");
+  EXPECT_EQ(disasm_of([](auto& b) { b.fdiv(1, 2, 3); }), "fdiv r1, r2, r3");
+}
+
+TEST(Disassembler, ControlFlow) {
+  // Build a tiny program with a predicated branch and check the last form.
+  ProgramBuilder b("d");
+  auto top = b.loop_begin();
+  b.movi(1, 1);
+  b.loop_end_if(2, top);
+  b.exit_();
+  Program p = b.build();
+  EXPECT_EQ(disassemble(p.code[1]), "@r2 bra @0 !@2");
+
+  ProgramBuilder b2("d2");
+  auto l = b2.new_label();
+  b2.jump(l);
+  b2.bind(l);
+  b2.exit_();
+  // Unconditional branch: no reconvergence ref in the canonical form.
+  EXPECT_EQ(disassemble(b2.build().code[0]), "bra @1");
+}
+
+TEST(Disassembler, BareMnemonics) {
+  EXPECT_EQ(disasm_of([](auto& b) { b.nop(); }), "nop");
+  EXPECT_EQ(disasm_of([](auto& b) { b.bar(); }), "bar");
+  Instruction e;
+  e.op = Opcode::kExit;
+  EXPECT_EQ(disassemble(e), "exit");
+}
+
+TEST(Disassembler, InvertedPredicatePrefix) {
+  ProgramBuilder b("d");
+  auto l = b.new_label();
+  b.movi(3, 0);
+  b.bra(3, /*invert=*/true, l, l);
+  b.bind(l);
+  b.exit_();
+  EXPECT_EQ(disassemble(b.build().code[1]), "@!r3 bra @2 !@2");
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,245 @@
+#include "isa/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+namespace prosim {
+namespace {
+
+RegValue final_reg(const InterpreterResult& r, int cta, int tid, int reg) {
+  return r.registers[cta][tid][reg];
+}
+
+TEST(Interpreter, StraightLineArithmetic) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1);
+  b.movi(0, 6).movi(1, 7).imul(2, 0, 1).iaddi(2, 2, 1).exit_();
+  GlobalMemory mem;
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(final_reg(r, 0, 0, 2), 43);
+  EXPECT_EQ(r.instructions_executed, 5u);
+}
+
+TEST(Interpreter, SpecialRegistersPerThread) {
+  ProgramBuilder b("k");
+  b.block_dim(40).grid_dim(3);
+  b.s2r(0, SpecialReg::kTid);
+  b.s2r(1, SpecialReg::kCtaId);
+  b.s2r(2, SpecialReg::kGlobalTid);
+  b.s2r(3, SpecialReg::kWarpId);
+  b.s2r(4, SpecialReg::kLaneId);
+  b.exit_();
+  GlobalMemory mem;
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(final_reg(r, 2, 39, 0), 39);
+  EXPECT_EQ(final_reg(r, 2, 39, 1), 2);
+  EXPECT_EQ(final_reg(r, 2, 39, 2), 2 * 40 + 39);
+  EXPECT_EQ(final_reg(r, 2, 39, 3), 1);
+  EXPECT_EQ(final_reg(r, 2, 39, 4), 7);
+}
+
+TEST(Interpreter, GlobalLoadStore) {
+  ProgramBuilder b("k");
+  b.block_dim(8).grid_dim(1);
+  b.s2r(0, SpecialReg::kTid);
+  b.ishli(1, 0, 3);
+  b.ldg(2, 1, 0);
+  b.iaddi(2, 2, 100);
+  b.stg(1, 640, 2);
+  b.exit_();
+  GlobalMemory mem;
+  for (int i = 0; i < 8; ++i) mem.store(i * 8, i);
+  interpret(b.build(), mem);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(mem.load(640 + i * 8), i + 100);
+  }
+}
+
+TEST(Interpreter, LoopExecutesExactTripCount) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1);
+  b.movi(0, 0).movi(1, 10);
+  auto top = b.loop_begin();
+  b.iaddi(0, 0, 3);
+  b.iaddi(1, 1, -1);
+  b.setpi(CmpOp::kGt, 2, 1, 0);
+  b.loop_end_if(2, top);
+  b.exit_();
+  GlobalMemory mem;
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(final_reg(r, 0, 0, 0), 30);
+}
+
+TEST(Interpreter, BranchDivergencePerThread) {
+  // Each thread takes its own path; no SIMT machinery in the golden model.
+  ProgramBuilder b("k");
+  b.block_dim(64).grid_dim(1);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kLt, 1, 0, 32);
+  b.if_begin(1);
+  b.movi(2, 111);
+  b.if_else();
+  b.movi(2, 222);
+  b.if_end();
+  b.exit_();
+  GlobalMemory mem;
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(final_reg(r, 0, 0, 2), 111);
+  EXPECT_EQ(final_reg(r, 0, 31, 2), 111);
+  EXPECT_EQ(final_reg(r, 0, 32, 2), 222);
+  EXPECT_EQ(final_reg(r, 0, 63, 2), 222);
+}
+
+TEST(Interpreter, BarrierOrdersSharedMemoryAccess) {
+  // Thread i writes smem[i]; after the barrier, thread i reads
+  // smem[(i+1) % n]. Without a correct barrier the read could see 0.
+  constexpr int kN = 48;
+  ProgramBuilder b("k");
+  b.block_dim(kN).grid_dim(2).smem(kN * 8);
+  b.s2r(0, SpecialReg::kTid);
+  b.ishli(1, 0, 3);
+  b.iaddi(2, 0, 100);
+  b.sts(1, 0, 2);
+  b.bar();
+  b.iaddi(3, 0, 1);
+  b.setpi(CmpOp::kEq, 4, 3, kN);
+  b.if_begin(4);
+  b.movi(3, 0);
+  b.if_end();
+  b.ishli(3, 3, 3);
+  b.lds(5, 3, 0);
+  b.s2r(6, SpecialReg::kGlobalTid);
+  b.ishli(6, 6, 3);
+  b.stg(6, 4096, 5);
+  b.exit_();
+  GlobalMemory mem;
+  interpret(b.build(), mem);
+  for (int cta = 0; cta < 2; ++cta) {
+    for (int t = 0; t < kN; ++t) {
+      const int gid = cta * kN + t;
+      EXPECT_EQ(mem.load(4096 + gid * 8), (t + 1) % kN + 100) << gid;
+    }
+  }
+}
+
+TEST(Interpreter, SharedMemoryIsPerBlock) {
+  // Block 0 writes smem[0]; block 1 only reads it and must see 0 (fresh
+  // shared memory per thread block, even though blocks run sequentially).
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(2).smem(64);
+  b.s2r(0, SpecialReg::kCtaId);
+  b.movi(1, 0);  // smem address 0
+  b.setpi(CmpOp::kEq, 2, 0, 0);
+  b.if_begin(2);
+  b.movi(3, 111);
+  b.sts(1, 0, 3);
+  b.if_end();
+  b.lds(4, 1, 0);
+  b.exit_();
+  GlobalMemory mem;
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(final_reg(r, 0, 0, 4), 111);
+  EXPECT_EQ(final_reg(r, 1, 0, 4), 0);
+}
+
+TEST(Interpreter, GlobalAtomicsAccumulate) {
+  ProgramBuilder b("k");
+  b.block_dim(32).grid_dim(4);
+  b.movi(0, 1);
+  b.movi(1, 0);
+  b.atomg_add(1, 0, 0);
+  b.exit_();
+  GlobalMemory mem;
+  interpret(b.build(), mem);
+  EXPECT_EQ(mem.load(0), 32 * 4);
+}
+
+TEST(Interpreter, SharedAtomicsAccumulatePerBlock) {
+  ProgramBuilder b("k");
+  b.block_dim(64).grid_dim(2).smem(64);
+  b.movi(0, 1);
+  b.movi(1, 0);
+  b.atoms_add(1, 0, 0);
+  b.bar();
+  b.s2r(2, SpecialReg::kTid);
+  b.setpi(CmpOp::kEq, 3, 2, 0);
+  b.if_begin(3);
+  b.lds(4, 1, 0);
+  b.s2r(5, SpecialReg::kCtaId);
+  b.ishli(5, 5, 3);
+  b.stg(5, 1024, 4);
+  b.if_end();
+  b.exit_();
+  GlobalMemory mem;
+  interpret(b.build(), mem);
+  EXPECT_EQ(mem.load(1024), 64);
+  EXPECT_EQ(mem.load(1024 + 8), 64);
+}
+
+TEST(Interpreter, AtomicReturnsOldValue) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1).regs(4);
+  b.movi(0, 5);
+  b.movi(1, 0);
+  // atomg.add with a destination register (builder emits the no-dst form;
+  // patch the dst in directly).
+  b.atomg_add(1, 0, 0);
+  b.exit_();
+  Program p = b.build();
+  p.code[2].dst = 2;
+  GlobalMemory mem;
+  mem.store(0, 37);
+  auto r = interpret(p, mem);
+  EXPECT_EQ(final_reg(r, 0, 0, 2), 37);
+  EXPECT_EQ(mem.load(0), 42);
+}
+
+TEST(Interpreter, InstructionsExecutedCountsPerThread) {
+  ProgramBuilder b("k");
+  b.block_dim(10).grid_dim(2);
+  b.movi(0, 1).exit_();
+  GlobalMemory mem;
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(r.instructions_executed, 2u * 10 * 2);
+}
+
+TEST(InterpreterDeathTest, StepLimitCatchesInfiniteLoops) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1);
+  auto top = b.loop_begin();
+  b.movi(0, 1);
+  b.setpi(CmpOp::kEq, 1, 0, 1);  // always true
+  b.loop_end_if(1, top);
+  b.exit_();
+  Program p = b.build();
+  GlobalMemory mem;
+  InterpreterOptions opt;
+  opt.max_steps_per_tb = 1000;
+  EXPECT_DEATH(interpret(p, mem, opt), "step limit");
+}
+
+TEST(InterpreterDeathTest, UnalignedSharedAccessAborts) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1).smem(64);
+  b.movi(0, 4);  // not 8-aligned
+  b.lds(1, 0, 0);
+  b.exit_();
+  Program p = b.build();
+  GlobalMemory mem;
+  EXPECT_DEATH(interpret(p, mem), "unaligned");
+}
+
+TEST(InterpreterDeathTest, SharedOutOfRangeAborts) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1).smem(64);
+  b.movi(0, 128);
+  b.lds(1, 0, 0);
+  b.exit_();
+  Program p = b.build();
+  GlobalMemory mem;
+  EXPECT_DEATH(interpret(p, mem), "out of range");
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,86 @@
+#include "isa/opcode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+TEST(Opcode, EveryOpcodeHasInfo) {
+  for (int i = 0; i < static_cast<int>(Opcode::kNumOpcodes); ++i) {
+    const OpcodeInfo& info = opcode_info(static_cast<Opcode>(i));
+    EXPECT_FALSE(info.mnemonic.empty()) << "opcode " << i;
+  }
+}
+
+TEST(Opcode, MnemonicParseRoundTrip) {
+  for (int i = 0; i < static_cast<int>(Opcode::kNumOpcodes); ++i) {
+    const auto op = static_cast<Opcode>(i);
+    EXPECT_EQ(parse_opcode(opcode_info(op).mnemonic), op);
+  }
+}
+
+TEST(Opcode, ParseUnknownFails) {
+  EXPECT_EQ(parse_opcode("bogus"), Opcode::kNumOpcodes);
+  EXPECT_EQ(parse_opcode(""), Opcode::kNumOpcodes);
+}
+
+TEST(Opcode, MemoryOpcodesClassified) {
+  EXPECT_TRUE(opcode_info(Opcode::kLdg).is_load);
+  EXPECT_EQ(opcode_info(Opcode::kLdg).space, MemSpace::kGlobal);
+  EXPECT_TRUE(opcode_info(Opcode::kStg).is_store);
+  EXPECT_TRUE(opcode_info(Opcode::kLds).is_load);
+  EXPECT_EQ(opcode_info(Opcode::kLds).space, MemSpace::kShared);
+  EXPECT_EQ(opcode_info(Opcode::kLdc).space, MemSpace::kConst);
+  EXPECT_TRUE(opcode_info(Opcode::kAtomGAdd).is_atomic);
+  EXPECT_TRUE(opcode_info(Opcode::kAtomSAdd).is_atomic);
+}
+
+TEST(Opcode, FunctionalUnitAssignment) {
+  EXPECT_EQ(opcode_info(Opcode::kIadd).fu, FuType::kSpInt);
+  EXPECT_EQ(opcode_info(Opcode::kFadd).fu, FuType::kSpFp);
+  EXPECT_EQ(opcode_info(Opcode::kRsqrt).fu, FuType::kSfu);
+  EXPECT_EQ(opcode_info(Opcode::kFdiv).fu, FuType::kSfu);
+  EXPECT_EQ(opcode_info(Opcode::kLdg).fu, FuType::kMem);
+  EXPECT_EQ(opcode_info(Opcode::kBra).fu, FuType::kControl);
+  EXPECT_EQ(opcode_info(Opcode::kBar).fu, FuType::kControl);
+  EXPECT_EQ(opcode_info(Opcode::kExit).fu, FuType::kControl);
+}
+
+TEST(Opcode, ControlFlags) {
+  EXPECT_TRUE(opcode_info(Opcode::kBra).is_branch);
+  EXPECT_TRUE(opcode_info(Opcode::kBar).is_barrier);
+  EXPECT_TRUE(opcode_info(Opcode::kExit).is_exit);
+  EXPECT_FALSE(opcode_info(Opcode::kIadd).is_branch);
+}
+
+TEST(Opcode, DestinationFlags) {
+  EXPECT_TRUE(opcode_info(Opcode::kLdg).has_dst);
+  EXPECT_FALSE(opcode_info(Opcode::kStg).has_dst);
+  EXPECT_FALSE(opcode_info(Opcode::kBar).has_dst);
+  EXPECT_TRUE(opcode_info(Opcode::kSetp).has_dst);
+}
+
+TEST(CmpOp, NamesRoundTrip) {
+  for (int i = 0; i < 6; ++i) {
+    const auto cmp = static_cast<CmpOp>(i);
+    CmpOp parsed;
+    ASSERT_TRUE(parse_cmp(cmp_name(cmp), parsed));
+    EXPECT_EQ(parsed, cmp);
+  }
+  CmpOp dummy;
+  EXPECT_FALSE(parse_cmp("zz", dummy));
+}
+
+TEST(SpecialReg, NamesRoundTrip) {
+  for (int i = 0; i < 7; ++i) {
+    const auto sreg = static_cast<SpecialReg>(i);
+    SpecialReg parsed;
+    ASSERT_TRUE(parse_sreg(sreg_name(sreg), parsed));
+    EXPECT_EQ(parsed, sreg);
+  }
+  SpecialReg dummy;
+  EXPECT_FALSE(parse_sreg("nope", dummy));
+}
+
+}  // namespace
+}  // namespace prosim

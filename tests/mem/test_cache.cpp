@@ -1,0 +1,124 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+CacheGeometry small_geom() {
+  // 4 sets x 2 ways x 128B lines = 1KB.
+  return CacheGeometry{1024, 128, 2};
+}
+
+TEST(Cache, MissThenHitAfterFill) {
+  Cache c(small_geom());
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_FALSE(c.access(0));
+  c.fill(0, false);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_TRUE(c.access(0));
+}
+
+TEST(Cache, GeometryDerived) {
+  Cache c(small_geom());
+  EXPECT_EQ(c.num_sets(), 4);
+}
+
+TEST(Cache, LineOfMasksOffset) {
+  Cache c(small_geom());
+  EXPECT_EQ(c.line_of(0), 0u);
+  EXPECT_EQ(c.line_of(127), 0u);
+  EXPECT_EQ(c.line_of(128), 128u);
+  EXPECT_EQ(c.line_of(1000), 896u);
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  Cache c(small_geom());
+  // Lines 0 and 128 map to sets 0 and 1.
+  c.fill(0, false);
+  c.fill(128, false);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_TRUE(c.probe(128));
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(small_geom());
+  // Same set: line addresses 0, 512, 1024 (4 sets * 128 = 512 stride).
+  c.fill(0, false);
+  c.fill(512, false);
+  EXPECT_TRUE(c.access(0));  // make 512 the LRU
+  Cache::Victim v = c.fill(1024, false);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.line_addr, 512u);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(512));
+  EXPECT_TRUE(c.probe(1024));
+}
+
+TEST(Cache, VictimReportsDirtyBit) {
+  Cache c(small_geom());
+  c.fill(0, false);
+  c.fill(512, true);  // dirty
+  c.access(0);        // hmm: refresh 0 so 512... keep 512 LRU? No:
+  // access(0) makes 0 MRU, 512 LRU; evicting inserts at set 0.
+  Cache::Victim v = c.fill(1024, false);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.line_addr, 512u);
+  EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, MarkDirtyOnlyOnPresentLines) {
+  Cache c(small_geom());
+  EXPECT_FALSE(c.mark_dirty(0));
+  c.fill(0, false);
+  EXPECT_TRUE(c.mark_dirty(0));
+  c.fill(512, false);
+  Cache::Victim v = c.fill(1024, false);
+  // 512 was filled after 0's mark_dirty touch, so 0 is the LRU victim —
+  // and it must carry the dirty bit out.
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.line_addr, 0u);
+  EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, RefillingPresentLineEvictsNothing) {
+  Cache c(small_geom());
+  c.fill(0, false);
+  Cache::Victim v = c.fill(0, true);
+  EXPECT_FALSE(v.valid);
+  // The dirty flag is merged in.
+  c.fill(512, false);
+  Cache::Victim v2 = c.fill(1024, false);
+  ASSERT_TRUE(v2.valid);
+  // 0 refreshed after... fill order: 0 (refreshed), 512; LRU is 512? No:
+  // refill of 0 made it MRU at that time, then 512 filled later is MRU.
+  EXPECT_EQ(v2.line_addr, 0u);
+  EXPECT_TRUE(v2.dirty);
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c(small_geom());
+  c.fill(0, true);
+  c.invalidate(0);
+  EXPECT_FALSE(c.probe(0));
+  // Invalidating a missing line is a no-op.
+  c.invalidate(4096);
+}
+
+TEST(Cache, FillsUseInvalidWaysFirst) {
+  Cache c(small_geom());
+  c.fill(0, false);
+  c.invalidate(0);
+  c.fill(512, false);
+  Cache::Victim v = c.fill(1024, false);
+  // The invalidated way should have been reused; no eviction needed for
+  // the second fill, and the third evicts 512 or fills free way.
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(CacheDeathTest, NonPow2LineSizeAborts) {
+  EXPECT_DEATH(Cache c(CacheGeometry{1024, 100, 2}), "");
+}
+
+}  // namespace
+}  // namespace prosim

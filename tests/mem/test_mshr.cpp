@@ -1,0 +1,75 @@
+#include "mem/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+TEST(Mshr, AllocateAndRelease) {
+  Mshr<int> m(MshrConfig{4, 2});
+  EXPECT_FALSE(m.has(0));
+  EXPECT_TRUE(m.can_allocate());
+  m.allocate(0, 10);
+  EXPECT_TRUE(m.has(0));
+  auto tokens = m.release(0);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], 10);
+  EXPECT_FALSE(m.has(0));
+}
+
+TEST(Mshr, MergeCollectsTokensInOrder) {
+  Mshr<int> m(MshrConfig{4, 3});
+  m.allocate(128, 1);
+  ASSERT_TRUE(m.can_merge(128));
+  m.merge(128, 2);
+  m.merge(128, 3);
+  auto tokens = m.release(128);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], 1);
+  EXPECT_EQ(tokens[1], 2);
+  EXPECT_EQ(tokens[2], 3);
+}
+
+TEST(Mshr, MergeCapEnforced) {
+  Mshr<int> m(MshrConfig{4, 2});
+  m.allocate(0, 1);
+  m.merge(0, 2);
+  EXPECT_FALSE(m.can_merge(0));
+}
+
+TEST(Mshr, EntryCapEnforced) {
+  Mshr<int> m(MshrConfig{2, 8});
+  m.allocate(0, 1);
+  m.allocate(128, 2);
+  EXPECT_FALSE(m.can_allocate());
+  (void)m.release(0);
+  EXPECT_TRUE(m.can_allocate());
+}
+
+TEST(Mshr, CannotMergeAbsentLine) {
+  Mshr<int> m(MshrConfig{2, 8});
+  EXPECT_FALSE(m.can_merge(64));
+}
+
+TEST(Mshr, OccupancyTracksEntries) {
+  Mshr<int> m(MshrConfig{4, 4});
+  EXPECT_EQ(m.occupancy(), 0);
+  m.allocate(0, 1);
+  m.allocate(128, 2);
+  m.merge(0, 3);  // merges don't change occupancy
+  EXPECT_EQ(m.occupancy(), 2);
+}
+
+TEST(MshrDeathTest, ReleaseOfUnknownLineAborts) {
+  Mshr<int> m(MshrConfig{2, 2});
+  EXPECT_DEATH((void)m.release(0), "unknown line");
+}
+
+TEST(MshrDeathTest, DoubleAllocateAborts) {
+  Mshr<int> m(MshrConfig{2, 2});
+  m.allocate(0, 1);
+  EXPECT_DEATH(m.allocate(0, 2), "");
+}
+
+}  // namespace
+}  // namespace prosim

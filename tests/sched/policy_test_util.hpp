@@ -1,0 +1,53 @@
+// Shared fixture bits for driving SchedulerPolicy implementations directly
+// with a synthetic PolicyContext (no SM core involved).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sm/scheduler_policy.hpp"
+
+namespace prosim {
+
+struct FakeSm {
+  explicit FakeSm(int num_tb_slots = 4, int warps_per_tb = 4,
+                  int num_schedulers = 2) {
+    ctx.sm_id = 0;
+    ctx.num_tb_slots = num_tb_slots;
+    ctx.warps_per_tb = warps_per_tb;
+    ctx.num_warp_slots = num_tb_slots * warps_per_tb;
+    ctx.num_schedulers = num_schedulers;
+    warp_progress.assign(ctx.num_warp_slots, 0);
+    tb_progress.assign(num_tb_slots, 0);
+    tb_ctaid.assign(num_tb_slots, -1);
+    tb_launch_seq.assign(num_tb_slots, 0);
+    ctx.warp_progress = warp_progress.data();
+    ctx.tb_progress = tb_progress.data();
+    ctx.tb_ctaid = tb_ctaid.data();
+    ctx.tb_launch_seq = tb_launch_seq.data();
+    ctx.tbs_waiting = [this] { return tbs_waiting; };
+  }
+
+  /// Launch a TB into a slot and inform the policy.
+  void launch(SchedulerPolicy& policy, int slot, int ctaid) {
+    tb_ctaid[slot] = ctaid;
+    tb_launch_seq[slot] = next_seq++;
+    policy.on_tb_launch(slot);
+  }
+
+  std::uint64_t mask_of(std::initializer_list<int> warps) const {
+    std::uint64_t m = 0;
+    for (int w : warps) m |= 1ull << w;
+    return m;
+  }
+
+  PolicyContext ctx;
+  std::vector<std::uint64_t> warp_progress;
+  std::vector<std::uint64_t> tb_progress;
+  std::vector<int> tb_ctaid;
+  std::vector<std::uint64_t> tb_launch_seq;
+  std::uint64_t next_seq = 0;
+  bool tbs_waiting = true;
+};
+
+}  // namespace prosim

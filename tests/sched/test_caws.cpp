@@ -1,0 +1,60 @@
+#include "sched/caws.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy_test_util.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(Caws, PicksLeastProgressedWarpOfOldestTb) {
+  FakeSm sm;  // 4 TBs x 4 warps, 2 schedulers
+  CawsPolicy caws;
+  caws.attach(sm.ctx);
+  sm.launch(caws, 0, 0);
+  sm.warp_progress[0] = 500;
+  sm.warp_progress[2] = 10;  // the laggard (critical warp)
+  EXPECT_EQ(caws.pick(0, sm.mask_of({0, 2}), 0), 2);
+}
+
+TEST(Caws, OldestTbOutranksYoungerEvenIfMoreProgressed) {
+  FakeSm sm;
+  CawsPolicy caws;
+  caws.attach(sm.ctx);
+  sm.launch(caws, 1, 7);  // older (seq 0), slots 4..7
+  sm.launch(caws, 0, 9);  // younger, slots 0..3
+  sm.warp_progress[4] = 100000;
+  EXPECT_EQ(caws.pick(0, sm.mask_of({0, 4}), 0), 4);
+}
+
+TEST(Caws, FallsToYoungerTbWhenOlderHasNoReadyWarp) {
+  FakeSm sm;
+  CawsPolicy caws;
+  caws.attach(sm.ctx);
+  sm.launch(caws, 0, 0);
+  sm.launch(caws, 1, 1);
+  EXPECT_EQ(caws.pick(0, sm.mask_of({6}), 0), 6);
+}
+
+TEST(Caws, RespectsSchedulerOwnership) {
+  FakeSm sm;
+  CawsPolicy caws;
+  caws.attach(sm.ctx);
+  sm.launch(caws, 0, 0);
+  sm.warp_progress[1] = 0;  // least progressed overall, but odd slot
+  sm.warp_progress[0] = 50;
+  EXPECT_EQ(caws.pick(0, ~std::uint64_t{0}, 0) % 2, 0);
+  EXPECT_EQ(caws.pick(1, ~std::uint64_t{0}, 0), 1);
+}
+
+TEST(Caws, TieBreaksByLowerWarpSlot) {
+  FakeSm sm;
+  CawsPolicy caws;
+  caws.attach(sm.ctx);
+  sm.launch(caws, 0, 0);
+  // Equal progress everywhere: the scan keeps the first (lowest) slot.
+  EXPECT_EQ(caws.pick(0, sm.mask_of({0, 2}), 0), 0);
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,79 @@
+#include "sched/gto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy_test_util.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(Gto, GreedyKeepsIssuingSameWarp) {
+  FakeSm sm;
+  GtoPolicy gto;
+  gto.attach(sm.ctx);
+  sm.launch(gto, 0, 0);
+  sm.launch(gto, 1, 1);
+  const std::uint64_t ready = sm.mask_of({0, 2, 4, 6});
+  const int first = gto.pick(0, ready, 0);
+  EXPECT_EQ(gto.pick(0, ready, 1), first);
+  EXPECT_EQ(gto.pick(0, ready, 2), first);
+}
+
+TEST(Gto, FallsBackToOldestWhenGreedyStalls) {
+  FakeSm sm;
+  GtoPolicy gto;
+  gto.attach(sm.ctx);
+  sm.launch(gto, 0, 5);  // seq 0 (oldest)
+  sm.launch(gto, 1, 6);  // seq 1
+  // Greedy warp 4 (TB slot 1) issues...
+  EXPECT_EQ(gto.pick(0, sm.mask_of({4}), 0), 4);
+  // ...then stalls; among {2, 6}, warp 2 belongs to the older TB.
+  EXPECT_EQ(gto.pick(0, sm.mask_of({2, 6}), 1), 2);
+}
+
+TEST(Gto, OldestIsByLaunchSequenceNotSlotIndex) {
+  FakeSm sm;
+  GtoPolicy gto;
+  gto.attach(sm.ctx);
+  // Slot 1 launched before slot 0.
+  sm.launch(gto, 1, 10);  // seq 0
+  sm.launch(gto, 0, 11);  // seq 1
+  EXPECT_EQ(gto.pick(0, sm.mask_of({0, 4}), 0), 4);  // slot1's warp is older
+}
+
+TEST(Gto, TieBreaksByLowerWarpSlot) {
+  FakeSm sm;
+  GtoPolicy gto;
+  gto.attach(sm.ctx);
+  sm.launch(gto, 0, 0);
+  // Warps 0 and 2 are both TB slot 0: lower slot wins.
+  EXPECT_EQ(gto.pick(0, sm.mask_of({2, 0}), 0), 0);
+}
+
+TEST(Gto, ForgetsFinishedGreedyWarp) {
+  FakeSm sm;
+  GtoPolicy gto;
+  gto.attach(sm.ctx);
+  sm.launch(gto, 0, 0);
+  sm.launch(gto, 1, 1);
+  EXPECT_EQ(gto.pick(0, sm.mask_of({4}), 0), 4);
+  gto.on_warp_finish(4, 1);
+  // Even if 4 were (spuriously) marked ready, the policy must not insist
+  // on it; oldest of the remainder wins.
+  EXPECT_EQ(gto.pick(0, sm.mask_of({0, 6}), 1), 0);
+}
+
+TEST(Gto, SchedulersTrackSeparateGreedyWarps) {
+  FakeSm sm;
+  GtoPolicy gto;
+  gto.attach(sm.ctx);
+  sm.launch(gto, 0, 0);
+  EXPECT_EQ(gto.pick(0, sm.mask_of({0, 2}), 0), 0);
+  EXPECT_EQ(gto.pick(1, sm.mask_of({1, 3}), 0), 1);
+  // Each scheduler stays greedy on its own warp.
+  EXPECT_EQ(gto.pick(0, sm.mask_of({0, 2}), 1), 0);
+  EXPECT_EQ(gto.pick(1, sm.mask_of({1, 3}), 1), 1);
+}
+
+}  // namespace
+}  // namespace prosim

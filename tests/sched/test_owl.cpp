@@ -1,0 +1,73 @@
+#include "sched/owl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy_test_util.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(Owl, PrefersFirstCtaGroup) {
+  FakeSm sm;  // 4 TBs x 4 warps
+  OwlPolicy owl(/*group_size=*/2);
+  owl.attach(sm.ctx);
+  for (int t = 0; t < 4; ++t) sm.launch(owl, t, t);
+  // Warps of TB slots {0,1} (group 0) outrank slots {2,3} (group 1).
+  const int w = owl.pick(0, sm.mask_of({0, 8, 10}), 0);
+  EXPECT_EQ(w, 0);
+}
+
+TEST(Owl, FallsBackToNextGroup) {
+  FakeSm sm;
+  OwlPolicy owl(2);
+  owl.attach(sm.ctx);
+  for (int t = 0; t < 4; ++t) sm.launch(owl, t, t);
+  // Nothing ready in group 0 (slots 0..7): picks from group 1.
+  const int w = owl.pick(0, sm.mask_of({8, 10, 14}), 0);
+  EXPECT_EQ(w, 8);
+}
+
+TEST(Owl, RoundRobinsWithinGroup) {
+  FakeSm sm;
+  OwlPolicy owl(2);
+  owl.attach(sm.ctx);
+  sm.launch(owl, 0, 0);
+  sm.launch(owl, 1, 1);
+  const std::uint64_t ready = sm.mask_of({0, 2, 4, 6});
+  const int a = owl.pick(0, ready, 0);
+  const int b = owl.pick(0, ready, 1);
+  const int c = owl.pick(0, ready, 2);
+  const int d = owl.pick(0, ready, 3);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(c, d);
+  // All four distinct (full rotation).
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(b, d);
+}
+
+TEST(Owl, GroupsFollowLaunchAgeNotSlotIndex) {
+  FakeSm sm;
+  OwlPolicy owl(1);  // group = single TB
+  owl.attach(sm.ctx);
+  sm.launch(owl, 3, 30);  // oldest lives in slot 3
+  sm.launch(owl, 0, 31);
+  // Slot 3's warps (12..15) outrank slot 0's.
+  EXPECT_EQ(owl.pick(0, sm.mask_of({0, 12}), 0), 12);
+}
+
+TEST(Owl, RespectsSchedulerOwnership) {
+  FakeSm sm;
+  OwlPolicy owl(2);
+  owl.attach(sm.ctx);
+  sm.launch(owl, 0, 0);
+  EXPECT_EQ(owl.pick(1, ~std::uint64_t{0}, 0) % 2, 1);
+}
+
+TEST(OwlDeathTest, RejectsNonPositiveGroup) {
+  EXPECT_DEATH(OwlPolicy owl(0), "");
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,159 @@
+// Contract fuzz for every SchedulerPolicy implementation: under random
+// (but legal) event sequences and ready masks, pick() must always return
+// a set bit with the right scheduler parity, and consider_mask() must
+// never hide all ready work forever. This is the interface the SM core
+// relies on; a violation would corrupt scheduling silently.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/adaptive_pro.hpp"
+#include "core/pro_scheduler.hpp"
+#include "policy_test_util.hpp"
+#include "sched/caws.hpp"
+#include "sched/gto.hpp"
+#include "sched/lrr.hpp"
+#include "sched/owl.hpp"
+#include "sched/tl.hpp"
+
+namespace prosim {
+namespace {
+
+std::unique_ptr<SchedulerPolicy> make(int which) {
+  switch (which) {
+    case 0: return std::make_unique<LrrPolicy>();
+    case 1: return std::make_unique<GtoPolicy>();
+    case 2: return std::make_unique<TlPolicy>(3);
+    case 3: return std::make_unique<ProPolicy>();
+    case 4: return std::make_unique<AdaptiveProPolicy>();
+    case 5: return std::make_unique<CawsPolicy>();
+    default: return std::make_unique<OwlPolicy>(2);
+  }
+}
+
+void warp_progress_bump(FakeSm& sm, int w) {
+  sm.warp_progress[static_cast<std::size_t>(w)] += 32;
+  sm.tb_progress[static_cast<std::size_t>(w / sm.ctx.warps_per_tb)] += 32;
+}
+
+class PolicyContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyContract, PickAlwaysReturnsLegalWarp) {
+  Rng rng(0xC0117AC7 + static_cast<std::uint64_t>(GetParam()));
+  FakeSm sm(4, 4, 2);
+  auto policy = make(GetParam());
+  policy->attach(sm.ctx);
+  policy->begin_cycle(0);
+
+  // Track a plausible machine state so emitted events are legal.
+  struct TbSim {
+    bool active = false;
+    int at_barrier = 0;
+    int finished = 0;
+    bool warp_done[8] = {};
+    bool warp_waiting[8] = {};
+  };
+  TbSim tbs[4];
+  int next_ctaid = 0;
+
+  for (Cycle now = 1; now < 4000; ++now) {
+    policy->begin_cycle(now);
+
+    // Random event.
+    const int slot = static_cast<int>(rng.next_below(4));
+    TbSim& tb = tbs[slot];
+    switch (rng.next_below(12)) {
+      case 0:  // launch into a free slot
+        if (!tb.active) {
+          tb = TbSim{};
+          tb.active = true;
+          sm.launch(*policy, slot, next_ctaid++);
+        }
+        break;
+      case 1: {  // a live, non-waiting warp reaches a barrier
+        if (!tb.active) break;
+        for (int i = 0; i < 4; ++i) {
+          if (!tb.warp_done[i] && !tb.warp_waiting[i]) {
+            tb.warp_waiting[i] = true;
+            ++tb.at_barrier;
+            policy->on_warp_barrier_arrive(slot * 4 + i, slot);
+            break;
+          }
+        }
+        if (tb.at_barrier > 0 && tb.at_barrier + tb.finished == 4) {
+          for (int i = 0; i < 4; ++i) tb.warp_waiting[i] = false;
+          tb.at_barrier = 0;
+          policy->on_barrier_release(slot);
+        }
+        break;
+      }
+      case 2: {  // a live, non-waiting warp finishes
+        if (!tb.active) break;
+        for (int i = 0; i < 4; ++i) {
+          if (!tb.warp_done[i] && !tb.warp_waiting[i]) {
+            tb.warp_done[i] = true;
+            ++tb.finished;
+            policy->on_warp_finish(slot * 4 + i, slot);
+            break;
+          }
+        }
+        if (tb.finished == 4) {
+          policy->on_tb_finish(slot);
+          sm.tb_ctaid[slot] = -1;
+          tb.active = false;
+        } else if (tb.at_barrier > 0 && tb.at_barrier + tb.finished == 4) {
+          for (int i = 0; i < 4; ++i) tb.warp_waiting[i] = false;
+          tb.at_barrier = 0;
+          policy->on_barrier_release(slot);
+        }
+        break;
+      }
+      case 3:  // flip the phase signal occasionally
+        sm.tbs_waiting = rng.next_bool(0.7);
+        break;
+      default:
+        break;
+    }
+
+    // Build the legal ready mask: allocated, not done, not waiting,
+    // owned by a random hardware scheduler, visible per consider_mask.
+    const int sched = static_cast<int>(rng.next_below(2));
+    std::uint64_t ready = 0;
+    for (int t = 0; t < 4; ++t) {
+      if (!tbs[t].active) continue;
+      for (int i = 0; i < 4; ++i) {
+        const int w = t * 4 + i;
+        if (w % 2 != sched) continue;
+        if (tbs[t].warp_done[i] || tbs[t].warp_waiting[i]) continue;
+        if (rng.next_bool(0.3)) continue;  // random unreadiness
+        ready |= 1ull << w;
+      }
+    }
+    ready &= policy->consider_mask(sched);
+    if (ready == 0) continue;
+
+    const int w = policy->pick(sched, ready, now);
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, 16);
+    ASSERT_TRUE(ready & (1ull << w)) << "pick outside mask at " << now;
+    ASSERT_EQ(w % 2, sched) << "wrong scheduler parity at " << now;
+
+    // Report the issue back (random long-latency flag).
+    const bool long_lat = rng.next_bool(0.3);
+    policy->on_warp_issue(w, 32, long_lat);
+    warp_progress_bump(sm, w);
+  }
+}
+
+std::string policy_case_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"lrr", "gto",  "tl",  "pro",
+                                       "proa", "caws", "owl"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyContract,
+                         ::testing::Range(0, 7), policy_case_name);
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,101 @@
+#include "sm/coalescer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+TEST(Coalescer, FullyCoalescedWarpIsOneTransaction) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i) addrs[i] = 1024 + i * 4;
+  auto lines = coalesce_lines(addrs, kFullMask, 128);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 1024u);
+}
+
+TEST(Coalescer, EightByteStrideSpansTwoLines) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i) addrs[i] = i * 8;  // 256 bytes
+  auto lines = coalesce_lines(addrs, kFullMask, 128);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], 0u);
+  EXPECT_EQ(lines[1], 128u);
+}
+
+TEST(Coalescer, FullyScatteredIsThirtyTwoTransactions) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i)
+    addrs[i] = static_cast<Addr>(i) * 4096;
+  auto lines = coalesce_lines(addrs, kFullMask, 128);
+  EXPECT_EQ(lines.size(), 32u);
+}
+
+TEST(Coalescer, InactiveLanesIgnored) {
+  Addr addrs[kWarpSize] = {};
+  addrs[0] = 0;
+  addrs[5] = 128;
+  addrs[9] = 999999;  // garbage in an inactive lane
+  auto lines = coalesce_lines(addrs, (1u << 0) | (1u << 5), 128);
+  ASSERT_EQ(lines.size(), 2u);
+}
+
+TEST(Coalescer, ResultSortedAscending) {
+  Addr addrs[kWarpSize] = {};
+  addrs[0] = 512;
+  addrs[1] = 0;
+  addrs[2] = 256;
+  auto lines = coalesce_lines(addrs, 0x7, 128);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_LT(lines[0], lines[1]);
+  EXPECT_LT(lines[1], lines[2]);
+}
+
+TEST(Coalescer, BroadcastSameAddressIsOneLine) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i) addrs[i] = 4096;
+  auto lines = coalesce_lines(addrs, kFullMask, 128);
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(BankConflicts, ConflictFreeUnitStride) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i) addrs[i] = i * 8;  // one word per bank
+  EXPECT_EQ(smem_conflict_degree(addrs, kFullMask, 32), 1);
+}
+
+TEST(BankConflicts, BroadcastIsConflictFree) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i) addrs[i] = 64;  // same word
+  EXPECT_EQ(smem_conflict_degree(addrs, kFullMask, 32), 1);
+}
+
+TEST(BankConflicts, StrideOfBanksIsFullySerialized) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i)
+    addrs[i] = static_cast<Addr>(i) * 32 * 8;  // all hit bank 0
+  EXPECT_EQ(smem_conflict_degree(addrs, kFullMask, 32), 32);
+}
+
+TEST(BankConflicts, TwoWayConflict) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i)
+    addrs[i] = static_cast<Addr>(i % 16) * 8 +
+               static_cast<Addr>(i / 16) * 16 * 8;
+  // Lanes i and i+16 hit the same bank with different words.
+  EXPECT_EQ(smem_conflict_degree(addrs, kFullMask, 16), 2);
+}
+
+TEST(BankConflicts, NoActiveLanesIsZero) {
+  Addr addrs[kWarpSize] = {};
+  EXPECT_EQ(smem_conflict_degree(addrs, 0, 32), 0);
+}
+
+TEST(BankConflicts, InactiveLanesIgnored) {
+  Addr addrs[kWarpSize];
+  for (int i = 0; i < kWarpSize; ++i) addrs[i] = 0;  // all same word
+  addrs[3] = 32 * 8;  // would conflict with lane 0 if active
+  EXPECT_EQ(smem_conflict_degree(addrs, kFullMask & ~(1u << 3), 32), 1);
+}
+
+}  // namespace
+}  // namespace prosim

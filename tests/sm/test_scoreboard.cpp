@@ -1,0 +1,112 @@
+#include "sm/scoreboard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+Instruction iadd(std::uint8_t d, std::uint8_t a, std::uint8_t b) {
+  Instruction i;
+  i.op = Opcode::kIadd;
+  i.dst = d;
+  i.src0 = a;
+  i.src1 = b;
+  return i;
+}
+
+TEST(Scoreboard, FreshWarpHasNoHazards) {
+  Scoreboard sb(4);
+  EXPECT_TRUE(sb.available(0, iadd(0, 1, 2)));
+  EXPECT_EQ(sb.pending_mask(0), 0u);
+}
+
+TEST(Scoreboard, RawHazardBlocks) {
+  Scoreboard sb(4);
+  sb.reserve(0, 5);
+  EXPECT_FALSE(sb.available(0, iadd(0, 5, 2)));  // reads r5
+  EXPECT_FALSE(sb.available(0, iadd(0, 2, 5)));  // reads r5 as src1
+  EXPECT_TRUE(sb.available(0, iadd(0, 1, 2)));
+}
+
+TEST(Scoreboard, WawHazardBlocks) {
+  Scoreboard sb(4);
+  sb.reserve(0, 5);
+  EXPECT_FALSE(sb.available(0, iadd(5, 1, 2)));  // writes r5
+}
+
+TEST(Scoreboard, PredicateRegisterChecked) {
+  Scoreboard sb(4);
+  sb.reserve(0, 3);
+  Instruction br;
+  br.op = Opcode::kBra;
+  br.pred = 3;
+  br.target = 0;
+  br.reconv = 0;
+  EXPECT_FALSE(sb.available(0, br));
+  sb.release(0, 3);
+  EXPECT_TRUE(sb.available(0, br));
+}
+
+TEST(Scoreboard, ImmediateSrc1NotChecked) {
+  Scoreboard sb(4);
+  sb.reserve(0, 5);
+  Instruction i = iadd(0, 1, 5);
+  i.src1_is_imm = true;  // r5 slot holds an immediate, not a register
+  EXPECT_TRUE(sb.available(0, i));
+}
+
+TEST(Scoreboard, PerWarpIsolation) {
+  Scoreboard sb(4);
+  sb.reserve(1, 5);
+  EXPECT_TRUE(sb.available(0, iadd(0, 5, 2)));
+  EXPECT_FALSE(sb.available(1, iadd(0, 5, 2)));
+}
+
+TEST(Scoreboard, ReleaseClears) {
+  Scoreboard sb(4);
+  sb.reserve(0, 5);
+  sb.reserve(0, 6);
+  sb.release(0, 5);
+  EXPECT_TRUE(sb.available(0, iadd(0, 5, 1)));
+  EXPECT_FALSE(sb.available(0, iadd(0, 6, 1)));
+}
+
+TEST(Scoreboard, ResetClearsWarp) {
+  Scoreboard sb(4);
+  sb.reserve(0, 5);
+  sb.reset(0);
+  EXPECT_EQ(sb.pending_mask(0), 0u);
+}
+
+TEST(Scoreboard, RegsOfCollectsAllOperands) {
+  Instruction i;
+  i.op = Opcode::kImad;
+  i.dst = 1;
+  i.src0 = 2;
+  i.src1 = 3;
+  i.src2 = 4;
+  const std::uint64_t mask = Scoreboard::regs_of(i);
+  EXPECT_EQ(mask, (1ull << 1) | (1ull << 2) | (1ull << 3) | (1ull << 4));
+}
+
+TEST(Scoreboard, RegsOfStoreHasNoDst) {
+  Instruction i;
+  i.op = Opcode::kStg;
+  i.src0 = 2;  // address
+  i.src1 = 3;  // value
+  EXPECT_EQ(Scoreboard::regs_of(i), (1ull << 2) | (1ull << 3));
+}
+
+TEST(ScoreboardDeathTest, DoubleReserveAborts) {
+  Scoreboard sb(2);
+  sb.reserve(0, 5);
+  EXPECT_DEATH(sb.reserve(0, 5), "double reservation");
+}
+
+TEST(ScoreboardDeathTest, ReleaseNonPendingAborts) {
+  Scoreboard sb(2);
+  EXPECT_DEATH(sb.release(0, 5), "non-pending");
+}
+
+}  // namespace
+}  // namespace prosim

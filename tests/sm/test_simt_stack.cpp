@@ -1,0 +1,180 @@
+#include "sm/simt_stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+Instruction branch(int target, int reconv) {
+  Instruction i;
+  i.op = Opcode::kBra;
+  i.pred = 1;
+  i.target = target;
+  i.reconv = reconv;
+  return i;
+}
+
+TEST(SimtStack, ResetAndAdvance) {
+  SimtStack s;
+  s.reset(kFullMask);
+  EXPECT_EQ(s.pc(), 0);
+  EXPECT_EQ(s.active(), kFullMask);
+  EXPECT_EQ(s.depth(), 1);
+  s.advance();
+  EXPECT_EQ(s.pc(), 1);
+}
+
+TEST(SimtStack, ResetWithPartialMask) {
+  SimtStack s;
+  s.reset(0xFF);
+  EXPECT_EQ(s.active(), 0xFFu);
+  s.reset(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, UniformTakenBranchJumps) {
+  SimtStack s;
+  s.reset(kFullMask);
+  // At pc 0, everyone takes the branch to 10.
+  s.take_branch(branch(10, 20), kFullMask);
+  EXPECT_EQ(s.pc(), 10);
+  EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, UniformNotTakenFallsThrough) {
+  SimtStack s;
+  s.reset(kFullMask);
+  s.take_branch(branch(10, 20), 0);
+  EXPECT_EQ(s.pc(), 1);
+  EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, DivergenceExecutesTakenFirstThenReconverges) {
+  SimtStack s;
+  s.reset(kFullMask);
+  const ActiveMask taken = 0x0000FFFF;
+  // Branch at pc 0 -> target 5, reconv 8.
+  s.take_branch(branch(5, 8), taken);
+  // Taken side first.
+  EXPECT_EQ(s.pc(), 5);
+  EXPECT_EQ(s.active(), taken);
+  EXPECT_EQ(s.depth(), 3);
+  // Taken path runs 5,6,7 then hits rpc 8.
+  s.advance();
+  s.advance();
+  s.advance();
+  // Now the not-taken side resumes at the fall-through (pc 1).
+  EXPECT_EQ(s.pc(), 1);
+  EXPECT_EQ(s.active(), ~taken);
+  // Not-taken runs 1..7 then reconverges.
+  for (int pc = 1; pc < 8; ++pc) s.advance();
+  EXPECT_EQ(s.pc(), 8);
+  EXPECT_EQ(s.active(), kFullMask);
+  EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, NestedDivergence) {
+  SimtStack s;
+  s.reset(0xF);
+  // Outer branch at 0: lanes 0-1 taken -> 10, reconv 20.
+  s.take_branch(branch(10, 20), 0x3);
+  EXPECT_EQ(s.pc(), 10);
+  EXPECT_EQ(s.active(), 0x3u);
+  // Inner branch at 10: lane 0 taken -> 15, reconv 18.
+  s.take_branch(branch(15, 18), 0x1);
+  EXPECT_EQ(s.pc(), 15);
+  EXPECT_EQ(s.active(), 0x1u);
+  EXPECT_EQ(s.depth(), 5);
+  // Lane 0: 15,16,17 -> hits 18.
+  s.advance();
+  s.advance();
+  s.advance();
+  // Inner not-taken: lane 1 at 11.
+  EXPECT_EQ(s.pc(), 11);
+  EXPECT_EQ(s.active(), 0x2u);
+  for (int pc = 11; pc < 18; ++pc) s.advance();
+  // Inner reconverged: lanes 0-1 at 18, run to 20.
+  EXPECT_EQ(s.pc(), 18);
+  EXPECT_EQ(s.active(), 0x3u);
+  s.advance();
+  s.advance();
+  // Outer not-taken: lanes 2-3 at 1.
+  EXPECT_EQ(s.pc(), 1);
+  EXPECT_EQ(s.active(), 0xCu);
+  for (int pc = 1; pc < 20; ++pc) s.advance();
+  EXPECT_EQ(s.pc(), 20);
+  EXPECT_EQ(s.active(), 0xFu);
+  EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, LoopBackBranchWithEscapingLanes) {
+  // Loop body at 0..2, back-branch at 2 with reconv 3 (fall-through).
+  SimtStack s;
+  s.reset(0x7);
+  // Iteration 1: lanes 0,1 loop again; lane 2 exits.
+  s.advance();
+  s.advance();  // at pc 2 (the branch)
+  s.take_branch(branch(0, 3), 0x3);
+  EXPECT_EQ(s.pc(), 0);
+  EXPECT_EQ(s.active(), 0x3u);
+  // Iteration 2: both exit.
+  s.advance();
+  s.advance();
+  s.take_branch(branch(0, 3), 0x0);
+  // All lanes should reconverge at pc 3 with the full mask.
+  EXPECT_EQ(s.pc(), 3);
+  EXPECT_EQ(s.active(), 0x7u);
+  EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStack, JumpToReconvergencePops) {
+  SimtStack s;
+  s.reset(kFullMask);
+  s.take_branch(branch(5, 8), 0xFF);
+  // Taken side at 5; jump straight to the reconvergence point.
+  s.jump(8);
+  // Not-taken resumes.
+  EXPECT_EQ(s.pc(), 1);
+  EXPECT_EQ(s.active(), ~ActiveMask{0xFF});
+}
+
+TEST(SimtStack, ExitLanesPartial) {
+  SimtStack s;
+  s.reset(kFullMask);
+  s.exit_lanes(0xFFFF0000);
+  EXPECT_EQ(s.active(), 0x0000FFFFu);
+  EXPECT_FALSE(s.empty());
+  s.exit_lanes(0x0000FFFF);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, ExitInsideDivergentRegionCleansUp) {
+  SimtStack s;
+  s.reset(0xF);
+  s.take_branch(branch(5, 8), 0x3);
+  // Taken lanes (0,1) exit inside their path.
+  s.exit_lanes(0x3);
+  // The taken entry vanished; not-taken side resumes.
+  EXPECT_EQ(s.pc(), 1);
+  EXPECT_EQ(s.active(), 0xCu);
+  for (int pc = 1; pc < 8; ++pc) s.advance();
+  EXPECT_EQ(s.pc(), 8);
+  EXPECT_EQ(s.active(), 0xCu);  // only survivors
+  EXPECT_EQ(s.depth(), 1);
+}
+
+TEST(SimtStackDeathTest, TakenOutsideActiveMaskAborts) {
+  SimtStack s;
+  s.reset(0x1);
+  EXPECT_DEATH(s.take_branch(branch(5, 8), 0x2), "outside");
+}
+
+TEST(SimtStackDeathTest, DivergentBranchWithoutReconvAborts) {
+  SimtStack s;
+  s.reset(0x3);
+  Instruction b = branch(5, -1);
+  EXPECT_DEATH(s.take_branch(b, 0x1), "reconv");
+}
+
+}  // namespace
+}  // namespace prosim

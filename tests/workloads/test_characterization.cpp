@@ -1,0 +1,115 @@
+// Workload-characterization tests: verify each Table II equivalent
+// actually exhibits the structural behaviour its paper counterpart is
+// known for — SIMT efficiency loss for divergent kernels, shared-memory
+// bank conflicts for scattered-lookup kernels, barrier traffic for
+// reduction kernels, memory intensity for graph traversal.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpu/gpu.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim {
+namespace {
+
+const GpuResult& run(const std::string& kernel) {
+  static std::map<std::string, GpuResult> cache;
+  auto it = cache.find(kernel);
+  if (it != cache.end()) return it->second;
+  const Workload& w = find_workload(kernel);
+  Program p = w.program;
+  p.info.grid_dim = std::min(p.info.grid_dim, 28);
+  GlobalMemory mem;
+  w.init(mem);
+  GpuConfig cfg = GpuConfig::test_config();
+  GpuResult r = simulate(cfg, p, mem);
+  return cache.emplace(kernel, std::move(r)).first->second;
+}
+
+TEST(Characterization, DivergentKernelsLoseSimtEfficiency) {
+  // RAY's bounce loops and BFS's degree loops leave lanes idle.
+  EXPECT_LT(run("render").totals.simt_efficiency(), 0.65);
+  EXPECT_LT(run("bfs_kernel").totals.simt_efficiency(), 0.75);
+}
+
+TEST(Characterization, RegularKernelsKeepSimtEfficiencyHigh) {
+  EXPECT_GT(run("cenergy").totals.simt_efficiency(), 0.97);
+  EXPECT_GT(run("executeFirstLayer").totals.simt_efficiency(), 0.97);
+  EXPECT_GT(run("bpnn_adjust_weights_cuda").totals.simt_efficiency(), 0.97);
+}
+
+TEST(Characterization, AesSuffersSharedMemoryBankConflicts) {
+  // Data-dependent T-table lookups scatter across banks.
+  EXPECT_GT(run("aesEncrypt128").totals.smem_conflict_extra_cycles, 1000u);
+}
+
+TEST(Characterization, HistogramSharedAtomicsSerialize) {
+  EXPECT_GT(run("histogram256Kernel").totals.smem_conflict_extra_cycles,
+            1000u);
+}
+
+TEST(Characterization, ReductionKernelsReleaseManyBarriers) {
+  // One release per tree level per TB (plus the staging barrier).
+  const GpuResult& r = run("scalarProdGPU");
+  EXPECT_GE(r.totals.barrier_releases, 9u * r.totals.tbs_executed);
+  const GpuResult& m = run("MonteCarloOneBlockPerOption");
+  EXPECT_GE(m.totals.barrier_releases, 9u * m.totals.tbs_executed);
+}
+
+TEST(Characterization, StreamingKernelsHaveNoBarriers) {
+  EXPECT_EQ(run("bpnn_adjust_weights_cuda").totals.barrier_releases, 0u);
+  EXPECT_EQ(run("findK").totals.barrier_releases, 0u);
+  EXPECT_EQ(run("cenergy").totals.barrier_releases, 0u);
+}
+
+TEST(Characterization, PointerChasingMissesButNodeFieldsHit) {
+  // b+tree descends random nodes (cold misses on every chase step), but
+  // the three field loads of one node share a line (guaranteed hits).
+  const GpuResult& r = run("findK");
+  EXPECT_GT(r.l1_misses, 500u);      // the chase itself
+  EXPECT_GT(r.l1_hits, r.l1_misses);  // intra-node locality
+}
+
+TEST(Characterization, BroadcastInputLoadsReuseTheL1) {
+  // NN weight reads stream (mostly misses); the input-vector reads are
+  // warp-wide broadcasts of a handful of lines and produce steady hits.
+  const GpuResult& r = run("executeFirstLayer");
+  EXPECT_GT(r.l1_hits, 1000u);
+  EXPECT_GT(r.l1_misses, r.l1_hits / 4);  // streaming weights still miss
+}
+
+TEST(Characterization, ComputeBoundKernelsBarelyTouchDram) {
+  const GpuResult& r = run("cenergy");
+  // Only the per-thread result stores go out; instructions dominate.
+  EXPECT_GT(r.totals.thread_insts / 100,
+            r.totals.gmem_transactions);
+}
+
+TEST(Characterization, MemoryBoundKernelsDont) {
+  const GpuResult& r = run("bfs_kernel");
+  EXPECT_LT(r.totals.thread_insts / 100, r.totals.gmem_transactions);
+}
+
+TEST(Characterization, WarpRuntimeDisparityHighestForRay) {
+  // §II-B: RAY-style kernels are the canonical warp-level divergence case.
+  const double ray =
+      static_cast<double>(run("render").totals.warp_finish_disparity_sum) /
+      run("render").totals.tbs_executed;
+  const double streaming =
+      static_cast<double>(
+          run("bpnn_adjust_weights_cuda").totals.warp_finish_disparity_sum) /
+      run("bpnn_adjust_weights_cuda").totals.tbs_executed;
+  EXPECT_GT(ray, 4 * streaming);
+}
+
+TEST(Characterization, OccupancyAveragesNearCapacityMidRun) {
+  const GpuResult& r = run("aesEncrypt128");
+  const double mean_occ =
+      static_cast<double>(r.totals.occupancy_tb_cycles) /
+      (static_cast<double>(r.cycles) * 2 /*SMs in test config*/);
+  EXPECT_GT(mean_occ, 2.0);  // out of 6 resident slots, includes drain tail
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,138 @@
+// Structural tests over the Table II workload registry.
+#include "kernels/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpu/gpu.hpp"
+#include "sm/sm_core.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(Registry, HasTwentyFiveKernels) {
+  EXPECT_EQ(all_workloads().size(), 25u);
+}
+
+TEST(Registry, KernelNamesUnique) {
+  std::set<std::string> names;
+  for (const Workload& w : all_workloads()) names.insert(w.kernel);
+  EXPECT_EQ(names.size(), all_workloads().size());
+}
+
+TEST(Registry, FifteenApplications) {
+  // Fig 1/5 and Table III aggregate by application.
+  EXPECT_EQ(all_app_names().size(), 15u);
+}
+
+TEST(Registry, EveryProgramValidates) {
+  for (const Workload& w : all_workloads()) {
+    EXPECT_EQ(w.program.validate(), "") << w.kernel;
+  }
+}
+
+TEST(Registry, PaperTbCountsMatchTableII) {
+  EXPECT_EQ(find_workload("aesEncrypt128").paper_tbs, 257);
+  EXPECT_EQ(find_workload("bfs_kernel").paper_tbs, 256);
+  EXPECT_EQ(find_workload("cenergy").paper_tbs, 256);
+  EXPECT_EQ(find_workload("GPU_laplace3d").paper_tbs, 100);
+  EXPECT_EQ(find_workload("executeSecondLayer").paper_tbs, 1400);
+  EXPECT_EQ(find_workload("render").paper_tbs, 512);
+  EXPECT_EQ(find_workload("sha1_overlap").paper_tbs, 384);
+  EXPECT_EQ(find_workload("bpnn_layerforward").paper_tbs, 4096);
+  EXPECT_EQ(find_workload("findK").paper_tbs, 10000);
+  EXPECT_EQ(find_workload("findRangeK").paper_tbs, 6000);
+  EXPECT_EQ(find_workload("calculate_temp").paper_tbs, 1849);
+  EXPECT_EQ(find_workload("dynproc_kernel").paper_tbs, 463);
+  EXPECT_EQ(find_workload("convolutionRowsKernel").paper_tbs, 18432);
+  EXPECT_EQ(find_workload("histogram64Kernel").paper_tbs, 4370);
+  EXPECT_EQ(find_workload("mergeHistogram256Kernel").paper_tbs, 256);
+  EXPECT_EQ(find_workload("inverseCNDKernel").paper_tbs, 128);
+  EXPECT_EQ(find_workload("scalarProdGPU").paper_tbs, 128);
+}
+
+TEST(Registry, SuitesMatchTableII) {
+  int gpgpusim = 0;
+  int rodinia = 0;
+  int sdk = 0;
+  for (const Workload& w : all_workloads()) {
+    if (w.suite == "gpgpu-sim") ++gpgpusim;
+    if (w.suite == "rodinia") ++rodinia;
+    if (w.suite == "cuda-sdk") ++sdk;
+  }
+  EXPECT_EQ(gpgpusim, 10);
+  EXPECT_EQ(rodinia, 6);
+  EXPECT_EQ(sdk, 9);
+}
+
+TEST(Registry, KernelsOversubscribeTheGpuAsInThePaper) {
+  // Both execution phases (fastTBPhase and slowTBPhase) must occur: the
+  // grid has to exceed what the full 14-SM GTX480 can hold resident —
+  // except for kernels whose paper grid also fits residency (flagged).
+  GpuConfig cfg;  // full config
+  for (const Workload& w : all_workloads()) {
+    const int per_sm = SmCore::compute_residency(cfg.sm, w.program.info);
+    ASSERT_GT(per_sm, 0) << w.kernel;
+    const int capacity = per_sm * cfg.num_sms;
+    if (w.fits_residency) {
+      EXPECT_LE(w.program.info.grid_dim, capacity) << w.kernel;
+    } else {
+      EXPECT_GT(w.program.info.grid_dim, capacity) << w.kernel;
+    }
+  }
+}
+
+TEST(Registry, AppWorkloadsGroupsKernels) {
+  EXPECT_EQ(app_workloads("NN").size(), 4u);
+  EXPECT_EQ(app_workloads("histogram").size(), 4u);
+  EXPECT_EQ(app_workloads("backprop").size(), 2u);
+  EXPECT_EQ(app_workloads("AES").size(), 1u);
+}
+
+TEST(Registry, BarrierKernelsDeclareSharedMemory) {
+  for (const char* name :
+       {"aesEncrypt128", "GPU_laplace3d", "bpnn_layerforward",
+        "calculate_temp", "dynproc_kernel", "scalarProdGPU",
+        "MonteCarloOneBlockPerOption"}) {
+    const Workload& w = find_workload(name);
+    EXPECT_GT(w.program.info.smem_bytes, 0) << name;
+    bool has_bar = false;
+    for (const Instruction& inst : w.program.code) {
+      if (inst.op == Opcode::kBar) has_bar = true;
+    }
+    EXPECT_TRUE(has_bar) << name;
+  }
+}
+
+TEST(Registry, DivergenceKernelsContainPredicatedBranches) {
+  for (const char* name : {"bfs_kernel", "render", "findRangeK"}) {
+    const Workload& w = find_workload(name);
+    bool divergent = false;
+    for (const Instruction& inst : w.program.code) {
+      if (inst.is_divergent_branch()) divergent = true;
+    }
+    EXPECT_TRUE(divergent) << name;
+  }
+}
+
+TEST(Registry, AtomicsPresentInHistogramKernels) {
+  for (const char* name : {"histogram64Kernel", "histogram256Kernel"}) {
+    const Workload& w = find_workload(name);
+    bool shared_atomic = false;
+    bool global_atomic = false;
+    for (const Instruction& inst : w.program.code) {
+      if (inst.op == Opcode::kAtomSAdd) shared_atomic = true;
+      if (inst.op == Opcode::kAtomGAdd) global_atomic = true;
+    }
+    EXPECT_TRUE(shared_atomic) << name;
+    EXPECT_TRUE(global_atomic) << name;
+  }
+}
+
+TEST(RegistryDeathTest, UnknownWorkloadAborts) {
+  EXPECT_DEATH(find_workload("not_a_kernel"), "unknown workload");
+}
+
+}  // namespace
+}  // namespace prosim
