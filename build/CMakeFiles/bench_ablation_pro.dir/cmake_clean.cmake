@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pro.dir/bench/bench_ablation_pro.cpp.o"
+  "CMakeFiles/bench_ablation_pro.dir/bench/bench_ablation_pro.cpp.o.d"
+  "bench/bench_ablation_pro"
+  "bench/bench_ablation_pro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_memory.dir/bench/bench_ext_memory.cpp.o"
+  "CMakeFiles/bench_ext_memory.dir/bench/bench_ext_memory.cpp.o.d"
+  "bench/bench_ext_memory"
+  "bench/bench_ext_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

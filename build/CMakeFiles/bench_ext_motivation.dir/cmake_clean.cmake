@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_motivation.dir/bench/bench_ext_motivation.cpp.o"
+  "CMakeFiles/bench_ext_motivation.dir/bench/bench_ext_motivation.cpp.o.d"
+  "bench/bench_ext_motivation"
+  "bench/bench_ext_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tb_timeline.dir/bench/bench_fig2_tb_timeline.cpp.o"
+  "CMakeFiles/bench_fig2_tb_timeline.dir/bench/bench_fig2_tb_timeline.cpp.o.d"
+  "bench/bench_fig2_tb_timeline"
+  "bench/bench_fig2_tb_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tb_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_performance.dir/bench/bench_fig4_performance.cpp.o"
+  "CMakeFiles/bench_fig4_performance.dir/bench/bench_fig4_performance.cpp.o.d"
+  "bench/bench_fig4_performance"
+  "bench/bench_fig4_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_stall_improvement.dir/bench/bench_fig5_stall_improvement.cpp.o"
+  "CMakeFiles/bench_fig5_stall_improvement.dir/bench/bench_fig5_stall_improvement.cpp.o.d"
+  "bench/bench_fig5_stall_improvement"
+  "bench/bench_fig5_stall_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_stall_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

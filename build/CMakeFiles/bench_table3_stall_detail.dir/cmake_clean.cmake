@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_stall_detail.dir/bench/bench_table3_stall_detail.cpp.o"
+  "CMakeFiles/bench_table3_stall_detail.dir/bench/bench_table3_stall_detail.cpp.o.d"
+  "bench/bench_table3_stall_detail"
+  "bench/bench_table3_stall_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_stall_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sorted_order.dir/bench/bench_table4_sorted_order.cpp.o"
+  "CMakeFiles/bench_table4_sorted_order.dir/bench/bench_table4_sorted_order.cpp.o.d"
+  "bench/bench_table4_sorted_order"
+  "bench/bench_table4_sorted_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sorted_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

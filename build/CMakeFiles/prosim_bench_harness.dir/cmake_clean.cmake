@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_bench_harness.dir/bench/harness.cpp.o"
+  "CMakeFiles/prosim_bench_harness.dir/bench/harness.cpp.o.d"
+  "libprosim_bench_harness.a"
+  "libprosim_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

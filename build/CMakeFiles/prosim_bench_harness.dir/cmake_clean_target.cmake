@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprosim_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_cli.dir/prosim_cli.cpp.o"
+  "CMakeFiles/prosim_cli.dir/prosim_cli.cpp.o.d"
+  "prosim_cli"
+  "prosim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_timeline.dir/tb_timeline.cpp.o"
+  "CMakeFiles/tb_timeline.dir/tb_timeline.cpp.o.d"
+  "tb_timeline"
+  "tb_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_common.dir/log.cpp.o"
+  "CMakeFiles/prosim_common.dir/log.cpp.o.d"
+  "CMakeFiles/prosim_common.dir/stats.cpp.o"
+  "CMakeFiles/prosim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/prosim_common.dir/table.cpp.o"
+  "CMakeFiles/prosim_common.dir/table.cpp.o.d"
+  "libprosim_common.a"
+  "libprosim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_pro.cpp" "src/core/CMakeFiles/prosim_core.dir/adaptive_pro.cpp.o" "gcc" "src/core/CMakeFiles/prosim_core.dir/adaptive_pro.cpp.o.d"
+  "/root/repo/src/core/pro_scheduler.cpp" "src/core/CMakeFiles/prosim_core.dir/pro_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/prosim_core.dir/pro_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/prosim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_core.dir/adaptive_pro.cpp.o"
+  "CMakeFiles/prosim_core.dir/adaptive_pro.cpp.o.d"
+  "CMakeFiles/prosim_core.dir/pro_scheduler.cpp.o"
+  "CMakeFiles/prosim_core.dir/pro_scheduler.cpp.o.d"
+  "libprosim_core.a"
+  "libprosim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

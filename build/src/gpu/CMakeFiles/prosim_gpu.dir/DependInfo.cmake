@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu.cpp" "src/gpu/CMakeFiles/prosim_gpu.dir/gpu.cpp.o" "gcc" "src/gpu/CMakeFiles/prosim_gpu.dir/gpu.cpp.o.d"
+  "/root/repo/src/gpu/report.cpp" "src/gpu/CMakeFiles/prosim_gpu.dir/report.cpp.o" "gcc" "src/gpu/CMakeFiles/prosim_gpu.dir/report.cpp.o.d"
+  "/root/repo/src/gpu/trace_export.cpp" "src/gpu/CMakeFiles/prosim_gpu.dir/trace_export.cpp.o" "gcc" "src/gpu/CMakeFiles/prosim_gpu.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/prosim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prosim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_gpu.dir/gpu.cpp.o"
+  "CMakeFiles/prosim_gpu.dir/gpu.cpp.o.d"
+  "CMakeFiles/prosim_gpu.dir/report.cpp.o"
+  "CMakeFiles/prosim_gpu.dir/report.cpp.o.d"
+  "CMakeFiles/prosim_gpu.dir/trace_export.cpp.o"
+  "CMakeFiles/prosim_gpu.dir/trace_export.cpp.o.d"
+  "libprosim_gpu.a"
+  "libprosim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

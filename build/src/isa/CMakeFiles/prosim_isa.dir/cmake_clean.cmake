@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_isa.dir/assembler.cpp.o"
+  "CMakeFiles/prosim_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/prosim_isa.dir/builder.cpp.o"
+  "CMakeFiles/prosim_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/prosim_isa.dir/instruction.cpp.o"
+  "CMakeFiles/prosim_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/prosim_isa.dir/interpreter.cpp.o"
+  "CMakeFiles/prosim_isa.dir/interpreter.cpp.o.d"
+  "CMakeFiles/prosim_isa.dir/opcode.cpp.o"
+  "CMakeFiles/prosim_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/prosim_isa.dir/program.cpp.o"
+  "CMakeFiles/prosim_isa.dir/program.cpp.o.d"
+  "libprosim_isa.a"
+  "libprosim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

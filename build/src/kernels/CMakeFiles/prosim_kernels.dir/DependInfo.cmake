@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cudasdk_suite.cpp" "src/kernels/CMakeFiles/prosim_kernels.dir/cudasdk_suite.cpp.o" "gcc" "src/kernels/CMakeFiles/prosim_kernels.dir/cudasdk_suite.cpp.o.d"
+  "/root/repo/src/kernels/gpgpusim_suite.cpp" "src/kernels/CMakeFiles/prosim_kernels.dir/gpgpusim_suite.cpp.o" "gcc" "src/kernels/CMakeFiles/prosim_kernels.dir/gpgpusim_suite.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/kernels/CMakeFiles/prosim_kernels.dir/registry.cpp.o" "gcc" "src/kernels/CMakeFiles/prosim_kernels.dir/registry.cpp.o.d"
+  "/root/repo/src/kernels/rodinia_suite.cpp" "src/kernels/CMakeFiles/prosim_kernels.dir/rodinia_suite.cpp.o" "gcc" "src/kernels/CMakeFiles/prosim_kernels.dir/rodinia_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

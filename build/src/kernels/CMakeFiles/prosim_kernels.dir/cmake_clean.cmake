@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_kernels.dir/cudasdk_suite.cpp.o"
+  "CMakeFiles/prosim_kernels.dir/cudasdk_suite.cpp.o.d"
+  "CMakeFiles/prosim_kernels.dir/gpgpusim_suite.cpp.o"
+  "CMakeFiles/prosim_kernels.dir/gpgpusim_suite.cpp.o.d"
+  "CMakeFiles/prosim_kernels.dir/registry.cpp.o"
+  "CMakeFiles/prosim_kernels.dir/registry.cpp.o.d"
+  "CMakeFiles/prosim_kernels.dir/rodinia_suite.cpp.o"
+  "CMakeFiles/prosim_kernels.dir/rodinia_suite.cpp.o.d"
+  "libprosim_kernels.a"
+  "libprosim_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

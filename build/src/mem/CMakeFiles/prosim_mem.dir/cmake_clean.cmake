@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_mem.dir/cache.cpp.o"
+  "CMakeFiles/prosim_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/prosim_mem.dir/dram.cpp.o"
+  "CMakeFiles/prosim_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/prosim_mem.dir/interconnect.cpp.o"
+  "CMakeFiles/prosim_mem.dir/interconnect.cpp.o.d"
+  "CMakeFiles/prosim_mem.dir/memory_partition.cpp.o"
+  "CMakeFiles/prosim_mem.dir/memory_partition.cpp.o.d"
+  "CMakeFiles/prosim_mem.dir/memory_subsystem.cpp.o"
+  "CMakeFiles/prosim_mem.dir/memory_subsystem.cpp.o.d"
+  "libprosim_mem.a"
+  "libprosim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sm/coalescer.cpp" "src/sm/CMakeFiles/prosim_sm.dir/coalescer.cpp.o" "gcc" "src/sm/CMakeFiles/prosim_sm.dir/coalescer.cpp.o.d"
+  "/root/repo/src/sm/simt_stack.cpp" "src/sm/CMakeFiles/prosim_sm.dir/simt_stack.cpp.o" "gcc" "src/sm/CMakeFiles/prosim_sm.dir/simt_stack.cpp.o.d"
+  "/root/repo/src/sm/sm_core.cpp" "src/sm/CMakeFiles/prosim_sm.dir/sm_core.cpp.o" "gcc" "src/sm/CMakeFiles/prosim_sm.dir/sm_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

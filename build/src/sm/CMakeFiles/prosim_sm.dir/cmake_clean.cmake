@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosim_sm.dir/coalescer.cpp.o"
+  "CMakeFiles/prosim_sm.dir/coalescer.cpp.o.d"
+  "CMakeFiles/prosim_sm.dir/simt_stack.cpp.o"
+  "CMakeFiles/prosim_sm.dir/simt_stack.cpp.o.d"
+  "CMakeFiles/prosim_sm.dir/sm_core.cpp.o"
+  "CMakeFiles/prosim_sm.dir/sm_core.cpp.o.d"
+  "libprosim_sm.a"
+  "libprosim_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosim_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

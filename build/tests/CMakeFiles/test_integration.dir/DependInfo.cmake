@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_config_sweeps.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_config_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_config_sweeps.cpp.o.d"
+  "/root/repo/tests/integration/test_golden_equivalence.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_golden_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_golden_equivalence.cpp.o.d"
+  "/root/repo/tests/integration/test_gpu_behavior.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_gpu_behavior.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_gpu_behavior.cpp.o.d"
+  "/root/repo/tests/integration/test_json_report.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_json_report.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_json_report.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/integration/test_random_programs.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_random_programs.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_random_programs.cpp.o.d"
+  "/root/repo/tests/integration/test_trace_export.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/prosim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/prosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/prosim_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_config_sweeps.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_config_sweeps.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_golden_equivalence.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_golden_equivalence.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_gpu_behavior.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_gpu_behavior.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_json_report.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_json_report.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_claims.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_random_programs.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_random_programs.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_trace_export.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_trace_export.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/test_assembler.cpp" "tests/CMakeFiles/test_isa.dir/isa/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/test_assembler.cpp.o.d"
+  "/root/repo/tests/isa/test_assembler_fuzz.cpp" "tests/CMakeFiles/test_isa.dir/isa/test_assembler_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/test_assembler_fuzz.cpp.o.d"
+  "/root/repo/tests/isa/test_builder.cpp" "tests/CMakeFiles/test_isa.dir/isa/test_builder.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/test_builder.cpp.o.d"
+  "/root/repo/tests/isa/test_disassembler.cpp" "tests/CMakeFiles/test_isa.dir/isa/test_disassembler.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/test_disassembler.cpp.o.d"
+  "/root/repo/tests/isa/test_interpreter.cpp" "tests/CMakeFiles/test_isa.dir/isa/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/test_interpreter.cpp.o.d"
+  "/root/repo/tests/isa/test_opcode.cpp" "tests/CMakeFiles/test_isa.dir/isa/test_opcode.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/test_opcode.cpp.o.d"
+  "/root/repo/tests/isa/test_semantics.cpp" "tests/CMakeFiles/test_isa.dir/isa/test_semantics.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/test_semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/prosim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/prosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/prosim_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

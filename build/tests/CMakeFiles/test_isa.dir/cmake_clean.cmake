@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_assembler.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_assembler.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_assembler_fuzz.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_assembler_fuzz.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_builder.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_builder.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_disassembler.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_disassembler.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_interpreter.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_interpreter.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_opcode.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_opcode.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_semantics.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_semantics.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_cache.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_cache.cpp.o.d"
+  "/root/repo/tests/mem/test_dram.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_dram.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_dram.cpp.o.d"
+  "/root/repo/tests/mem/test_dram_fcfs.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_dram_fcfs.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_dram_fcfs.cpp.o.d"
+  "/root/repo/tests/mem/test_interconnect.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_interconnect.cpp.o.d"
+  "/root/repo/tests/mem/test_memory_partition.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_memory_partition.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_memory_partition.cpp.o.d"
+  "/root/repo/tests/mem/test_memory_subsystem.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_memory_subsystem.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_memory_subsystem.cpp.o.d"
+  "/root/repo/tests/mem/test_mshr.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_mshr.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_mshr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/prosim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/prosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/prosim_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

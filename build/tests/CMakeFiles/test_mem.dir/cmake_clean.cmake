@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_dram_fcfs.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_dram_fcfs.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_interconnect.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_interconnect.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_memory_partition.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_memory_partition.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_memory_subsystem.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_memory_subsystem.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

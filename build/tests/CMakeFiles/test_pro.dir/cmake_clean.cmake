@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pro.dir/core/test_adaptive_pro.cpp.o"
+  "CMakeFiles/test_pro.dir/core/test_adaptive_pro.cpp.o.d"
+  "CMakeFiles/test_pro.dir/core/test_hw_cost.cpp.o"
+  "CMakeFiles/test_pro.dir/core/test_hw_cost.cpp.o.d"
+  "CMakeFiles/test_pro.dir/core/test_pro_priorities.cpp.o"
+  "CMakeFiles/test_pro.dir/core/test_pro_priorities.cpp.o.d"
+  "CMakeFiles/test_pro.dir/core/test_pro_sort_latency.cpp.o"
+  "CMakeFiles/test_pro.dir/core/test_pro_sort_latency.cpp.o.d"
+  "CMakeFiles/test_pro.dir/core/test_pro_state.cpp.o"
+  "CMakeFiles/test_pro.dir/core/test_pro_state.cpp.o.d"
+  "test_pro"
+  "test_pro.pdb"
+  "test_pro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_caws.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_caws.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_gto.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_gto.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_lrr.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_lrr.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_owl.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_owl.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_policy_contract.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_policy_contract.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_tl.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_tl.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sm/test_coalescer.cpp" "tests/CMakeFiles/test_sm.dir/sm/test_coalescer.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/test_coalescer.cpp.o.d"
+  "/root/repo/tests/sm/test_const_cache.cpp" "tests/CMakeFiles/test_sm.dir/sm/test_const_cache.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/test_const_cache.cpp.o.d"
+  "/root/repo/tests/sm/test_scoreboard.cpp" "tests/CMakeFiles/test_sm.dir/sm/test_scoreboard.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/test_scoreboard.cpp.o.d"
+  "/root/repo/tests/sm/test_simt_stack.cpp" "tests/CMakeFiles/test_sm.dir/sm/test_simt_stack.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/test_simt_stack.cpp.o.d"
+  "/root/repo/tests/sm/test_sm_core.cpp" "tests/CMakeFiles/test_sm.dir/sm/test_sm_core.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/test_sm_core.cpp.o.d"
+  "/root/repo/tests/sm/test_sm_timing.cpp" "tests/CMakeFiles/test_sm.dir/sm/test_sm_timing.cpp.o" "gcc" "tests/CMakeFiles/test_sm.dir/sm/test_sm_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prosim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/prosim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prosim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/prosim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/prosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/prosim_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

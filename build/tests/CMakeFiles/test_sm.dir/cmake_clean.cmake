@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm.dir/sm/test_coalescer.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/test_coalescer.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/test_const_cache.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/test_const_cache.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/test_scoreboard.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/test_scoreboard.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/test_simt_stack.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/test_simt_stack.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/test_sm_core.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/test_sm_core.cpp.o.d"
+  "CMakeFiles/test_sm.dir/sm/test_sm_timing.cpp.o"
+  "CMakeFiles/test_sm.dir/sm/test_sm_timing.cpp.o.d"
+  "test_sm"
+  "test_sm.pdb"
+  "test_sm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

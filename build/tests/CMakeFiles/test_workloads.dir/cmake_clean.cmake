@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_characterization.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_characterization.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_registry.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_registry.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_workload_golden.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_workload_golden.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
