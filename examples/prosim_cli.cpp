@@ -31,6 +31,10 @@ struct Options {
   SchedulerKind scheduler = SchedulerKind::kPro;
   int num_sms = -1;
   Cycle threshold = 0;
+  Cycle max_cycles = 0;
+  std::uint64_t fault_seed = 0;
+  bool inject_faults = false;
+  bool no_watchdog = false;
   bool no_barrier_handling = false;
   bool no_finish_handling = false;
   bool no_l1 = false;
@@ -66,6 +70,9 @@ int usage() {
       "  --no-finish          disable PRO finish handling\n"
       "  --no-l1              bypass the L1 data cache\n"
       "  --fcfs-dram          plain FCFS DRAM scheduling (default FR-FCFS)\n"
+      "  --fault-seed N       inject timing faults (chaos preset, seed N)\n"
+      "  --max-cycles N       abort with a livelock report after N cycles\n"
+      "  --no-watchdog        disable the forward-progress watchdog\n"
       "  --trace FILE         write a chrome://tracing JSON of the TB timeline\n"
       "  --csv                emit the result row as CSV\n"
       "  --json               emit the full result as JSON\n"
@@ -100,6 +107,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.threshold = static_cast<Cycle>(std::atoll(v));
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.fault_seed = static_cast<std::uint64_t>(std::atoll(v));
+      opt.inject_faults = true;
+    } else if (arg == "--max-cycles") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.max_cycles = static_cast<Cycle>(std::atoll(v));
+      if (opt.max_cycles == 0) return false;
+    } else if (arg == "--no-watchdog") {
+      opt.no_watchdog = true;
     } else if (arg == "--no-barrier") {
       opt.no_barrier_handling = true;
     } else if (arg == "--no-finish") {
@@ -191,10 +210,24 @@ int main(int argc, char** argv) {
   cfg.scheduler.pro.handle_finish = !opt.no_finish_handling;
   cfg.sm.l1_enabled = !opt.no_l1;
   if (opt.fcfs_dram) cfg.mem.dram.scheduler = DramSchedulerKind::kFcfs;
+  if (opt.inject_faults) cfg.faults = FaultConfig::chaos(opt.fault_seed);
+  if (opt.max_cycles > 0) cfg.max_cycles = opt.max_cycles;
+  cfg.watchdog.enabled = !opt.no_watchdog;
 
   GlobalMemory mem;
   init(mem);
-  GpuResult r = simulate(cfg, program, mem);
+  Expected<GpuResult> checked = simulate_checked(cfg, program, mem);
+  if (!checked.has_value()) {
+    // Structured diagnosis of the stuck simulation: JSON on stdout when
+    // asked, the human-readable report on stderr otherwise.
+    if (opt.json) {
+      checked.error().write_json(std::cout);
+    } else {
+      std::cerr << checked.error().to_string() << "\n";
+    }
+    return 3;
+  }
+  GpuResult r = std::move(checked.value());
 
   Table t({"kernel", "scheduler", "cycles", "ipc", "issued", "idle",
            "scoreboard", "pipeline", "l1_hits", "l1_misses", "l2_misses",

@@ -1,6 +1,12 @@
 // Always-on invariant checks. A cycle-level simulator silently producing
 // wrong timing is worse than one that aborts, so these stay enabled in
 // release builds; the hot path uses them sparingly.
+//
+// These macros are for *simulator* invariants only — conditions that can
+// never fail unless prosim itself is buggy. Conditions a simulated program
+// or configuration can trigger (deadlock, livelock, out-of-range accesses,
+// invalid programs) must use PROSIM_REQUIRE (common/sim_error.hpp), which
+// throws a recoverable SimException instead of aborting.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,154 @@
+// Structured, recoverable simulation errors.
+//
+// The simulator distinguishes two failure classes:
+//  - PROSIM_CHECK / PROSIM_CHECK_MSG (check.hpp): internal invariants whose
+//    violation means the simulator itself is broken. These abort.
+//  - PROSIM_REQUIRE: conditions a *simulated program or configuration* can
+//    violate (deadlocked kernels, out-of-range shared-memory accesses,
+//    invalid programs, livelock). These throw a SimException carrying a
+//    SimError with enough context — cycle, SM, warp, PC, and a per-warp
+//    blocked-state diagnosis — for the caller to report and degrade
+//    gracefully instead of dying mid-run.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace prosim {
+
+enum class ErrorCategory {
+  kLivelock,         ///< no forward progress / max_cycles overrun
+  kBarrierMismatch,  ///< warps stuck at a barrier that can never release
+  kMshrLeak,         ///< outstanding memory requests that never complete
+  kInvariant,        ///< invalid program or configuration
+};
+
+const char* to_string(ErrorCategory category);
+
+/// Why a resident warp could not issue, mirroring the issue-cycle
+/// classification in SmCore (most specific reason wins).
+enum class WarpBlockReason {
+  kBarrier,     ///< waiting at a barrier (see warps_at_barrier / warps_live)
+  kScoreboard,  ///< operand registers pending (RAW/WAW)
+  kDrain,       ///< at exit, waiting for in-flight writebacks to retire
+  kFetch,       ///< i-buffer refill in progress
+  kFuBusy,      ///< ready, but the required function unit is occupied
+  kRunnable,    ///< schedulable this cycle (not blocked)
+};
+
+const char* to_string(WarpBlockReason reason);
+
+/// Snapshot of one unfinished warp at diagnosis time.
+struct WarpBlockInfo {
+  int sm_id = -1;
+  int warp = -1;
+  int ctaid = -1;
+  std::int64_t pc = -1;
+  WarpBlockReason reason = WarpBlockReason::kRunnable;
+  /// Scoreboard registers the blocking instruction is waiting on
+  /// (kScoreboard / kDrain).
+  std::uint64_t pending_regs = 0;
+  /// Barrier bookkeeping of the warp's TB (kBarrier).
+  int warps_at_barrier = 0;
+  int warps_live = 0;
+  Cycle barrier_wait = 0;  ///< cycles spent waiting at the barrier so far
+};
+
+/// Snapshot of one SM's memory-side liveness at diagnosis time.
+struct SmHealth {
+  int sm_id = -1;
+  int resident_tbs = 0;
+  int live_pending_loads = 0;
+  int l1_mshr_occupancy = 0;
+  int const_mshr_occupancy = 0;
+  bool ldst_busy = false;
+  std::uint64_t issued = 0;  ///< cumulative issued warp instructions
+};
+
+/// A structured simulation error: what went wrong, where, and — for
+/// watchdog-produced errors — the full blocked-warp diagnosis.
+struct SimError {
+  ErrorCategory category = ErrorCategory::kInvariant;
+  std::string message;
+  Cycle cycle = 0;
+  int sm_id = -1;
+  int warp = -1;
+  std::int64_t pc = -1;
+  std::vector<WarpBlockInfo> warps;
+  std::vector<SmHealth> sm_health;
+
+  static SimError make(ErrorCategory category, std::string message) {
+    SimError e;
+    e.category = category;
+    e.message = std::move(message);
+    return e;
+  }
+  SimError& at_cycle(Cycle c) { cycle = c; return *this; }
+  SimError& on_sm(int s) { sm_id = s; return *this; }
+  SimError& on_warp(int w) { warp = w; return *this; }
+  SimError& at_pc(std::int64_t p) { pc = p; return *this; }
+
+  /// Multi-line human-readable diagnosis.
+  std::string to_string() const;
+  /// The same diagnosis as a JSON object (for --json consumers).
+  void write_json(std::ostream& os) const;
+};
+
+class SimException : public std::exception {
+ public:
+  explicit SimException(SimError error)
+      : error_(std::move(error)),
+        what_(std::string(prosim::to_string(error_.category)) + ": " +
+              error_.message) {}
+
+  const char* what() const noexcept override { return what_.c_str(); }
+  const SimError& error() const { return error_; }
+  SimError take_error() { return std::move(error_); }
+
+ private:
+  SimError error_;
+  std::string what_;
+};
+
+/// Minimal expected-style result (std::expected is C++23; we target C++20):
+/// either a value or a SimError.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}              // NOLINT
+  Expected(SimError error) : error_(std::move(error)) {}       // NOLINT
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  const SimError& error() const { return *error_; }
+  SimError& error() { return *error_; }
+
+ private:
+  std::optional<T> value_;
+  std::optional<SimError> error_;
+};
+
+}  // namespace prosim
+
+/// Recoverable-condition guard: throws SimException(error_expr) when the
+/// condition fails. `error_expr` is only evaluated on failure, so building
+/// the SimError (string formatting included) costs nothing on the hot path.
+#define PROSIM_REQUIRE(cond, error_expr)                  \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      throw ::prosim::SimException(error_expr);           \
+    }                                                     \
+  } while (0)

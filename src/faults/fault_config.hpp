@@ -1,0 +1,71 @@
+// Deterministic fault-injection configuration.
+//
+// All perturbations are pure *timing* faults: they delay or backpressure
+// the machine but never alter functional behavior, so any run under any
+// FaultConfig must still drain and produce golden-model-identical results
+// (the timing-fault invariance property the integration tests assert).
+// Everything is driven by seeded RNG streams — the same seed reproduces the
+// same fault schedule bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace prosim {
+
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  /// Per-response extra latency on the interconnect return path: with
+  /// `probability`, a response to an SM is held for uniform
+  /// [min_cycles, max_cycles] additional cycles before delivery.
+  struct ResponseDelay {
+    double probability = 0.0;
+    Cycle min_cycles = 0;
+    Cycle max_cycles = 0;
+  };
+  ResponseDelay response_delay;
+
+  /// A recurring burst disturbance: every `period` cycles a (seeded) coin
+  /// with `probability` decides whether a burst of uniform
+  /// [min_cycles, max_cycles] duration starts. While a burst is active no
+  /// new decision is taken. probability 1.0 with a huge duration models a
+  /// stuck-at fault (used by the watchdog tests).
+  struct Burst {
+    double probability = 0.0;
+    Cycle period = 1024;
+    Cycle min_cycles = 0;
+    Cycle max_cycles = 0;
+  };
+
+  /// Transient MSHR exhaustion per SM: while active, the SM's L1/const
+  /// MSHRs refuse new allocations (merges into existing entries still work).
+  Burst mshr_block;
+
+  /// DRAM/interconnect backpressure per memory partition: while active, the
+  /// partition accepts no new requests (can_inject is false), surfacing as
+  /// LDST pipeline pressure in the SMs.
+  Burst dram_backpressure;
+
+  /// Thread-block launch starvation: while active, the GPU-level TB
+  /// scheduler hands out no new blocks.
+  Burst tb_launch_delay;
+
+  /// All fault types enabled at moderate intensity. Burst durations are
+  /// kept far below the forward-progress watchdog's no-progress horizon so
+  /// injected faults can never masquerade as a hang.
+  static FaultConfig chaos(std::uint64_t seed) {
+    FaultConfig f;
+    f.enabled = true;
+    f.seed = seed;
+    f.response_delay = {0.25, 1, 64};
+    f.mshr_block = {0.20, 2048, 100, 400};
+    f.dram_backpressure = {0.15, 4096, 50, 200};
+    f.tb_launch_delay = {0.30, 8192, 100, 500};
+    return f;
+  }
+};
+
+}  // namespace prosim

@@ -1,0 +1,83 @@
+#include "faults/fault_injector.hpp"
+
+namespace prosim {
+
+namespace {
+
+/// Distinct, seed-derived stream per (site kind, site index).
+std::uint64_t stream_seed(std::uint64_t base, int kind, int index) {
+  return base ^ (0x9E3779B97F4A7C15ull *
+                 (static_cast<std::uint64_t>(kind) * 1024u +
+                  static_cast<std::uint64_t>(index) + 1u));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, int num_sms,
+                             int num_partitions)
+    : config_(config) {
+  PROSIM_CHECK(num_sms > 0);
+  PROSIM_CHECK(num_partitions > 0);
+  response_rng_.reserve(static_cast<std::size_t>(num_sms));
+  mshr_.reserve(static_cast<std::size_t>(num_sms));
+  for (int s = 0; s < num_sms; ++s) {
+    response_rng_.emplace_back(stream_seed(config.seed, 0, s));
+    mshr_.push_back({Rng(stream_seed(config.seed, 1, s)), 0, 0});
+  }
+  dram_.reserve(static_cast<std::size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    dram_.push_back({Rng(stream_seed(config.seed, 2, p)), 0, 0});
+  }
+  tb_launch_ = {Rng(stream_seed(config.seed, 3, 0)), 0, 0};
+}
+
+bool FaultInjector::burst_active(BurstState& state,
+                                 const FaultConfig::Burst& cfg, Cycle now) {
+  if (cfg.probability <= 0.0 || cfg.max_cycles == 0) return false;
+  while (state.next_decision <= now) {
+    const Cycle at = state.next_decision;
+    state.next_decision += cfg.period;
+    if (at < state.burst_end) continue;  // burst in progress: no new draw
+    if (state.rng.next_bool(cfg.probability)) {
+      state.burst_end =
+          at + cfg.min_cycles +
+          state.rng.next_below(cfg.max_cycles - cfg.min_cycles + 1);
+    }
+  }
+  return now < state.burst_end;
+}
+
+Cycle FaultInjector::response_delay(int sm_id) {
+  const FaultConfig::ResponseDelay& cfg = config_.response_delay;
+  if (cfg.probability <= 0.0 || cfg.max_cycles == 0) return 0;
+  Rng& rng = response_rng_[static_cast<std::size_t>(sm_id)];
+  if (!rng.next_bool(cfg.probability)) return 0;
+  const Cycle delay =
+      cfg.min_cycles + rng.next_below(cfg.max_cycles - cfg.min_cycles + 1);
+  ++counters_.responses_delayed;
+  counters_.response_delay_cycles += delay;
+  return delay;
+}
+
+bool FaultInjector::mshr_blocked(int sm_id, Cycle now) {
+  const bool active = burst_active(mshr_[static_cast<std::size_t>(sm_id)],
+                                   config_.mshr_block, now);
+  if (active) ++counters_.mshr_blocked_polls;
+  return active;
+}
+
+bool FaultInjector::dram_backpressure(int partition, Cycle now) {
+  const bool active = burst_active(dram_[static_cast<std::size_t>(partition)],
+                                   config_.dram_backpressure, now);
+  if (active) ++counters_.dram_blocked_polls;
+  return active;
+}
+
+bool FaultInjector::tb_launch_blocked(Cycle now) {
+  const bool active =
+      burst_active(tb_launch_, config_.tb_launch_delay, now);
+  if (active) ++counters_.tb_launch_blocked_polls;
+  return active;
+}
+
+}  // namespace prosim

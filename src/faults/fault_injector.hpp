@@ -1,0 +1,71 @@
+// Deterministic timing-fault injector.
+//
+// One injector instance is shared by the whole GPU; each fault site (per-SM
+// response stream, per-SM MSHR, per-partition DRAM port, the TB scheduler)
+// owns an independent RNG stream derived from the config seed, so fault
+// schedules are reproducible and independent of how often a site is polled:
+// burst decisions are taken lazily at fixed window boundaries and depend
+// only on the window index, never on call count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "faults/fault_config.hpp"
+
+namespace prosim {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, int num_sms, int num_partitions);
+
+  /// Extra delivery latency for the next memory response headed to `sm_id`
+  /// (0 = undisturbed). Consumes the SM's response RNG stream.
+  Cycle response_delay(int sm_id);
+
+  /// True while a transient MSHR-exhaustion burst is active on this SM.
+  bool mshr_blocked(int sm_id, Cycle now);
+
+  /// True while a backpressure burst blocks this memory partition's inject
+  /// port.
+  bool dram_backpressure(int partition, Cycle now);
+
+  /// True while TB launches are starved.
+  bool tb_launch_blocked(Cycle now);
+
+  struct Counters {
+    std::uint64_t responses_delayed = 0;
+    std::uint64_t response_delay_cycles = 0;
+    std::uint64_t mshr_blocked_polls = 0;
+    std::uint64_t dram_blocked_polls = 0;
+    std::uint64_t tb_launch_blocked_polls = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Total perturbation events observed — proof that faults actually fired.
+  std::uint64_t total_faults() const {
+    return counters_.responses_delayed + counters_.mshr_blocked_polls +
+           counters_.dram_blocked_polls + counters_.tb_launch_blocked_polls;
+  }
+
+ private:
+  struct BurstState {
+    Rng rng;
+    Cycle next_decision = 0;
+    Cycle burst_end = 0;
+  };
+
+  static bool burst_active(BurstState& state, const FaultConfig::Burst& cfg,
+                           Cycle now);
+
+  FaultConfig config_;
+  std::vector<Rng> response_rng_;    // one stream per SM
+  std::vector<BurstState> mshr_;     // one per SM
+  std::vector<BurstState> dram_;     // one per partition
+  BurstState tb_launch_;
+  Counters counters_;
+};
+
+}  // namespace prosim

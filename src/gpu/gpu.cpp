@@ -54,10 +54,18 @@ Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
     : config_(config),
       program_(std::move(program)),
       memory_(memory),
-      tb_scheduler_(program.info.grid_dim),
-      mem_(config.mem, config.num_sms) {
+      tb_scheduler_(program_.info.grid_dim),
+      faults_(config.faults.enabled
+                  ? std::make_unique<FaultInjector>(
+                        config.faults, config.num_sms,
+                        config.mem.num_partitions)
+                  : nullptr),
+      mem_(config.mem, config.num_sms, faults_.get()),
+      watchdog_(config.watchdog) {
   const std::string error = program_.validate();
-  PROSIM_CHECK_MSG(error.empty(), error.c_str());
+  PROSIM_REQUIRE(error.empty(),
+                 SimError::make(ErrorCategory::kInvariant,
+                                "invalid program: " + error));
 
   if (config_.record_registers) {
     register_dump_.assign(
@@ -77,6 +85,7 @@ Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
     sms_.push_back(std::make_unique<SmCore>(
         s, config_.sm, program_, memory_, mem_, std::move(policy),
         [this] { return tb_scheduler_.has_waiting(); }));
+    sms_.back()->set_fault_injector(faults_.get());
     if (config_.record_registers) {
       sms_.back()->set_register_dump(register_dump_.data());
     }
@@ -84,6 +93,7 @@ Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
 }
 
 void Gpu::assign_tbs() {
+  if (faults_ != nullptr && faults_->tb_launch_blocked(now_)) return;
   // One TB per SM per cycle, round-robin over SMs — models the global work
   // distribution engine refilling an SM as soon as a resident TB retires.
   const int n = static_cast<int>(sms_.size());
@@ -101,8 +111,15 @@ bool Gpu::step() {
   mem_.cycle(now_);
   for (auto& sm : sms_) sm->cycle(now_);
   ++now_;
-  PROSIM_CHECK_MSG(now_ < config_.max_cycles,
-                   "simulation exceeded max_cycles (livelock?)");
+
+  if (watchdog_.due(now_)) {
+    if (std::optional<SimError> stuck =
+            watchdog_.check(now_, sms_, tb_scheduler_.remaining())) {
+      throw SimException(std::move(*stuck));
+    }
+  }
+  PROSIM_REQUIRE(now_ < config_.max_cycles,
+                 watchdog_.overrun_error(now_, sms_, config_.max_cycles));
 
   if (tb_scheduler_.has_waiting()) return true;
   for (const auto& sm : sms_) {
@@ -115,6 +132,14 @@ GpuResult Gpu::run() {
   while (step()) {
   }
   return collect();
+}
+
+Expected<GpuResult> Gpu::run_checked() {
+  try {
+    return run();
+  } catch (SimException& e) {
+    return e.take_error();
+  }
 }
 
 GpuResult Gpu::collect() const {
@@ -144,6 +169,7 @@ GpuResult Gpu::collect() const {
     result.l1_misses += sm->l1().misses;
     result.timelines.push_back(sm->timeline());
   }
+  if (faults_ != nullptr) result.faults_injected = faults_->total_faults();
   result.l2_hits = mem_.l2_hits();
   result.l2_misses = mem_.l2_misses();
   result.dram_row_hits = mem_.dram_row_hits();
@@ -157,6 +183,17 @@ GpuResult simulate(const GpuConfig& config, const Program& program,
                    GlobalMemory& memory) {
   Gpu gpu(config, program, memory);
   return gpu.run();
+}
+
+Expected<GpuResult> simulate_checked(const GpuConfig& config,
+                                     const Program& program,
+                                     GlobalMemory& memory) {
+  try {
+    Gpu gpu(config, program, memory);
+    return gpu.run();
+  } catch (SimException& e) {
+    return e.take_error();
+  }
 }
 
 }  // namespace prosim

@@ -15,8 +15,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/sim_error.hpp"
+#include "faults/fault_injector.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_result.hpp"
+#include "gpu/watchdog.hpp"
 #include "isa/program.hpp"
 #include "mem/global_memory.hpp"
 #include "mem/memory_subsystem.hpp"
@@ -28,19 +31,31 @@ namespace prosim {
 class Gpu {
  public:
   /// `memory` must outlive the Gpu; kernels mutate it in place. The
-  /// program is copied (temporaries are safe to pass).
+  /// program is copied (temporaries are safe to pass). Throws SimException
+  /// (category `invariant`) on an invalid program.
   Gpu(const GpuConfig& config, Program program, GlobalMemory& memory);
 
   /// Runs the kernel to completion and returns the collected results.
+  /// Throws SimException when the simulated program misbehaves (deadlock,
+  /// livelock, out-of-range accesses) — see run_checked() for the
+  /// non-throwing form.
   GpuResult run();
 
+  /// Runs to completion, catching simulation errors: returns either the
+  /// results or the structured SimError describing what got stuck.
+  Expected<GpuResult> run_checked();
+
   /// Single-step interface for tests: returns true while still running.
+  /// Throws SimException like run().
   bool step();
   Cycle now() const { return now_; }
   const SmCore& sm(int index) const { return *sms_[index]; }
   int num_sms() const { return static_cast<int>(sms_.size()); }
 
   GpuResult collect() const;
+
+  /// The attached fault injector, or nullptr when faults are disabled.
+  const FaultInjector* fault_injector() const { return faults_.get(); }
 
  private:
   void assign_tbs();
@@ -49,7 +64,9 @@ class Gpu {
   const Program program_;
   GlobalMemory& memory_;
   TbScheduler tb_scheduler_;
+  std::unique_ptr<FaultInjector> faults_;  // must precede mem_ (ctor order)
   MemorySubsystem mem_;
+  Watchdog watchdog_;
   std::vector<std::unique_ptr<SmCore>> sms_;
   std::vector<RegValue> register_dump_;
   std::vector<TbOrderSample> tb_order_sm0_;
@@ -57,9 +74,15 @@ class Gpu {
   int next_sm_ = 0;
 };
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper (throws SimException on stuck programs).
 GpuResult simulate(const GpuConfig& config, const Program& program,
                    GlobalMemory& memory);
+
+/// One-shot non-throwing wrapper: construction and run errors come back as
+/// a structured SimError instead of an exception.
+Expected<GpuResult> simulate_checked(const GpuConfig& config,
+                                     const Program& program,
+                                     GlobalMemory& memory);
 
 /// Creates a scheduler policy instance from a spec (one per SM).
 std::unique_ptr<SchedulerPolicy> make_policy(const SchedulerSpec& spec);

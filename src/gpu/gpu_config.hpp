@@ -3,6 +3,8 @@
 
 #include "core/adaptive_pro.hpp"
 #include "core/pro_config.hpp"
+#include "faults/fault_config.hpp"
+#include "gpu/watchdog.hpp"
 #include "mem/mem_config.hpp"
 #include "sm/sm_config.hpp"
 
@@ -35,8 +37,15 @@ struct GpuConfig {
   MemConfig mem;
   SchedulerSpec scheduler;
 
-  /// Hard stop for runaway simulations (PROSIM_CHECK on overrun).
+  /// Hard stop for runaway simulations: overrun raises a `livelock`
+  /// SimError with a full blocked-warp diagnosis (see run_checked()).
   Cycle max_cycles = 200'000'000;
+
+  /// Forward-progress watchdog (diagnoses hangs long before max_cycles).
+  WatchdogConfig watchdog;
+
+  /// Deterministic timing-fault injection (off by default).
+  FaultConfig faults;
 
   /// Record final per-thread registers (golden-model comparisons).
   bool record_registers = false;

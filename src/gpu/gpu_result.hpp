@@ -26,6 +26,10 @@ struct GpuResult {
   /// empty unless record_tb_order_sm0 was set and the policy is PRO.
   std::vector<TbOrderSample> tb_order_sm0;
 
+  /// Perturbation events observed by the fault injector (0 when fault
+  /// injection is disabled) — lets tests prove faults actually fired.
+  std::uint64_t faults_injected = 0;
+
   // Memory-system accounting.
   std::uint64_t l1_hits = 0;
   std::uint64_t l1_misses = 0;

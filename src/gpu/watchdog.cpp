@@ -1,0 +1,116 @@
+#include "gpu/watchdog.hpp"
+
+#include <sstream>
+
+#include "sm/sm_core.hpp"
+
+namespace prosim {
+
+void Watchdog::collect(Cycle now,
+                       const std::vector<std::unique_ptr<SmCore>>& sms,
+                       SimError& error) {
+  for (const auto& sm : sms) {
+    SmHealth health;
+    sm->diagnose(now, error.warps, health);
+    error.sm_health.push_back(health);
+  }
+  // Point the error's primary location at the most telling blocked warp:
+  // a barrier waiter if any, otherwise the first non-runnable warp.
+  const WarpBlockInfo* primary = nullptr;
+  for (const WarpBlockInfo& w : error.warps) {
+    if (w.reason == WarpBlockReason::kRunnable) continue;
+    if (primary == nullptr || (w.reason == WarpBlockReason::kBarrier &&
+                               primary->reason != WarpBlockReason::kBarrier)) {
+      primary = &w;
+    }
+  }
+  if (primary != nullptr) {
+    error.sm_id = primary->sm_id;
+    error.warp = primary->warp;
+    error.pc = primary->pc;
+  }
+}
+
+SimError Watchdog::fire(ErrorCategory category, std::string message,
+                        Cycle now,
+                        const std::vector<std::unique_ptr<SmCore>>& sms) const {
+  SimError error = SimError::make(category, std::move(message)).at_cycle(now);
+  collect(now, sms, error);
+  return error;
+}
+
+std::optional<SimError> Watchdog::check(
+    Cycle now, const std::vector<std::unique_ptr<SmCore>>& sms,
+    int tbs_waiting) {
+  next_check_ = now + config_.window;
+
+  std::uint64_t issued = 0;
+  for (const auto& sm : sms) issued += sm->stats().issued;
+  if (issued != last_issued_) {
+    last_issued_ = issued;
+    stalled_windows_ = 0;
+  } else {
+    ++stalled_windows_;
+  }
+
+  // Rule 2: overlong barrier wait (fires even while other warps issue).
+  SimError scan = SimError::make(ErrorCategory::kBarrierMismatch, "");
+  collect(now, sms, scan);
+  int stuck_at_barrier = 0;
+  for (const WarpBlockInfo& w : scan.warps) {
+    if (w.reason == WarpBlockReason::kBarrier &&
+        w.barrier_wait > config_.barrier_timeout) {
+      ++stuck_at_barrier;
+    }
+  }
+  if (stuck_at_barrier > 0) {
+    std::ostringstream msg;
+    msg << stuck_at_barrier << " warp(s) stuck at a barrier for more than "
+        << config_.barrier_timeout
+        << " cycles; the missing warps will never arrive";
+    scan.message = msg.str();
+    scan.cycle = now;
+    return scan;
+  }
+
+  // Rule 1: zero GPU-wide issue across consecutive windows.
+  if (stalled_windows_ >= config_.stall_windows) {
+    ErrorCategory category = ErrorCategory::kLivelock;
+    for (const SmHealth& h : scan.sm_health) {
+      if (h.live_pending_loads > 0 || h.l1_mshr_occupancy > 0 ||
+          h.const_mshr_occupancy > 0) {
+        category = ErrorCategory::kMshrLeak;
+        break;
+      }
+    }
+    if (category == ErrorCategory::kLivelock) {
+      for (const WarpBlockInfo& w : scan.warps) {
+        if (w.reason == WarpBlockReason::kBarrier) {
+          category = ErrorCategory::kBarrierMismatch;
+          break;
+        }
+      }
+    }
+    std::ostringstream msg;
+    msg << "no instruction issued GPU-wide for "
+        << static_cast<std::uint64_t>(stalled_windows_) * config_.window
+        << " cycles (" << scan.warps.size() << " resident warp(s), "
+        << tbs_waiting << " TB(s) still waiting for launch)";
+    scan.category = category;
+    scan.message = msg.str();
+    scan.cycle = now;
+    return scan;
+  }
+  return std::nullopt;
+}
+
+SimError Watchdog::overrun_error(
+    Cycle now, const std::vector<std::unique_ptr<SmCore>>& sms,
+    Cycle max_cycles) const {
+  std::ostringstream msg;
+  msg << "simulation exceeded max_cycles (" << max_cycles
+      << ") without draining";
+  return fire(ErrorCategory::kLivelock, msg.str(), now, sms);
+}
+
+}  // namespace prosim

@@ -1,22 +1,59 @@
 #include "mem/memory_subsystem.hpp"
 
+#include <algorithm>
+
+#include "common/check.hpp"
+
 namespace prosim {
 
-MemorySubsystem::MemorySubsystem(const MemConfig& config, int num_sms)
-    : config_(config), icnt_(config, num_sms) {
+MemorySubsystem::MemorySubsystem(const MemConfig& config, int num_sms,
+                                 FaultInjector* faults)
+    : config_(config), icnt_(config, num_sms), faults_(faults) {
   partitions_.reserve(static_cast<std::size_t>(config.num_partitions));
   for (int p = 0; p < config.num_partitions; ++p) {
     partitions_.emplace_back(config, p);
   }
+  if (faults_ != nullptr) {
+    delayed_.resize(static_cast<std::size_t>(num_sms));
+  }
 }
 
 void MemorySubsystem::cycle(Cycle now) {
+  now_ = now;
   icnt_.begin_cycle(now);
   for (auto& partition : partitions_) partition.cycle(now, icnt_);
+  if (faults_ != nullptr) divert_responses(now);
+}
+
+void MemorySubsystem::divert_responses(Cycle now) {
+  for (int sm = 0; sm < static_cast<int>(delayed_.size()); ++sm) {
+    auto& queue = delayed_[static_cast<std::size_t>(sm)];
+    // has_response honors the interconnect's per-cycle response bandwidth,
+    // so the diversion inherits the same delivery rate.
+    while (icnt_.has_response(sm)) {
+      Cycle ready = now + faults_->response_delay(sm);
+      // Responses to one SM stay in order: a delayed head holds back
+      // everything behind it (in-flight reordering is not modelled).
+      if (!queue.empty()) ready = std::max(ready, queue.back().ready);
+      queue.push_back({ready, icnt_.pop_response(sm)});
+    }
+  }
+}
+
+MemResponse MemorySubsystem::pop_response(int sm_id) {
+  if (faults_ == nullptr) return icnt_.pop_response(sm_id);
+  auto& queue = delayed_[static_cast<std::size_t>(sm_id)];
+  PROSIM_CHECK(!queue.empty() && queue.front().ready <= now_);
+  MemResponse response = queue.front().response;
+  queue.pop_front();
+  return response;
 }
 
 bool MemorySubsystem::idle() const {
   if (!icnt_.idle()) return false;
+  for (const auto& queue : delayed_) {
+    if (!queue.empty()) return false;
+  }
   for (const auto& partition : partitions_) {
     if (!partition.idle()) return false;
   }

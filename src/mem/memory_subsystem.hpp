@@ -3,11 +3,19 @@
 // SMs inject line-granular requests (produced by their coalescer/L1 miss
 // path) and poll for responses addressed to them. All timing beyond the L1
 // lives here.
+//
+// An optional FaultInjector perturbs timing at two points: extra per-
+// response delivery latency (responses are diverted through per-SM delay
+// queues) and transient backpressure on a partition's inject port. With no
+// injector attached both paths collapse to the bare interconnect at the
+// cost of one pointer test.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <vector>
 
+#include "faults/fault_injector.hpp"
 #include "mem/interconnect.hpp"
 #include "mem/memory_partition.hpp"
 
@@ -15,10 +23,15 @@ namespace prosim {
 
 class MemorySubsystem {
  public:
-  MemorySubsystem(const MemConfig& config, int num_sms);
+  MemorySubsystem(const MemConfig& config, int num_sms,
+                  FaultInjector* faults = nullptr);
 
   /// True if the interconnect can accept a request for this address now.
-  bool can_inject(Addr line_addr) const {
+  bool can_inject(Addr line_addr) {
+    if (faults_ != nullptr &&
+        faults_->dram_backpressure(icnt_.partition_of(line_addr), now_)) {
+      return false;
+    }
     return icnt_.can_send_request(line_addr);
   }
 
@@ -26,8 +39,12 @@ class MemorySubsystem {
     icnt_.send_request(request, now);
   }
 
-  bool has_response(int sm_id) const { return icnt_.has_response(sm_id); }
-  MemResponse pop_response(int sm_id) { return icnt_.pop_response(sm_id); }
+  bool has_response(int sm_id) const {
+    if (faults_ == nullptr) return icnt_.has_response(sm_id);
+    const auto& queue = delayed_[static_cast<std::size_t>(sm_id)];
+    return !queue.empty() && queue.front().ready <= now_;
+  }
+  MemResponse pop_response(int sm_id);
 
   /// Advances the interconnect and every partition by one cycle. Call once
   /// per core cycle, before the SMs.
@@ -47,9 +64,20 @@ class MemorySubsystem {
   std::uint64_t dram_row_misses() const;
 
  private:
+  struct DelayedResponse {
+    Cycle ready;
+    MemResponse response;
+  };
+
+  void divert_responses(Cycle now);
+
   MemConfig config_;
   Interconnect icnt_;
   std::vector<MemoryPartition> partitions_;
+  FaultInjector* faults_ = nullptr;
+  /// Per-SM in-order response queues, used only when faults are attached.
+  std::vector<std::deque<DelayedResponse>> delayed_;
+  Cycle now_ = 0;
 };
 
 }  // namespace prosim

@@ -239,7 +239,8 @@ void SmCore::ldst_cycle(Cycle now) {
           mshr.merge(line, ldst_op_.token);
           break;
         }
-        if (!mshr.can_allocate() || !mem_.can_inject(line)) {
+        if (!mshr.can_allocate() || !mem_.can_inject(line) ||
+            (faults_ != nullptr && faults_->mshr_blocked(sm_id_, now))) {
           ++mshr.allocation_fails;
           return;
         }
@@ -486,10 +487,17 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
 
   auto smem_word = [&](int lane) -> RegValue& {
     const Addr addr = lane_addrs_[lane];
-    PROSIM_CHECK_MSG((addr & 7) == 0, "unaligned shared-memory access");
+    PROSIM_REQUIRE((addr & 7) == 0,
+                   SimError::make(ErrorCategory::kInvariant,
+                                  "unaligned shared-memory access")
+                       .at_cycle(now).on_sm(sm_id_).on_warp(warp)
+                       .at_pc(wc.stack.pc()));
     const std::size_t word = addr >> 3;
-    PROSIM_CHECK_MSG(word < tb.smem.size(),
-                     "shared-memory access out of range");
+    PROSIM_REQUIRE(word < tb.smem.size(),
+                   SimError::make(ErrorCategory::kInvariant,
+                                  "shared-memory access out of range")
+                       .at_cycle(now).on_sm(sm_id_).on_warp(warp)
+                       .at_pc(wc.stack.pc()));
     return tb.smem[word];
   };
 
@@ -617,13 +625,68 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
 }
 
 // ---------------------------------------------------------------------------
+// Watchdog diagnosis
+// ---------------------------------------------------------------------------
+
+void SmCore::diagnose(Cycle now, std::vector<WarpBlockInfo>& warps,
+                      SmHealth& health) const {
+  for (int w = 0; w < used_warp_slots_; ++w) {
+    const WarpCtx& wc = warps_[w];
+    if (!wc.allocated || wc.finished || !tbs_[wc.tb_slot].active) continue;
+    const TbCtx& tb = tbs_[wc.tb_slot];
+
+    WarpBlockInfo info;
+    info.sm_id = sm_id_;
+    info.warp = w;
+    info.ctaid = tb.ctaid;
+    info.pc = wc.stack.empty() ? -1 : wc.stack.pc();
+    info.warps_at_barrier = tb.warps_at_barrier;
+    info.warps_live = tb.warps_live;
+
+    if (wc.at_barrier) {
+      info.reason = WarpBlockReason::kBarrier;
+      info.barrier_wait = now - wc.barrier_arrive;
+    } else if (wc.ibuffer_ready > now) {
+      info.reason = WarpBlockReason::kFetch;
+    } else {
+      const Instruction& inst =
+          program_.code[static_cast<std::size_t>(wc.stack.pc())];
+      if (!scoreboard_.available(w, inst)) {
+        info.reason = WarpBlockReason::kScoreboard;
+        info.pending_regs =
+            scoreboard_.pending_mask(w) & Scoreboard::regs_of(inst);
+      } else if (inst.info().is_exit && scoreboard_.pending_mask(w) != 0) {
+        info.reason = WarpBlockReason::kDrain;
+        info.pending_regs = scoreboard_.pending_mask(w);
+      } else if (!fu_can_accept(inst, now)) {
+        info.reason = WarpBlockReason::kFuBusy;
+      } else {
+        info.reason = WarpBlockReason::kRunnable;
+      }
+    }
+    warps.push_back(info);
+  }
+
+  health.sm_id = sm_id_;
+  health.resident_tbs = resident_tbs_;
+  health.live_pending_loads = live_pending_loads_;
+  health.l1_mshr_occupancy = l1_mshr_.occupancy();
+  health.const_mshr_occupancy = const_mshr_.occupancy();
+  health.ldst_busy = ldst_op_.valid || ldst_busy_until_ > now;
+  health.issued = stats_.issued;
+}
+
+// ---------------------------------------------------------------------------
 // Barriers / warp & TB completion
 // ---------------------------------------------------------------------------
 
 void SmCore::do_barrier(int warp, Cycle now) {
   WarpCtx& wc = warps_[warp];
-  PROSIM_CHECK_MSG(wc.stack.depth() == 1,
-                   "barrier executed inside a divergent region");
+  PROSIM_REQUIRE(wc.stack.depth() == 1,
+                 SimError::make(ErrorCategory::kBarrierMismatch,
+                                "barrier executed inside a divergent region")
+                     .at_cycle(now).on_sm(sm_id_).on_warp(warp)
+                     .at_pc(wc.stack.pc()));
   wc.at_barrier = true;
   wc.barrier_arrive = now;
   TbCtx& tb = tbs_[wc.tb_slot];

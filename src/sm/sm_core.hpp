@@ -18,7 +18,9 @@
 #include <queue>
 #include <vector>
 
+#include "common/sim_error.hpp"
 #include "common/types.hpp"
+#include "faults/fault_injector.hpp"
 #include "isa/program.hpp"
 #include "mem/cache.hpp"
 #include "mem/global_memory.hpp"
@@ -103,6 +105,16 @@ class SmCore {
   /// Optional destination for final per-thread registers, laid out
   /// [ctaid][tid][reg] over the whole grid; set by tests.
   void set_register_dump(RegValue* base) { register_dump_ = base; }
+
+  /// Optional timing-fault injector (owned by the Gpu); nullptr = no
+  /// faults. Consulted on the L1/const MSHR allocation path.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
+  /// Appends a WarpBlockInfo for every allocated, unfinished warp (why it
+  /// cannot issue right now) and fills this SM's memory-side health
+  /// snapshot. Used by the forward-progress watchdog; not on the hot path.
+  void diagnose(Cycle now, std::vector<WarpBlockInfo>& warps,
+                SmHealth& health) const;
 
  private:
   struct WarpCtx {
@@ -207,6 +219,7 @@ class SmCore {
   MemorySubsystem& mem_;
   std::unique_ptr<SchedulerPolicy> policy_;
   std::function<bool()> tbs_waiting_;
+  FaultInjector* faults_ = nullptr;
 
   int warps_per_tb_;
   int regs_per_thread_;

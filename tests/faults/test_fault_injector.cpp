@@ -1,0 +1,139 @@
+// The fault injector's contract: schedules are a pure function of
+// (seed, site, cycle) — reproducible across runs, independent of how often
+// a site is polled, bounded by the configured durations, and fully off when
+// probabilities are zero.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faults/fault_injector.hpp"
+
+namespace prosim {
+namespace {
+
+FaultConfig burst_only(double probability, Cycle period, Cycle min_cycles,
+                       Cycle max_cycles, std::uint64_t seed = 42) {
+  FaultConfig f;
+  f.enabled = true;
+  f.seed = seed;
+  f.mshr_block = {probability, period, min_cycles, max_cycles};
+  return f;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  const FaultConfig cfg = FaultConfig::chaos(123);
+  FaultInjector a(cfg, 2, 2);
+  FaultInjector b(cfg, 2, 2);
+  for (Cycle now = 0; now < 50'000; now += 17) {
+    for (int sm = 0; sm < 2; ++sm) {
+      EXPECT_EQ(a.mshr_blocked(sm, now), b.mshr_blocked(sm, now)) << now;
+      EXPECT_EQ(a.response_delay(sm), b.response_delay(sm)) << now;
+    }
+    EXPECT_EQ(a.dram_backpressure(now % 2 == 0 ? 0 : 1, now),
+              b.dram_backpressure(now % 2 == 0 ? 0 : 1, now));
+    EXPECT_EQ(a.tb_launch_blocked(now), b.tb_launch_blocked(now));
+  }
+  EXPECT_EQ(a.counters().mshr_blocked_polls, b.counters().mshr_blocked_polls);
+  EXPECT_EQ(a.total_faults(), b.total_faults());
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentSchedules) {
+  FaultInjector a(FaultConfig::chaos(1), 1, 1);
+  FaultInjector b(FaultConfig::chaos(2), 1, 1);
+  int differences = 0;
+  for (Cycle now = 0; now < 200'000; now += 64) {
+    if (a.mshr_blocked(0, now) != b.mshr_blocked(0, now)) ++differences;
+    if (a.tb_launch_blocked(now) != b.tb_launch_blocked(now)) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjector, ScheduleIndependentOfPollDensity) {
+  // Site decisions are taken at window boundaries, so an injector polled
+  // every cycle and one polled sparsely must agree wherever both are asked.
+  const FaultConfig cfg = burst_only(0.5, 256, 10, 30);
+  FaultInjector dense(cfg, 1, 1);
+  FaultInjector sparse(cfg, 1, 1);
+  std::vector<bool> dense_schedule;
+  for (Cycle now = 0; now < 20'000; ++now) {
+    dense_schedule.push_back(dense.mshr_blocked(0, now));
+  }
+  for (Cycle now = 5; now < 20'000; now += 313) {
+    EXPECT_EQ(sparse.mshr_blocked(0, now), dense_schedule[now]) << now;
+  }
+}
+
+TEST(FaultInjector, BurstDurationIsBounded) {
+  // probability 1: a burst starts at every decision point; with min == max
+  // the active span after each decision is exactly `duration` cycles.
+  const Cycle period = 1'000;
+  const Cycle duration = 100;
+  FaultInjector inj(burst_only(1.0, period, duration, duration), 1, 1);
+  for (Cycle base = 0; base < 10 * period; base += period) {
+    for (Cycle offset = 0; offset < period; ++offset) {
+      const bool active = inj.mshr_blocked(0, base + offset);
+      EXPECT_EQ(active, offset < duration) << "cycle " << (base + offset);
+    }
+  }
+}
+
+TEST(FaultInjector, StuckAtFaultNeverReleases) {
+  FaultInjector inj(burst_only(1.0, 1, 1'000'000, 1'000'000), 1, 1);
+  EXPECT_TRUE(inj.mshr_blocked(0, 0));
+  EXPECT_TRUE(inj.mshr_blocked(0, 999));
+  EXPECT_TRUE(inj.mshr_blocked(0, 500'000));
+}
+
+TEST(FaultInjector, ResponseDelayWithinConfiguredRange) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 9;
+  cfg.response_delay = {1.0, 3, 9};
+  FaultInjector inj(cfg, 1, 1);
+  for (int i = 0; i < 1'000; ++i) {
+    const Cycle d = inj.response_delay(0);
+    EXPECT_GE(d, 3u);
+    EXPECT_LE(d, 9u);
+  }
+  EXPECT_EQ(inj.counters().responses_delayed, 1'000u);
+  EXPECT_GE(inj.counters().response_delay_cycles, 3'000u);
+}
+
+TEST(FaultInjector, PerSiteStreamsAreIndependent) {
+  // Draining one SM's response stream must not shift another SM's.
+  const FaultConfig cfg = FaultConfig::chaos(77);
+  FaultInjector a(cfg, 2, 1);
+  FaultInjector b(cfg, 2, 1);
+  for (int i = 0; i < 500; ++i) a.response_delay(0);  // drain only SM 0
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.response_delay(1), b.response_delay(1)) << i;
+  }
+}
+
+TEST(FaultInjector, ZeroProbabilityIsInert) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 5;  // probabilities all default to 0
+  FaultInjector inj(cfg, 2, 2);
+  for (Cycle now = 0; now < 10'000; now += 7) {
+    EXPECT_EQ(inj.response_delay(0), 0u);
+    EXPECT_FALSE(inj.mshr_blocked(1, now));
+    EXPECT_FALSE(inj.dram_backpressure(0, now));
+    EXPECT_FALSE(inj.tb_launch_blocked(now));
+  }
+  EXPECT_EQ(inj.total_faults(), 0u);
+}
+
+TEST(FaultInjector, CountersTrackBlockedPolls) {
+  FaultInjector inj(burst_only(1.0, 1'000, 100, 100), 1, 1);
+  std::uint64_t expected = 0;
+  for (Cycle now = 0; now < 3'000; ++now) {
+    if (inj.mshr_blocked(0, now)) ++expected;
+  }
+  EXPECT_EQ(inj.counters().mshr_blocked_polls, expected);
+  EXPECT_EQ(inj.total_faults(), expected);
+  EXPECT_EQ(expected, 300u);  // 3 decision windows x 100-cycle bursts
+}
+
+}  // namespace
+}  // namespace prosim

@@ -1,0 +1,188 @@
+// Forward-progress watchdog: genuinely stuck kernels must produce a
+// structured SimError naming the blocked warps and why they are blocked —
+// never an abort — and clean runs must never trip it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "gpu/gpu.hpp"
+#include "isa/builder.hpp"
+
+namespace prosim {
+namespace {
+
+GpuConfig tight_watchdog_config() {
+  GpuConfig cfg = GpuConfig::test_config();
+  cfg.num_sms = 1;
+  cfg.watchdog.window = 500;
+  cfg.watchdog.stall_windows = 2;
+  cfg.watchdog.barrier_timeout = 2'000;
+  cfg.max_cycles = 1'000'000;  // the watchdog must fire long before this
+  return cfg;
+}
+
+/// Two warps; warp 1 spins forever on an unconditional backward jump while
+/// warp 0 waits at a barrier warp 1 never reaches. Warp 1 keeps issuing
+/// (so the global no-issue rule cannot see the hang) — this is exactly the
+/// barrier-timeout rule's case.
+Program barrier_subset_deadlock() {
+  ProgramBuilder b("barrier_deadlock");
+  b.block_dim(64).grid_dim(1);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kGt, 1, 0, 31);  // r1 != 0 on warp 1's lanes
+  ProgramBuilder::Label spin = b.new_label();
+  ProgramBuilder::Label skip = b.new_label();
+  // Warp-uniform branch: no divergence, no reconvergence entry needed.
+  b.bra(1, /*invert=*/false, spin, skip);
+  b.bar();   // warp 0 arrives; warp 1 never will
+  b.exit_();
+  b.bind(spin);
+  b.iaddi(2, 2, 1);
+  b.jump(spin);
+  b.bind(skip);
+  b.exit_();
+  return b.build();
+}
+
+TEST(Watchdog, BarrierSubsetDeadlockFiresWithDiagnosis) {
+  GpuConfig cfg = tight_watchdog_config();
+  GlobalMemory mem;
+  Expected<GpuResult> r = simulate_checked(cfg, barrier_subset_deadlock(), mem);
+  ASSERT_FALSE(r.has_value());
+  const SimError& e = r.error();
+  EXPECT_EQ(e.category, ErrorCategory::kBarrierMismatch);
+  // The error's primary location is the waiting warp.
+  EXPECT_EQ(e.sm_id, 0);
+  EXPECT_EQ(e.warp, 0);
+
+  // The diagnosis names warp 0 as the barrier waiter (1 of 2 live warps
+  // arrived) and shows warp 1 still running.
+  const WarpBlockInfo* waiter = nullptr;
+  const WarpBlockInfo* spinner = nullptr;
+  for (const WarpBlockInfo& w : e.warps) {
+    if (w.warp == 0) waiter = &w;
+    if (w.warp == 1) spinner = &w;
+  }
+  ASSERT_NE(waiter, nullptr);
+  EXPECT_EQ(waiter->reason, WarpBlockReason::kBarrier);
+  EXPECT_EQ(waiter->warps_at_barrier, 1);
+  EXPECT_EQ(waiter->warps_live, 2);
+  EXPECT_GT(waiter->barrier_wait, cfg.watchdog.barrier_timeout);
+  ASSERT_NE(spinner, nullptr);
+  EXPECT_NE(spinner->reason, WarpBlockReason::kBarrier);
+
+  // The human-readable rendering carries the key facts.
+  const std::string text = e.to_string();
+  EXPECT_NE(text.find("barrier_mismatch"), std::string::npos);
+  EXPECT_NE(text.find("1/2 warps arrived"), std::string::npos);
+}
+
+TEST(Watchdog, PermanentMshrExhaustionFiresAsMshrLeak) {
+  GpuConfig cfg = tight_watchdog_config();
+  // Stuck-at fault: the SM's MSHRs refuse every allocation from cycle 0,
+  // so the first global load never leaves the LDST unit and the whole SM
+  // wedges with zero issue — the no-progress rule's case.
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 7;
+  cfg.faults.mshr_block = {1.0, 1, 10'000'000, 10'000'000};
+
+  ProgramBuilder b("wedged_load");
+  b.block_dim(32).grid_dim(1);
+  b.s2r(0, SpecialReg::kGlobalTid);
+  b.ishli(1, 0, 3);
+  b.ldg(2, 1, 0);
+  b.iaddi(2, 2, 1);  // depends on the load that can never complete
+  b.exit_();
+
+  GlobalMemory mem;
+  Expected<GpuResult> r = simulate_checked(cfg, b.build(), mem);
+  ASSERT_FALSE(r.has_value());
+  const SimError& e = r.error();
+  EXPECT_EQ(e.category, ErrorCategory::kMshrLeak);
+  ASSERT_FALSE(e.warps.empty());
+  EXPECT_EQ(e.warps[0].reason, WarpBlockReason::kScoreboard);
+  EXPECT_NE(e.warps[0].pending_regs, 0u);
+  ASSERT_FALSE(e.sm_health.empty());
+  EXPECT_GT(e.sm_health[0].live_pending_loads, 0);
+  EXPECT_TRUE(e.sm_health[0].ldst_busy);
+}
+
+TEST(Watchdog, CleanRunNeverFires) {
+  // A normal barrier-using kernel under a tight watchdog, all schedulers:
+  // barriers release quickly, so neither rule may trigger.
+  ProgramBuilder b("clean");
+  b.block_dim(64).grid_dim(6).smem(64 * 8);
+  b.s2r(0, SpecialReg::kTid);
+  b.ishli(1, 0, 3);
+  b.sts(1, 0, 0);
+  b.bar();
+  b.lds(2, 1, 0);
+  b.s2r(3, SpecialReg::kGlobalTid);
+  b.ishli(3, 3, 3);
+  b.stg(3, 1 << 20, 2);
+  b.exit_();
+  const Program p = b.build();
+
+  for (SchedulerKind kind :
+       {SchedulerKind::kLrr, SchedulerKind::kGto, SchedulerKind::kTl,
+        SchedulerKind::kPro, SchedulerKind::kProAdaptive}) {
+    GpuConfig cfg = tight_watchdog_config();
+    cfg.scheduler.kind = kind;
+    GlobalMemory mem;
+    Expected<GpuResult> r = simulate_checked(cfg, p, mem);
+    ASSERT_TRUE(r.has_value()) << scheduler_name(kind) << ": "
+                               << r.error().to_string();
+    EXPECT_GT(r->cycles, 0u);
+  }
+}
+
+TEST(Watchdog, DisabledWatchdogStillHitsMaxCyclesBackstop) {
+  GpuConfig cfg = tight_watchdog_config();
+  cfg.watchdog.enabled = false;
+  cfg.max_cycles = 20'000;
+  GlobalMemory mem;
+  Expected<GpuResult> r = simulate_checked(cfg, barrier_subset_deadlock(), mem);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().category, ErrorCategory::kLivelock);
+  EXPECT_EQ(r.error().cycle, 20'000u);
+  // The backstop still attaches the blocked-warp diagnosis.
+  EXPECT_FALSE(r.error().warps.empty());
+}
+
+TEST(Watchdog, ErrorJsonIsWellFormedEnough) {
+  GpuConfig cfg = tight_watchdog_config();
+  GlobalMemory mem;
+  Expected<GpuResult> r = simulate_checked(cfg, barrier_subset_deadlock(), mem);
+  ASSERT_FALSE(r.has_value());
+  std::ostringstream os;
+  r.error().write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"error\": \"barrier_mismatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"barrier\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Watchdog, DivergentBarrierReportsStructuredError) {
+  ProgramBuilder b("divergent_barrier");
+  b.block_dim(32).grid_dim(1);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kGt, 1, 0, 15);  // diverges within the warp
+  b.if_begin(1);
+  b.bar();  // illegal: barrier inside a divergent region
+  b.iaddi(2, 2, 1);  // keeps the body divergent at the barrier
+  b.if_end();
+  b.exit_();
+  GpuConfig cfg = GpuConfig::test_config();
+  GlobalMemory mem;
+  Expected<GpuResult> r = simulate_checked(cfg, b.build(), mem);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().category, ErrorCategory::kBarrierMismatch);
+  EXPECT_EQ(r.error().sm_id, 0);
+  EXPECT_GE(r.error().pc, 0);
+}
+
+}  // namespace
+}  // namespace prosim

@@ -112,7 +112,16 @@ TEST(ConfigSweep, MaxCyclesGuardTriggers) {
   cfg.max_cycles = 50;  // far too few
   const Program p = work_kernel();
   GlobalMemory mem;
-  EXPECT_DEATH(simulate(cfg, p, mem), "max_cycles");
+  const Expected<GpuResult> r = simulate_checked(cfg, p, mem);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().category, ErrorCategory::kLivelock);
+  EXPECT_NE(r.error().message.find("max_cycles"), std::string::npos);
+  EXPECT_EQ(r.error().cycle, 50u);
+  // The diagnosis names the still-resident warps and per-SM health.
+  EXPECT_FALSE(r.error().warps.empty());
+  EXPECT_FALSE(r.error().sm_health.empty());
+  // The throwing entry point raises the same error as an exception.
+  EXPECT_THROW(simulate(cfg, p, mem), SimException);
 }
 
 }  // namespace
