@@ -42,11 +42,11 @@ void bm_variant(benchmark::State& state, std::string kernel,
   const Workload& w = find_workload(kernel);
   const GpuConfig cfg = variant(which);
   for (auto _ : state) {
-    const GpuResult& r = run_custom(w, cfg, which);
+    const GpuResult& r = run_custom(w, cfg);
     benchmark::DoNotOptimize(&r);
   }
   state.counters["sim_cycles"] =
-      static_cast<double>(run_custom(w, cfg, which).cycles);
+      static_cast<double>(run_custom(w, cfg).cycles);
 }
 
 void register_benchmarks() {
@@ -71,7 +71,7 @@ void print_report() {
     for (const char* which :
          {"base", "fcfs", "no_l1", "small_mshr", "magic_const"}) {
       row.push_back(
-          Table::fmt(run_custom(w, variant(which), which).cycles));
+          Table::fmt(run_custom(w, variant(which)).cycles));
     }
     t.add_row(row);
   }

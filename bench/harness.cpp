@@ -1,9 +1,9 @@
 #include "harness.hpp"
 
-#include <map>
 #include <ostream>
 
 #include "common/table.hpp"
+#include "runner/runner.hpp"
 
 namespace prosim::bench {
 
@@ -13,41 +13,24 @@ GpuConfig bench_config(SchedulerKind kind) {
   return cfg;
 }
 
+// Both entry points draw from the runner's process-wide memo (thread-safe,
+// fingerprint-keyed, optionally backed by the PROSIM_CACHE_DIR disk cache)
+// instead of the per-file static maps this harness used to keep. The old
+// maps were keyed by hand-maintained tag strings and were not safe to
+// touch from more than one thread; the fingerprint covers the entire
+// configuration, so stale-tag collisions cannot happen.
+
 const GpuResult& run_workload(const Workload& workload, SchedulerKind kind,
                               const ProConfig* pro_config,
                               bool record_tb_order) {
-  static std::map<std::string, GpuResult> cache;
-  std::string key = workload.kernel + "/" + scheduler_name(kind);
-  if (pro_config != nullptr) {
-    key += "/th" + std::to_string(pro_config->sort_threshold) +
-           (pro_config->handle_barriers ? "/b1" : "/b0") +
-           (pro_config->handle_finish ? "/f1" : "/f0") +
-           (pro_config->fast_nowait_increasing ? "/inc" : "/dec") +
-           (pro_config->model_sort_latency ? "/slat" : "");
-  }
-  if (record_tb_order) key += "/trace";
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-
   GpuConfig cfg = bench_config(kind);
   if (pro_config != nullptr) cfg.scheduler.pro = *pro_config;
   cfg.record_tb_order_sm0 = record_tb_order;
-  GlobalMemory mem;
-  workload.init(mem);
-  GpuResult result = simulate(cfg, workload.program, mem);
-  return cache.emplace(std::move(key), std::move(result)).first->second;
+  return runner::memoized_run(workload, cfg);
 }
 
-const GpuResult& run_custom(const Workload& workload, const GpuConfig& config,
-                            const std::string& tag) {
-  static std::map<std::string, GpuResult> cache;
-  std::string key = workload.kernel + "/" + tag;
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-  GlobalMemory mem;
-  workload.init(mem);
-  GpuResult result = simulate(config, workload.program, mem);
-  return cache.emplace(std::move(key), std::move(result)).first->second;
+const GpuResult& run_custom(const Workload& workload, const GpuConfig& config) {
+  return runner::memoized_run(workload, config);
 }
 
 AppStats run_app(const std::string& app, SchedulerKind kind) {

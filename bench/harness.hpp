@@ -12,8 +12,10 @@
 namespace prosim::bench {
 
 /// Simulates one workload under one scheduler on the full GTX480 config
-/// (Table I). Results are memoized per process, so google-benchmark
-/// registration and the report table share one simulation.
+/// (Table I). Results come from the runner subsystem's thread-safe,
+/// fingerprint-keyed memo (src/runner/runner.hpp) — google-benchmark
+/// registration and the report table share one simulation, and setting
+/// PROSIM_CACHE_DIR persists results across bench invocations.
 const GpuResult& run_workload(const Workload& workload, SchedulerKind kind,
                               const ProConfig* pro_config = nullptr,
                               bool record_tb_order = false);
@@ -32,10 +34,9 @@ struct AppStats {
 
 AppStats run_app(const std::string& app, SchedulerKind kind);
 
-/// Simulates with an arbitrary configuration; memoized under `tag` (the
-/// caller guarantees tag uniquely identifies the configuration).
-const GpuResult& run_custom(const Workload& workload, const GpuConfig& config,
-                            const std::string& tag);
+/// Simulates with an arbitrary configuration, memoized by the config's
+/// content fingerprint (no caller-maintained tag needed).
+const GpuResult& run_custom(const Workload& workload, const GpuConfig& config);
 
 /// The GTX480 configuration every bench uses.
 GpuConfig bench_config(SchedulerKind kind);

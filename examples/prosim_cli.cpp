@@ -46,18 +46,6 @@ struct Options {
   std::string trace_path;
 };
 
-bool parse_scheduler(const std::string& s, SchedulerKind& out) {
-  if (s == "LRR") out = SchedulerKind::kLrr;
-  else if (s == "GTO") out = SchedulerKind::kGto;
-  else if (s == "TL") out = SchedulerKind::kTl;
-  else if (s == "PRO") out = SchedulerKind::kPro;
-  else if (s == "PRO-A") out = SchedulerKind::kProAdaptive;
-  else if (s == "CAWS") out = SchedulerKind::kCaws;
-  else if (s == "OWL") out = SchedulerKind::kOwl;
-  else return false;
-  return true;
-}
-
 int usage() {
   std::cerr <<
       "usage: prosim_cli [options]\n"
@@ -97,7 +85,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.asm_path = v;
     } else if (arg == "--scheduler") {
       const char* v = next();
-      if (v == nullptr || !parse_scheduler(v, opt.scheduler)) return false;
+      if (v == nullptr || !scheduler_from_name(v, opt.scheduler)) return false;
     } else if (arg == "--sms") {
       const char* v = next();
       if (v == nullptr) return false;

@@ -1,0 +1,334 @@
+// prosim-sweep: parallel experiment-sweep driver over the workload x
+// scheduler x config x fault-seed matrix, with a persistent result cache.
+//
+//   $ prosim-sweep --fig4 --jobs 8 --cache-dir .prosim-cache --out fig4.json
+//   $ prosim-sweep --matrix sweep.json --csv results.csv
+//   $ prosim-sweep --workloads scalarProdGPU,bfs_kernel --schedulers LRR,PRO
+//   $ prosim-sweep --fig4 --cache-dir .prosim-cache --expect-cached
+//
+// One failed cell does not kill the sweep: the failure is recorded as a
+// structured-error artifact in the output and the exit code becomes 4.
+// --expect-cached asserts a warm cache (exit 5 if anything simulated).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "gpu/result_io.hpp"
+#include "runner/matrix.hpp"
+#include "runner/runner.hpp"
+
+using namespace prosim;
+using namespace prosim::runner;
+
+namespace {
+
+struct Options {
+  std::string matrix_path;
+  bool fig4 = false;
+  std::vector<std::string> workloads;
+  std::vector<std::string> schedulers;
+  int jobs = 0;  // 0 = hardware concurrency
+  std::string cache_dir;
+  bool have_fault_seed = false;
+  std::uint64_t fault_seed = 0;
+  std::string out_path;
+  std::string csv_path;
+  bool quiet = false;
+  bool expect_cached = false;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: prosim-sweep [options]\n"
+      "matrix selection (choose one; default --fig4):\n"
+      "  --matrix FILE        JSON matrix spec (see docs/RUNNER.md)\n"
+      "  --fig4               all 25 Table II kernels x {LRR,GTO,TL,PRO}\n"
+      "  --workloads A,B,...  explicit kernel list\n"
+      "  --schedulers S,...   scheduler list (with --workloads; default the\n"
+      "                       paper's four)\n"
+      "execution:\n"
+      "  --jobs N             worker threads (default: hardware concurrency)\n"
+      "  --cache-dir DIR      persistent result cache (created if missing)\n"
+      "  --fault-seed N       add a chaos-preset fault dimension, seed N\n"
+      "  --expect-cached      fail (exit 5) if any cell had to simulate —\n"
+      "                       asserts a warm cache, e.g. in CI\n"
+      "output:\n"
+      "  --out FILE           full results as JSON ('-' = stdout)\n"
+      "  --csv FILE           per-cell headline stats as CSV ('-' = stdout)\n"
+      "  --quiet              no per-cell progress on stderr\n"
+      "exit: 0 ok | 2 usage | 1 I/O or spec error | 4 cell failures |\n"
+      "      5 --expect-cached violated\n";
+  return 2;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--matrix") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.matrix_path = v;
+    } else if (arg == "--fig4") {
+      opt.fig4 = true;
+    } else if (arg == "--workloads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.workloads = split_commas(v);
+    } else if (arg == "--schedulers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.schedulers = split_commas(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.jobs = std::atoi(v);
+      if (opt.jobs < 0) return false;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.cache_dir = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.fault_seed = static_cast<std::uint64_t>(std::atoll(v));
+      opt.have_fault_seed = true;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.out_path = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.csv_path = v;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--expect-cached") {
+      opt.expect_cached = true;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Builds the job list from whichever selection mechanism was used.
+bool build_jobs(const Options& opt, std::vector<SweepJob>& jobs) {
+  if (!opt.matrix_path.empty()) {
+    std::ifstream in(opt.matrix_path);
+    if (!in) {
+      std::cerr << "cannot open " << opt.matrix_path << "\n";
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Expected<std::vector<SweepJob>> expanded = jobs_from_spec(text.str());
+    if (!expanded.has_value()) {
+      std::cerr << opt.matrix_path << ": " << expanded.error().message << "\n";
+      return false;
+    }
+    jobs = std::move(expanded.value());
+  } else if (!opt.workloads.empty()) {
+    std::vector<Workload> workloads;
+    for (const std::string& kernel : opt.workloads) {
+      bool found = false;
+      for (const Workload& w : all_workloads()) {
+        if (w.kernel == kernel) {
+          workloads.push_back(w);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown kernel '" << kernel << "'\n";
+        return false;
+      }
+    }
+    std::vector<SchedulerKind> kinds;
+    if (opt.schedulers.empty()) {
+      kinds = {SchedulerKind::kLrr, SchedulerKind::kGto, SchedulerKind::kTl,
+               SchedulerKind::kPro};
+    } else {
+      for (const std::string& name : opt.schedulers) {
+        SchedulerKind kind;
+        if (!scheduler_from_name(name, kind)) {
+          std::cerr << "unknown scheduler '" << name << "'\n";
+          return false;
+        }
+        kinds.push_back(kind);
+      }
+    }
+    jobs = cross_matrix(workloads, kinds, {});
+  } else {
+    jobs = fig4_matrix();
+  }
+
+  if (opt.have_fault_seed) {
+    // Add the fault dimension on top of whatever matrix was selected.
+    std::vector<SweepJob> faulted;
+    faulted.reserve(jobs.size() * 2);
+    for (const SweepJob& job : jobs) {
+      faulted.push_back(job);
+      GpuConfig cfg = job.config;
+      cfg.faults = FaultConfig::chaos(opt.fault_seed);
+      faulted.push_back(SweepJob::make(job.workload, cfg));
+    }
+    jobs = std::move(faulted);
+  }
+  return true;
+}
+
+void write_results_json(std::ostream& os, const SweepReport& report,
+                        double wall_ms, int jobs_used) {
+  os << "{\n  \"summary\": {\"cells\": " << report.cells.size()
+     << ", \"jobs\": " << jobs_used << ", \"simulated\": " << report.simulated
+     << ", \"cache_hits\": " << report.cache_hits
+     << ", \"failures\": " << report.failures << ", \"wall_ms\": " << wall_ms
+     << "},\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const SweepCell& cell = report.cells[i];
+    os << "    {\"label\": ";
+    write_json_string(os, cell.label);
+    os << ", \"kernel\": ";
+    write_json_string(os, cell.kernel);
+    os << ", \"app\": ";
+    write_json_string(os, cell.app);
+    os << ", \"scheduler\": ";
+    write_json_string(os, cell.scheduler);
+    os << ", \"cache_key\": ";
+    write_json_string(os, cell.cache_key);
+    os << ", \"from_cache\": " << (cell.from_cache ? "true" : "false")
+       << ", \"ok\": " << (cell.ok() ? "true" : "false") << ",\n     ";
+    if (cell.ok()) {
+      os << "\"result\": ";
+      write_gpu_result_json(os, *cell.result);
+    } else {
+      os << "\"error\": ";
+      cell.error->write_json(os);
+    }
+    os << "}" << (i + 1 == report.cells.size() ? "\n" : ",\n");
+  }
+  os << "  ]\n}\n";
+}
+
+void write_results_csv(std::ostream& os, const SweepReport& report) {
+  Table t({"kernel", "app", "scheduler", "label", "from_cache", "ok",
+           "cycles", "ipc", "issued", "idle", "scoreboard", "pipeline",
+           "l1_misses", "l2_misses", "tbs", "faults_injected", "error"});
+  for (const SweepCell& cell : report.cells) {
+    std::vector<std::string> row{cell.kernel, cell.app, cell.scheduler,
+                                 cell.label, cell.from_cache ? "1" : "0",
+                                 cell.ok() ? "1" : "0"};
+    if (cell.ok()) {
+      const GpuResult& r = *cell.result;
+      row.insert(row.end(),
+                 {Table::fmt(r.cycles), Table::fmt(r.ipc(), 4),
+                  Table::fmt(r.totals.issued),
+                  Table::fmt(r.totals.idle_stalls),
+                  Table::fmt(r.totals.scoreboard_stalls),
+                  Table::fmt(r.totals.pipeline_stalls),
+                  Table::fmt(r.l1_misses), Table::fmt(r.l2_misses),
+                  Table::fmt(r.totals.tbs_executed),
+                  Table::fmt(r.faults_injected), ""});
+    } else {
+      row.insert(row.end(), {"", "", "", "", "", "", "", "", "", "",
+                             to_string(cell.error->category)});
+    }
+    t.add_row(row);
+  }
+  t.print_csv(os);
+}
+
+bool write_to(const std::string& path, const std::string& what,
+              const std::function<void(std::ostream&)>& writer) {
+  if (path == "-") {
+    writer(std::cout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  writer(out);
+  std::cerr << "wrote " << what << " to " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  std::vector<SweepJob> jobs;
+  if (!build_jobs(opt, jobs)) return 1;
+
+  SweepOptions sweep_opt;
+  sweep_opt.jobs = opt.jobs;
+  sweep_opt.cache_dir = opt.cache_dir;
+  if (!opt.quiet) {
+    sweep_opt.progress = [](const SweepProgress& p) {
+      std::cerr << "[" << p.completed << "/" << p.total << "] "
+                << p.cell->label << ": ";
+      if (!p.cell->ok()) {
+        std::cerr << "FAILED (" << to_string(p.cell->error->category) << ")";
+      } else {
+        std::cerr << p.cell->result->cycles << " cycles";
+        if (p.cell->from_cache) std::cerr << " (cached)";
+      }
+      std::cerr << "\n";
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepReport report = run_sweep(jobs, sweep_opt);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  const int jobs_used = opt.jobs;
+  std::cerr << "sweep: " << report.cells.size() << " cells, "
+            << report.simulated << " simulated, " << report.cache_hits
+            << " cache hits, " << report.failures << " failures, "
+            << static_cast<std::uint64_t>(wall_ms) << " ms\n";
+
+  if (!opt.out_path.empty() &&
+      !write_to(opt.out_path, "results", [&](std::ostream& os) {
+        write_results_json(os, report, wall_ms, jobs_used);
+      })) {
+    return 1;
+  }
+  if (!opt.csv_path.empty() &&
+      !write_to(opt.csv_path, "CSV", [&](std::ostream& os) {
+        write_results_csv(os, report);
+      })) {
+    return 1;
+  }
+
+  if (opt.expect_cached && report.simulated > 0) {
+    std::cerr << "--expect-cached: " << report.simulated
+              << " cells had to simulate (cache was cold or stale)\n";
+    return 5;
+  }
+  if (report.failures > 0) return 4;
+  return 0;
+}

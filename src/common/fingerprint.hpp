@@ -1,0 +1,66 @@
+// Stable content fingerprinting for configs, workloads, and cache keys.
+//
+// Fingerprint is a 64-bit FNV-1a accumulator with typed feeders. All
+// integers are folded in as fixed-width little-endian bytes and strings are
+// length-prefixed, so the hash is stable across platforms, compilers, and
+// process runs — a requirement for the on-disk result cache, whose entries
+// must remain valid between invocations. It is NOT a cryptographic hash;
+// keys additionally embed a human-readable component so accidental
+// collisions are detectable by eye in the cache directory.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace prosim {
+
+class Fingerprint {
+ public:
+  Fingerprint& add_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fingerprint& add(std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    return add_bytes(bytes, sizeof bytes);
+  }
+  Fingerprint& add(std::int64_t v) { return add(static_cast<std::uint64_t>(v)); }
+  Fingerprint& add(int v) { return add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  Fingerprint& add(bool v) { return add(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  Fingerprint& add(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return add(bits);
+  }
+  Fingerprint& add(std::string_view s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    return add_bytes(s.data(), s.size());
+  }
+  Fingerprint& add(const char* s) { return add(std::string_view(s)); }
+
+  std::uint64_t hash() const { return hash_; }
+
+  /// 16-digit lowercase hex rendering of hash().
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+      out[15 - i] = digits[(hash_ >> (4 * i)) & 0xF];
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+}  // namespace prosim

@@ -1,0 +1,359 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/sim_error.hpp"
+
+namespace prosim {
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::string token) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::move(token);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  PROSIM_REQUIRE(is_bool(), SimError::make(ErrorCategory::kInvariant, "JSON value is not a bool"));
+  return bool_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  PROSIM_REQUIRE(is_number(), SimError::make(ErrorCategory::kInvariant, "JSON value is not a number"));
+  // strtoull accepts and wraps negative input; a uint64 field must not.
+  PROSIM_REQUIRE(!scalar_.empty() && scalar_[0] != '-',
+                 SimError::make(ErrorCategory::kInvariant,
+                                "JSON number is not a uint64"));
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(scalar_.c_str(), &end, 10);
+  PROSIM_REQUIRE(errno == 0 && end != nullptr && *end == '\0', SimError::make(ErrorCategory::kInvariant, "JSON number is not a uint64"));
+  return v;
+}
+
+std::int64_t JsonValue::as_i64() const {
+  PROSIM_REQUIRE(is_number(), SimError::make(ErrorCategory::kInvariant, "JSON value is not a number"));
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(scalar_.c_str(), &end, 10);
+  PROSIM_REQUIRE(errno == 0 && end != nullptr && *end == '\0', SimError::make(ErrorCategory::kInvariant, "JSON number is not an int64"));
+  return v;
+}
+
+double JsonValue::as_double() const {
+  PROSIM_REQUIRE(is_number(), SimError::make(ErrorCategory::kInvariant, "JSON value is not a number"));
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+const std::string& JsonValue::as_string() const {
+  PROSIM_REQUIRE(is_string(), SimError::make(ErrorCategory::kInvariant, "JSON value is not a string"));
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  PROSIM_REQUIRE(is_array(), SimError::make(ErrorCategory::kInvariant, "JSON value is not an array"));
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  PROSIM_REQUIRE(is_object(), SimError::make(ErrorCategory::kInvariant, "JSON value is not an object"));
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  PROSIM_REQUIRE(v != nullptr,
+                 SimError::make(ErrorCategory::kInvariant,
+                                "missing JSON key: " + std::string(key)));
+  return *v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  PROSIM_REQUIRE(is_array(), SimError::make(ErrorCategory::kInvariant, "push_back on non-array JSON value"));
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  PROSIM_REQUIRE(is_object(), SimError::make(ErrorCategory::kInvariant, "set on non-object JSON value"));
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    JsonValue value;
+    if (!parse_value(value)) {
+      result.error = JsonParseError{line_, message_};
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = JsonParseError{line_, "trailing characters"};
+      return result;
+    }
+    result.value = std::move(value);
+    return result;
+  }
+
+ private:
+  bool fail(std::string message) {
+    if (message_.empty()) message_ = std::move(message);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool peek(char& c) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    c = text_[pos_];
+    return true;
+  }
+
+  bool consume(char expect) {
+    char c;
+    if (!peek(c)) return false;
+    if (c != expect)
+      return fail(std::string("expected '") + expect + "'");
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    char c;
+    if (!peek(c)) return false;
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string_raw(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\n') return fail("newline in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Control-character escapes are all we emit; reject the rest
+          // rather than mis-decode multi-byte sequences.
+          if (code > 0x7F) return fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_string_value(JsonValue& out) {
+    std::string s;
+    if (!parse_string_raw(s)) return false;
+    out = JsonValue::make_string(std::move(s));
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == digits) return fail("invalid value");
+    out = JsonValue::make_number(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out = JsonValue::make_array();
+    char c;
+    if (!peek(c)) return false;
+    if (c == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      out.push_back(std::move(item));
+      if (!peek(c)) return false;
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out = JsonValue::make_object();
+    char c;
+    if (!peek(c)) return false;
+    if (c == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string_raw(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.set(std::move(key), std::move(value));
+      if (!peek(c)) return false;
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::string message_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace prosim

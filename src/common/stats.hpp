@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,39 @@ class CounterBag {
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+};
+
+/// A CounterBag shared between threads: every operation takes an internal
+/// mutex. The sweep runner's workers account cache hits / simulations /
+/// failures through one of these; contention is irrelevant because updates
+/// happen once per job, not per cycle.
+class ConcurrentCounterBag {
+ public:
+  void add(const std::string& name, std::uint64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bag_.add(name, delta);
+  }
+  void set(const std::string& name, std::uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bag_.set(name, value);
+  }
+  std::uint64_t get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bag_.get(name);
+  }
+  void merge(const CounterBag& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bag_.merge(other);
+  }
+  /// Consistent copy of the whole bag (for end-of-sweep reporting).
+  CounterBag snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bag_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  CounterBag bag_;
 };
 
 /// Geometric mean of a vector of positive ratios. Returns 0 for an empty

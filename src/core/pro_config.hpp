@@ -3,6 +3,9 @@
 // scalarProd by up to 11%; THRESHOLD fixed at 1000 cycles in the paper).
 #pragma once
 
+#include <string>
+
+#include "common/fingerprint.hpp"
 #include "common/types.hpp"
 
 namespace prosim {
@@ -30,6 +33,31 @@ struct ProConfig {
   /// sorts instantaneously, the approximation the paper's evaluation
   /// makes when it says sorting "can overlap with the execution of TBs".
   bool model_sort_latency = false;
+
+  /// Folds every knob into `fp` (stable across runs; see fingerprint.hpp).
+  void hash_into(Fingerprint& fp) const {
+    fp.add("ProConfig");
+    fp.add(sort_threshold)
+        .add(handle_barriers)
+        .add(handle_finish)
+        .add(fast_nowait_increasing)
+        .add(model_sort_latency);
+  }
+  std::uint64_t fingerprint() const {
+    Fingerprint fp;
+    hash_into(fp);
+    return fp.hash();
+  }
+  /// Human-readable variant key, the ablation shorthand the bench harness
+  /// historically used: "th1000.b1.f1.dec" (+".slat" when modeled).
+  std::string fingerprint_key() const {
+    std::string key = "th" + std::to_string(sort_threshold);
+    key += handle_barriers ? ".b1" : ".b0";
+    key += handle_finish ? ".f1" : ".f0";
+    key += fast_nowait_increasing ? ".inc" : ".dec";
+    if (model_sort_latency) key += ".slat";
+    return key;
+  }
 };
 
 }  // namespace prosim

@@ -1,0 +1,138 @@
+// GpuConfig::fingerprint(): folds every timing-relevant knob of the whole
+// configuration tree into one stable hash. Each sub-config is prefixed
+// with a tag string so that, e.g., an L1 geometry change can never collide
+// with an identical-valued L2 geometry change, and a schema version is
+// mixed in so the on-disk cache invalidates itself when fields are added.
+#include "gpu/gpu_config.hpp"
+
+namespace prosim {
+
+namespace {
+
+// Bump when GpuConfig (or any nested config) gains/loses a field, so stale
+// cache entries keyed on the old layout can never be returned.
+constexpr const char* kConfigSchema = "GpuConfig-v1";
+
+void hash_into(Fingerprint& fp, const CacheGeometry& c) {
+  fp.add(c.size_bytes).add(c.line_bytes).add(c.ways);
+}
+
+void hash_into(Fingerprint& fp, const MshrConfig& m) {
+  fp.add(m.entries).add(m.max_merges);
+}
+
+void hash_into(Fingerprint& fp, const SmConfig& sm) {
+  fp.add("SmConfig");
+  fp.add(sm.max_warps)
+      .add(sm.max_tbs)
+      .add(sm.max_threads)
+      .add(sm.num_schedulers)
+      .add(sm.smem_bytes)
+      .add(sm.num_registers);
+  hash_into(fp, sm.l1d);
+  hash_into(fp, sm.l1_mshr);
+  fp.add(sm.l1_enabled);
+  hash_into(fp, sm.const_cache);
+  fp.add(sm.const_cache_enabled);
+  hash_into(fp, sm.const_mshr);
+  fp.add(sm.alu_latency)
+      .add(sm.fp_latency)
+      .add(sm.sfu_latency)
+      .add(sm.smem_latency)
+      .add(sm.l1_hit_latency)
+      .add(sm.const_latency)
+      .add(sm.sfu_initiation_interval)
+      .add(sm.branch_fetch_penalty)
+      .add(sm.ldst_dispatch_per_cycle)
+      .add(sm.smem_banks);
+}
+
+void hash_into(Fingerprint& fp, const MemConfig& mem) {
+  fp.add("MemConfig");
+  fp.add(mem.num_partitions);
+  hash_into(fp, mem.l2);
+  hash_into(fp, mem.l2_mshr);
+  fp.add(mem.l2_hit_latency)
+      .add(mem.icnt_latency)
+      .add(mem.icnt_bandwidth)
+      .add(mem.icnt_queue_capacity);
+  fp.add(static_cast<int>(mem.dram.scheduler))
+      .add(mem.dram.num_banks)
+      .add(mem.dram.row_bytes)
+      .add(mem.dram.row_hit_latency)
+      .add(mem.dram.row_miss_latency)
+      .add(mem.dram.bus_cycles)
+      .add(mem.dram.queue_capacity);
+}
+
+void hash_into(Fingerprint& fp, const SchedulerSpec& spec) {
+  fp.add("SchedulerSpec");
+  fp.add(static_cast<int>(spec.kind))
+      .add(spec.tl_active_set)
+      .add(spec.owl_group_size);
+  spec.pro.hash_into(fp);
+  fp.add("AdaptiveProConfig");
+  spec.adaptive.base.hash_into(fp);
+  fp.add(spec.adaptive.epoch_cycles).add(spec.adaptive.epoch_pairs);
+}
+
+void hash_into(Fingerprint& fp, const WatchdogConfig& wd) {
+  fp.add("WatchdogConfig");
+  fp.add(wd.enabled).add(wd.window).add(wd.stall_windows).add(wd.barrier_timeout);
+}
+
+void hash_into(Fingerprint& fp, const FaultConfig& f) {
+  fp.add("FaultConfig");
+  fp.add(f.enabled);
+  if (!f.enabled) return;  // a disabled schedule's knobs are inert
+  fp.add(f.seed);
+  fp.add(f.response_delay.probability)
+      .add(f.response_delay.min_cycles)
+      .add(f.response_delay.max_cycles);
+  for (const FaultConfig::Burst* b :
+       {&f.mshr_block, &f.dram_backpressure, &f.tb_launch_delay}) {
+    fp.add(b->probability).add(b->period).add(b->min_cycles).add(b->max_cycles);
+  }
+}
+
+}  // namespace
+
+void GpuConfig::hash_into(Fingerprint& fp) const {
+  fp.add(kConfigSchema);
+  fp.add(num_sms);
+  prosim::hash_into(fp, sm);
+  prosim::hash_into(fp, mem);
+  prosim::hash_into(fp, scheduler);
+  fp.add(max_cycles);
+  prosim::hash_into(fp, watchdog);
+  prosim::hash_into(fp, faults);
+  fp.add(record_registers).add(record_tb_order_sm0);
+}
+
+std::uint64_t GpuConfig::fingerprint() const {
+  Fingerprint fp;
+  hash_into(fp);
+  return fp.hash();
+}
+
+std::string GpuConfig::fingerprint_key() const {
+  std::string key = scheduler_name(scheduler.kind);
+  key += ".sms" + std::to_string(num_sms);
+  if (faults.enabled) key += ".f" + std::to_string(faults.seed);
+  return key;
+}
+
+bool scheduler_from_name(const std::string& name, SchedulerKind& out) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kLrr, SchedulerKind::kGto, SchedulerKind::kTl,
+        SchedulerKind::kPro, SchedulerKind::kProAdaptive, SchedulerKind::kCaws,
+        SchedulerKind::kOwl}) {
+    if (name == scheduler_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace prosim

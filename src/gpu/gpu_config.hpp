@@ -1,6 +1,9 @@
 // Whole-GPU configuration: paper Table I (NVIDIA Fermi GTX480) by default.
 #pragma once
 
+#include <string>
+
+#include "common/fingerprint.hpp"
 #include "core/adaptive_pro.hpp"
 #include "core/pro_config.hpp"
 #include "faults/fault_config.hpp"
@@ -21,6 +24,10 @@ enum class SchedulerKind {
 };
 
 const char* scheduler_name(SchedulerKind kind);
+
+/// Inverse of scheduler_name ("LRR", "GTO", "TL", "PRO", "PRO-A", "CAWS",
+/// "OWL"); returns false on an unknown name.
+bool scheduler_from_name(const std::string& name, SchedulerKind& out);
 
 /// Which policy to instantiate per SM, plus its parameters.
 struct SchedulerSpec {
@@ -54,6 +61,16 @@ struct GpuConfig {
 
   /// A small test-sized GPU (fewer SMs/partitions) for unit tests.
   static GpuConfig test_config();
+
+  /// Stable content hash over every timing-relevant field (including the
+  /// scheduler spec, fault schedule, and recording flags). Two configs with
+  /// equal fingerprints simulate identically; the sweep runner's result
+  /// cache keys on it. See src/gpu/config_fingerprint.cpp.
+  void hash_into(Fingerprint& fp) const;
+  std::uint64_t fingerprint() const;
+  /// Short human-readable key ("PRO.sms14.f<seed>") prefixed to cache file
+  /// names so the cache directory stays debuggable.
+  std::string fingerprint_key() const;
 };
 
 }  // namespace prosim

@@ -2,49 +2,28 @@
 
 #include <ostream>
 
+#include "common/json.hpp"
+
 namespace prosim {
-
-namespace {
-
-void json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
 
 void write_json_report(std::ostream& os, const GpuResult& r,
                        const JsonReportOptions& options) {
   os << "{\n";
   if (!options.kernel.empty()) {
     os << "  \"kernel\": ";
-    json_string(os, options.kernel);
+    write_json_string(os, options.kernel);
     os << ",\n";
   }
   if (!options.scheduler.empty()) {
     os << "  \"scheduler\": ";
-    json_string(os, options.scheduler);
+    write_json_string(os, options.scheduler);
     os << ",\n";
   }
   os << "  \"cycles\": " << r.cycles << ",\n";
   os << "  \"ipc\": " << r.ipc() << ",\n";
   os << "  \"issued\": " << r.totals.issued << ",\n";
+  os << "  \"sched_cycles\": " << r.totals.sched_cycles << ",\n";
+  os << "  \"faults_injected\": " << r.faults_injected << ",\n";
   os << "  \"stalls\": {\n";
   os << "    \"idle\": " << r.totals.idle_stalls << ",\n";
   os << "    \"scoreboard\": " << r.totals.scoreboard_stalls << ",\n";
@@ -75,7 +54,18 @@ void write_json_report(std::ostream& os, const GpuResult& r,
      << ",\n";
   os << "    \"smem_conflict_extra_cycles\": "
      << r.totals.smem_conflict_extra_cycles << "\n";
-  os << "  }";
+  os << "  },\n";
+  // Per-SM issue/stall breakdown (load-balance analysis across SMs).
+  os << "  \"per_sm\": [";
+  for (std::size_t i = 0; i < r.per_sm.size(); ++i) {
+    const SmStats& s = r.per_sm[i];
+    if (i != 0) os << ", ";
+    os << "{\"issued\": " << s.issued << ", \"idle\": " << s.idle_stalls
+       << ", \"scoreboard\": " << s.scoreboard_stalls
+       << ", \"pipeline\": " << s.pipeline_stalls
+       << ", \"tbs\": " << s.tbs_executed << "}";
+  }
+  os << "]";
   if (options.include_timelines) {
     os << ",\n  \"timelines\": [\n";
     for (std::size_t sm = 0; sm < r.timelines.size(); ++sm) {

@@ -1,0 +1,202 @@
+#include "gpu/result_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace prosim {
+
+namespace {
+
+void write_sm_stats(std::ostream& os, const SmStats& s) {
+  os << "{\"issued\":" << s.issued << ",\"idle_stalls\":" << s.idle_stalls
+     << ",\"scoreboard_stalls\":" << s.scoreboard_stalls
+     << ",\"pipeline_stalls\":" << s.pipeline_stalls
+     << ",\"sched_cycles\":" << s.sched_cycles
+     << ",\"thread_insts\":" << s.thread_insts
+     << ",\"warp_insts\":" << s.warp_insts
+     << ",\"tbs_executed\":" << s.tbs_executed
+     << ",\"smem_conflict_extra_cycles\":" << s.smem_conflict_extra_cycles
+     << ",\"gmem_transactions\":" << s.gmem_transactions
+     << ",\"const_transactions\":" << s.const_transactions
+     << ",\"barrier_releases\":" << s.barrier_releases
+     << ",\"barrier_wait_cycles\":" << s.barrier_wait_cycles
+     << ",\"warp_finish_disparity_sum\":" << s.warp_finish_disparity_sum
+     << ",\"occupancy_tb_cycles\":" << s.occupancy_tb_cycles << "}";
+}
+
+SimError field_error(const std::string& what) {
+  return SimError::make(ErrorCategory::kInvariant,
+                        "GpuResult JSON: " + what);
+}
+
+/// Pulls a u64 field or throws SimException (caught by the entry point).
+std::uint64_t u64_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  PROSIM_REQUIRE(v != nullptr && v->is_number(),
+                 field_error(std::string("missing field ") + key));
+  return v->as_u64();
+}
+
+/// Required sub-array; throws (never aborts — cache files are external).
+const std::vector<JsonValue>& array_field(const JsonValue& obj,
+                                          const char* key) {
+  const JsonValue* v = obj.find(key);
+  PROSIM_REQUIRE(v != nullptr && v->is_array(),
+                 field_error(std::string("missing array field ") + key));
+  return v->items();
+}
+
+const JsonValue& object_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  PROSIM_REQUIRE(v != nullptr && v->is_object(),
+                 field_error(std::string("missing object field ") + key));
+  return *v;
+}
+
+int int_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  PROSIM_REQUIRE(v != nullptr && v->is_number(),
+                 field_error(std::string("missing field ") + key));
+  return static_cast<int>(v->as_i64());
+}
+
+SmStats sm_stats_from_json(const JsonValue& obj) {
+  PROSIM_REQUIRE(obj.is_object(), field_error("SmStats is not an object"));
+  SmStats s;
+  s.issued = u64_field(obj, "issued");
+  s.idle_stalls = u64_field(obj, "idle_stalls");
+  s.scoreboard_stalls = u64_field(obj, "scoreboard_stalls");
+  s.pipeline_stalls = u64_field(obj, "pipeline_stalls");
+  s.sched_cycles = u64_field(obj, "sched_cycles");
+  s.thread_insts = u64_field(obj, "thread_insts");
+  s.warp_insts = u64_field(obj, "warp_insts");
+  s.tbs_executed = u64_field(obj, "tbs_executed");
+  s.smem_conflict_extra_cycles = u64_field(obj, "smem_conflict_extra_cycles");
+  s.gmem_transactions = u64_field(obj, "gmem_transactions");
+  s.const_transactions = u64_field(obj, "const_transactions");
+  s.barrier_releases = u64_field(obj, "barrier_releases");
+  s.barrier_wait_cycles = u64_field(obj, "barrier_wait_cycles");
+  s.warp_finish_disparity_sum = u64_field(obj, "warp_finish_disparity_sum");
+  s.occupancy_tb_cycles = u64_field(obj, "occupancy_tb_cycles");
+  return s;
+}
+
+}  // namespace
+
+void write_gpu_result_json(std::ostream& os, const GpuResult& r) {
+  os << "{\"schema\":\"" << kGpuResultSchema << "\",";
+  os << "\"cycles\":" << r.cycles << ",";
+  os << "\"totals\":";
+  write_sm_stats(os, r.totals);
+  os << ",\"per_sm\":[";
+  for (std::size_t i = 0; i < r.per_sm.size(); ++i) {
+    if (i != 0) os << ",";
+    write_sm_stats(os, r.per_sm[i]);
+  }
+  os << "],\"timelines\":[";
+  for (std::size_t sm = 0; sm < r.timelines.size(); ++sm) {
+    if (sm != 0) os << ",";
+    os << "[";
+    for (std::size_t i = 0; i < r.timelines[sm].size(); ++i) {
+      const TbTimelineEntry& e = r.timelines[sm][i];
+      if (i != 0) os << ",";
+      os << "[" << e.ctaid << "," << e.start << "," << e.end << "]";
+    }
+    os << "]";
+  }
+  os << "],\"tb_order_sm0\":[";
+  for (std::size_t i = 0; i < r.tb_order_sm0.size(); ++i) {
+    const TbOrderSample& s = r.tb_order_sm0[i];
+    if (i != 0) os << ",";
+    os << "{\"cycle\":" << s.cycle << ",\"ctaids\":[";
+    for (std::size_t j = 0; j < s.ctaids.size(); ++j) {
+      if (j != 0) os << ",";
+      os << s.ctaids[j];
+    }
+    os << "]}";
+  }
+  os << "],\"faults_injected\":" << r.faults_injected;
+  os << ",\"l1_hits\":" << r.l1_hits << ",\"l1_misses\":" << r.l1_misses
+     << ",\"l2_hits\":" << r.l2_hits << ",\"l2_misses\":" << r.l2_misses
+     << ",\"dram_row_hits\":" << r.dram_row_hits
+     << ",\"dram_row_misses\":" << r.dram_row_misses;
+  os << ",\"registers\":[";
+  for (std::size_t i = 0; i < r.registers.size(); ++i) {
+    if (i != 0) os << ",";
+    os << r.registers[i];
+  }
+  os << "],\"regs_per_thread\":" << r.regs_per_thread
+     << ",\"block_dim\":" << r.block_dim << "}";
+}
+
+std::string gpu_result_to_json(const GpuResult& result) {
+  std::ostringstream os;
+  write_gpu_result_json(os, result);
+  return os.str();
+}
+
+Expected<GpuResult> gpu_result_from_json(std::string_view text) {
+  JsonParseResult parsed = parse_json(text);
+  if (!parsed.ok()) {
+    return field_error("parse error at line " +
+                       std::to_string(parsed.error->line) + ": " +
+                       parsed.error->message);
+  }
+  const JsonValue& doc = *parsed.value;
+  if (!doc.is_object()) return field_error("document is not an object");
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kGpuResultSchema) {
+    return field_error("schema mismatch (want " +
+                       std::string(kGpuResultSchema) + ")");
+  }
+
+  try {
+    GpuResult r;
+    r.cycles = u64_field(doc, "cycles");
+    r.totals = sm_stats_from_json(object_field(doc, "totals"));
+    for (const JsonValue& sm : array_field(doc, "per_sm")) {
+      r.per_sm.push_back(sm_stats_from_json(sm));
+    }
+    for (const JsonValue& sm : array_field(doc, "timelines")) {
+      PROSIM_REQUIRE(sm.is_array(), field_error("bad timeline list"));
+      std::vector<TbTimelineEntry> timeline;
+      for (const JsonValue& e : sm.items()) {
+        PROSIM_REQUIRE(e.is_array() && e.items().size() == 3,
+                       field_error("bad timeline entry"));
+        TbTimelineEntry entry;
+        entry.ctaid = static_cast<int>(e.items()[0].as_i64());
+        entry.start = e.items()[1].as_u64();
+        entry.end = e.items()[2].as_u64();
+        timeline.push_back(entry);
+      }
+      r.timelines.push_back(std::move(timeline));
+    }
+    for (const JsonValue& s : array_field(doc, "tb_order_sm0")) {
+      PROSIM_REQUIRE(s.is_object(), field_error("bad tb_order sample"));
+      TbOrderSample sample;
+      sample.cycle = u64_field(s, "cycle");
+      for (const JsonValue& id : array_field(s, "ctaids")) {
+        sample.ctaids.push_back(static_cast<int>(id.as_i64()));
+      }
+      r.tb_order_sm0.push_back(std::move(sample));
+    }
+    r.faults_injected = u64_field(doc, "faults_injected");
+    r.l1_hits = u64_field(doc, "l1_hits");
+    r.l1_misses = u64_field(doc, "l1_misses");
+    r.l2_hits = u64_field(doc, "l2_hits");
+    r.l2_misses = u64_field(doc, "l2_misses");
+    r.dram_row_hits = u64_field(doc, "dram_row_hits");
+    r.dram_row_misses = u64_field(doc, "dram_row_misses");
+    for (const JsonValue& v : array_field(doc, "registers")) {
+      r.registers.push_back(static_cast<RegValue>(v.as_i64()));
+    }
+    r.regs_per_thread = int_field(doc, "regs_per_thread");
+    r.block_dim = int_field(doc, "block_dim");
+    return r;
+  } catch (const SimException& e) {
+    return e.error();
+  }
+}
+
+}  // namespace prosim

@@ -1,0 +1,35 @@
+// Lossless GpuResult <-> JSON conversion.
+//
+// Unlike gpu/report.hpp (a human-curated export for plotting pipelines),
+// this serializer covers EVERY field of GpuResult bit-exactly — it is the
+// storage format of the runner's on-disk result cache, and the determinism
+// tests compare sweeps by these strings. Integers round-trip exactly
+// (common/json.hpp keeps number tokens); there are no floating-point
+// fields in GpuResult itself.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/sim_error.hpp"
+#include "gpu/gpu_result.hpp"
+
+namespace prosim {
+
+/// Current cache schema tag, embedded in the JSON ("schema" key) and
+/// checked on read so stale cache files are rejected, not mis-parsed.
+inline constexpr const char* kGpuResultSchema = "prosim-result-v1";
+
+void write_gpu_result_json(std::ostream& os, const GpuResult& result);
+
+/// Convenience: the JSON document as a string.
+std::string gpu_result_to_json(const GpuResult& result);
+
+/// Parses a document produced by write_gpu_result_json. Malformed input,
+/// a schema mismatch, or missing fields come back as a SimError
+/// (category kInvariant) rather than aborting: cache files are external
+/// state that may be truncated or stale.
+Expected<GpuResult> gpu_result_from_json(std::string_view text);
+
+}  // namespace prosim

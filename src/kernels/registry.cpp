@@ -6,6 +6,28 @@
 
 namespace prosim {
 
+void Workload::hash_into(Fingerprint& fp) const {
+  fp.add("Workload-v1");
+  fp.add(suite).add(app).add(kernel);
+  fp.add(program.info.name)
+      .add(program.info.block_dim)
+      .add(program.info.grid_dim)
+      .add(program.info.regs_per_thread)
+      .add(program.info.smem_bytes);
+  // The disassembly covers opcodes, operands, branch targets, and
+  // reconvergence PCs — any code change changes the hash.
+  fp.add(program.disassemble_all());
+  GlobalMemory inputs;
+  if (init) init(inputs);
+  inputs.hash_into(fp);
+}
+
+std::uint64_t Workload::fingerprint() const {
+  Fingerprint fp;
+  hash_into(fp);
+  return fp.hash();
+}
+
 const std::vector<Workload>& all_workloads() {
   // Table II order.
   static const std::vector<Workload> workloads = [] {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fingerprint.hpp"
 #include "isa/program.hpp"
 #include "mem/global_memory.hpp"
 
@@ -31,6 +32,13 @@ struct Workload {
   /// True when the paper's own grid fits GPU residency (no slowTBPhase
   /// oversubscription expected — e.g. mergeHistogram64's 64 TBs).
   bool fits_residency = false;
+
+  /// Stable content hash over the kernel's identity, full program text,
+  /// launch geometry, and the initial global-memory image init() writes —
+  /// i.e. everything that determines what gets simulated. Runs init() on a
+  /// scratch GlobalMemory, so it costs one input generation.
+  void hash_into(Fingerprint& fp) const;
+  std::uint64_t fingerprint() const;
 };
 
 /// All 25 workloads in Table II order.

@@ -6,11 +6,13 @@
 // single access width; see DESIGN.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fingerprint.hpp"
 #include "common/types.hpp"
 
 namespace prosim {
@@ -46,6 +48,24 @@ class GlobalMemory {
   }
 
   std::size_t footprint_words() const { return words_.size(); }
+
+  /// Folds the sparse image into `fp` deterministically: entries sorted by
+  /// word address, explicit zeros skipped (absent == 0, so a stored zero
+  /// and an untouched word hash identically). Lets workload fingerprints
+  /// cover their init() data content-addressably.
+  void hash_into(Fingerprint& fp) const {
+    std::vector<std::pair<std::uint64_t, RegValue>> entries;
+    entries.reserve(words_.size());
+    for (const auto& [word, value] : words_) {
+      if (value != 0) entries.emplace_back(word, value);
+    }
+    std::sort(entries.begin(), entries.end());
+    fp.add(static_cast<std::uint64_t>(entries.size()));
+    for (const auto& [word, value] : entries) {
+      fp.add(word);
+      fp.add(static_cast<std::int64_t>(value));
+    }
+  }
 
   bool operator==(const GlobalMemory& other) const {
     // Sparse compare that treats absent == 0.

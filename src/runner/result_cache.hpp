@@ -1,0 +1,47 @@
+// Content-addressed on-disk cache of simulation results.
+//
+// Layout: one file per cell, `<dir>/<key>.json`, where the key embeds a
+// human-readable prefix (kernel + scheduler config) and the 64-bit content
+// fingerprint of everything that determines the simulation's output
+// (program text, init data, full GpuConfig). A cache hit therefore proves
+// the cell would have re-simulated to exactly the stored bytes; any change
+// to kernel, config, or result schema changes the key or fails the schema
+// check and falls back to simulation.
+//
+// Concurrency: store() writes to a per-thread temp file and renames it
+// into place, so concurrent writers of the same key race benignly (both
+// write identical deterministic content) and readers never observe a
+// partial file.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gpu/gpu_result.hpp"
+
+namespace prosim::runner {
+
+class ResultCache {
+ public:
+  /// Creates `dir` (recursively) if needed; aborts if that fails.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the cached result for `key`, or nullopt on miss. A file that
+  /// fails to parse (truncated write, stale schema) counts as a miss and
+  /// is left for the subsequent store() to overwrite.
+  std::optional<GpuResult> load(const std::string& key) const;
+
+  /// Persists `result` under `key`; returns false on I/O failure (the
+  /// sweep still succeeds — the cache is an accelerator, not a
+  /// correctness dependency).
+  bool store(const std::string& key, const GpuResult& result) const;
+
+  std::string path_for(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace prosim::runner

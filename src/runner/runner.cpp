@@ -1,0 +1,168 @@
+#include "runner/runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "gpu/gpu.hpp"
+#include "runner/result_cache.hpp"
+
+namespace prosim::runner {
+
+SweepJob SweepJob::make(Workload w, GpuConfig cfg) {
+  SweepJob job;
+  job.label = w.kernel + "/" + cfg.fingerprint_key();
+  job.workload = std::move(w);
+  job.config = std::move(cfg);
+  return job;
+}
+
+std::string SweepJob::cache_key() const {
+  Fingerprint fp;
+  workload.hash_into(fp);
+  config.hash_into(fp);
+  return workload.kernel + "." + config.fingerprint_key() + "-" + fp.hex();
+}
+
+namespace {
+
+/// Runs one cell start to finish. All SimErrors (including config/program
+/// validation at Gpu construction) surface as the cell's error artifact.
+SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
+                   ConcurrentCounterBag& counters) {
+  SweepCell cell;
+  cell.label = job.label;
+  cell.kernel = job.workload.kernel;
+  cell.app = job.workload.app;
+  cell.scheduler = scheduler_name(job.config.scheduler.kind);
+  cell.cache_key = job.cache_key();
+
+  if (cache != nullptr) {
+    if (std::optional<GpuResult> hit = cache->load(cell.cache_key)) {
+      cell.result = std::move(hit);
+      cell.from_cache = true;
+      counters.add("cache_hits", 1);
+      return cell;
+    }
+  }
+
+  GlobalMemory mem;
+  if (job.workload.init) job.workload.init(mem);
+  Expected<GpuResult> outcome =
+      simulate_checked(job.config, job.workload.program, mem);
+  counters.add("simulated", 1);
+  if (outcome.has_value()) {
+    cell.result = std::move(outcome.value());
+    if (cache != nullptr) cache->store(cell.cache_key, *cell.result);
+  } else {
+    cell.error = std::move(outcome.error());
+    counters.add("failures", 1);
+  }
+  return cell;
+}
+
+}  // namespace
+
+SweepReport run_sweep(const std::vector<SweepJob>& jobs,
+                      const SweepOptions& options) {
+  SweepReport report;
+  report.cells.resize(jobs.size());
+
+  std::unique_ptr<ResultCache> cache;
+  if (!options.cache_dir.empty())
+    cache = std::make_unique<ResultCache>(options.cache_dir);
+
+  int workers = options.jobs;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  if (workers > static_cast<int>(jobs.size()))
+    workers = static_cast<int>(jobs.size() > 0 ? jobs.size() : 1);
+
+  ConcurrentCounterBag counters;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> completed{0};
+  std::mutex progress_mu;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      // Each cell writes only its own pre-sized slot, so the report order
+      // (and content) is independent of scheduling.
+      report.cells[i] = run_cell(jobs[i], cache.get(), counters);
+      const int done = completed.fetch_add(1) + 1;
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        SweepProgress p;
+        p.completed = done;
+        p.total = static_cast<int>(jobs.size());
+        p.cell = &report.cells[i];
+        options.progress(p);
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.counters = counters.snapshot();
+  report.simulated = report.counters.get("simulated");
+  report.cache_hits = report.counters.get("cache_hits");
+  report.failures = report.counters.get("failures");
+  return report;
+}
+
+const GpuResult& memoized_run(const Workload& workload,
+                              const GpuConfig& config) {
+  // std::map nodes are stable, so returned references survive later
+  // insertions; the mutex makes the memo safe for concurrent bench or
+  // sweep callers.
+  static std::mutex mu;
+  static std::map<std::string, GpuResult> memo;
+  static const char* cache_env = std::getenv("PROSIM_CACHE_DIR");
+  static std::unique_ptr<ResultCache> disk =
+      (cache_env != nullptr && cache_env[0] != '\0')
+          ? std::make_unique<ResultCache>(cache_env)
+          : nullptr;
+
+  SweepJob job = SweepJob::make(workload, config);
+  const std::string key = job.cache_key();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+  }
+
+  GpuResult result;
+  bool have = false;
+  if (disk != nullptr) {
+    if (std::optional<GpuResult> hit = disk->load(key)) {
+      result = std::move(*hit);
+      have = true;
+    }
+  }
+  if (!have) {
+    // Simulate outside the lock: concurrent callers computing different
+    // cells must not serialize on each other.
+    GlobalMemory mem;
+    if (workload.init) workload.init(mem);
+    result = simulate(config, workload.program, mem);
+    if (disk != nullptr) disk->store(key, result);
+  }
+
+  std::lock_guard<std::mutex> lock(mu);
+  return memo.emplace(key, std::move(result)).first->second;
+}
+
+}  // namespace prosim::runner

@@ -1,0 +1,98 @@
+// Parallel experiment-sweep engine.
+//
+// A sweep is a flat list of (workload, GpuConfig) cells — typically the
+// cross product of an experiment matrix (see runner/matrix.hpp) — executed
+// across a pool of worker threads. Guarantees:
+//
+//  - Determinism: each cell simulates on its own fresh GlobalMemory in a
+//    single thread; the simulator holds no mutable global state, so the
+//    per-cell GpuResult is bit-identical whatever --jobs is. Cells are
+//    reported in input order regardless of completion order.
+//  - Failure isolation: a SimError in one cell (deadlocked kernel,
+//    livelock, invalid config) is captured as that cell's structured
+//    error artifact; the other cells are unaffected and the sweep
+//    completes.
+//  - Caching: with a cache directory configured, finished cells are
+//    persisted content-addressed (runner/result_cache.hpp) and a rerun of
+//    an unchanged matrix executes zero simulations.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hpp"
+#include "common/stats.hpp"
+#include "gpu/gpu_config.hpp"
+#include "gpu/gpu_result.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim::runner {
+
+struct SweepJob {
+  Workload workload;
+  GpuConfig config;
+  /// Display name; build_label() default is "<kernel>/<config key>".
+  std::string label;
+
+  static SweepJob make(Workload w, GpuConfig cfg);
+
+  /// Content-addressed cache key: human-readable prefix + combined
+  /// workload/config fingerprint hex.
+  std::string cache_key() const;
+};
+
+struct SweepCell {
+  std::string label;
+  std::string kernel;
+  std::string app;
+  std::string scheduler;
+  std::string cache_key;
+  bool from_cache = false;
+  std::optional<GpuResult> result;
+  std::optional<SimError> error;  ///< set iff the cell failed
+
+  bool ok() const { return result.has_value(); }
+};
+
+struct SweepProgress {
+  int completed = 0;  ///< cells finished so far (including this one)
+  int total = 0;
+  const SweepCell* cell = nullptr;  ///< the cell that just finished
+};
+
+struct SweepOptions {
+  /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
+  int jobs = 1;
+  /// Directory for the persistent result cache; empty disables it.
+  std::string cache_dir;
+  /// Invoked after every cell completes, serialized under an internal
+  /// mutex (safe to print from).
+  std::function<void(const SweepProgress&)> progress;
+};
+
+struct SweepReport {
+  std::vector<SweepCell> cells;  ///< 1:1 with the input jobs, same order
+  std::uint64_t simulated = 0;   ///< cells actually run
+  std::uint64_t cache_hits = 0;  ///< cells loaded from disk
+  std::uint64_t failures = 0;    ///< cells that ended in a SimError
+
+  /// The same counters as a bag (fed through ConcurrentCounterBag during
+  /// the run; exposed for callers that aggregate several sweeps).
+  CounterBag counters;
+};
+
+SweepReport run_sweep(const std::vector<SweepJob>& jobs,
+                      const SweepOptions& options = {});
+
+/// Thread-safe process-wide memoized simulation: the bench harness's
+/// replacement for its former per-file static maps. Keyed by the same
+/// content fingerprint as the sweep cache; the returned reference stays
+/// valid for the process lifetime. When the PROSIM_CACHE_DIR environment
+/// variable names a directory, results are additionally persisted there,
+/// so repeated bench invocations skip re-simulation too.
+const GpuResult& memoized_run(const Workload& workload,
+                              const GpuConfig& config);
+
+}  // namespace prosim::runner

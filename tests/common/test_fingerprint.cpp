@@ -1,0 +1,62 @@
+#include "common/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prosim {
+namespace {
+
+TEST(Fingerprint, DeterministicAcrossInstances) {
+  Fingerprint a;
+  a.add(std::uint64_t{42}).add("hello").add(true).add(3.25);
+  Fingerprint b;
+  b.add(std::uint64_t{42}).add("hello").add(true).add(3.25);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(Fingerprint, OrderAndValueSensitive) {
+  Fingerprint ab;
+  ab.add(std::uint64_t{1}).add(std::uint64_t{2});
+  Fingerprint ba;
+  ba.add(std::uint64_t{2}).add(std::uint64_t{1});
+  EXPECT_NE(ab.hash(), ba.hash());
+
+  Fingerprint x;
+  x.add(std::uint64_t{1});
+  Fingerprint y;
+  y.add(std::uint64_t{3});
+  EXPECT_NE(x.hash(), y.hash());
+}
+
+TEST(Fingerprint, StringsAreLengthPrefixed) {
+  // Without length prefixes, ("ab","c") and ("a","bc") would collide.
+  Fingerprint left;
+  left.add("ab").add("c");
+  Fingerprint right;
+  right.add("a").add("bc");
+  EXPECT_NE(left.hash(), right.hash());
+}
+
+TEST(Fingerprint, HexIs16LowercaseDigits) {
+  Fingerprint fp;
+  fp.add("x");
+  const std::string hex = fp.hex();
+  EXPECT_EQ(hex.size(), 16u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(Fingerprint, KnownFnv1aVector) {
+  // FNV-1a of the empty input is the offset basis; of "a" it is the
+  // published test vector. Pins the implementation against accidental
+  // algorithm changes, which would silently invalidate every on-disk
+  // cache entry.
+  EXPECT_EQ(Fingerprint().hash(), 14695981039346656037ull);
+  Fingerprint fp;
+  fp.add_bytes("a", 1);
+  EXPECT_EQ(fp.hash(), 0xaf63dc4c8601ec8cull);
+}
+
+}  // namespace
+}  // namespace prosim

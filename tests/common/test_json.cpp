@@ -1,0 +1,87 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/sim_error.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").value->is_null());
+  EXPECT_EQ(parse_json("true").value->as_bool(), true);
+  EXPECT_EQ(parse_json("false").value->as_bool(), false);
+  EXPECT_EQ(parse_json("42").value->as_i64(), 42);
+  EXPECT_EQ(parse_json("-7").value->as_i64(), -7);
+  EXPECT_NEAR(parse_json("2.5e3").value->as_double(), 2500.0, 1e-9);
+  EXPECT_EQ(parse_json("\"hi\\nthere\"").value->as_string(), "hi\nthere");
+}
+
+TEST(Json, Uint64RoundTripsExactly) {
+  // 2^63 + 3 is not representable as a double; the token-preserving
+  // number model must keep every digit.
+  const std::string big = "9223372036854775811";
+  JsonParseResult r = parse_json(big);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->as_u64(), 9223372036854775811ull);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  JsonParseResult r = parse_json(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": true}, "e": []})");
+  ASSERT_TRUE(r.ok());
+  const JsonValue& doc = *r.value;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("a").items().size(), 3u);
+  EXPECT_EQ(doc.at("a").items()[2].at("b").as_string(), "x");
+  EXPECT_TRUE(doc.at("c").at("d").as_bool());
+  EXPECT_TRUE(doc.at("e").items().empty());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonParseResult r = parse_json(R"({"z": 1, "a": 2})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->members()[0].first, "z");
+  EXPECT_EQ(r.value->members()[1].first, "a");
+}
+
+TEST(Json, ReportsErrorsWithLine) {
+  JsonParseResult r = parse_json("{\"a\": 1,\n  oops}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+
+  EXPECT_FALSE(parse_json("").ok());
+  EXPECT_FALSE(parse_json("{\"a\": }").ok());
+  EXPECT_FALSE(parse_json("[1, 2").ok());
+  EXPECT_FALSE(parse_json("\"unterminated").ok());
+  EXPECT_FALSE(parse_json("{} trailing").ok());
+}
+
+TEST(Json, AccessorMismatchThrowsRecoverably) {
+  JsonParseResult r = parse_json("[1]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_THROW(r.value->as_string(), SimException);
+  EXPECT_THROW(r.value->as_u64(), SimException);
+  EXPECT_THROW(parse_json("1.5").value->as_u64(), SimException);
+  EXPECT_THROW(parse_json("-1").value->as_u64(), SimException);
+}
+
+TEST(Json, WriteJsonStringEscapes) {
+  std::ostringstream os;
+  write_json_string(os, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Json, WriterOutputParsesBack) {
+  std::ostringstream os;
+  write_json_string(os, "we\"ird\\name\nwith\tstuff");
+  JsonParseResult r = parse_json(os.str());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value->as_string(), "we\"ird\\name\nwith\tstuff");
+}
+
+}  // namespace
+}  // namespace prosim

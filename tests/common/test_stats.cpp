@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 namespace prosim {
 namespace {
@@ -71,6 +73,23 @@ TEST(Histogram, BinsValuesCorrectly) {
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(ConcurrentCounterBag, CountsSurviveContention) {
+  ConcurrentCounterBag bag;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bag] {
+      for (int i = 0; i < kAddsPerThread; ++i) bag.add("shared", 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bag.get("shared"),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(bag.snapshot().get("shared"), bag.get("shared"));
 }
 
 TEST(Histogram, BinEdges) {

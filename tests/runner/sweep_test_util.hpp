@@ -1,0 +1,66 @@
+// Shared fixtures for the runner tests: small synthetic workloads that run
+// in milliseconds on the test-sized GPU yet still exercise memory traffic,
+// barriers, and multi-TB scheduling (so the four schedulers genuinely
+// diverge in timing, making bit-identity a meaningful check).
+#pragma once
+
+#include <string>
+
+#include "gpu/gpu_config.hpp"
+#include "isa/builder.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim::runner_test {
+
+/// A compute+memory kernel: each thread loads a word, scales it, barriers,
+/// and stores to a disjoint location. `grid_dim` TBs of 64 threads.
+inline Workload make_mem_workload(const std::string& name, int grid_dim) {
+  Workload w;
+  w.suite = "test";
+  w.app = "SweepTest";
+  w.kernel = name;
+  ProgramBuilder b(name);
+  b.block_dim(64).grid_dim(grid_dim).regs(8);
+  b.s2r(0, SpecialReg::kTid);
+  b.s2r(1, SpecialReg::kCtaId);
+  b.imuli(2, 1, 64);
+  b.iadd(2, 2, 0);       // global thread id
+  b.ishli(3, 2, 3);      // byte address
+  b.ldg(4, 3, 0);
+  b.imuli(4, 4, 3);
+  b.bar();
+  b.stg(3, 0x8000, 4);   // write to a disjoint output region
+  b.exit_();
+  w.program = b.build();
+  w.init = [grid_dim](GlobalMemory& mem) {
+    for (int i = 0; i < grid_dim * 64; ++i) {
+      mem.store(static_cast<Addr>(i) * 8, i + 1);
+    }
+  };
+  return w;
+}
+
+/// A pure-ALU kernel with a different instruction mix and name.
+inline Workload make_alu_workload(const std::string& name, int grid_dim) {
+  Workload w;
+  w.suite = "test";
+  w.app = "SweepTest";
+  w.kernel = name;
+  ProgramBuilder b(name);
+  b.block_dim(32).grid_dim(grid_dim).regs(4);
+  b.s2r(0, SpecialReg::kTid);
+  b.movi(1, 7);
+  b.imul(1, 1, 0);
+  b.iaddi(1, 1, 13);
+  b.ishli(2, 0, 3);
+  b.stg(2, 0, 1);
+  b.exit_();
+  w.program = b.build();
+  w.init = [](GlobalMemory&) {};
+  return w;
+}
+
+/// Small GPU so sweeps stay fast; grids above still oversubscribe it.
+inline GpuConfig sweep_test_config() { return GpuConfig::test_config(); }
+
+}  // namespace prosim::runner_test

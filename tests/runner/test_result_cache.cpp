@@ -1,0 +1,86 @@
+// On-disk result cache: store/load round trip, misses, and corruption
+// tolerance. Corrupt or stale files must degrade to a miss (re-simulate),
+// never to an abort or a bogus result.
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hpp"
+#include "gpu/result_io.hpp"
+#include "mem/global_memory.hpp"
+#include "runner/result_cache.hpp"
+#include "sweep_test_util.hpp"
+
+namespace prosim::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("prosim_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+GpuResult small_result() {
+  const Workload w = runner_test::make_alu_workload("cached", 2);
+  GlobalMemory mem;
+  w.init(mem);
+  return simulate(runner_test::sweep_test_config(), w.program, mem);
+}
+
+TEST(ResultCache, StoreThenLoadRoundTrips) {
+  ResultCache cache(fresh_dir("roundtrip"));
+  const GpuResult result = small_result();
+  ASSERT_TRUE(cache.store("alu.LRR-abc123", result));
+  ASSERT_TRUE(fs::exists(cache.path_for("alu.LRR-abc123")));
+
+  std::optional<GpuResult> loaded = cache.load("alu.LRR-abc123");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(gpu_result_to_json(*loaded), gpu_result_to_json(result));
+}
+
+TEST(ResultCache, MissOnAbsentKey) {
+  ResultCache cache(fresh_dir("miss"));
+  EXPECT_FALSE(cache.load("never-stored").has_value());
+}
+
+TEST(ResultCache, CreatesDirectoryRecursively) {
+  const std::string nested = fresh_dir("nested") + "/a/b/c";
+  ResultCache cache(nested);
+  EXPECT_TRUE(fs::is_directory(nested));
+  EXPECT_TRUE(cache.store("k", small_result()));
+  EXPECT_TRUE(cache.load("k").has_value());
+}
+
+TEST(ResultCache, CorruptFileIsAMissAndRecoverable) {
+  ResultCache cache(fresh_dir("corrupt"));
+  {
+    std::ofstream out(cache.path_for("bad"));
+    out << "{\"schema\": \"prosim-result-v1\", \"cycles\": tru";  // truncated
+  }
+  EXPECT_FALSE(cache.load("bad").has_value());
+
+  // A subsequent store must repair the entry in place.
+  ASSERT_TRUE(cache.store("bad", small_result()));
+  EXPECT_TRUE(cache.load("bad").has_value());
+}
+
+TEST(ResultCache, StaleSchemaIsAMiss) {
+  ResultCache cache(fresh_dir("stale"));
+  const GpuResult result = small_result();
+  std::string json = gpu_result_to_json(result);
+  const auto pos = json.find(kGpuResultSchema);
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, std::string(kGpuResultSchema).size(), "prosim-result-v0");
+  {
+    std::ofstream out(cache.path_for("old"));
+    out << json;
+  }
+  EXPECT_FALSE(cache.load("old").has_value());
+}
+
+}  // namespace
+}  // namespace prosim::runner

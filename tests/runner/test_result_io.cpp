@@ -1,0 +1,104 @@
+// GpuResult <-> JSON round trip — the storage contract of the result
+// cache. The round trip must be bit-exact (serialize → parse → serialize
+// yields the same bytes), including the optional heavyweight fields
+// (timelines, registers, PRO TB-order samples) and fault counters.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hpp"
+#include "gpu/result_io.hpp"
+#include "mem/global_memory.hpp"
+#include "sweep_test_util.hpp"
+
+namespace prosim {
+namespace {
+
+GpuResult simulate_workload(const Workload& w, const GpuConfig& cfg) {
+  GlobalMemory mem;
+  w.init(mem);
+  return simulate(cfg, w.program, mem);
+}
+
+TEST(ResultIo, RoundTripIsBitExact) {
+  // PRO + every recording flag on + fault injection: populates timelines,
+  // tb_order_sm0, registers, and faults_injected all at once.
+  GpuConfig cfg = runner_test::sweep_test_config();
+  cfg.scheduler.kind = SchedulerKind::kPro;
+  cfg.record_registers = true;
+  cfg.record_tb_order_sm0 = true;
+  cfg.faults = FaultConfig::chaos(5);
+  const Workload w = runner_test::make_mem_workload("roundtrip", 4);
+  const GpuResult original = simulate_workload(w, cfg);
+
+  const std::string json = gpu_result_to_json(original);
+  Expected<GpuResult> parsed = gpu_result_from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+
+  // Re-serializing the parsed result must reproduce the exact bytes —
+  // this single check covers every field the writer emits.
+  EXPECT_EQ(gpu_result_to_json(parsed.value()), json);
+
+  // Spot-check structure, so a writer/reader bug that drops a field
+  // symmetrically still gets caught.
+  const GpuResult& r = parsed.value();
+  EXPECT_EQ(r.cycles, original.cycles);
+  EXPECT_EQ(r.totals.thread_insts, original.totals.thread_insts);
+  ASSERT_EQ(r.per_sm.size(), original.per_sm.size());
+  EXPECT_GT(r.per_sm.size(), 0u);
+  EXPECT_EQ(r.per_sm[0].issued, original.per_sm[0].issued);
+  ASSERT_EQ(r.timelines.size(), original.timelines.size());
+  ASSERT_GT(original.timelines[0].size(), 0u);
+  EXPECT_EQ(r.timelines[0][0].ctaid, original.timelines[0][0].ctaid);
+  EXPECT_EQ(r.timelines[0][0].start, original.timelines[0][0].start);
+  EXPECT_EQ(r.timelines[0][0].end, original.timelines[0][0].end);
+  EXPECT_EQ(r.tb_order_sm0.size(), original.tb_order_sm0.size());
+  EXPECT_EQ(r.faults_injected, original.faults_injected);
+  EXPECT_GT(r.faults_injected, 0u);  // chaos preset must actually fire
+  EXPECT_EQ(r.l2_misses, original.l2_misses);
+  EXPECT_EQ(r.registers, original.registers);
+  EXPECT_GT(r.registers.size(), 0u);
+  EXPECT_EQ(r.regs_per_thread, original.regs_per_thread);
+  EXPECT_EQ(r.block_dim, original.block_dim);
+}
+
+TEST(ResultIo, RoundTripWithoutOptionalRecordings) {
+  const Workload w = runner_test::make_alu_workload("lean", 2);
+  const GpuResult original =
+      simulate_workload(w, runner_test::sweep_test_config());
+  EXPECT_TRUE(original.registers.empty());
+  EXPECT_TRUE(original.tb_order_sm0.empty());
+
+  const std::string json = gpu_result_to_json(original);
+  Expected<GpuResult> parsed = gpu_result_from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(gpu_result_to_json(parsed.value()), json);
+}
+
+TEST(ResultIo, MalformedInputIsARecoverableError) {
+  EXPECT_FALSE(gpu_result_from_json("").has_value());
+  EXPECT_FALSE(gpu_result_from_json("not json at all").has_value());
+  EXPECT_FALSE(gpu_result_from_json("{\"truncated\": ").has_value());
+  EXPECT_FALSE(gpu_result_from_json("[]").has_value());          // wrong shape
+  EXPECT_FALSE(gpu_result_from_json("{}").has_value());          // missing schema
+  EXPECT_FALSE(gpu_result_from_json(
+                   "{\"schema\": \"prosim-result-v1\"}")  // missing fields
+                   .has_value());
+}
+
+TEST(ResultIo, SchemaMismatchIsRejected) {
+  const Workload w = runner_test::make_alu_workload("schema", 1);
+  const GpuResult original =
+      simulate_workload(w, runner_test::sweep_test_config());
+  std::string json = gpu_result_to_json(original);
+  const std::string::size_type pos = json.find(kGpuResultSchema);
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, std::string(kGpuResultSchema).size(), "prosim-result-v0");
+  Expected<GpuResult> parsed = gpu_result_from_json(json);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("schema"), std::string::npos)
+      << parsed.error().message;
+}
+
+}  // namespace
+}  // namespace prosim
