@@ -1,0 +1,85 @@
+// Simulator wall-clock throughput on a pinned 4-workload subset.
+//
+// Unlike the paper-figure benches (which read the fingerprint-keyed memo
+// and therefore simulate each cell at most once per process), this bench
+// deliberately BYPASSES runner::memoized_run and times a fresh simulation
+// every iteration — it measures how fast the simulator itself runs, not
+// how fast the cache is. Workload input-data generation happens outside
+// the timed region.
+//
+// CI (the perf-smoke job) runs:
+//   bench_throughput --benchmark_format=json \
+//                    --benchmark_out=BENCH_throughput.json
+// and gates with scripts/check_bench_regression.py against the committed
+// baseline bench/baselines/ci-ubuntu.json (see docs/PERF.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "gpu/gpu.hpp"
+#include "harness.hpp"
+#include "kernels/registry.hpp"
+
+namespace {
+
+using namespace prosim;
+using namespace prosim::bench;
+
+// Pinned subset: compute-bound (scalarProdGPU), shared-memory heavy
+// (histogram64Kernel), memory-latency bound (GPU_laplace3d), and
+// irregular/divergent (bfs_kernel). Changing this set invalidates the
+// committed baseline — refresh bench/baselines/ci-ubuntu.json with it.
+constexpr const char* kPinned[] = {"scalarProdGPU", "histogram64Kernel",
+                                   "GPU_laplace3d", "bfs_kernel"};
+constexpr SchedulerKind kKinds[] = {SchedulerKind::kLrr, SchedulerKind::kPro};
+
+void bm_throughput(benchmark::State& state, const Workload* w,
+                   SchedulerKind kind) {
+  const GpuConfig cfg = bench_config(kind);
+  Cycle sim_cycles = 0;
+  std::uint64_t warp_insts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GlobalMemory mem;
+    if (w->init) w->init(mem);
+    state.ResumeTiming();
+    const GpuResult r = simulate(cfg, w->program, mem);
+    benchmark::DoNotOptimize(r.cycles);
+    sim_cycles = r.cycles;
+    warp_insts = r.totals.warp_insts;
+  }
+  // kIsRate divides the accumulated totals by wall time, yielding the same
+  // simulated-cycles/sec and warp-insts/sec that SimThroughput reports.
+  state.counters["sim_cycles_per_second"] = benchmark::Counter(
+      static_cast<double>(sim_cycles) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["warp_insts_per_second"] = benchmark::Counter(
+      static_cast<double>(warp_insts) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void register_benchmarks() {
+  for (const char* kernel : kPinned) {
+    const Workload& w = find_workload(kernel);
+    for (SchedulerKind kind : kKinds) {
+      benchmark::RegisterBenchmark(
+          ("throughput/" + w.kernel + "/" + scheduler_name(kind)).c_str(),
+          bm_throughput, &w, kind)
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

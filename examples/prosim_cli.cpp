@@ -9,6 +9,7 @@
 //   $ ./examples/prosim_cli --kernel GPU_laplace3d --trace out.json
 //   $ ./examples/prosim_cli --list
 //
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -204,7 +205,12 @@ int main(int argc, char** argv) {
 
   GlobalMemory mem;
   init(mem);
+  const auto wall_start = std::chrono::steady_clock::now();
   Expected<GpuResult> checked = simulate_checked(cfg, program, mem);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   if (!checked.has_value()) {
     // Structured diagnosis of the stuck simulation: JSON on stdout when
     // asked, the human-readable report on stderr otherwise.
@@ -216,6 +222,8 @@ int main(int argc, char** argv) {
     return 3;
   }
   GpuResult r = std::move(checked.value());
+  r.throughput =
+      SimThroughput::measure(wall_seconds, r.cycles, r.totals.warp_insts);
 
   Table t({"kernel", "scheduler", "cycles", "ipc", "issued", "idle",
            "scoreboard", "pipeline", "l1_hits", "l1_misses", "l2_misses",

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--max-drop 0.25]
+
+Compares per-benchmark wall time (real_time). A benchmark "regresses" when
+its throughput (1 / real_time) drops by more than --max-drop relative to
+the baseline, i.e. when
+
+    1 - baseline_time / current_time > max_drop
+
+Benchmarks present in the baseline but missing from the current run fail
+the gate; extra benchmarks in the current run are reported but ignored.
+Exit status: 0 = pass, 1 = regression or missing benchmark, 2 = bad input.
+
+To refresh the baseline after an intentional perf change (see docs/PERF.md):
+    cp BENCH_throughput.json bench/baselines/ci-ubuntu.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if present.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["real_time"])
+    if not out:
+        print(f"error: no benchmarks in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-drop", type=float, default=0.25,
+                    help="maximum tolerated throughput drop (default 0.25)")
+    args = ap.parse_args()
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline)
+
+    failures = []
+    width = max(len(n) for n in baseline)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'drop':>7}")
+    for name, base_time in sorted(baseline.items()):
+        cur_time = current.get(name)
+        if cur_time is None:
+            print(f"{name:<{width}}  {base_time:>12.1f}  {'MISSING':>12}")
+            failures.append(f"{name}: missing from current run")
+            continue
+        drop = 1.0 - base_time / cur_time if cur_time > 0 else 0.0
+        flag = "  <-- FAIL" if drop > args.max_drop else ""
+        print(f"{name:<{width}}  {base_time:>12.1f}  {cur_time:>12.1f}  "
+              f"{drop:>+6.1%}{flag}")
+        if drop > args.max_drop:
+            failures.append(
+                f"{name}: throughput dropped {drop:.1%} "
+                f"(limit {args.max_drop:.0%})")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: benchmark not in baseline (ignored): {name}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf this change is an accepted slowdown, refresh the "
+              "baseline:\n  cp BENCH_throughput.json "
+              "bench/baselines/ci-ubuntu.json", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

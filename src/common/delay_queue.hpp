@@ -62,6 +62,13 @@ class DelayQueue {
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
 
+  /// Cycle at which the head item becomes poppable (kNoCycle when empty).
+  /// Arrival times are monotone (FIFO, fixed latency), so the head is
+  /// always the earliest — this is the queue's next-event time.
+  Cycle next_ready() const {
+    return queue_.empty() ? kNoCycle : queue_.front().first;
+  }
+
  private:
   Cycle latency_ = 0;
   int bandwidth_ = 1;

@@ -1,5 +1,7 @@
 #include "core/adaptive_pro.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace prosim {
@@ -43,6 +45,14 @@ void AdaptiveProPolicy::finish_epoch(Cycle now) {
     barrier_enabled_ = !barrier_enabled_;  // A/B alternation
   }
   inner_.set_barrier_handling(barrier_enabled_);
+}
+
+Cycle AdaptiveProPolicy::next_wakeup(Cycle now) const {
+  Cycle t = inner_.next_wakeup(now);
+  if (phase_ == Phase::kProfiling) {
+    t = std::min(t, epoch_start_ + config_.epoch_cycles);
+  }
+  return t;
 }
 
 void AdaptiveProPolicy::begin_cycle(Cycle now) {

@@ -177,6 +177,15 @@ void ProPolicy::apply_threshold_sort(Cycle now) {
   }
 }
 
+Cycle ProPolicy::next_wakeup(Cycle /*now*/) const {
+  // begin_cycle acts spontaneously at the next THRESHOLD sort and when a
+  // staged sort (model_sort_latency) completes. Phase transitions are
+  // driven by TB-launch events and thus always land on active cycles.
+  Cycle t = last_sort_ + config_.sort_threshold;
+  if (sort_ready_at_ != kNoCycle) t = std::min(t, sort_ready_at_);
+  return t;
+}
+
 void ProPolicy::begin_cycle(Cycle now) {
   check_phase(now);
   if (sort_ready_at_ != kNoCycle && now >= sort_ready_at_) {

@@ -43,6 +43,7 @@ class ProPolicy final : public SchedulerPolicy {
 
   int pick(int sched_id, std::uint64_t ready_mask, Cycle now) override;
 
+  Cycle next_wakeup(Cycle now) const override;
   void begin_cycle(Cycle now) override;
   void on_tb_launch(int tb_slot) override;
   void on_tb_finish(int tb_slot) override;

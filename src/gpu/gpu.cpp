@@ -1,5 +1,8 @@
 #include "gpu/gpu.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "core/pro_scheduler.hpp"
 #include "sched/caws.hpp"
 #include "sched/gto.hpp"
@@ -67,6 +70,10 @@ Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
                  SimError::make(ErrorCategory::kInvariant,
                                 "invalid program: " + error));
 
+  // Debug kill-switch: force the original tick-every-cycle loop. Not part
+  // of the config fingerprint — results are bit-identical either way.
+  fast_forward_enabled_ = std::getenv("PROSIM_NO_FASTFORWARD") == nullptr;
+
   if (config_.record_registers) {
     register_dump_.assign(
         static_cast<std::size_t>(program_.info.grid_dim) *
@@ -92,24 +99,65 @@ Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
   }
 }
 
-void Gpu::assign_tbs() {
-  if (faults_ != nullptr && faults_->tb_launch_blocked(now_)) return;
+bool Gpu::assign_tbs() {
+  if (faults_ != nullptr && faults_->tb_launch_blocked(now_)) return false;
   // One TB per SM per cycle, round-robin over SMs — models the global work
   // distribution engine refilling an SM as soon as a resident TB retires.
   const int n = static_cast<int>(sms_.size());
+  bool launched = false;
   for (int i = 0; i < n && tb_scheduler_.has_waiting(); ++i) {
     const int s = (next_sm_ + i) % n;
     if (sms_[s]->can_accept_tb()) {
       sms_[s]->launch_tb(tb_scheduler_.pop(), now_);
+      launched = true;
     }
   }
   next_sm_ = (next_sm_ + 1) % n;
+  return launched;
+}
+
+void Gpu::fast_forward() {
+  // The cycle just executed. Every next_event() lower bound is relative to
+  // it and strictly greater; skipping to the minimum therefore crosses only
+  // cycles that would have repeated the quiet cycle verbatim.
+  const Cycle executed = now_ - 1;
+  Cycle target = mem_.next_event(executed);
+  for (const auto& sm : sms_) {
+    target = std::min(target, sm->next_event(executed));
+  }
+  // Never skip past a watchdog window boundary or the max_cycles backstop:
+  // both checks must observe the same cycles they would under ticking.
+  if (config_.watchdog.enabled) {
+    target = std::min(target, watchdog_.next_check());
+  }
+  target = std::min(target, config_.max_cycles);
+  if (target <= now_) return;
+
+  const Cycle skipped = target - now_;
+  for (auto& sm : sms_) sm->skip_cycles(skipped);
+  const auto n = static_cast<Cycle>(sms_.size());
+  next_sm_ = static_cast<int>(
+      (static_cast<Cycle>(next_sm_) + skipped) % n);  // per-cycle rotation
+  now_ = target;
+
+  if (watchdog_.due(now_)) {
+    if (std::optional<SimError> stuck =
+            watchdog_.check(now_, sms_, tb_scheduler_.remaining())) {
+      throw SimException(std::move(*stuck));
+    }
+  }
+  PROSIM_REQUIRE(now_ < config_.max_cycles,
+                 watchdog_.overrun_error(now_, sms_, config_.max_cycles));
 }
 
 bool Gpu::step() {
-  assign_tbs();
+  const bool launched = assign_tbs();
   mem_.cycle(now_);
-  for (auto& sm : sms_) sm->cycle(now_);
+  bool sm_active = false;
+  for (auto& sm : sms_) {
+    // No short-circuit: every SM must be cycled every cycle.
+    sm_active = sm->cycle(now_) || sm_active;
+  }
   ++now_;
 
   if (watchdog_.due(now_)) {
@@ -121,11 +169,24 @@ bool Gpu::step() {
   PROSIM_REQUIRE(now_ < config_.max_cycles,
                  watchdog_.overrun_error(now_, sms_, config_.max_cycles));
 
-  if (tb_scheduler_.has_waiting()) return true;
-  for (const auto& sm : sms_) {
-    if (!sm->drained()) return true;
+  bool running = tb_scheduler_.has_waiting();
+  if (!running) {
+    for (const auto& sm : sms_) {
+      if (!sm->drained()) {
+        running = true;
+        break;
+      }
+    }
   }
-  return !mem_.idle();
+  if (!running) running = !mem_.idle();
+
+  // Fault injection draws per-cycle random numbers (TB-launch gating), so
+  // skipping cycles would shift the fault stream; fall back to ticking.
+  if (running && !launched && !sm_active && fast_forward_enabled_ &&
+      faults_ == nullptr) {
+    fast_forward();
+  }
+  return running;
 }
 
 GpuResult Gpu::run() {

@@ -58,7 +58,14 @@ class Gpu {
   const FaultInjector* fault_injector() const { return faults_.get(); }
 
  private:
-  void assign_tbs();
+  /// Returns true when at least one TB was launched this cycle.
+  bool assign_tbs();
+  /// After a globally quiet cycle (no launch, no SM did any work), jumps
+  /// the clock to the earliest pending event, bulk-applying the per-cycle
+  /// constant stat increments. Bit-identical to ticking through the same
+  /// span; disabled under fault injection (the injector draws per-cycle
+  /// random numbers) and by the PROSIM_NO_FASTFORWARD environment variable.
+  void fast_forward();
 
   GpuConfig config_;
   const Program program_;
@@ -72,6 +79,7 @@ class Gpu {
   std::vector<TbOrderSample> tb_order_sm0_;
   Cycle now_ = 0;
   int next_sm_ = 0;
+  bool fast_forward_enabled_ = true;
 };
 
 /// One-shot convenience wrapper (throws SimException on stuck programs).

@@ -12,6 +12,31 @@
 
 namespace prosim {
 
+/// Wall-clock throughput of the simulation run that produced a GpuResult.
+/// The wall time is measured by the *driver* (runner / bench harness),
+/// never inside the deterministic core, and the struct is deliberately
+/// excluded from result_io serialization and all fingerprints: it is
+/// measurement metadata about a run, not simulation output, and must not
+/// perturb the bit-identical result guarantee. Zero when the result came
+/// from a cache or an untimed path.
+struct SimThroughput {
+  double wall_seconds = 0.0;
+  double cycles_per_second = 0.0;  ///< simulated cycles / wall second
+  double insts_per_second = 0.0;   ///< issued warp insts / wall second
+
+  bool valid() const { return wall_seconds > 0.0; }
+
+  static SimThroughput measure(double wall_seconds, Cycle cycles,
+                               std::uint64_t warp_insts) {
+    SimThroughput t;
+    if (wall_seconds <= 0.0) return t;
+    t.wall_seconds = wall_seconds;
+    t.cycles_per_second = static_cast<double>(cycles) / wall_seconds;
+    t.insts_per_second = static_cast<double>(warp_insts) / wall_seconds;
+    return t;
+  }
+};
+
 struct GpuResult {
   Cycle cycles = 0;
 
@@ -37,6 +62,11 @@ struct GpuResult {
   std::uint64_t l2_misses = 0;
   std::uint64_t dram_row_hits = 0;
   std::uint64_t dram_row_misses = 0;
+
+  /// Wall-clock throughput of the run (see SimThroughput); filled by the
+  /// driver after simulation, zero for cache hits. NOT serialized by
+  /// result_io and NOT part of any fingerprint.
+  SimThroughput throughput;
 
   /// Final per-thread registers, [ctaid][tid][reg] flattened; only filled
   /// when record_registers was set.

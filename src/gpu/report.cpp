@@ -55,6 +55,18 @@ void write_json_report(std::ostream& os, const GpuResult& r,
   os << "    \"smem_conflict_extra_cycles\": "
      << r.totals.smem_conflict_extra_cycles << "\n";
   os << "  },\n";
+  // Wall-clock throughput, when the driver stamped it (cache hits and
+  // untimed paths leave it zero — then the block is omitted entirely so
+  // reports stay comparable).
+  if (r.throughput.valid()) {
+    os << "  \"throughput\": {\n";
+    os << "    \"wall_seconds\": " << r.throughput.wall_seconds << ",\n";
+    os << "    \"sim_cycles_per_second\": " << r.throughput.cycles_per_second
+       << ",\n";
+    os << "    \"warp_insts_per_second\": " << r.throughput.insts_per_second
+       << "\n";
+    os << "  },\n";
+  }
   // Per-SM issue/stall breakdown (load-balance analysis across SMs).
   os << "  \"per_sm\": [";
   for (std::size_t i = 0; i < r.per_sm.size(); ++i) {

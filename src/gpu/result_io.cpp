@@ -83,6 +83,10 @@ SmStats sm_stats_from_json(const JsonValue& obj) {
 
 }  // namespace
 
+// Deliberate exception to "every field": GpuResult::throughput is
+// wall-clock measurement metadata stamped by the driver. Serializing it
+// would make cache files (and the determinism tests that byte-compare
+// them) vary run to run, so it is skipped on write and left zero on read.
 void write_gpu_result_json(std::ostream& os, const GpuResult& r) {
   os << "{\"schema\":\"" << kGpuResultSchema << "\",";
   os << "\"cycles\":" << r.cycles << ",";

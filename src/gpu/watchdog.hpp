@@ -44,6 +44,10 @@ class Watchdog {
   /// Cheap per-cycle gate; the full check runs only when this is true.
   bool due(Cycle now) const { return config_.enabled && now >= next_check_; }
 
+  /// Next window boundary. The fast-forward path never skips past this, so
+  /// progress checks run at exactly the same cycles as under ticking.
+  Cycle next_check() const { return next_check_; }
+
   /// Window-boundary progress check. Returns the structured error when the
   /// simulation is stuck, std::nullopt otherwise.
   std::optional<SimError> check(

@@ -69,7 +69,10 @@ class TbRun {
                           program_.info.grid_dim};
 
     auto src1_val = [&]() -> RegValue {
-      return inst.src1_is_imm ? inst.imm : t.regs[inst.src1];
+      // Single-source ALU/SFU ops leave src1 = kNoReg; read as 0 like the
+      // timing model's reg_or_zero (eval_alu ignores the operand anyway).
+      if (inst.src1_is_imm) return inst.imm;
+      return inst.src1 != kNoReg ? t.regs[inst.src1] : 0;
     };
     auto mem_addr = [&]() -> Addr {
       return static_cast<Addr>(

@@ -2,89 +2,11 @@
 
 #include <array>
 
-#include "common/check.hpp"
-
 namespace prosim {
 
 namespace {
 
 constexpr std::size_t kNum = static_cast<std::size_t>(Opcode::kNumOpcodes);
-
-// One row per opcode, indexed by the enum value.
-// {mnemonic, fu, space, has_dst, num_srcs, branch, barrier, exit, atomic,
-//  load, store}
-constexpr std::array<OpcodeInfo, kNum> kTable = {{
-    {"nop", FuType::kSpInt, MemSpace::kNone, false, 0, false, false, false,
-     false, false, false},
-    {"mov", FuType::kSpInt, MemSpace::kNone, true, 1, false, false, false,
-     false, false, false},
-    {"movi", FuType::kSpInt, MemSpace::kNone, true, 0, false, false, false,
-     false, false, false},
-    {"s2r", FuType::kSpInt, MemSpace::kNone, true, 0, false, false, false,
-     false, false, false},
-    {"iadd", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"isub", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"imul", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"imad", FuType::kSpInt, MemSpace::kNone, true, 3, false, false, false,
-     false, false, false},
-    {"imin", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"imax", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"iand", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"ior", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"ixor", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"ishl", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"ishr", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"setp", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"sel", FuType::kSpInt, MemSpace::kNone, true, 3, false, false, false,
-     false, false, false},
-    {"fadd", FuType::kSpFp, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"fmul", FuType::kSpFp, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"ffma", FuType::kSpFp, MemSpace::kNone, true, 3, false, false, false,
-     false, false, false},
-    {"fdiv", FuType::kSfu, MemSpace::kNone, true, 2, false, false, false,
-     false, false, false},
-    {"rsqrt", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
-     false, false, false},
-    {"fsin", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
-     false, false, false},
-    {"fexp", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
-     false, false, false},
-    {"flog", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
-     false, false, false},
-    {"ldg", FuType::kMem, MemSpace::kGlobal, true, 0, false, false, false,
-     false, true, false},
-    {"stg", FuType::kMem, MemSpace::kGlobal, false, 1, false, false, false,
-     false, false, true},
-    {"lds", FuType::kMem, MemSpace::kShared, true, 0, false, false, false,
-     false, true, false},
-    {"sts", FuType::kMem, MemSpace::kShared, false, 1, false, false, false,
-     false, false, true},
-    {"ldc", FuType::kMem, MemSpace::kConst, true, 0, false, false, false,
-     false, true, false},
-    {"atomg.add", FuType::kMem, MemSpace::kGlobal, false, 1, false, false,
-     false, true, false, true},
-    {"atoms.add", FuType::kMem, MemSpace::kShared, false, 1, false, false,
-     false, true, false, true},
-    {"bra", FuType::kControl, MemSpace::kNone, false, 0, true, false, false,
-     false, false, false},
-    {"bar", FuType::kControl, MemSpace::kNone, false, 0, false, true, false,
-     false, false, false},
-    {"exit", FuType::kControl, MemSpace::kNone, false, 0, false, false, true,
-     false, false, false},
-}};
 
 constexpr std::array<std::string_view, 6> kCmpNames = {"lt", "le", "gt",
                                                        "ge", "eq", "ne"};
@@ -93,12 +15,6 @@ constexpr std::array<std::string_view, 7> kSregNames = {
     "tid", "ctaid", "ntid", "nctaid", "warpid", "laneid", "gtid"};
 
 }  // namespace
-
-const OpcodeInfo& opcode_info(Opcode op) {
-  const auto idx = static_cast<std::size_t>(op);
-  PROSIM_CHECK(idx < kNum);
-  return kTable[idx];
-}
 
 std::string_view cmp_name(CmpOp cmp) {
   return kCmpNames[static_cast<std::size_t>(cmp)];
@@ -110,7 +26,9 @@ std::string_view sreg_name(SpecialReg sreg) {
 
 Opcode parse_opcode(std::string_view mnemonic) {
   for (std::size_t i = 0; i < kNum; ++i) {
-    if (kTable[i].mnemonic == mnemonic) return static_cast<Opcode>(i);
+    if (detail::kOpcodeTable[i].mnemonic == mnemonic) {
+      return static_cast<Opcode>(i);
+    }
   }
   return Opcode::kNumOpcodes;
 }

@@ -8,8 +8,11 @@
 // comparison exact (see DESIGN.md, "Known simplifications").
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
+
+#include "common/check.hpp"
 
 namespace prosim {
 
@@ -99,7 +102,97 @@ struct OpcodeInfo {
   bool is_store;  // fire-and-forget write
 };
 
-const OpcodeInfo& opcode_info(Opcode op);
+namespace detail {
+
+// One row per opcode, indexed by the enum value. Lives in the header so
+// opcode_info() inlines into the issue loop — it runs hundreds of millions
+// of times per simulation.
+// {mnemonic, fu, space, has_dst, num_srcs, branch, barrier, exit, atomic,
+//  load, store}
+inline constexpr OpcodeInfo
+    kOpcodeTable[static_cast<std::size_t>(Opcode::kNumOpcodes)] = {
+        {"nop", FuType::kSpInt, MemSpace::kNone, false, 0, false, false,
+         false, false, false, false},
+        {"mov", FuType::kSpInt, MemSpace::kNone, true, 1, false, false, false,
+         false, false, false},
+        {"movi", FuType::kSpInt, MemSpace::kNone, true, 0, false, false,
+         false, false, false, false},
+        {"s2r", FuType::kSpInt, MemSpace::kNone, true, 0, false, false, false,
+         false, false, false},
+        {"iadd", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"isub", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"imul", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"imad", FuType::kSpInt, MemSpace::kNone, true, 3, false, false,
+         false, false, false, false},
+        {"imin", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"imax", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"iand", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"ior", FuType::kSpInt, MemSpace::kNone, true, 2, false, false, false,
+         false, false, false},
+        {"ixor", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"ishl", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"ishr", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"setp", FuType::kSpInt, MemSpace::kNone, true, 2, false, false,
+         false, false, false, false},
+        {"sel", FuType::kSpInt, MemSpace::kNone, true, 3, false, false, false,
+         false, false, false},
+        {"fadd", FuType::kSpFp, MemSpace::kNone, true, 2, false, false, false,
+         false, false, false},
+        {"fmul", FuType::kSpFp, MemSpace::kNone, true, 2, false, false, false,
+         false, false, false},
+        {"ffma", FuType::kSpFp, MemSpace::kNone, true, 3, false, false, false,
+         false, false, false},
+        {"fdiv", FuType::kSfu, MemSpace::kNone, true, 2, false, false, false,
+         false, false, false},
+        {"rsqrt", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
+         false, false, false},
+        {"fsin", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
+         false, false, false},
+        {"fexp", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
+         false, false, false},
+        {"flog", FuType::kSfu, MemSpace::kNone, true, 1, false, false, false,
+         false, false, false},
+        {"ldg", FuType::kMem, MemSpace::kGlobal, true, 0, false, false, false,
+         false, true, false},
+        {"stg", FuType::kMem, MemSpace::kGlobal, false, 1, false, false,
+         false, false, false, true},
+        {"lds", FuType::kMem, MemSpace::kShared, true, 0, false, false, false,
+         false, true, false},
+        {"sts", FuType::kMem, MemSpace::kShared, false, 1, false, false,
+         false, false, false, true},
+        {"ldc", FuType::kMem, MemSpace::kConst, true, 0, false, false, false,
+         false, true, false},
+        {"atomg.add", FuType::kMem, MemSpace::kGlobal, false, 1, false, false,
+         false, true, false, true},
+        {"atoms.add", FuType::kMem, MemSpace::kShared, false, 1, false, false,
+         false, true, false, true},
+        {"bra", FuType::kControl, MemSpace::kNone, false, 0, true, false,
+         false, false, false, false},
+        {"bar", FuType::kControl, MemSpace::kNone, false, 0, false, true,
+         false, false, false, false},
+        {"exit", FuType::kControl, MemSpace::kNone, false, 0, false, false,
+         true, false, false, false},
+};
+
+}  // namespace detail
+
+/// Static properties for `op`. The bounds check stays on even in release
+/// builds (one perfectly-predicted branch) — a corrupt opcode must abort,
+/// not index junk.
+inline const OpcodeInfo& opcode_info(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  PROSIM_CHECK(idx < static_cast<std::size_t>(Opcode::kNumOpcodes));
+  return detail::kOpcodeTable[idx];
+}
 
 std::string_view cmp_name(CmpOp cmp);
 std::string_view sreg_name(SpecialReg sreg);

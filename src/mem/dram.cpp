@@ -1,5 +1,7 @@
 #include "mem/dram.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace prosim {
@@ -21,11 +23,13 @@ std::uint64_t Dram::row_of(Addr line_addr) const {
 void Dram::push(MemRequest request, Cycle now) {
   PROSIM_CHECK(can_accept());
   queue_.push_back({request, now});
+  scan_skip_until_ = 0;  // the new request may be issuable immediately
 }
 
 void Dram::cycle(Cycle now) {
   if (queue_.empty()) return;
   if (bus_busy_until_ > now) return;
+  if (scan_skip_until_ > now) return;
 
   // FR-FCFS: first pass looks for the oldest row-buffer hit on a free
   // bank; second pass takes the oldest request on a free bank.
@@ -83,6 +87,37 @@ void Dram::cycle(Cycle now) {
     issue_at(i, row_hit);
     return;
   }
+
+  // Every queued request's bank is busy; bank states only change at issue
+  // time, so nothing can become issuable before the earliest bank frees.
+  Cycle earliest = kNoCycle;
+  for (const Pending& p : queue_) {
+    earliest = std::min(
+        earliest,
+        banks_[static_cast<std::size_t>(bank_of(p.request.line_addr))]
+            .busy_until);
+  }
+  scan_skip_until_ = earliest;
+}
+
+Cycle Dram::next_event(Cycle now) const {
+  Cycle t = kNoCycle;
+  if (!completions_.empty()) {
+    t = std::min(t, std::max(completions_.front().first, now + 1));
+  }
+  if (!queue_.empty()) {
+    Cycle earliest_bank = kNoCycle;
+    for (const Pending& p : queue_) {
+      earliest_bank = std::min(
+          earliest_bank,
+          banks_[static_cast<std::size_t>(bank_of(p.request.line_addr))]
+              .busy_until);
+    }
+    const Cycle issue =
+        std::max(now + 1, std::max(bus_busy_until_, earliest_bank));
+    t = std::min(t, issue);
+  }
+  return t;
 }
 
 MemRequest Dram::pop_completion() {

@@ -37,6 +37,11 @@ class Dram {
 
   bool idle() const { return queue_.empty() && completions_.empty(); }
 
+  /// Lower bound (> now) on the next cycle this channel does anything:
+  /// the head completion becoming ready, or the earliest cycle a queued
+  /// request could issue (bus free and its bank free). kNoCycle when idle.
+  Cycle next_event(Cycle now) const;
+
   // Accounting.
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;
@@ -63,6 +68,11 @@ class Dram {
   std::deque<Pending> queue_;
   Cycle bus_busy_until_ = 0;
   std::deque<std::pair<Cycle, MemRequest>> completions_;
+  /// Scan memo: when a full FR-FCFS scan finds every queued request's bank
+  /// busy, no request can issue before the earliest bank frees — skip the
+  /// per-cycle rescans until then. Invalidated by push (a new request may
+  /// target a free bank).
+  Cycle scan_skip_until_ = 0;
 };
 
 }  // namespace prosim

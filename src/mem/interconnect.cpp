@@ -1,5 +1,7 @@
 #include "mem/interconnect.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace prosim {
@@ -68,6 +70,19 @@ MemResponse Interconnect::pop_response(int sm_id) {
 void Interconnect::begin_cycle(Cycle now) {
   for (auto& q : to_partition_) q.begin_cycle(now);
   for (auto& q : to_sm_) q.begin_cycle(now);
+}
+
+Cycle Interconnect::next_event(Cycle now) const {
+  Cycle t = kNoCycle;
+  for (const auto& q : to_partition_) {
+    const Cycle r = q.next_ready();
+    if (r != kNoCycle) t = std::min(t, std::max(r, now + 1));
+  }
+  for (const auto& q : to_sm_) {
+    const Cycle r = q.next_ready();
+    if (r != kNoCycle) t = std::min(t, std::max(r, now + 1));
+  }
+  return t;
 }
 
 bool Interconnect::idle() const {

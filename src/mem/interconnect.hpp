@@ -42,6 +42,12 @@ class Interconnect {
   /// True when no request or response is in flight.
   bool idle() const;
 
+  /// Lower bound (> now) on the next cycle any queued item could move.
+  /// A head whose arrival time has already passed (receiver backpressure)
+  /// yields now + 1, so the fast-forward path never skips over a stalled
+  /// head. kNoCycle when every queue is empty.
+  Cycle next_event(Cycle now) const;
+
   // Accounting.
   std::uint64_t requests_sent = 0;
   std::uint64_t responses_sent = 0;

@@ -9,6 +9,7 @@
 //  - dirty victims generate DRAM writes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 
@@ -32,6 +33,21 @@ class MemoryPartition {
     return dram_.idle() && ready_responses_.empty() &&
            pending_writebacks_.empty() && hit_responses_.empty() &&
            mshr_.occupancy() == 0;
+  }
+
+  /// Lower bound (> now) on the next cycle this partition does anything.
+  /// Work that retries every cycle against backpressure (ready responses
+  /// waiting for interconnect credit, writebacks waiting for DRAM space)
+  /// conservatively yields now + 1 — the fast-forward path simply does not
+  /// skip while the partition is congested. kNoCycle when fully idle.
+  Cycle next_event(Cycle now) const {
+    Cycle t = dram_.next_event(now);
+    const Cycle hit = hit_responses_.next_ready();
+    if (hit != kNoCycle) t = std::min(t, std::max(hit, now + 1));
+    if (!ready_responses_.empty() || !pending_writebacks_.empty()) {
+      t = std::min(t, now + 1);
+    }
+    return t;
   }
 
   const Cache& l2() const { return l2_; }

@@ -11,6 +11,7 @@
 // cost of one pointer test.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -51,6 +52,19 @@ class MemorySubsystem {
   void cycle(Cycle now);
 
   bool idle() const;
+
+  /// Lower bound (> now) on the next cycle anything in the memory system
+  /// moves: an interconnect queue head maturing, an L2-hit response
+  /// becoming ready, a DRAM bank/bus freeing up, or a DRAM completion.
+  /// Only meaningful without a fault injector (the fast-forward path is
+  /// disabled under fault injection). kNoCycle when fully idle.
+  Cycle next_event(Cycle now) const {
+    Cycle t = icnt_.next_event(now);
+    for (const auto& partition : partitions_) {
+      t = std::min(t, partition.next_event(now));
+    }
+    return t;
+  }
 
   const std::vector<MemoryPartition>& partitions() const {
     return partitions_;

@@ -1,6 +1,7 @@
 #include "runner/runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -51,11 +52,20 @@ SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
 
   GlobalMemory mem;
   if (job.workload.init) job.workload.init(mem);
+  const auto wall_start = std::chrono::steady_clock::now();
   Expected<GpuResult> outcome =
       simulate_checked(job.config, job.workload.program, mem);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   counters.add("simulated", 1);
   if (outcome.has_value()) {
     cell.result = std::move(outcome.value());
+    // Stamped after the deterministic core finished; stored results omit
+    // it (result_io skips SimThroughput), so cache bytes stay run-stable.
+    cell.result->throughput = SimThroughput::measure(
+        wall_seconds, cell.result->cycles, cell.result->totals.warp_insts);
     if (cache != nullptr) cache->store(cell.cache_key, *cell.result);
   } else {
     cell.error = std::move(outcome.error());

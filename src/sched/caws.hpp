@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <vector>
 
 #include "sm/scheduler_policy.hpp"
 
@@ -21,22 +22,26 @@ class CawsPolicy final : public SchedulerPolicy {
  public:
   std::string name() const override { return "caws"; }
 
-  void attach(const PolicyContext& ctx) override { ctx_ = ctx; }
+  void attach(const PolicyContext& ctx) override {
+    ctx_ = ctx;
+    order_.clear();
+    order_.reserve(static_cast<std::size_t>(ctx.num_tb_slots));
+  }
+
+  // Launch sequence numbers grow monotonically, so keeping the slot list
+  // in launch order is an append on launch / erase on finish — no sort in
+  // the per-pick hot path.
+  void on_tb_launch(int tb_slot) override { order_.push_back(tb_slot); }
+  void on_tb_finish(int tb_slot) override {
+    order_.erase(std::remove(order_.begin(), order_.end(), tb_slot),
+                 order_.end());
+  }
 
   int pick(int sched_id, std::uint64_t ready_mask, Cycle /*now*/) override {
-    // Order TB slots oldest-first, then pick the least-progressed ready
-    // warp of the first TB that has one.
-    int slots[64];
-    int n = 0;
-    for (int t = 0; t < ctx_.num_tb_slots; ++t) {
-      if (ctx_.tb_ctaid[t] >= 0) slots[n++] = t;
-    }
-    std::sort(slots, slots + n, [&](int a, int b) {
-      return ctx_.tb_launch_seq[a] < ctx_.tb_launch_seq[b];
-    });
-
-    for (int i = 0; i < n; ++i) {
-      const int base = slots[i] * ctx_.warps_per_tb;
+    // TB slots oldest-first; pick the least-progressed ready warp of the
+    // first TB that has one.
+    for (int slot : order_) {
+      const int base = slot * ctx_.warps_per_tb;
       int best = -1;
       std::uint64_t best_progress = 0;
       for (int wi = 0; wi < ctx_.warps_per_tb; ++wi) {
@@ -56,6 +61,7 @@ class CawsPolicy final : public SchedulerPolicy {
 
  private:
   PolicyContext ctx_;
+  std::vector<int> order_;  // active TB slots, oldest launch first
 };
 
 }  // namespace prosim

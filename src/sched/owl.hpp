@@ -25,19 +25,23 @@ class OwlPolicy final : public SchedulerPolicy {
   void attach(const PolicyContext& ctx) override {
     ctx_ = ctx;
     next_.assign(static_cast<std::size_t>(ctx.num_schedulers), 0);
+    order_.clear();
+    order_.reserve(static_cast<std::size_t>(ctx.num_tb_slots));
+  }
+
+  // Launch order is maintained incrementally (launch sequence numbers are
+  // monotone), replacing the per-pick gather-and-sort.
+  void on_tb_launch(int tb_slot) override { order_.push_back(tb_slot); }
+  void on_tb_finish(int tb_slot) override {
+    order_.erase(std::remove(order_.begin(), order_.end(), tb_slot),
+                 order_.end());
   }
 
   int pick(int sched_id, std::uint64_t ready_mask, Cycle /*now*/) override {
     // TB slots in launch order define the group sequence: slots
-    // [0..group), [group..2*group), ... of the *sorted-by-age* list.
-    int slots[64];
-    int n = 0;
-    for (int t = 0; t < ctx_.num_tb_slots; ++t) {
-      if (ctx_.tb_ctaid[t] >= 0) slots[n++] = t;
-    }
-    std::sort(slots, slots + n, [&](int a, int b) {
-      return ctx_.tb_launch_seq[a] < ctx_.tb_launch_seq[b];
-    });
+    // [0..group), [group..2*group), ... of the age-ordered list.
+    const int* slots = order_.data();
+    const int n = static_cast<int>(order_.size());
 
     const auto s = static_cast<std::size_t>(sched_id);
     for (int g = 0; g < n; g += group_size_) {
@@ -63,6 +67,7 @@ class OwlPolicy final : public SchedulerPolicy {
   int group_size_;
   PolicyContext ctx_;
   std::vector<int> next_;
+  std::vector<int> order_;  // active TB slots, oldest launch first
 };
 
 }  // namespace prosim

@@ -1,42 +1,83 @@
 #include "sm/coalescer.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/check.hpp"
 
 namespace prosim {
 
-std::vector<Addr> coalesce_lines(const Addr* addrs, ActiveMask active,
-                                 int line_bytes) {
+int coalesce_lines_into(const Addr* addrs, ActiveMask active, int line_bytes,
+                        Addr* out) {
   PROSIM_CHECK(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0);
-  std::vector<Addr> lines;
-  lines.reserve(8);
+  int count = 0;
   const Addr mask = ~static_cast<Addr>(line_bytes - 1);
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if ((active & (1u << lane)) == 0) continue;
     const Addr line = addrs[lane] & mask;
-    if (std::find(lines.begin(), lines.end(), line) == lines.end()) {
-      lines.push_back(line);
+    bool seen = false;
+    for (int i = 0; i < count; ++i) {
+      if (out[i] == line) {
+        seen = true;
+        break;
+      }
     }
+    if (!seen) out[count++] = line;
   }
-  std::sort(lines.begin(), lines.end());
-  return lines;
+  std::sort(out, out + count);
+  return count;
+}
+
+std::vector<Addr> coalesce_lines(const Addr* addrs, ActiveMask active,
+                                 int line_bytes) {
+  Addr scratch[kWarpSize];
+  const int count = coalesce_lines_into(addrs, active, line_bytes, scratch);
+  return std::vector<Addr>(scratch, scratch + count);
 }
 
 int smem_conflict_degree(const Addr* addrs, ActiveMask active, int banks) {
   PROSIM_CHECK(banks > 0);
   if (active == 0) return 0;
-  // words[b] collects the distinct 8-byte word indices observed on bank b.
-  // Warp size is 32, so linear scans of tiny vectors beat hashing here.
-  std::vector<std::vector<Addr>> words(static_cast<std::size_t>(banks));
-  int degree = 1;
+  // A warp has at most kWarpSize distinct words; dedup against a flat
+  // fixed array (a word maps to exactly one bank, so global dedup equals
+  // the per-bank dedup), then count occupancy per bank. No allocations.
+  Addr words[kWarpSize];
+  int num_words = 0;
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if ((active & (1u << lane)) == 0) continue;
     const Addr word = addrs[lane] >> 3;
-    auto& bank = words[static_cast<std::size_t>(word % banks)];
-    if (std::find(bank.begin(), bank.end(), word) == bank.end()) {
-      bank.push_back(word);
-      degree = std::max(degree, static_cast<int>(bank.size()));
+    bool seen = false;
+    for (int i = 0; i < num_words; ++i) {
+      if (words[i] == word) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) words[num_words++] = word;
+  }
+  if (num_words == 1) return 1;
+  const bool pow2 = (banks & (banks - 1)) == 0;
+  Addr bank_of[kWarpSize];
+  for (int i = 0; i < num_words; ++i) {
+    bank_of[i] = pow2 ? (words[i] & static_cast<Addr>(banks - 1))
+                      : (words[i] % static_cast<Addr>(banks));
+  }
+  // Count occupancy per bank. Small bank counts (every real config) use a
+  // direct counting array; the quadratic fallback covers arbitrary counts.
+  int degree = 1;
+  if (banks <= 64) {
+    std::uint8_t counts[64] = {};
+    for (int i = 0; i < num_words; ++i) {
+      const int c = ++counts[bank_of[i]];
+      degree = std::max(degree, c);
+    }
+  } else {
+    for (int i = 0; i < num_words; ++i) {
+      int same = 1;
+      for (int j = 0; j < i; ++j) {
+        if (bank_of[j] == bank_of[i]) ++same;
+      }
+      degree = std::max(degree, same);
     }
   }
   return degree;

@@ -16,8 +16,14 @@
 
 namespace prosim {
 
-/// Distinct line addresses covered by the active lanes, ascending.
-/// `addrs[i]` is only meaningful when bit i of `active` is set.
+/// Distinct line addresses covered by the active lanes, ascending, written
+/// into `out` (capacity >= kWarpSize — a warp can touch at most kWarpSize
+/// distinct lines). Returns the line count. `addrs[i]` is only meaningful
+/// when bit i of `active` is set. Allocation-free hot-path variant.
+int coalesce_lines_into(const Addr* addrs, ActiveMask active, int line_bytes,
+                        Addr* out);
+
+/// Convenience wrapper returning a fresh vector (tests / cold paths).
 std::vector<Addr> coalesce_lines(const Addr* addrs, ActiveMask active,
                                  int line_bytes);
 

@@ -63,6 +63,14 @@ class SchedulerPolicy {
     return ~std::uint64_t{0};
   }
 
+  /// Earliest future cycle at which the policy's begin_cycle would do
+  /// something even without any warp event (threshold sorts, profiling
+  /// epoch boundaries). Purely event-driven policies return kNoCycle. The
+  /// GPU's fast-forward path never skips past this cycle, so time-triggered
+  /// policy behaviour lands on exactly the same cycle as under per-cycle
+  /// ticking.
+  virtual Cycle next_wakeup(Cycle /*now*/) const { return kNoCycle; }
+
   // ---- Event hooks (default: ignore) ------------------------------------
   virtual void begin_cycle(Cycle /*now*/) {}
   virtual void on_tb_launch(int /*tb_slot*/) {}

@@ -1,6 +1,7 @@
 #include "sm/sm_core.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "isa/semantics.hpp"
@@ -41,6 +42,21 @@ SmCore::SmCore(int sm_id, const SmConfig& config, const Program& program,
   tb_progress_.assign(max_resident_tbs_, 0);
   tb_ctaid_.assign(max_resident_tbs_, -1);
   tb_launch_seq_.assign(max_resident_tbs_, 0);
+
+  sched_mask_.assign(static_cast<std::size_t>(config_.num_schedulers), 0);
+  for (int w = 0; w < used_warp_slots_; ++w) {
+    sched_mask_[static_cast<std::size_t>(w % config_.num_schedulers)] |=
+        1ull << w;
+  }
+  last_stall_.assign(static_cast<std::size_t>(config_.num_schedulers),
+                     StallKind::kIdle);
+
+  inst_meta_.resize(program_.code.size());
+  for (std::size_t pc = 0; pc < program_.code.size(); ++pc) {
+    const Instruction& inst = program_.code[pc];
+    inst_meta_[pc] = {Scoreboard::regs_of(inst), inst.info().fu,
+                      inst.info().is_exit};
+  }
 
   PolicyContext ctx;
   ctx.sm_id = sm_id_;
@@ -111,6 +127,7 @@ void SmCore::launch_tb(int ctaid, Cycle now) {
     wc.at_barrier = false;
     wc.tb_slot = slot;
     wc.ibuffer_ready = now + 1;
+    live_mask_ |= 1ull << w;
     scoreboard_.reset(w);
     warp_progress_[w] = 0;
     std::memset(&reg(w, 0, 0), 0,
@@ -166,16 +183,59 @@ bool SmCore::drained() const {
 // Cycle phases
 // ---------------------------------------------------------------------------
 
-void SmCore::cycle(Cycle now) {
+bool SmCore::cycle(Cycle now) {
   stats_.occupancy_tb_cycles += static_cast<std::uint64_t>(resident_tbs_);
-  drain_responses(now);
-  drain_writebacks(now);
-  ldst_cycle(now);
-  issue_cycle(now);
+  bool active = drain_responses(now);
+  active |= drain_writebacks(now);
+  if (ldst_op_.valid) {
+    ldst_cycle(now);
+    active = true;
+  }
+  active |= issue_cycle(now);
+  return active;
 }
 
-void SmCore::drain_responses(Cycle now) {
+void SmCore::skip_cycles(Cycle count) {
+  stats_.occupancy_tb_cycles +=
+      count * static_cast<std::uint64_t>(resident_tbs_);
+  for (int sched = 0; sched < config_.num_schedulers; ++sched) {
+    stats_.sched_cycles += count;
+    switch (last_stall_[static_cast<std::size_t>(sched)]) {
+      case StallKind::kPipeline:
+        stats_.pipeline_stalls += count;
+        break;
+      case StallKind::kScoreboard:
+        stats_.scoreboard_stalls += count;
+        break;
+      case StallKind::kIdle:
+        stats_.idle_stalls += count;
+        break;
+    }
+  }
+}
+
+Cycle SmCore::next_event(Cycle now) const {
+  // An in-flight LDST op dispatches every cycle — never skip over it.
+  if (ldst_op_.valid) return now + 1;
+  Cycle t = kNoCycle;
+  if (!wb_.empty()) t = std::min(t, wb_.top().at);  // > now after drain
+  if (sfu_ready_at_ > now) t = std::min(t, sfu_ready_at_);
+  if (ldst_busy_until_ > now) t = std::min(t, ldst_busy_until_);
+  std::uint64_t pending = live_mask_;
+  while (pending != 0) {
+    const int w = std::countr_zero(pending);
+    pending &= pending - 1;
+    const Cycle r = warps_[w].ibuffer_ready;
+    if (r > now) t = std::min(t, r);
+  }
+  t = std::min(t, policy_->next_wakeup(now));
+  return t;
+}
+
+bool SmCore::drain_responses(Cycle now) {
+  bool any = false;
   while (mem_.has_response(sm_id_)) {
+    any = true;
     const MemResponse resp = mem_.pop_response(sm_id_);
     if (resp.is_atomic) {
       // Atomics bypass the L1; the token (if any) is the pending load.
@@ -194,10 +254,13 @@ void SmCore::drain_responses(Cycle now) {
       complete_load_transaction(token, now);
     }
   }
+  return any;
 }
 
-void SmCore::drain_writebacks(Cycle now) {
+bool SmCore::drain_writebacks(Cycle now) {
+  bool any = false;
   while (!wb_.empty() && wb_.top().at <= now) {
+    any = true;
     const WbEvent ev = wb_.top();
     wb_.pop();
     if (ev.kind == WbKind::kRegRelease) {
@@ -206,12 +269,13 @@ void SmCore::drain_writebacks(Cycle now) {
       complete_load_transaction(ev.token, now);
     }
   }
+  return any;
 }
 
 void SmCore::ldst_cycle(Cycle now) {
   if (!ldst_op_.valid) return;
   int budget = config_.ldst_dispatch_per_cycle;
-  while (budget > 0 && ldst_op_.next < ldst_op_.lines.size()) {
+  while (budget > 0 && ldst_op_.next < ldst_op_.num_lines) {
     const Addr line = ldst_op_.lines[ldst_op_.next];
     switch (ldst_op_.kind) {
       case MemReqKind::kRead: {
@@ -265,7 +329,7 @@ void SmCore::ldst_cycle(Cycle now) {
     ++ldst_op_.next;
     --budget;
   }
-  if (ldst_op_.next == ldst_op_.lines.size()) ldst_op_.valid = false;
+  if (ldst_op_.next == ldst_op_.num_lines) ldst_op_.valid = false;
 }
 
 bool SmCore::fu_can_accept(const Instruction& inst, Cycle now) const {
@@ -282,28 +346,40 @@ bool SmCore::fu_can_accept(const Instruction& inst, Cycle now) const {
   return false;
 }
 
-void SmCore::issue_cycle(Cycle now) {
+bool SmCore::issue_cycle(Cycle now) {
   policy_->begin_cycle(now);
+  bool issued_any = false;
   for (int sched = 0; sched < config_.num_schedulers; ++sched) {
     ++stats_.sched_cycles;
     bool any_valid = false;
     bool any_fu_blocked = false;
     std::uint64_t ready = 0;
-    const std::uint64_t consider = policy_->consider_mask(sched);
-    for (int w = sched; w < used_warp_slots_; w += config_.num_schedulers) {
-      if ((consider & (1ull << w)) == 0) continue;
+    // Candidates: allocated, unfinished, not at a barrier (live_mask_),
+    // owned by this hardware scheduler, and visible per the policy's
+    // consider mask. Iterating set bits replaces the strided probe of
+    // every warp slot; the per-warp checks are unchanged.
+    std::uint64_t candidates =
+        live_mask_ & sched_mask_[static_cast<std::size_t>(sched)] &
+        policy_->consider_mask(sched);
+    while (candidates != 0) {
+      const int w = std::countr_zero(candidates);
+      candidates &= candidates - 1;
       const WarpCtx& wc = warps_[w];
-      if (!wc.allocated || wc.finished) continue;
-      if (wc.at_barrier || wc.ibuffer_ready > now) continue;
-      const Instruction& inst =
-          program_.code[static_cast<std::size_t>(wc.stack.pc())];
+      if (wc.ibuffer_ready > now) continue;
+      const InstMeta& meta = inst_meta_[static_cast<std::size_t>(wc.stack.pc())];
+      const std::uint64_t pending = scoreboard_.pending_mask(w);
       any_valid = true;
-      if (!scoreboard_.available(w, inst)) continue;
+      if ((pending & meta.regs) != 0) continue;
       // A warp may only retire once all its in-flight writebacks and loads
       // have drained; otherwise the slot could be re-used by a new TB while
       // stale completions are still queued.
-      if (inst.info().is_exit && scoreboard_.pending_mask(w) != 0) continue;
-      if (!fu_can_accept(inst, now)) {
+      if (meta.is_exit && pending != 0) continue;
+      const bool can_accept =
+          meta.fu == FuType::kSfu
+              ? sfu_ready_at_ <= now
+              : (meta.fu != FuType::kMem ||
+                 (!ldst_op_.valid && ldst_busy_until_ <= now));
+      if (!can_accept) {
         any_fu_blocked = true;
         continue;
       }
@@ -319,14 +395,19 @@ void SmCore::issue_cycle(Cycle now) {
           program_.code[static_cast<std::size_t>(warps_[w].stack.pc())];
       issue_warp(w, inst, now);
       ++stats_.issued;
+      issued_any = true;
     } else if (any_fu_blocked) {
       ++stats_.pipeline_stalls;
+      last_stall_[static_cast<std::size_t>(sched)] = StallKind::kPipeline;
     } else if (any_valid) {
       ++stats_.scoreboard_stalls;
+      last_stall_[static_cast<std::size_t>(sched)] = StallKind::kScoreboard;
     } else {
       ++stats_.idle_stalls;
+      last_stall_[static_cast<std::size_t>(sched)] = StallKind::kIdle;
     }
   }
+  return issued_any;
 }
 
 // ---------------------------------------------------------------------------
@@ -507,13 +588,20 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
         if ((active & (1u << lane)) == 0) continue;
         reg(warp, lane, inst.dst) = gmem_.load(lane_addrs_[lane]);
       }
-      std::vector<Addr> lines =
-          coalesce_lines(lane_addrs_, active, config_.l1d.line_bytes);
-      stats_.gmem_transactions += lines.size();
-      const std::uint32_t token = alloc_pending_load(
-          warp, inst.dst, static_cast<int>(lines.size()));
+      // fu_can_accept guarantees the LDST op slot is free at issue time, so
+      // the coalescer writes its line list straight into it.
+      const int count = coalesce_lines_into(
+          lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      stats_.gmem_transactions += static_cast<std::uint64_t>(count);
+      const std::uint32_t token = alloc_pending_load(warp, inst.dst, count);
       scoreboard_.reserve(warp, inst.dst);
-      ldst_op_ = {true, warp, std::move(lines), 0, MemReqKind::kRead, token};
+      ldst_op_.valid = true;
+      ldst_op_.warp = warp;
+      ldst_op_.num_lines = count;
+      ldst_op_.next = 0;
+      ldst_op_.kind = MemReqKind::kRead;
+      ldst_op_.token = token;
+      ldst_op_.is_const = false;
       break;
     }
     case Opcode::kStg: {
@@ -521,11 +609,16 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
         if ((active & (1u << lane)) == 0) continue;
         gmem_.store(lane_addrs_[lane], reg(warp, lane, inst.src1));
       }
-      std::vector<Addr> lines =
-          coalesce_lines(lane_addrs_, active, config_.l1d.line_bytes);
-      stats_.gmem_transactions += lines.size();
-      ldst_op_ = {true, warp, std::move(lines), 0, MemReqKind::kWrite,
-                  kNoToken};
+      const int count = coalesce_lines_into(
+          lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      stats_.gmem_transactions += static_cast<std::uint64_t>(count);
+      ldst_op_.valid = true;
+      ldst_op_.warp = warp;
+      ldst_op_.num_lines = count;
+      ldst_op_.next = 0;
+      ldst_op_.kind = MemReqKind::kWrite;
+      ldst_op_.token = kNoToken;
+      ldst_op_.is_const = false;
       break;
     }
     case Opcode::kAtomGAdd: {
@@ -535,17 +628,21 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
                                               reg(warp, lane, inst.src1));
         if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
       }
-      std::vector<Addr> lines =
-          coalesce_lines(lane_addrs_, active, config_.l1d.line_bytes);
-      stats_.gmem_transactions += lines.size();
+      const int count = coalesce_lines_into(
+          lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      stats_.gmem_transactions += static_cast<std::uint64_t>(count);
       std::uint32_t token = kNoToken;
       if (inst.dst != kNoReg) {
-        token = alloc_pending_load(warp, inst.dst,
-                                   static_cast<int>(lines.size()));
+        token = alloc_pending_load(warp, inst.dst, count);
         scoreboard_.reserve(warp, inst.dst);
       }
-      ldst_op_ = {true, warp, std::move(lines), 0, MemReqKind::kAtomic,
-                  token};
+      ldst_op_.valid = true;
+      ldst_op_.warp = warp;
+      ldst_op_.num_lines = count;
+      ldst_op_.next = 0;
+      ldst_op_.kind = MemReqKind::kAtomic;
+      ldst_op_.token = token;
+      ldst_op_.is_const = false;
       break;
     }
     case Opcode::kLds: {
@@ -604,13 +701,19 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
       }
       scoreboard_.reserve(warp, inst.dst);
       if (config_.const_cache_enabled) {
-        std::vector<Addr> lines = coalesce_lines(
-            lane_addrs_, active, config_.const_cache.line_bytes);
-        stats_.const_transactions += lines.size();
-        const std::uint32_t token = alloc_pending_load(
-            warp, inst.dst, static_cast<int>(lines.size()));
-        ldst_op_ = {true,  warp,  std::move(lines), 0, MemReqKind::kRead,
-                    token, /*is_const=*/true};
+        const int count = coalesce_lines_into(
+            lane_addrs_, active, config_.const_cache.line_bytes,
+            ldst_op_.lines);
+        stats_.const_transactions += static_cast<std::uint64_t>(count);
+        const std::uint32_t token =
+            alloc_pending_load(warp, inst.dst, count);
+        ldst_op_.valid = true;
+        ldst_op_.warp = warp;
+        ldst_op_.num_lines = count;
+        ldst_op_.next = 0;
+        ldst_op_.kind = MemReqKind::kRead;
+        ldst_op_.token = token;
+        ldst_op_.is_const = true;
       } else {
         // Always-hit approximation: fixed latency, no tags.
         ldst_busy_until_ = now + 1;
@@ -689,6 +792,7 @@ void SmCore::do_barrier(int warp, Cycle now) {
                      .at_pc(wc.stack.pc()));
   wc.at_barrier = true;
   wc.barrier_arrive = now;
+  live_mask_ &= ~(1ull << warp);
   TbCtx& tb = tbs_[wc.tb_slot];
   ++tb.warps_at_barrier;
   policy_->on_warp_barrier_arrive(warp, wc.tb_slot);
@@ -698,10 +802,12 @@ void SmCore::do_barrier(int warp, Cycle now) {
 void SmCore::release_barrier(int tb_slot, Cycle now) {
   TbCtx& tb = tbs_[tb_slot];
   for (int i = 0; i < warps_per_tb_; ++i) {
-    WarpCtx& wc = warps_[tb_slot * warps_per_tb_ + i];
+    const int w = tb_slot * warps_per_tb_ + i;
+    WarpCtx& wc = warps_[w];
     if (wc.allocated && !wc.finished && wc.at_barrier) {
       wc.at_barrier = false;
       wc.ibuffer_ready = now + 1;
+      live_mask_ |= 1ull << w;
       stats_.barrier_wait_cycles += now - wc.barrier_arrive;
     }
   }
@@ -720,6 +826,7 @@ void SmCore::finish_warp(int warp, Cycle now) {
   WarpCtx& wc = warps_[warp];
   wc.finished = true;
   wc.finish_cycle = now;
+  live_mask_ &= ~(1ull << warp);
   TbCtx& tb = tbs_[wc.tb_slot];
   --tb.warps_live;
   policy_->on_warp_finish(warp, wc.tb_slot);

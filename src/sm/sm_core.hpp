@@ -89,7 +89,25 @@ class SmCore {
   bool can_accept_tb() const;
   void launch_tb(int ctaid, Cycle now);
 
-  void cycle(Cycle now);
+  /// Advances one cycle. Returns true when the cycle did any work (drained
+  /// a response, retired a writeback, dispatched LDST transactions, or
+  /// issued an instruction) — false means the cycle was pure bookkeeping
+  /// and the GPU may fast-forward past identical cycles (see skip_cycles).
+  bool cycle(Cycle now);
+
+  /// Bulk-applies `count` quiet cycles' worth of per-cycle-constant stat
+  /// increments (occupancy, scheduler cycles, the stall classification
+  /// recorded by the last executed cycle). Only legal immediately after a
+  /// cycle() that returned false, for a span in which next_event() proves
+  /// no state transition can occur.
+  void skip_cycles(Cycle count);
+
+  /// Lower bound (> now) on the next cycle at which this SM could do any
+  /// work: head writeback retiring, a warp's instruction buffer refilling,
+  /// SFU/LDST units freeing up, or the policy's next time-triggered action.
+  /// Memory responses are accounted by MemorySubsystem::next_event.
+  /// kNoCycle when nothing is pending locally.
+  Cycle next_event(Cycle now) const;
 
   int resident_tbs() const { return resident_tbs_; }
   /// True when no TB is resident and no memory/writeback event is pending.
@@ -146,12 +164,15 @@ class SmCore {
     bool valid = false;
   };
 
-  /// Current LDST-unit operation: remaining global transactions.
+  /// Current LDST-unit operation: remaining global transactions. A warp
+  /// touches at most kWarpSize distinct lines, so the line list is a fixed
+  /// in-place array — no per-instruction heap allocation.
   struct MemOp {
     bool valid = false;
     int warp = -1;
-    std::vector<Addr> lines;
-    std::size_t next = 0;
+    Addr lines[kWarpSize];
+    int num_lines = 0;
+    int next = 0;
     MemReqKind kind = MemReqKind::kRead;
     std::uint32_t token = kNoToken;
     bool is_const = false;  // route through the constant cache
@@ -169,11 +190,26 @@ class SmCore {
 
   static constexpr std::uint32_t kNoToken = 0xFFFFFFFFu;
 
-  // -- cycle phases --------------------------------------------------------
-  void drain_responses(Cycle now);
-  void drain_writebacks(Cycle now);
+  /// Per-instruction static properties needed by the issue scan, packed
+  /// into one flat table indexed by pc. Precomputed at construction so the
+  /// per-candidate hot loop never touches Instruction or OpcodeInfo.
+  struct InstMeta {
+    std::uint64_t regs = 0;  // scoreboard mask (Scoreboard::regs_of)
+    FuType fu = FuType::kSpInt;
+    bool is_exit = false;
+  };
+
+  /// What a hardware scheduler did in the last executed cycle; multiplied
+  /// out by skip_cycles (a quiet span repeats the same classification —
+  /// every input to the classification is provably constant until the next
+  /// event).
+  enum class StallKind : std::uint8_t { kIdle, kScoreboard, kPipeline };
+
+  // -- cycle phases (each returns "did any work") ---------------------------
+  bool drain_responses(Cycle now);
+  bool drain_writebacks(Cycle now);
   void ldst_cycle(Cycle now);
-  void issue_cycle(Cycle now);
+  bool issue_cycle(Cycle now);
 
   // -- issue helpers --------------------------------------------------------
   bool fu_can_accept(const Instruction& inst, Cycle now) const;
@@ -225,6 +261,7 @@ class SmCore {
   int regs_per_thread_;
   int max_resident_tbs_;
   int used_warp_slots_;  // max_resident_tbs_ * warps_per_tb_
+  std::vector<InstMeta> inst_meta_;  // indexed by pc
 
   // -- machine state ---------------------------------------------------------
   std::vector<WarpCtx> warps_;
@@ -236,6 +273,17 @@ class SmCore {
   std::vector<std::uint64_t> tb_launch_seq_;
   std::uint64_t next_launch_seq_ = 0;
   int resident_tbs_ = 0;
+
+  /// Bit w set while warp w is allocated, unfinished, and not parked at a
+  /// barrier — the candidate superset the issue stage scans. Maintained at
+  /// launch/finish/barrier transitions so issue_cycle iterates set bits
+  /// instead of probing all warp slots every cycle.
+  std::uint64_t live_mask_ = 0;
+  /// Bit w set when warp slot w belongs to hardware scheduler `sched`
+  /// (w % num_schedulers == sched), w < used_warp_slots_.
+  std::vector<std::uint64_t> sched_mask_;
+  /// Per-scheduler stall classification of the last executed cycle.
+  std::vector<StallKind> last_stall_;
 
   Scoreboard scoreboard_;
   Cache l1_;

@@ -1,0 +1,117 @@
+// Pins the optimized cycle loop to the pre-optimization implementation.
+//
+// The fast-forward/event-wakeup rework (see docs/PERF.md) must be
+// invisible in results: every GpuResult field bit-identical to what the
+// original tick-every-cycle loop produced. These fingerprints are FNV-1a
+// hashes of gpu_result_to_json() — the same lossless serialization the
+// sweep result cache stores — recorded from the seed implementation on
+// six representative workloads (compute-bound, shared-memory heavy,
+// memory-latency bound, irregular, barrier-heavy, multi-kernel app) for
+// all four paper schedulers, plus one fault-injected cell that exercises
+// the non-fast-forwarded path (fault injection disables cycle skipping).
+//
+// If a change moves these values it changed simulated behavior, not just
+// speed — that is a correctness regression (or an intentional model
+// change, which must re-record the constants AND refresh every golden
+// artifact that depends on simulated results).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/fingerprint.hpp"
+#include "gpu/gpu.hpp"
+#include "gpu/result_io.hpp"
+#include "kernels/registry.hpp"
+
+namespace prosim {
+namespace {
+
+std::uint64_t result_fingerprint(const Workload& w, const GpuConfig& cfg) {
+  GlobalMemory mem;
+  if (w.init) w.init(mem);
+  const GpuResult r = simulate(cfg, w.program, mem);
+  const std::string json = gpu_result_to_json(r);
+  Fingerprint fp;
+  fp.add_bytes(json.data(), json.size());
+  return fp.hash();
+}
+
+struct Cell {
+  const char* kernel;
+  SchedulerKind kind;
+  std::uint64_t expected;
+};
+
+// Recorded from the seed implementation (default GpuConfig — the fig4
+// sweep configuration) before the hot-path rework.
+constexpr Cell kCells[] = {
+    {"scalarProdGPU", SchedulerKind::kLrr, 0x856755624a190199ull},
+    {"scalarProdGPU", SchedulerKind::kGto, 0x1e4d8508ead8013full},
+    {"scalarProdGPU", SchedulerKind::kTl, 0xf2a02ebebb02e32full},
+    {"scalarProdGPU", SchedulerKind::kPro, 0xf0604c1acd235617ull},
+    {"histogram64Kernel", SchedulerKind::kLrr, 0xa5566c0fdeb4c1a3ull},
+    {"histogram64Kernel", SchedulerKind::kGto, 0x90bb7fff3249a079ull},
+    {"histogram64Kernel", SchedulerKind::kTl, 0xdc8f192da1a4c3eaull},
+    {"histogram64Kernel", SchedulerKind::kPro, 0xac4d3d4229760890ull},
+    {"GPU_laplace3d", SchedulerKind::kLrr, 0x7cb9bc88114d6244ull},
+    {"GPU_laplace3d", SchedulerKind::kGto, 0x66bf1be41e2e3d1eull},
+    {"GPU_laplace3d", SchedulerKind::kTl, 0x9989434a0c6a9e7aull},
+    {"GPU_laplace3d", SchedulerKind::kPro, 0x38970701efbcb9abull},
+    {"bfs_kernel", SchedulerKind::kLrr, 0x9238752322f27cb4ull},
+    {"bfs_kernel", SchedulerKind::kGto, 0x9df19b97a5dad72aull},
+    {"bfs_kernel", SchedulerKind::kTl, 0x2a1b77df2e26072full},
+    {"bfs_kernel", SchedulerKind::kPro, 0xa57699a9d2a9be82ull},
+    {"calculate_temp", SchedulerKind::kLrr, 0xaad8152929a24ef7ull},
+    {"calculate_temp", SchedulerKind::kGto, 0xf73d34b299219e61ull},
+    {"calculate_temp", SchedulerKind::kTl, 0xb30cc56f2f0dce1aull},
+    {"calculate_temp", SchedulerKind::kPro, 0x04656f32dcc626f9ull},
+    {"MonteCarloOneBlockPerOption", SchedulerKind::kLrr,
+     0x4feffd44f1db26eeull},
+    {"MonteCarloOneBlockPerOption", SchedulerKind::kGto,
+     0x7b0edbb23cca1e2dull},
+    {"MonteCarloOneBlockPerOption", SchedulerKind::kTl,
+     0x1b3cc5cd8525af8bull},
+    {"MonteCarloOneBlockPerOption", SchedulerKind::kPro,
+     0x14e6a647818a95dbull},
+};
+
+class EquivalenceFastpath
+    : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(EquivalenceFastpath, MatchesSeedFingerprint) {
+  const Cell& cell = GetParam();
+  GpuConfig cfg;
+  cfg.scheduler.kind = cell.kind;
+  const std::uint64_t actual =
+      result_fingerprint(find_workload(cell.kernel), cfg);
+  EXPECT_EQ(actual, cell.expected)
+      << cell.kernel << "/" << scheduler_name(cell.kind)
+      << ": GpuResult diverged from the seed implementation (actual "
+      << "fingerprint 0x" << std::hex << actual << ")";
+}
+
+std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {
+  return std::string(info.param.kernel) + "_" +
+         scheduler_name(info.param.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedCells, EquivalenceFastpath,
+                         ::testing::ValuesIn(kCells), cell_name);
+
+// Fault injection disables fast-forwarding entirely (the injector draws
+// per-cycle random numbers), so this cell pins the plain ticking loop —
+// and the fault stream itself — across the optimization work.
+TEST(EquivalenceFastpath, FaultInjectedCellMatchesSeed) {
+  GpuConfig cfg;
+  cfg.scheduler.kind = SchedulerKind::kPro;
+  cfg.faults = FaultConfig::chaos(1234);
+  const std::uint64_t actual =
+      result_fingerprint(find_workload("scalarProdGPU"), cfg);
+  EXPECT_EQ(actual, 0xadab3da89f00b3abull)
+      << "fault-injected cell diverged from the seed implementation "
+      << "(actual fingerprint 0x" << std::hex << actual << ")";
+}
+
+}  // namespace
+}  // namespace prosim

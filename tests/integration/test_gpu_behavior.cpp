@@ -95,7 +95,9 @@ TEST(GpuBehavior, StepInterfaceTerminates) {
     ++steps;
     ASSERT_LT(steps, 1000000u);
   }
-  EXPECT_EQ(gpu.now(), steps + 1);
+  // A step advances at least one cycle, and may fast-forward across a
+  // quiet span — so the clock can run ahead of the step count.
+  EXPECT_GE(gpu.now(), steps + 1);
   GpuResult r = gpu.collect();
   EXPECT_EQ(r.totals.tbs_executed, 4u);
 }
