@@ -6,7 +6,8 @@
 //   $ ./examples/prosim_cli --kernel bfs_kernel --scheduler TL \
 //         --sms 8 --threshold 500 --csv
 //   $ ./examples/prosim_cli --asm my_kernel.sasm --scheduler GTO
-//   $ ./examples/prosim_cli --kernel GPU_laplace3d --trace out.json
+//   $ ./examples/prosim_cli --kernel GPU_laplace3d --trace warps:out.json
+//   $ ./examples/prosim_cli --kernel scalarProdGPU --stall-report
 //   $ ./examples/prosim_cli --list
 //
 #include <chrono>
@@ -15,26 +16,79 @@
 #include <sstream>
 #include <string>
 
+#include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "gpu/gpu.hpp"
 #include "gpu/report.hpp"
+#include "gpu/result_io.hpp"
+#include "gpu/scheduler_registry.hpp"
 #include "gpu/trace_export.hpp"
 #include "isa/assembler.hpp"
 #include "kernels/registry.hpp"
+#include "trace/trace_session.hpp"
 
 using namespace prosim;
 
 namespace {
 
-struct Options {
+/// What --trace asked for: a mode plus an output path. A bare path (no
+/// "mode:" prefix) keeps the legacy meaning, the TB chrome-trace.
+enum class TraceMode { kNone, kTb, kWarps, kWindows };
+
+bool parse_trace_arg(const std::string& value, TraceMode& mode,
+                     std::string& path) {
+  const std::size_t colon = value.find(':');
+  if (colon != std::string::npos) {
+    const std::string prefix = value.substr(0, colon);
+    if (prefix == "tb") {
+      mode = TraceMode::kTb;
+    } else if (prefix == "warps") {
+      mode = TraceMode::kWarps;
+    } else if (prefix == "windows") {
+      mode = TraceMode::kWindows;
+    } else {
+      return false;
+    }
+    path = value.substr(colon + 1);
+    return !path.empty();
+  }
+  mode = TraceMode::kTb;  // legacy: --trace FILE meant the TB timeline
+  path = value;
+  return !path.empty();
+}
+
+void print_stall_report(std::ostream& os, const StallBreakdown& b,
+                        bool csv) {
+  Table t({"cause", "legacy_class", "sched_cycles"});
+  for (int c = 0; c < kNumStallCauses; ++c) {
+    const auto cause = static_cast<StallCause>(c);
+    const char* cls = "?";
+    switch (legacy_stall_class(cause)) {
+      case LegacyStallClass::kIssued: cls = "issued"; break;
+      case LegacyStallClass::kIdle: cls = "idle"; break;
+      case LegacyStallClass::kScoreboard: cls = "scoreboard"; break;
+      case LegacyStallClass::kPipeline: cls = "pipeline"; break;
+    }
+    t.add_row({stall_cause_name(cause), cls,
+               Table::fmt(b.cause_total(cause))});
+  }
+  if (csv) {
+    t.print_csv(os);
+  } else {
+    t.print(os);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   std::string kernel = "scalarProdGPU";
   std::string asm_path;
-  SchedulerKind scheduler = SchedulerKind::kPro;
+  std::string scheduler = "PRO";
   int num_sms = -1;
-  Cycle threshold = 0;
-  Cycle max_cycles = 0;
+  std::int64_t threshold = 0;
+  std::int64_t max_cycles = 0;
   std::uint64_t fault_seed = 0;
-  bool inject_faults = false;
   bool no_watchdog = false;
   bool no_barrier_handling = false;
   bool no_finish_handling = false;
@@ -44,105 +98,80 @@ struct Options {
   bool json = false;
   bool list = false;
   bool disasm = false;
-  std::string trace_path;
-};
+  bool stall_report = false;
+  std::string trace_arg;
 
-int usage() {
-  std::cerr <<
-      "usage: prosim_cli [options]\n"
-      "  --kernel NAME        Table II workload to run (default scalarProdGPU)\n"
-      "  --asm FILE           run an assembly file instead of a workload\n"
-      "  --scheduler S        LRR | GTO | TL | PRO | PRO-A | CAWS | OWL\n"
-      "  --sms N              override number of SMs (default 14)\n"
-      "  --threshold N        PRO sort threshold in cycles (default 1000)\n"
-      "  --no-barrier         disable PRO barrier handling\n"
-      "  --no-finish          disable PRO finish handling\n"
-      "  --no-l1              bypass the L1 data cache\n"
-      "  --fcfs-dram          plain FCFS DRAM scheduling (default FR-FCFS)\n"
-      "  --fault-seed N       inject timing faults (chaos preset, seed N)\n"
-      "  --max-cycles N       abort with a livelock report after N cycles\n"
-      "  --no-watchdog        disable the forward-progress watchdog\n"
-      "  --trace FILE         write a chrome://tracing JSON of the TB timeline\n"
-      "  --csv                emit the result row as CSV\n"
-      "  --json               emit the full result as JSON\n"
-      "  --disasm             print the kernel disassembly before running\n"
-      "  --list               list available workloads and exit\n";
-  return 2;
-}
+  ArgParser parser("prosim_cli",
+                   "Cycle-level GPU simulation of one kernel.");
+  parser.add_section("workload");
+  parser.add_string("--kernel", &kernel, "NAME",
+                    "Table II workload to run (default scalarProdGPU)");
+  parser.add_string("--asm", &asm_path, "FILE",
+                    "run an assembly file instead of a workload");
+  parser.add_flag("--list", &list, "list available workloads and exit");
+  parser.add_flag("--disasm", &disasm,
+                  "print the kernel disassembly before running");
+  parser.add_section("configuration");
+  parser.add_string("--scheduler", &scheduler, "S",
+                    "warp scheduler (see listing below; default PRO)");
+  parser.add_int("--sms", &num_sms, "N",
+                 "override number of SMs (default 14)");
+  parser.add_i64("--threshold", &threshold, "N",
+                 "PRO sort threshold in cycles (default 1000)");
+  parser.add_flag("--no-barrier", &no_barrier_handling,
+                  "disable PRO barrier handling");
+  parser.add_flag("--no-finish", &no_finish_handling,
+                  "disable PRO finish handling");
+  parser.add_flag("--no-l1", &no_l1, "bypass the L1 data cache");
+  parser.add_flag("--fcfs-dram", &fcfs_dram,
+                  "plain FCFS DRAM scheduling (default FR-FCFS)");
+  parser.add_u64("--fault-seed", &fault_seed, "N",
+                 "inject timing faults (chaos preset, seed N)");
+  parser.add_i64("--max-cycles", &max_cycles, "N",
+                 "abort with a livelock report after N cycles");
+  parser.add_flag("--no-watchdog", &no_watchdog,
+                  "disable the forward-progress watchdog");
+  parser.add_section("output");
+  parser.add_string("--trace", &trace_arg, "MODE:FILE",
+                    "trace export: tb:F (chrome TB timeline), warps:F "
+                    "(chrome warp lanes), windows:F (wait-window CSV); "
+                    "bare FILE means tb:FILE");
+  parser.add_flag("--stall-report", &stall_report,
+                  "collect and print the per-cause stall attribution");
+  parser.add_flag("--csv", &csv, "emit the result row as CSV");
+  parser.add_flag("--json", &json, "emit the full result as JSON");
+  parser.set_epilog(list_schedulers());
 
-bool parse_args(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--kernel") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.kernel = v;
-    } else if (arg == "--asm") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.asm_path = v;
-    } else if (arg == "--scheduler") {
-      const char* v = next();
-      if (v == nullptr || !scheduler_from_name(v, opt.scheduler)) return false;
-    } else if (arg == "--sms") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.num_sms = std::atoi(v);
-      if (opt.num_sms <= 0) return false;
-    } else if (arg == "--threshold") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.threshold = static_cast<Cycle>(std::atoll(v));
-    } else if (arg == "--fault-seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.fault_seed = static_cast<std::uint64_t>(std::atoll(v));
-      opt.inject_faults = true;
-    } else if (arg == "--max-cycles") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.max_cycles = static_cast<Cycle>(std::atoll(v));
-      if (opt.max_cycles == 0) return false;
-    } else if (arg == "--no-watchdog") {
-      opt.no_watchdog = true;
-    } else if (arg == "--no-barrier") {
-      opt.no_barrier_handling = true;
-    } else if (arg == "--no-finish") {
-      opt.no_finish_handling = true;
-    } else if (arg == "--no-l1") {
-      opt.no_l1 = true;
-    } else if (arg == "--fcfs-dram") {
-      opt.fcfs_dram = true;
-    } else if (arg == "--trace") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.trace_path = v;
-    } else if (arg == "--csv") {
-      opt.csv = true;
-    } else if (arg == "--json") {
-      opt.json = true;
-    } else if (arg == "--disasm") {
-      opt.disasm = true;
-    } else if (arg == "--list") {
-      opt.list = true;
-    } else {
-      std::cerr << "unknown option " << arg << "\n";
-      return false;
-    }
+  switch (parser.parse(argc, argv)) {
+    case ArgParser::Status::kOk: break;
+    case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kError: return 2;
   }
-  return true;
-}
 
-}  // namespace
+  const SchedulerInfo* sched_info = find_scheduler(scheduler);
+  if (sched_info == nullptr) {
+    std::cerr << "unknown scheduler '" << scheduler << "'\n"
+              << list_schedulers();
+    return 2;
+  }
+  if (parser.seen("--sms") && num_sms <= 0) {
+    std::cerr << "--sms must be positive\n";
+    return 2;
+  }
+  if (parser.seen("--max-cycles") && max_cycles <= 0) {
+    std::cerr << "--max-cycles must be positive\n";
+    return 2;
+  }
+  TraceMode trace_mode = TraceMode::kNone;
+  std::string trace_path;
+  if (!trace_arg.empty() &&
+      !parse_trace_arg(trace_arg, trace_mode, trace_path)) {
+    std::cerr << "bad --trace value '" << trace_arg
+              << "' (want tb:FILE, warps:FILE, windows:FILE, or FILE)\n";
+    return 2;
+  }
 
-int main(int argc, char** argv) {
-  Options opt;
-  if (!parse_args(argc, argv, opt)) return usage();
-
-  if (opt.list) {
+  if (list) {
     Table t({"Kernel", "Suite", "App", "TBs", "Block"});
     for (const Workload& w : all_workloads()) {
       t.add_row({w.kernel, w.suite, w.app,
@@ -156,17 +185,17 @@ int main(int argc, char** argv) {
   // Resolve the program + input data.
   Program program;
   std::function<void(GlobalMemory&)> init;
-  if (!opt.asm_path.empty()) {
-    std::ifstream in(opt.asm_path);
+  if (!asm_path.empty()) {
+    std::ifstream in(asm_path);
     if (!in) {
-      std::cerr << "cannot open " << opt.asm_path << "\n";
+      std::cerr << "cannot open " << asm_path << "\n";
       return 1;
     }
     std::ostringstream text;
     text << in.rdbuf();
     AssembleResult result = assemble(text.str());
     if (auto* error = std::get_if<AssemblerError>(&result)) {
-      std::cerr << opt.asm_path << ":" << error->line << ": "
+      std::cerr << asm_path << ":" << error->line << ": "
                 << error->message << "\n";
       return 1;
     }
@@ -175,38 +204,45 @@ int main(int argc, char** argv) {
   } else {
     bool known = false;
     for (const Workload& w : all_workloads())
-      known = known || w.kernel == opt.kernel;
+      known = known || w.kernel == kernel;
     if (!known) {
-      std::cerr << "unknown kernel '" << opt.kernel
-                << "' (use --list)\n";
+      std::cerr << "unknown kernel '" << kernel << "' (use --list)\n";
       return 1;
     }
-    const Workload& w = find_workload(opt.kernel);
+    const Workload& w = find_workload(kernel);
     program = w.program;
     init = w.init;
   }
 
-  if (opt.disasm) std::cout << program.disassemble_all() << "\n";
+  if (disasm) std::cout << program.disassemble_all() << "\n";
 
   GpuConfig cfg;
-  cfg.scheduler.kind = opt.scheduler;
-  if (opt.num_sms > 0) cfg.num_sms = opt.num_sms;
-  if (opt.threshold > 0) {
-    cfg.scheduler.pro.sort_threshold = opt.threshold;
-    cfg.scheduler.adaptive.base.sort_threshold = opt.threshold;
+  cfg.scheduler.kind = sched_info->kind;
+  if (num_sms > 0) cfg.num_sms = num_sms;
+  if (threshold > 0) {
+    cfg.scheduler.pro.sort_threshold = static_cast<Cycle>(threshold);
+    cfg.scheduler.adaptive.base.sort_threshold =
+        static_cast<Cycle>(threshold);
   }
-  cfg.scheduler.pro.handle_barriers = !opt.no_barrier_handling;
-  cfg.scheduler.pro.handle_finish = !opt.no_finish_handling;
-  cfg.sm.l1_enabled = !opt.no_l1;
-  if (opt.fcfs_dram) cfg.mem.dram.scheduler = DramSchedulerKind::kFcfs;
-  if (opt.inject_faults) cfg.faults = FaultConfig::chaos(opt.fault_seed);
-  if (opt.max_cycles > 0) cfg.max_cycles = opt.max_cycles;
-  cfg.watchdog.enabled = !opt.no_watchdog;
+  cfg.scheduler.pro.handle_barriers = !no_barrier_handling;
+  cfg.scheduler.pro.handle_finish = !no_finish_handling;
+  cfg.sm.l1_enabled = !no_l1;
+  if (fcfs_dram) cfg.mem.dram.scheduler = DramSchedulerKind::kFcfs;
+  if (parser.seen("--fault-seed")) cfg.faults = FaultConfig::chaos(fault_seed);
+  if (max_cycles > 0) cfg.max_cycles = static_cast<Cycle>(max_cycles);
+  cfg.watchdog.enabled = !no_watchdog;
+
+  TraceOptions topts;
+  topts.stall_attribution = stall_report;
+  topts.warp_lanes = trace_mode == TraceMode::kWarps;
+  topts.windows = trace_mode == TraceMode::kWindows;
+  TraceSession session(topts);
 
   GlobalMemory mem;
   init(mem);
   const auto wall_start = std::chrono::steady_clock::now();
-  Expected<GpuResult> checked = simulate_checked(cfg, program, mem);
+  Expected<GpuResult> checked =
+      simulate_checked(cfg, program, mem, session.sink());
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -214,7 +250,7 @@ int main(int argc, char** argv) {
   if (!checked.has_value()) {
     // Structured diagnosis of the stuck simulation: JSON on stdout when
     // asked, the human-readable report on stderr otherwise.
-    if (opt.json) {
+    if (json) {
       checked.error().write_json(std::cout);
     } else {
       std::cerr << checked.error().to_string() << "\n";
@@ -224,38 +260,60 @@ int main(int argc, char** argv) {
   GpuResult r = std::move(checked.value());
   r.throughput =
       SimThroughput::measure(wall_seconds, r.cycles, r.totals.warp_insts);
+  if (session.attribution() != nullptr) {
+    r.stall_breakdown = session.attribution()->breakdown();
+  }
 
   Table t({"kernel", "scheduler", "cycles", "ipc", "issued", "idle",
            "scoreboard", "pipeline", "l1_hits", "l1_misses", "l2_misses",
            "barrier_wait", "tbs"});
-  t.add_row({program.info.name, scheduler_name(opt.scheduler),
-             Table::fmt(r.cycles), Table::fmt(r.ipc(), 2),
-             Table::fmt(r.totals.issued), Table::fmt(r.totals.idle_stalls),
+  t.add_row({program.info.name, sched_info->name, Table::fmt(r.cycles),
+             Table::fmt(r.ipc(), 2), Table::fmt(r.totals.issued),
+             Table::fmt(r.totals.idle_stalls),
              Table::fmt(r.totals.scoreboard_stalls),
              Table::fmt(r.totals.pipeline_stalls), Table::fmt(r.l1_hits),
              Table::fmt(r.l1_misses), Table::fmt(r.l2_misses),
              Table::fmt(r.totals.barrier_wait_cycles),
              Table::fmt(r.totals.tbs_executed)});
-  if (opt.json) {
+  if (json) {
     JsonReportOptions jopt;
     jopt.kernel = program.info.name;
-    jopt.scheduler = scheduler_name(opt.scheduler);
+    jopt.scheduler = sched_info->name;
     jopt.include_timelines = true;
     write_json_report(std::cout, r, jopt);
-  } else if (opt.csv) {
+  } else if (csv) {
     t.print_csv(std::cout);
   } else {
     t.print(std::cout);
   }
+  if (stall_report && !json && r.stall_breakdown.has_value()) {
+    print_stall_report(std::cout, *r.stall_breakdown, csv);
+  }
 
-  if (!opt.trace_path.empty()) {
-    std::ofstream out(opt.trace_path);
-    if (!out) {
-      std::cerr << "cannot write " << opt.trace_path << "\n";
-      return 1;
+  switch (trace_mode) {
+    case TraceMode::kNone:
+      break;
+    case TraceMode::kTb: {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot write " << trace_path << "\n";
+        return 1;
+      }
+      write_chrome_trace(out, r);
+      std::cerr << "wrote " << trace_path << "\n";
+      break;
     }
-    write_chrome_trace(out, r);
-    std::cout << "wrote " << opt.trace_path << "\n";
+    case TraceMode::kWarps:
+      if (!session.write_warp_lanes_file(trace_path)) return 1;
+      std::cerr << "wrote " << trace_path << "\n";
+      break;
+    case TraceMode::kWindows: {
+      if (!session.write_windows_csv_file(trace_path)) return 1;
+      const std::string hist_path = trace_path + ".hist.csv";
+      if (!session.write_window_histograms_file(hist_path)) return 1;
+      std::cerr << "wrote " << trace_path << " and " << hist_path << "\n";
+      break;
+    }
   }
   return 0;
 }

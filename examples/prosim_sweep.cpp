@@ -5,6 +5,7 @@
 //   $ prosim-sweep --matrix sweep.json --csv results.csv
 //   $ prosim-sweep --workloads scalarProdGPU,bfs_kernel --schedulers LRR,PRO
 //   $ prosim-sweep --fig4 --cache-dir .prosim-cache --expect-cached
+//   $ prosim-sweep --workloads scalarProdGPU --trace-dir traces/
 //
 // One failed cell does not kill the sweep: the failure is recorded as a
 // structured-error artifact in the output and the exit code becomes 4.
@@ -16,9 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "common/argparse.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "gpu/result_io.hpp"
+#include "gpu/scheduler_registry.hpp"
 #include "runner/matrix.hpp"
 #include "runner/runner.hpp"
 
@@ -34,101 +37,14 @@ struct Options {
   std::vector<std::string> schedulers;
   int jobs = 0;  // 0 = hardware concurrency
   std::string cache_dir;
-  bool have_fault_seed = false;
   std::uint64_t fault_seed = 0;
+  bool have_fault_seed = false;
+  std::string trace_dir;
   std::string out_path;
   std::string csv_path;
   bool quiet = false;
   bool expect_cached = false;
 };
-
-int usage() {
-  std::cerr <<
-      "usage: prosim-sweep [options]\n"
-      "matrix selection (choose one; default --fig4):\n"
-      "  --matrix FILE        JSON matrix spec (see docs/RUNNER.md)\n"
-      "  --fig4               all 25 Table II kernels x {LRR,GTO,TL,PRO}\n"
-      "  --workloads A,B,...  explicit kernel list\n"
-      "  --schedulers S,...   scheduler list (with --workloads; default the\n"
-      "                       paper's four)\n"
-      "execution:\n"
-      "  --jobs N             worker threads (default: hardware concurrency)\n"
-      "  --cache-dir DIR      persistent result cache (created if missing)\n"
-      "  --fault-seed N       add a chaos-preset fault dimension, seed N\n"
-      "  --expect-cached      fail (exit 5) if any cell had to simulate —\n"
-      "                       asserts a warm cache, e.g. in CI\n"
-      "output:\n"
-      "  --out FILE           full results as JSON ('-' = stdout)\n"
-      "  --csv FILE           per-cell headline stats as CSV ('-' = stdout)\n"
-      "  --quiet              no per-cell progress on stderr\n"
-      "exit: 0 ok | 2 usage | 1 I/O or spec error | 4 cell failures |\n"
-      "      5 --expect-cached violated\n";
-  return 2;
-}
-
-std::vector<std::string> split_commas(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream in(s);
-  std::string item;
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-bool parse_args(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--matrix") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.matrix_path = v;
-    } else if (arg == "--fig4") {
-      opt.fig4 = true;
-    } else if (arg == "--workloads") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.workloads = split_commas(v);
-    } else if (arg == "--schedulers") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.schedulers = split_commas(v);
-    } else if (arg == "--jobs") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.jobs = std::atoi(v);
-      if (opt.jobs < 0) return false;
-    } else if (arg == "--cache-dir") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.cache_dir = v;
-    } else if (arg == "--fault-seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.fault_seed = static_cast<std::uint64_t>(std::atoll(v));
-      opt.have_fault_seed = true;
-    } else if (arg == "--out") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.out_path = v;
-    } else if (arg == "--csv") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.csv_path = v;
-    } else if (arg == "--quiet") {
-      opt.quiet = true;
-    } else if (arg == "--expect-cached") {
-      opt.expect_cached = true;
-    } else {
-      std::cerr << "unknown option " << arg << "\n";
-      return false;
-    }
-  }
-  return true;
-}
 
 /// Builds the job list from whichever selection mechanism was used.
 bool build_jobs(const Options& opt, std::vector<SweepJob>& jobs) {
@@ -167,12 +83,13 @@ bool build_jobs(const Options& opt, std::vector<SweepJob>& jobs) {
                SchedulerKind::kPro};
     } else {
       for (const std::string& name : opt.schedulers) {
-        SchedulerKind kind;
-        if (!scheduler_from_name(name, kind)) {
-          std::cerr << "unknown scheduler '" << name << "'\n";
+        const SchedulerInfo* info = find_scheduler(name);
+        if (info == nullptr) {
+          std::cerr << "unknown scheduler '" << name << "'\n"
+                    << list_schedulers();
           return false;
         }
-        kinds.push_back(kind);
+        kinds.push_back(info->kind);
       }
     }
     jobs = cross_matrix(workloads, kinds, {});
@@ -276,7 +193,53 @@ bool write_to(const std::string& path, const std::string& what,
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse_args(argc, argv, opt)) return usage();
+
+  ArgParser parser("prosim-sweep",
+                   "Parallel experiment sweeps with a persistent result "
+                   "cache.");
+  parser.add_section("matrix selection (choose one; default --fig4)");
+  parser.add_string("--matrix", &opt.matrix_path, "FILE",
+                    "JSON matrix spec (see docs/RUNNER.md)");
+  parser.add_flag("--fig4", &opt.fig4,
+                  "all 25 Table II kernels x {LRR,GTO,TL,PRO}");
+  parser.add_string_list("--workloads", &opt.workloads, "A,B,...",
+                         "explicit kernel list");
+  parser.add_string_list("--schedulers", &opt.schedulers, "S,...",
+                         "scheduler list (with --workloads; default the "
+                         "paper's four)");
+  parser.add_section("execution");
+  parser.add_int("--jobs", &opt.jobs, "N",
+                 "worker threads (default: hardware concurrency)");
+  parser.add_string("--cache-dir", &opt.cache_dir, "DIR",
+                    "persistent result cache (created if missing)");
+  parser.add_u64("--fault-seed", &opt.fault_seed, "N",
+                 "add a chaos-preset fault dimension, seed N");
+  parser.add_flag("--expect-cached", &opt.expect_cached,
+                  "fail (exit 5) if any cell had to simulate — asserts a "
+                  "warm cache, e.g. in CI");
+  parser.add_section("output");
+  parser.add_string("--trace-dir", &opt.trace_dir, "DIR",
+                    "write per-cell warp-lane + wait-window trace "
+                    "artifacts into DIR (created if missing)");
+  parser.add_string("--out", &opt.out_path, "FILE",
+                    "full results as JSON ('-' = stdout)");
+  parser.add_string("--csv", &opt.csv_path, "FILE",
+                    "per-cell headline stats as CSV ('-' = stdout)");
+  parser.add_flag("--quiet", &opt.quiet, "no per-cell progress on stderr");
+  parser.set_epilog(list_schedulers() +
+                    "\nexit: 0 ok | 2 usage | 1 I/O or spec error | "
+                    "4 cell failures |\n      5 --expect-cached violated");
+
+  switch (parser.parse(argc, argv)) {
+    case ArgParser::Status::kOk: break;
+    case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kError: return 2;
+  }
+  if (parser.seen("--jobs") && opt.jobs < 0) {
+    std::cerr << "--jobs must be >= 0\n";
+    return 2;
+  }
+  opt.have_fault_seed = parser.seen("--fault-seed");
 
   std::vector<SweepJob> jobs;
   if (!build_jobs(opt, jobs)) return 1;
@@ -284,6 +247,11 @@ int main(int argc, char** argv) {
   SweepOptions sweep_opt;
   sweep_opt.jobs = opt.jobs;
   sweep_opt.cache_dir = opt.cache_dir;
+  if (!opt.trace_dir.empty()) {
+    sweep_opt.trace.warp_lanes = true;
+    sweep_opt.trace.windows = true;
+    sweep_opt.trace_dir = opt.trace_dir;
+  }
   if (!opt.quiet) {
     sweep_opt.progress = [](const SweepProgress& p) {
       std::cerr << "[" << p.completed << "/" << p.total << "] "

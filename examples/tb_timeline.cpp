@@ -1,51 +1,86 @@
 // Dump per-thread-block execution intervals (the raw data behind the
 // paper's Figure 2) for any workload/scheduler, as a CSV suitable for
-// plotting, plus an ASCII Gantt chart of SM 0.
+// plotting, plus ASCII Gantt charts of SM 0: one row per TB, and — from
+// the warp-lane trace — one row per warp slot showing what each warp was
+// doing cycle by cycle.
 //
-//   $ ./examples/tb_timeline [kernel-name] [LRR|GTO|TL|PRO]
+//   $ ./examples/tb_timeline [kernel-name] [scheduler]
 //   $ ./examples/tb_timeline GPU_laplace3d PRO
+//   $ ./examples/tb_timeline GPU_laplace3d PRO --trace lanes.json
 //
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "gpu/gpu.hpp"
+#include "gpu/scheduler_registry.hpp"
 #include "kernels/registry.hpp"
+#include "trace/trace_session.hpp"
 
 using namespace prosim;
 
 namespace {
 
-bool parse_kind(const std::string& s, SchedulerKind& out) {
-  if (s == "LRR") out = SchedulerKind::kLrr;
-  else if (s == "GTO") out = SchedulerKind::kGto;
-  else if (s == "TL") out = SchedulerKind::kTl;
-  else if (s == "PRO") out = SchedulerKind::kPro;
-  else return false;
-  return true;
+/// One printable character per WarpState for the ASCII lane view.
+char state_char(WarpState s) {
+  switch (s) {
+    case WarpState::kUnallocated: return ' ';
+    case WarpState::kIssued: return '#';
+    case WarpState::kEligible: return '+';
+    case WarpState::kScoreboard: return 's';
+    case WarpState::kMemPending: return 'm';
+    case WarpState::kFuBusy: return 'f';
+    case WarpState::kFetch: return 'i';
+    case WarpState::kBarrierWait: return 'B';
+    case WarpState::kFinishWait: return 'F';
+  }
+  return '?';
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "GPU_laplace3d";
-  SchedulerKind kind = SchedulerKind::kPro;
-  if (argc > 2 && !parse_kind(argv[2], kind)) {
-    std::cerr << "unknown scheduler '" << argv[2]
-              << "' (use LRR, GTO, TL or PRO)\n";
-    return 1;
+  std::string name = "GPU_laplace3d";
+  std::string sched = "PRO";
+  std::string trace_path;
+
+  ArgParser parser("tb_timeline",
+                   "TB execution intervals plus a warp-lane view of SM 0.");
+  parser.add_positional("kernel", &name,
+                        "Table II workload (default GPU_laplace3d)");
+  parser.add_positional("scheduler", &sched,
+                        "warp scheduler (default PRO)");
+  parser.add_string("--trace", &trace_path, "FILE",
+                    "also write the chrome://tracing warp-lane JSON");
+  parser.set_epilog(list_schedulers());
+  switch (parser.parse(argc, argv)) {
+    case ArgParser::Status::kOk: break;
+    case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kError: return 2;
+  }
+  const SchedulerInfo* info = find_scheduler(sched);
+  if (info == nullptr) {
+    std::cerr << "unknown scheduler '" << sched << "'\n"
+              << list_schedulers();
+    return 2;
   }
 
   const Workload& w = find_workload(name);
   GlobalMemory mem;
   w.init(mem);
   GpuConfig cfg;
-  cfg.scheduler.kind = kind;
-  GpuResult r = simulate(cfg, w.program, mem);
+  cfg.scheduler.kind = info->kind;
 
-  std::cout << "kernel " << w.kernel << " under " << scheduler_name(kind)
-            << ": " << r.cycles << " cycles\n\n";
+  TraceOptions topts;
+  topts.warp_lanes = true;
+  TraceSession session(topts);
+  GpuResult r = simulate(cfg, w.program, mem, session.sink());
+
+  std::cout << "kernel " << w.kernel << " under " << info->name << ": "
+            << r.cycles << " cycles\n\n";
 
   // CSV of every TB interval.
   Table csv({"sm", "ctaid", "start", "end"});
@@ -74,6 +109,41 @@ int main(int argc, char** argv) {
     std::string bar(static_cast<std::size_t>(kWidth), ' ');
     for (int i = from; i < to && i < kWidth; ++i) bar[i] = '#';
     std::printf("TB %4d |%s|\n", e.ctaid, bar.c_str());
+  }
+
+  // Warp-lane view of SM 0 from the trace: each row is a warp slot, each
+  // column ~(cycles/kWidth) cycles, showing the state that covered most
+  // of that column's span (last writer wins at this resolution).
+  int max_warp = -1;
+  for (const WarpLaneTraceSink::Slice& s : session.warp_lanes()->slices()) {
+    if (s.sm == 0) max_warp = std::max(max_warp, s.warp);
+  }
+  if (max_warp >= 0) {
+    std::vector<std::string> lanes(
+        static_cast<std::size_t>(max_warp + 1),
+        std::string(static_cast<std::size_t>(kWidth), ' '));
+    for (const WarpLaneTraceSink::Slice& s :
+         session.warp_lanes()->slices()) {
+      if (s.sm != 0) continue;
+      const int from = static_cast<int>(s.start * scale);
+      const int to = std::max(from + 1, static_cast<int>(s.end * scale));
+      for (int i = from; i < to && i < kWidth; ++i) {
+        lanes[static_cast<std::size_t>(s.warp)][static_cast<std::size_t>(
+            i)] = state_char(s.state);
+      }
+    }
+    std::cout << "\nSM 0 warp lanes (# issued, + eligible, s scoreboard, "
+                 "m mem, f fu-busy,\n                 i fetch, B barrier, "
+                 "F finish-wait)\n";
+    for (int warp = 0; warp <= max_warp; ++warp) {
+      std::printf("W %4d |%s|\n", warp,
+                  lanes[static_cast<std::size_t>(warp)].c_str());
+    }
+  }
+
+  if (!trace_path.empty()) {
+    if (!session.write_warp_lanes_file(trace_path)) return 1;
+    std::cout << "\nwrote " << trace_path << "\n";
   }
   return 0;
 }

@@ -1,0 +1,239 @@
+#include "common/argparse.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+namespace {
+
+bool parse_i64(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string prog, std::string description)
+    : prog_(std::move(prog)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, bool* out,
+                         const std::string& help) {
+  specs_.push_back({Kind::kBool, name, "", help, out});
+}
+
+void ArgParser::add_string(const std::string& name, std::string* out,
+                           const std::string& metavar,
+                           const std::string& help) {
+  specs_.push_back({Kind::kString, name, metavar, help, out});
+}
+
+void ArgParser::add_string_list(const std::string& name,
+                                std::vector<std::string>* out,
+                                const std::string& metavar,
+                                const std::string& help) {
+  specs_.push_back({Kind::kStringList, name, metavar, help, out});
+}
+
+void ArgParser::add_int(const std::string& name, int* out,
+                        const std::string& metavar, const std::string& help) {
+  specs_.push_back({Kind::kInt, name, metavar, help, out});
+}
+
+void ArgParser::add_i64(const std::string& name, std::int64_t* out,
+                        const std::string& metavar, const std::string& help) {
+  specs_.push_back({Kind::kI64, name, metavar, help, out});
+}
+
+void ArgParser::add_u64(const std::string& name, std::uint64_t* out,
+                        const std::string& metavar, const std::string& help) {
+  specs_.push_back({Kind::kU64, name, metavar, help, out});
+}
+
+void ArgParser::add_positional(const std::string& name, std::string* out,
+                               const std::string& help) {
+  positionals_.push_back({name, help, out});
+}
+
+void ArgParser::add_section(const std::string& title) {
+  specs_.push_back({Kind::kSection, title, "", "", nullptr});
+}
+
+ArgParser::Spec* ArgParser::find(const std::string& name) {
+  for (Spec& spec : specs_) {
+    if (spec.kind != Kind::kSection && spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+bool ArgParser::apply_value(Spec& spec, const std::string& value) {
+  switch (spec.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(spec.out) = value;
+      return true;
+    case Kind::kStringList:
+      *static_cast<std::vector<std::string>*>(spec.out) = split_commas(value);
+      return true;
+    case Kind::kInt: {
+      std::int64_t v = 0;
+      if (!parse_i64(value, v) || v < INT32_MIN || v > INT32_MAX) return false;
+      *static_cast<int*>(spec.out) = static_cast<int>(v);
+      return true;
+    }
+    case Kind::kI64:
+      return parse_i64(value, *static_cast<std::int64_t*>(spec.out));
+    case Kind::kU64:
+      return parse_u64(value, *static_cast<std::uint64_t*>(spec.out));
+    case Kind::kBool:
+    case Kind::kSection:
+      break;
+  }
+  PROSIM_CHECK_MSG(false, "apply_value on a valueless flag");
+  return false;
+}
+
+ArgParser::Status ArgParser::fail(const std::string& message) const {
+  std::cerr << prog_ << ": " << message << "\n"
+            << "try '" << prog_ << " --help'\n";
+  return Status::kError;
+}
+
+ArgParser::Status ArgParser::parse(int argc, char** argv) {
+  std::size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      write_help(std::cout);
+      return Status::kHelp;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      if (next_positional >= positionals_.size()) {
+        return fail("unexpected argument '" + arg + "'");
+      }
+      Positional& pos = positionals_[next_positional++];
+      *pos.out = arg;
+      pos.seen = true;
+      continue;
+    }
+    // --flag=value spelling.
+    std::string inline_value;
+    bool have_inline = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_inline = true;
+    }
+    Spec* spec = find(arg);
+    if (spec == nullptr) return fail("unknown option '" + arg + "'");
+    spec->seen = true;
+    if (spec->kind == Kind::kBool) {
+      if (have_inline) return fail(arg + " does not take a value");
+      *static_cast<bool*>(spec->out) = true;
+      continue;
+    }
+    std::string value;
+    if (have_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= argc) return fail(arg + " requires a value");
+      value = argv[++i];
+    }
+    if (!apply_value(*spec, value)) {
+      return fail("invalid value '" + value + "' for " + arg);
+    }
+  }
+  return Status::kOk;
+}
+
+bool ArgParser::seen(const std::string& name) const {
+  for (const Spec& spec : specs_) {
+    if (spec.kind != Kind::kSection && spec.name == name) return spec.seen;
+  }
+  for (const Positional& pos : positionals_) {
+    if (pos.name == name) return pos.seen;
+  }
+  return false;
+}
+
+void ArgParser::write_help(std::ostream& os) const {
+  os << "usage: " << prog_ << " [options]";
+  for (const Positional& pos : positionals_) os << " [" << pos.name << "]";
+  os << "\n";
+  if (!description_.empty()) os << description_ << "\n";
+
+  // Column where help text starts, from the widest flag+metavar.
+  std::size_t width = 0;
+  for (const Spec& spec : specs_) {
+    if (spec.kind == Kind::kSection) continue;
+    std::size_t w = spec.name.size();
+    if (!spec.metavar.empty()) w += 1 + spec.metavar.size();
+    width = std::max(width, w);
+  }
+  for (const Positional& pos : positionals_) {
+    width = std::max(width, pos.name.size());
+  }
+  width = std::max(width, std::string("--help").size());
+
+  auto print_row = [&](const std::string& head, const std::string& help) {
+    os << "  " << head;
+    for (std::size_t p = head.size(); p < width + 2; ++p) os << ' ';
+    os << help << "\n";
+  };
+
+  if (!positionals_.empty()) {
+    os << "\narguments:\n";
+    for (const Positional& pos : positionals_) print_row(pos.name, pos.help);
+  }
+  bool in_options = false;
+  for (const Spec& spec : specs_) {
+    if (spec.kind == Kind::kSection) {
+      os << "\n" << spec.name << ":\n";
+      in_options = true;
+      continue;
+    }
+    if (!in_options) {
+      os << "\noptions:\n";
+      in_options = true;
+    }
+    std::string head = spec.name;
+    if (!spec.metavar.empty()) head += " " + spec.metavar;
+    print_row(head, spec.help);
+  }
+  if (!in_options) os << "\noptions:\n";
+  print_row("--help", "show this help and exit");
+  if (!epilog_.empty()) os << "\n" << epilog_ << "\n";
+}
+
+}  // namespace prosim

@@ -1,0 +1,95 @@
+// Shared command-line parser for the prosim executables.
+//
+// One declarative flag table per tool replaces the hand-rolled argv loops:
+// typed flags bind directly to caller variables (the bound value doubles
+// as the default), `--help` is generated from the table, and an unknown
+// flag or malformed value prints a one-line error plus a usage hint and
+// reports Status::kError (the tools exit 2, the usage convention they
+// already had). Both `--flag value` and `--flag=value` spellings work.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prosim {
+
+class ArgParser {
+ public:
+  /// `prog` is the executable name for the usage line; `description` is
+  /// printed under it by --help.
+  ArgParser(std::string prog, std::string description);
+
+  // ---- flag declarations (bound pointer = destination AND default) -------
+  /// Boolean switch: presence sets *out to true (no value accepted).
+  void add_flag(const std::string& name, bool* out, const std::string& help);
+  void add_string(const std::string& name, std::string* out,
+                  const std::string& metavar, const std::string& help);
+  /// Comma-separated list, e.g. --workloads a,b,c (empty items dropped).
+  void add_string_list(const std::string& name, std::vector<std::string>* out,
+                       const std::string& metavar, const std::string& help);
+  void add_int(const std::string& name, int* out, const std::string& metavar,
+               const std::string& help);
+  void add_i64(const std::string& name, std::int64_t* out,
+               const std::string& metavar, const std::string& help);
+  void add_u64(const std::string& name, std::uint64_t* out,
+               const std::string& metavar, const std::string& help);
+
+  /// Optional positional argument, filled in declaration order.
+  void add_positional(const std::string& name, std::string* out,
+                      const std::string& help);
+
+  /// Starts a titled group in the help listing (purely cosmetic).
+  void add_section(const std::string& title);
+
+  /// Free-form text printed after the option listing by --help (e.g. the
+  /// scheduler registry or exit-code conventions).
+  void set_epilog(std::string epilog) { epilog_ = std::move(epilog); }
+
+  enum class Status {
+    kOk,    ///< parsed; proceed
+    kHelp,  ///< --help printed to stdout; exit 0
+    kError  ///< error printed to stderr; exit 2
+  };
+
+  /// Parses argv[1..). Every matched flag is recorded for seen().
+  Status parse(int argc, char** argv);
+
+  /// True when the named flag (or positional) was present on the command
+  /// line — distinguishes "explicitly passed the default" from "absent".
+  bool seen(const std::string& name) const;
+
+  void write_help(std::ostream& os) const;
+
+ private:
+  enum class Kind { kBool, kString, kStringList, kInt, kI64, kU64, kSection };
+
+  struct Spec {
+    Kind kind;
+    std::string name;     // "--kernel" (section title for kSection)
+    std::string metavar;  // "NAME"
+    std::string help;
+    void* out = nullptr;
+    bool seen = false;
+  };
+
+  struct Positional {
+    std::string name;
+    std::string help;
+    std::string* out = nullptr;
+    bool seen = false;
+  };
+
+  Spec* find(const std::string& name);
+  bool apply_value(Spec& spec, const std::string& value);
+  Status fail(const std::string& message) const;
+
+  std::string prog_;
+  std::string description_;
+  std::string epilog_;
+  std::vector<Spec> specs_;
+  std::vector<Positional> positionals_;
+};
+
+}  // namespace prosim

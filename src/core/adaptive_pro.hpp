@@ -32,6 +32,10 @@ class AdaptiveProPolicy final : public SchedulerPolicy {
 
   int pick(int sched_id, std::uint64_t ready_mask, Cycle now) override;
   std::uint64_t consider_mask(int sched_id) override;
+  void set_trace(TraceSink* trace, int sm_id) override {
+    SchedulerPolicy::set_trace(trace, sm_id);
+    inner_.set_trace(trace, sm_id);
+  }
   Cycle next_wakeup(Cycle now) const override;
   void begin_cycle(Cycle now) override;
   void on_tb_launch(int tb_slot) override;

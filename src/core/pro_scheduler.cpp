@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "trace/trace_events.hpp"
 
 namespace prosim {
 
@@ -168,6 +169,7 @@ void ProPolicy::apply_threshold_sort(Cycle now) {
     }
   }
   rebuild_order();
+  if (trace_ != nullptr) trace_->on_pro_sort(trace_sm_id_, now);
 
   if (order_trace_ != nullptr) {
     TbOrderSample sample;

@@ -122,17 +122,4 @@ std::string GpuConfig::fingerprint_key() const {
   return key;
 }
 
-bool scheduler_from_name(const std::string& name, SchedulerKind& out) {
-  for (SchedulerKind kind :
-       {SchedulerKind::kLrr, SchedulerKind::kGto, SchedulerKind::kTl,
-        SchedulerKind::kPro, SchedulerKind::kProAdaptive, SchedulerKind::kCaws,
-        SchedulerKind::kOwl}) {
-    if (name == scheduler_name(kind)) {
-      out = kind;
-      return true;
-    }
-  }
-  return false;
-}
-
 }  // namespace prosim

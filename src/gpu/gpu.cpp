@@ -4,53 +4,15 @@
 #include <cstdlib>
 
 #include "core/pro_scheduler.hpp"
-#include "sched/caws.hpp"
-#include "sched/gto.hpp"
-#include "sched/lrr.hpp"
-#include "sched/owl.hpp"
-#include "sched/tl.hpp"
+#include "gpu/scheduler_registry.hpp"
 
 namespace prosim {
-
-const char* scheduler_name(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kLrr: return "LRR";
-    case SchedulerKind::kGto: return "GTO";
-    case SchedulerKind::kTl: return "TL";
-    case SchedulerKind::kPro: return "PRO";
-    case SchedulerKind::kProAdaptive: return "PRO-A";
-    case SchedulerKind::kCaws: return "CAWS";
-    case SchedulerKind::kOwl: return "OWL";
-  }
-  return "?";
-}
 
 GpuConfig GpuConfig::test_config() {
   GpuConfig cfg;
   cfg.num_sms = 2;
   cfg.mem.num_partitions = 2;
   return cfg;
-}
-
-std::unique_ptr<SchedulerPolicy> make_policy(const SchedulerSpec& spec) {
-  switch (spec.kind) {
-    case SchedulerKind::kLrr:
-      return std::make_unique<LrrPolicy>();
-    case SchedulerKind::kGto:
-      return std::make_unique<GtoPolicy>();
-    case SchedulerKind::kTl:
-      return std::make_unique<TlPolicy>(spec.tl_active_set);
-    case SchedulerKind::kPro:
-      return std::make_unique<ProPolicy>(spec.pro);
-    case SchedulerKind::kProAdaptive:
-      return std::make_unique<AdaptiveProPolicy>(spec.adaptive);
-    case SchedulerKind::kCaws:
-      return std::make_unique<CawsPolicy>();
-    case SchedulerKind::kOwl:
-      return std::make_unique<OwlPolicy>(spec.owl_group_size);
-  }
-  PROSIM_CHECK_MSG(false, "unknown scheduler kind");
-  return nullptr;
 }
 
 Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
@@ -189,8 +151,17 @@ bool Gpu::step() {
   return running;
 }
 
+void Gpu::set_trace_sink(TraceSink* trace) {
+  trace_ = trace;
+  for (auto& sm : sms_) sm->set_trace_sink(trace);
+}
+
 GpuResult Gpu::run() {
   while (step()) {
+  }
+  if (trace_ != nullptr) {
+    for (auto& sm : sms_) sm->trace_finalize(now_);
+    trace_->on_sim_end(now_);
   }
   return collect();
 }
@@ -241,16 +212,18 @@ GpuResult Gpu::collect() const {
 }
 
 GpuResult simulate(const GpuConfig& config, const Program& program,
-                   GlobalMemory& memory) {
+                   GlobalMemory& memory, TraceSink* trace) {
   Gpu gpu(config, program, memory);
+  if (trace != nullptr) gpu.set_trace_sink(trace);
   return gpu.run();
 }
 
 Expected<GpuResult> simulate_checked(const GpuConfig& config,
                                      const Program& program,
-                                     GlobalMemory& memory) {
+                                     GlobalMemory& memory, TraceSink* trace) {
   try {
     Gpu gpu(config, program, memory);
+    if (trace != nullptr) gpu.set_trace_sink(trace);
     return gpu.run();
   } catch (SimException& e) {
     return e.take_error();

@@ -54,6 +54,11 @@ class Gpu {
 
   GpuResult collect() const;
 
+  /// Attaches an observability sink to every SM and policy (see trace/;
+  /// nullptr detaches). Strictly observational — results are bit-identical
+  /// with tracing on or off. Attach before the first step()/run().
+  void set_trace_sink(TraceSink* trace);
+
   /// The attached fault injector, or nullptr when faults are disabled.
   const FaultInjector* fault_injector() const { return faults_.get(); }
 
@@ -80,17 +85,20 @@ class Gpu {
   Cycle now_ = 0;
   int next_sm_ = 0;
   bool fast_forward_enabled_ = true;
+  TraceSink* trace_ = nullptr;
 };
 
 /// One-shot convenience wrapper (throws SimException on stuck programs).
+/// An optional trace sink observes the run; tracing never changes results.
 GpuResult simulate(const GpuConfig& config, const Program& program,
-                   GlobalMemory& memory);
+                   GlobalMemory& memory, TraceSink* trace = nullptr);
 
 /// One-shot non-throwing wrapper: construction and run errors come back as
 /// a structured SimError instead of an exception.
 Expected<GpuResult> simulate_checked(const GpuConfig& config,
                                      const Program& program,
-                                     GlobalMemory& memory);
+                                     GlobalMemory& memory,
+                                     TraceSink* trace = nullptr);
 
 /// Creates a scheduler policy instance from a spec (one per SM).
 std::unique_ptr<SchedulerPolicy> make_policy(const SchedulerSpec& spec);

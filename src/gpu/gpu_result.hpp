@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/types.hpp"
 #include "core/pro_scheduler.hpp"
 #include "sm/sm_core.hpp"
+#include "trace/stall_attribution.hpp"
 
 namespace prosim {
 
@@ -67,6 +69,14 @@ struct GpuResult {
   /// driver after simulation, zero for cache hits. NOT serialized by
   /// result_io and NOT part of any fingerprint.
   SimThroughput throughput;
+
+  /// Per-cause stall attribution; only present when the run was traced
+  /// with a StallAttributionSink (see trace/). Like `throughput` it is
+  /// measurement metadata: excluded from result_io's canonical document
+  /// and every fingerprint, exported by write_stall_breakdown_json().
+  /// When present, summing it per legacy class reproduces the totals.*
+  /// stall counters exactly.
+  std::optional<StallBreakdown> stall_breakdown;
 
   /// Final per-thread registers, [ctaid][tid][reg] flattened; only filled
   /// when record_registers was set.

@@ -67,6 +67,18 @@ void write_json_report(std::ostream& os, const GpuResult& r,
        << "\n";
     os << "  },\n";
   }
+  // Per-cause stall attribution, only present on traced runs (the block
+  // is omitted otherwise so untraced reports stay comparable).
+  if (r.stall_breakdown.has_value()) {
+    const StallBreakdown& b = *r.stall_breakdown;
+    os << "  \"stall_causes\": {";
+    for (int c = 0; c < kNumStallCauses; ++c) {
+      if (c != 0) os << ", ";
+      os << "\"" << stall_cause_name(static_cast<StallCause>(c))
+         << "\": " << b.cause_total(static_cast<StallCause>(c));
+    }
+    os << "},\n";
+  }
   // Per-SM issue/stall breakdown (load-balance analysis across SMs).
   os << "  \"per_sm\": [";
   for (std::size_t i = 0; i < r.per_sm.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,7 +34,8 @@ namespace {
 /// Runs one cell start to finish. All SimErrors (including config/program
 /// validation at Gpu construction) surface as the cell's error artifact.
 SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
-                   ConcurrentCounterBag& counters) {
+                   ConcurrentCounterBag& counters,
+                   const SweepOptions& options) {
   SweepCell cell;
   cell.label = job.label;
   cell.kernel = job.workload.kernel;
@@ -50,11 +52,16 @@ SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
     }
   }
 
+  // One session per cell: sinks are single-threaded by design; each
+  // worker traces only its own cell.
+  TraceSession session(options.trace);
+
   GlobalMemory mem;
   if (job.workload.init) job.workload.init(mem);
   const auto wall_start = std::chrono::steady_clock::now();
   Expected<GpuResult> outcome =
-      simulate_checked(job.config, job.workload.program, mem);
+      simulate_checked(job.config, job.workload.program, mem,
+                       session.sink());
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -63,9 +70,23 @@ SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
   if (outcome.has_value()) {
     cell.result = std::move(outcome.value());
     // Stamped after the deterministic core finished; stored results omit
-    // it (result_io skips SimThroughput), so cache bytes stay run-stable.
+    // them (result_io skips SimThroughput and the breakdown), so cache
+    // bytes stay run-stable and tracing-independent.
     cell.result->throughput = SimThroughput::measure(
         wall_seconds, cell.result->cycles, cell.result->totals.warp_insts);
+    if (session.attribution() != nullptr) {
+      cell.result->stall_breakdown = session.attribution()->breakdown();
+    }
+    if (!options.trace_dir.empty()) {
+      const std::string stem = options.trace_dir + "/" + cell.cache_key;
+      if (session.warp_lanes() != nullptr) {
+        session.write_warp_lanes_file(stem + ".trace.json");
+      }
+      if (session.windows() != nullptr) {
+        session.write_windows_csv_file(stem + ".windows.csv");
+        session.write_window_histograms_file(stem + ".windows.hist.csv");
+      }
+    }
     if (cache != nullptr) cache->store(cell.cache_key, *cell.result);
   } else {
     cell.error = std::move(outcome.error());
@@ -84,6 +105,10 @@ SweepReport run_sweep(const std::vector<SweepJob>& jobs,
   std::unique_ptr<ResultCache> cache;
   if (!options.cache_dir.empty())
     cache = std::make_unique<ResultCache>(options.cache_dir);
+  if (!options.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.trace_dir, ec);
+  }
 
   int workers = options.jobs;
   if (workers <= 0) {
@@ -104,7 +129,7 @@ SweepReport run_sweep(const std::vector<SweepJob>& jobs,
       if (i >= jobs.size()) return;
       // Each cell writes only its own pre-sized slot, so the report order
       // (and content) is independent of scheduling.
-      report.cells[i] = run_cell(jobs[i], cache.get(), counters);
+      report.cells[i] = run_cell(jobs[i], cache.get(), counters, options);
       const int done = completed.fetch_add(1) + 1;
       if (options.progress) {
         std::lock_guard<std::mutex> lock(progress_mu);

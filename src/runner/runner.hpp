@@ -27,6 +27,7 @@
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_result.hpp"
 #include "kernels/registry.hpp"
+#include "trace/trace_session.hpp"
 
 namespace prosim::runner {
 
@@ -70,6 +71,17 @@ struct SweepOptions {
   /// Invoked after every cell completes, serialized under an internal
   /// mutex (safe to print from).
   std::function<void(const SweepProgress&)> progress;
+  /// Observability products collected for every cell that actually
+  /// simulates (cache hits return the stored result untraced — run with
+  /// cache_dir empty to trace every cell). A stall breakdown is stamped
+  /// onto the cell's GpuResult; warp-lane and wait-window artifacts
+  /// additionally need trace_dir.
+  TraceOptions trace;
+  /// Directory for per-cell trace artifacts, created if missing:
+  /// <cache_key>.trace.json (warp lanes), <cache_key>.windows.csv and
+  /// <cache_key>.windows.hist.csv (wait windows). Empty keeps tracing
+  /// in-memory only.
+  std::string trace_dir;
 };
 
 struct SweepReport {

@@ -19,6 +19,8 @@
 
 namespace prosim {
 
+class TraceSink;
+
 /// Read-only view of SM state handed to the policy at attach time. Pointers
 /// stay valid for the SM's lifetime and always reflect current state.
 struct PolicyContext {
@@ -71,6 +73,15 @@ class SchedulerPolicy {
   /// ticking.
   virtual Cycle next_wakeup(Cycle /*now*/) const { return kNoCycle; }
 
+  /// Observability sink shared with the owning SM (nullptr = untraced).
+  /// Policies emit policy-level events (e.g. PRO re-sorts) through it;
+  /// sinks never feed back into scheduling decisions. Wrapper policies
+  /// override to propagate the sink to their inner policy.
+  virtual void set_trace(TraceSink* trace, int sm_id) {
+    trace_ = trace;
+    trace_sm_id_ = sm_id;
+  }
+
   // ---- Event hooks (default: ignore) ------------------------------------
   virtual void begin_cycle(Cycle /*now*/) {}
   virtual void on_tb_launch(int /*tb_slot*/) {}
@@ -82,6 +93,10 @@ class SchedulerPolicy {
   virtual void on_warp_barrier_arrive(int /*warp_slot*/, int /*tb_slot*/) {}
   virtual void on_barrier_release(int /*tb_slot*/) {}
   virtual void on_warp_finish(int /*warp_slot*/, int /*tb_slot*/) {}
+
+ protected:
+  TraceSink* trace_ = nullptr;
+  int trace_sm_id_ = 0;
 };
 
 }  // namespace prosim

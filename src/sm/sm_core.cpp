@@ -136,6 +136,7 @@ void SmCore::launch_tb(int ctaid, Cycle now) {
   }
   ++resident_tbs_;
   policy_->on_tb_launch(slot);
+  if (trace_ != nullptr) trace_->on_tb_launch(sm_id_, ctaid, now);
 }
 
 void SmCore::retire_tb(int tb_slot, Cycle now) {
@@ -169,6 +170,8 @@ void SmCore::retire_tb(int tb_slot, Cycle now) {
   }
 
   policy_->on_tb_finish(tb_slot);
+  if (trace_ != nullptr)
+    trace_->on_tb_retire(sm_id_, tb.ctaid, tb.start_cycle, now);
   tb.active = false;
   tb_ctaid_[tb_slot] = -1;
   --resident_tbs_;
@@ -192,7 +195,34 @@ bool SmCore::cycle(Cycle now) {
     active = true;
   }
   active |= issue_cycle(now);
+  if (trace_warp_states_enabled_) trace_warp_states(now);
   return active;
+}
+
+void SmCore::set_trace_sink(TraceSink* trace) {
+  trace_ = trace;
+  trace_warp_states_enabled_ = trace != nullptr && trace->wants_warp_states();
+  if (trace_ != nullptr) {
+    last_cause_.assign(static_cast<std::size_t>(config_.num_schedulers),
+                       StallCause::kNoWarp);
+    warp_trace_state_.assign(static_cast<std::size_t>(config_.max_warps),
+                             WarpState::kUnallocated);
+    warp_state_since_.assign(static_cast<std::size_t>(config_.max_warps), 0);
+  }
+  policy_->set_trace(trace, sm_id_);
+}
+
+void SmCore::trace_finalize(Cycle end) {
+  if (!trace_warp_states_enabled_) return;
+  for (int w = 0; w < used_warp_slots_; ++w) {
+    const WarpState prev = warp_trace_state_[static_cast<std::size_t>(w)];
+    if (prev == WarpState::kUnallocated) continue;
+    trace_->on_warp_state(sm_id_, w, prev,
+                          warp_state_since_[static_cast<std::size_t>(w)],
+                          WarpState::kUnallocated, end);
+    warp_trace_state_[static_cast<std::size_t>(w)] = WarpState::kUnallocated;
+    warp_state_since_[static_cast<std::size_t>(w)] = end;
+  }
 }
 
 void SmCore::skip_cycles(Cycle count) {
@@ -210,6 +240,18 @@ void SmCore::skip_cycles(Cycle count) {
       case StallKind::kIdle:
         stats_.idle_stalls += count;
         break;
+    }
+  }
+  // A skip only follows a cycle in which every scheduler recorded a stall,
+  // and every input to the fine classification is constant across the span
+  // (next_event covers them all), so the last cause repeats verbatim. Warp
+  // states are likewise constant: no per-warp events are needed, and slice
+  // durations span the skip via the transition cycle numbers.
+  if (trace_ != nullptr) {
+    for (int sched = 0; sched < config_.num_schedulers; ++sched) {
+      trace_->on_sched_cycles(sm_id_, sched,
+                              last_cause_[static_cast<std::size_t>(sched)],
+                              count);
     }
   }
 }
@@ -349,6 +391,7 @@ bool SmCore::fu_can_accept(const Instruction& inst, Cycle now) const {
 bool SmCore::issue_cycle(Cycle now) {
   policy_->begin_cycle(now);
   bool issued_any = false;
+  issued_now_mask_ = 0;
   for (int sched = 0; sched < config_.num_schedulers; ++sched) {
     ++stats_.sched_cycles;
     bool any_valid = false;
@@ -396,18 +439,138 @@ bool SmCore::issue_cycle(Cycle now) {
       issue_warp(w, inst, now);
       ++stats_.issued;
       issued_any = true;
+      issued_now_mask_ |= 1ull << w;
+      if (trace_ != nullptr)
+        trace_->on_sched_cycles(sm_id_, sched, StallCause::kIssued, 1);
     } else if (any_fu_blocked) {
       ++stats_.pipeline_stalls;
       last_stall_[static_cast<std::size_t>(sched)] = StallKind::kPipeline;
+      if (trace_ != nullptr) {
+        last_cause_[static_cast<std::size_t>(sched)] = StallCause::kFuBusy;
+        trace_->on_sched_cycles(sm_id_, sched, StallCause::kFuBusy, 1);
+      }
     } else if (any_valid) {
       ++stats_.scoreboard_stalls;
       last_stall_[static_cast<std::size_t>(sched)] = StallKind::kScoreboard;
+      if (trace_ != nullptr) {
+        const StallCause cause = classify_scoreboard(sched, now);
+        last_cause_[static_cast<std::size_t>(sched)] = cause;
+        trace_->on_sched_cycles(sm_id_, sched, cause, 1);
+      }
     } else {
       ++stats_.idle_stalls;
       last_stall_[static_cast<std::size_t>(sched)] = StallKind::kIdle;
+      if (trace_ != nullptr) {
+        const StallCause cause = classify_idle(sched, now);
+        last_cause_[static_cast<std::size_t>(sched)] = cause;
+        trace_->on_sched_cycles(sm_id_, sched, cause, 1);
+      }
     }
   }
   return issued_any;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing (never reached without a sink attached; off the untraced path)
+// ---------------------------------------------------------------------------
+
+bool SmCore::regs_mem_pending(int warp, std::uint64_t regs) const {
+  for (const PendingLoad& pl : pending_loads_) {
+    if (pl.valid && pl.warp == warp && pl.dst < 64 &&
+        (regs & (1ull << pl.dst)) != 0)
+      return true;
+  }
+  return false;
+}
+
+StallCause SmCore::classify_scoreboard(int sched, Cycle now) const {
+  // Re-walk the candidates the issue scan just classified: in the
+  // scoreboard branch every fetch-ready candidate is register-blocked.
+  std::uint64_t candidates =
+      live_mask_ & sched_mask_[static_cast<std::size_t>(sched)] &
+      policy_->consider_mask(sched);
+  while (candidates != 0) {
+    const int w = std::countr_zero(candidates);
+    candidates &= candidates - 1;
+    const WarpCtx& wc = warps_[w];
+    if (wc.ibuffer_ready > now) continue;
+    const InstMeta& meta =
+        inst_meta_[static_cast<std::size_t>(wc.stack.pc())];
+    const std::uint64_t pending = scoreboard_.pending_mask(w);
+    std::uint64_t blocked = pending & meta.regs;
+    if (meta.is_exit) blocked |= pending;  // exit drains all writebacks
+    if (blocked == 0) continue;
+    if (regs_mem_pending(w, blocked)) return StallCause::kScoreboardMem;
+  }
+  return StallCause::kScoreboardAlu;
+}
+
+StallCause SmCore::classify_idle(int sched, Cycle now) const {
+  const std::uint64_t smask = sched_mask_[static_cast<std::size_t>(sched)];
+  // In the idle branch every considered live warp is refilling its
+  // instruction buffer (otherwise the cycle would have been classified
+  // scoreboard or better).
+  if ((live_mask_ & smask & policy_->consider_mask(sched)) != 0)
+    return StallCause::kFetch;
+  bool barrier = false;
+  bool finish = false;
+  std::uint64_t scan = smask;
+  while (scan != 0) {
+    const int w = std::countr_zero(scan);
+    scan &= scan - 1;
+    const WarpCtx& wc = warps_[w];
+    if (!wc.allocated) continue;
+    if (!wc.finished && wc.at_barrier) {
+      barrier = true;
+    } else if (wc.finished && tbs_[wc.tb_slot].active) {
+      finish = true;
+    }
+  }
+  if (barrier) return StallCause::kBarrierWait;
+  if (finish) return StallCause::kFinishWait;
+  if ((live_mask_ & smask & ~policy_->consider_mask(sched)) != 0)
+    return StallCause::kThrottled;
+  return StallCause::kNoWarp;
+}
+
+WarpState SmCore::trace_state_of(int warp, Cycle now) const {
+  const WarpCtx& wc = warps_[warp];
+  if (!wc.allocated) return WarpState::kUnallocated;
+  // Issue wins over the post-issue flags a bar/exit just set, so summed
+  // kIssued warp-cycles equal SmStats::issued exactly; the barrier /
+  // finish window then opens at the next executed cycle.
+  if ((issued_now_mask_ & (1ull << warp)) != 0) return WarpState::kIssued;
+  if (wc.finished)
+    return tbs_[wc.tb_slot].active ? WarpState::kFinishWait
+                                   : WarpState::kUnallocated;
+  if (wc.at_barrier) return WarpState::kBarrierWait;
+  if (wc.ibuffer_ready > now) return WarpState::kFetch;
+  const InstMeta& meta = inst_meta_[static_cast<std::size_t>(wc.stack.pc())];
+  const std::uint64_t pending = scoreboard_.pending_mask(warp);
+  std::uint64_t blocked = pending & meta.regs;
+  if (meta.is_exit) blocked |= pending;
+  if (blocked != 0)
+    return regs_mem_pending(warp, blocked) ? WarpState::kMemPending
+                                           : WarpState::kScoreboard;
+  const bool can_accept =
+      meta.fu == FuType::kSfu
+          ? sfu_ready_at_ <= now
+          : (meta.fu != FuType::kMem ||
+             (!ldst_op_.valid && ldst_busy_until_ <= now));
+  return can_accept ? WarpState::kEligible : WarpState::kFuBusy;
+}
+
+void SmCore::trace_warp_states(Cycle now) {
+  for (int w = 0; w < used_warp_slots_; ++w) {
+    const WarpState cur = trace_state_of(w, now);
+    const WarpState prev = warp_trace_state_[static_cast<std::size_t>(w)];
+    if (cur == prev) continue;
+    trace_->on_warp_state(sm_id_, w, prev,
+                          warp_state_since_[static_cast<std::size_t>(w)], cur,
+                          now);
+    warp_trace_state_[static_cast<std::size_t>(w)] = cur;
+    warp_state_since_[static_cast<std::size_t>(w)] = now;
+  }
 }
 
 // ---------------------------------------------------------------------------

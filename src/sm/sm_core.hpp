@@ -30,6 +30,7 @@
 #include "sm/scoreboard.hpp"
 #include "sm/simt_stack.hpp"
 #include "sm/sm_config.hpp"
+#include "trace/trace_events.hpp"
 
 namespace prosim {
 
@@ -128,6 +129,16 @@ class SmCore {
   /// faults. Consulted on the L1/const MSHR allocation path.
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
 
+  /// Attaches an observability sink (nullptr detaches). Strictly
+  /// observational: simulation results are bit-identical with tracing on
+  /// or off, and with no sink attached the instrumentation reduces to a
+  /// null-pointer test per issue branch. Attach before the first cycle.
+  void set_trace_sink(TraceSink* trace);
+
+  /// Closes all open warp-state slices at simulation end (cycle `end` is
+  /// exclusive), so per-state durations account every executed cycle.
+  void trace_finalize(Cycle end);
+
   /// Appends a WarpBlockInfo for every allocated, unfinished warp (why it
   /// cannot issue right now) and fills this SM's memory-side health
   /// snapshot. Used by the forward-progress watchdog; not on the hot path.
@@ -224,6 +235,20 @@ class SmCore {
   void finish_warp(int warp, Cycle now);
   void retire_tb(int tb_slot, Cycle now);
 
+  // -- tracing helpers (called only with a sink attached) -------------------
+  /// Refines a scoreboard-classified scheduler cycle into mem vs alu
+  /// (mem wins when any blocked candidate waits on an in-flight load).
+  StallCause classify_scoreboard(int sched, Cycle now) const;
+  /// Refines an idle-classified scheduler cycle (fetch > barrier > finish
+  /// > throttled > no-warp precedence).
+  StallCause classify_idle(int sched, Cycle now) const;
+  /// True when any register in `regs` is reserved by an in-flight load.
+  bool regs_mem_pending(int warp, std::uint64_t regs) const;
+  /// Samples warp `warp`'s scheduling state at the end of cycle `now`.
+  WarpState trace_state_of(int warp, Cycle now) const;
+  /// Emits on_warp_state for every warp whose sampled state changed.
+  void trace_warp_states(Cycle now);
+
   std::uint32_t alloc_pending_load(int warp, std::uint8_t dst,
                                    int outstanding);
   void complete_load_transaction(std::uint32_t token, Cycle now);
@@ -284,6 +309,17 @@ class SmCore {
   std::vector<std::uint64_t> sched_mask_;
   /// Per-scheduler stall classification of the last executed cycle.
   std::vector<StallKind> last_stall_;
+
+  // -- tracing state (engaged only via set_trace_sink) ----------------------
+  TraceSink* trace_ = nullptr;
+  bool trace_warp_states_enabled_ = false;
+  /// Fine-grained mirror of last_stall_, bulk-applied by skip_cycles.
+  std::vector<StallCause> last_cause_;
+  /// Last sampled state and its start cycle, per warp slot.
+  std::vector<WarpState> warp_trace_state_;
+  std::vector<Cycle> warp_state_since_;
+  /// Bit w set while warp w issued in the current cycle (reset per cycle).
+  std::uint64_t issued_now_mask_ = 0;
 
   Scoreboard scoreboard_;
   Cache l1_;

@@ -1,0 +1,62 @@
+#include "trace/csv_sink.hpp"
+
+#include <ostream>
+
+namespace prosim {
+
+namespace {
+// Window-length histogram range: wait windows on the bundled workloads run
+// from tens to a few thousand cycles; 64 bins of 64 cycles keeps the
+// interesting range resolved and parks the tail in the overflow bin.
+constexpr double kHistLo = 0.0;
+constexpr double kHistHi = 4096.0;
+constexpr int kHistBins = 64;
+}  // namespace
+
+WindowCsvSink::WindowCsvSink()
+    : barrier_hist_(kHistLo, kHistHi, kHistBins),
+      finish_hist_(kHistLo, kHistHi, kHistBins) {}
+
+void WindowCsvSink::on_warp_state(int sm, int warp, WarpState prev,
+                                  Cycle since, WarpState next, Cycle now) {
+  (void)next;
+  if (prev != WarpState::kBarrierWait && prev != WarpState::kFinishWait)
+    return;
+  if (since == now) return;
+  windows_.push_back({prev, sm, warp, since, now});
+  Histogram& hist =
+      prev == WarpState::kBarrierWait ? barrier_hist_ : finish_hist_;
+  hist.add(static_cast<double>(now - since));
+}
+
+void WindowCsvSink::write_csv(std::ostream& os) const {
+  os << "kind,sm,warp,start,end,length\n";
+  for (const Window& w : windows_) {
+    os << warp_state_name(w.kind) << ',' << w.sm << ',' << w.warp << ','
+       << w.start << ',' << w.end << ',' << (w.end - w.start) << '\n';
+  }
+}
+
+namespace {
+void write_hist(std::ostream& os, const char* kind, const Histogram& hist) {
+  if (hist.underflow() != 0)
+    os << kind << ",-inf," << hist.bin_lo(0) << ',' << hist.underflow()
+       << '\n';
+  for (int b = 0; b < hist.num_bins(); ++b) {
+    if (hist.bin_count(b) == 0) continue;
+    os << kind << ',' << hist.bin_lo(b) << ',' << hist.bin_hi(b) << ','
+       << hist.bin_count(b) << '\n';
+  }
+  if (hist.overflow() != 0)
+    os << kind << ',' << hist.bin_hi(hist.num_bins() - 1) << ",inf,"
+       << hist.overflow() << '\n';
+}
+}  // namespace
+
+void WindowCsvSink::write_histograms_csv(std::ostream& os) const {
+  os << "kind,bin_lo,bin_hi,count\n";
+  write_hist(os, "barrier_wait", barrier_hist_);
+  write_hist(os, "finish_wait", finish_hist_);
+}
+
+}  // namespace prosim

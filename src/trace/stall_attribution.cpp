@@ -1,0 +1,40 @@
+#include "trace/stall_attribution.hpp"
+
+namespace prosim {
+
+std::uint64_t StallBreakdown::legacy_total(LegacyStallClass cls) const {
+  std::uint64_t sum = 0;
+  for (int c = 0; c < kNumStallCauses; ++c) {
+    if (legacy_stall_class(static_cast<StallCause>(c)) == cls)
+      sum += cause_total(static_cast<StallCause>(c));
+  }
+  return sum;
+}
+
+std::uint64_t StallBreakdown::total_stalls() const {
+  std::uint64_t sum = 0;
+  for (int c = 0; c < kNumStallCauses; ++c) {
+    if (static_cast<StallCause>(c) != StallCause::kIssued)
+      sum += cause_total(static_cast<StallCause>(c));
+  }
+  return sum;
+}
+
+StallBreakdown::PerSm& StallAttributionSink::row(int sm) {
+  if (static_cast<std::size_t>(sm) >= breakdown_.per_sm.size())
+    breakdown_.per_sm.resize(static_cast<std::size_t>(sm) + 1);
+  return breakdown_.per_sm[static_cast<std::size_t>(sm)];
+}
+
+void StallAttributionSink::on_sched_cycles(int sm, int /*sched*/,
+                                           StallCause cause, Cycle count) {
+  row(sm).cause_cycles[static_cast<int>(cause)] += count;
+}
+
+void StallAttributionSink::on_warp_state(int sm, int /*warp*/, WarpState prev,
+                                         Cycle since, WarpState /*next*/,
+                                         Cycle now) {
+  row(sm).warp_state_cycles[static_cast<int>(prev)] += now - since;
+}
+
+}  // namespace prosim

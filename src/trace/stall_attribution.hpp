@@ -1,0 +1,77 @@
+// Per-cause, per-SM stall attribution (the paper's Figures 1/5 and
+// Table III, with the refined StallCause taxonomy).
+//
+// The accumulator counts hardware-scheduler cycles per StallCause and
+// warp-cycles per WarpState. The per-cause scheduler-cycle counts are an
+// exact partition of the legacy SmStats counters: summing causes by
+// legacy_stall_class() reproduces idle/scoreboard/pipeline_stalls (and
+// issued) bit-exactly — the reconciliation tests assert this for every
+// fig4 registry cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_events.hpp"
+
+namespace prosim {
+
+/// The finished attribution table: one row per SM plus grid totals.
+/// Drivers stamp it into GpuResult::stall_breakdown after the run.
+/// Like SimThroughput it is measurement metadata: result_io's canonical
+/// serializer skips it (cache bytes and result fingerprints are identical
+/// with tracing on or off); write_stall_breakdown_json() exports it as its
+/// own schema-versioned document.
+struct StallBreakdown {
+  struct PerSm {
+    /// Hardware-scheduler cycles per StallCause (indexed by the enum).
+    std::uint64_t cause_cycles[kNumStallCauses] = {};
+    /// Warp-cycles per WarpState (indexed by the enum; closed slices only).
+    std::uint64_t warp_state_cycles[kNumWarpStates] = {};
+  };
+  std::vector<PerSm> per_sm;
+
+  std::uint64_t cause_total(StallCause cause) const {
+    std::uint64_t sum = 0;
+    for (const PerSm& sm : per_sm)
+      sum += sm.cause_cycles[static_cast<int>(cause)];
+    return sum;
+  }
+  std::uint64_t warp_state_total(WarpState state) const {
+    std::uint64_t sum = 0;
+    for (const PerSm& sm : per_sm)
+      sum += sm.warp_state_cycles[static_cast<int>(state)];
+    return sum;
+  }
+
+  /// Sum of every cause mapping onto the given legacy class — the value
+  /// that must equal the matching SmStats totals counter exactly.
+  std::uint64_t legacy_total(LegacyStallClass cls) const;
+
+  /// All stall causes (everything except kIssued) — must equal
+  /// GpuResult::total_stalls() exactly.
+  std::uint64_t total_stalls() const;
+};
+
+/// TraceSink that fills a StallBreakdown. Needs only the per-scheduler
+/// classification stream; warp-state events are consumed when delivered
+/// but not required (wants_warp_states() is false so an attribution-only
+/// session skips the per-warp pass entirely).
+class StallAttributionSink final : public TraceSink {
+ public:
+  bool wants_warp_states() const override { return false; }
+
+  void on_sched_cycles(int sm, int sched, StallCause cause,
+                       Cycle count) override;
+  void on_warp_state(int sm, int warp, WarpState prev, Cycle since,
+                     WarpState next, Cycle now) override;
+
+  const StallBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  StallBreakdown::PerSm& row(int sm);
+
+  StallBreakdown breakdown_;
+};
+
+}  // namespace prosim

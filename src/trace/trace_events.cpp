@@ -1,0 +1,35 @@
+#include "trace/trace_events.hpp"
+
+namespace prosim {
+
+const char* stall_cause_name(StallCause cause) {
+  switch (cause) {
+    case StallCause::kIssued: return "issued";
+    case StallCause::kFuBusy: return "fu_busy";
+    case StallCause::kScoreboardMem: return "scoreboard_mem";
+    case StallCause::kScoreboardAlu: return "scoreboard_alu";
+    case StallCause::kBarrierWait: return "barrier_wait";
+    case StallCause::kFinishWait: return "finish_wait";
+    case StallCause::kFetch: return "fetch";
+    case StallCause::kThrottled: return "throttled";
+    case StallCause::kNoWarp: return "no_warp";
+  }
+  return "?";
+}
+
+const char* warp_state_name(WarpState state) {
+  switch (state) {
+    case WarpState::kUnallocated: return "unallocated";
+    case WarpState::kIssued: return "issued";
+    case WarpState::kEligible: return "eligible";
+    case WarpState::kScoreboard: return "scoreboard";
+    case WarpState::kMemPending: return "mem_pending";
+    case WarpState::kFuBusy: return "fu_busy";
+    case WarpState::kFetch: return "fetch";
+    case WarpState::kBarrierWait: return "barrier_wait";
+    case WarpState::kFinishWait: return "finish_wait";
+  }
+  return "?";
+}
+
+}  // namespace prosim

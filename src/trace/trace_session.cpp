@@ -1,0 +1,104 @@
+#include "trace/trace_session.hpp"
+
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace prosim {
+
+bool TraceTee::wants_warp_states() const {
+  for (const TraceSink* sink : sinks_) {
+    if (sink->wants_warp_states()) return true;
+  }
+  return false;
+}
+
+void TraceTee::on_sched_cycles(int sm, int sched, StallCause cause,
+                               Cycle count) {
+  for (TraceSink* sink : sinks_) sink->on_sched_cycles(sm, sched, cause, count);
+}
+
+void TraceTee::on_warp_state(int sm, int warp, WarpState prev, Cycle since,
+                             WarpState next, Cycle now) {
+  for (TraceSink* sink : sinks_)
+    sink->on_warp_state(sm, warp, prev, since, next, now);
+}
+
+void TraceTee::on_tb_launch(int sm, int ctaid, Cycle now) {
+  for (TraceSink* sink : sinks_) sink->on_tb_launch(sm, ctaid, now);
+}
+
+void TraceTee::on_tb_retire(int sm, int ctaid, Cycle start, Cycle end) {
+  for (TraceSink* sink : sinks_) sink->on_tb_retire(sm, ctaid, start, end);
+}
+
+void TraceTee::on_pro_sort(int sm, Cycle now) {
+  for (TraceSink* sink : sinks_) sink->on_pro_sort(sm, now);
+}
+
+void TraceTee::on_sim_end(Cycle end) {
+  for (TraceSink* sink : sinks_) sink->on_sim_end(end);
+}
+
+TraceSession::TraceSession(const TraceOptions& opts) {
+  int enabled = 0;
+  TraceSink* only = nullptr;
+  if (opts.stall_attribution) {
+    attribution_ = std::make_unique<StallAttributionSink>();
+    tee_.add(attribution_.get());
+    only = attribution_.get();
+    ++enabled;
+  }
+  if (opts.warp_lanes) {
+    warp_lanes_ = std::make_unique<WarpLaneTraceSink>();
+    tee_.add(warp_lanes_.get());
+    only = warp_lanes_.get();
+    ++enabled;
+  }
+  if (opts.windows) {
+    windows_ = std::make_unique<WindowCsvSink>();
+    tee_.add(windows_.get());
+    only = windows_.get();
+    ++enabled;
+  }
+  // Single-sink sessions bypass the tee's fan-out loop entirely.
+  if (enabled == 1) {
+    sink_ = only;
+  } else if (enabled > 1) {
+    sink_ = &tee_;
+  }
+}
+
+namespace {
+template <typename WriteFn>
+bool write_file(const std::string& path, WriteFn write) {
+  std::ofstream os(path);
+  if (!os) {
+    PROSIM_WARN("trace: cannot open %s for writing", path.c_str());
+    return false;
+  }
+  write(os);
+  return os.good();
+}
+}  // namespace
+
+bool TraceSession::write_warp_lanes_file(const std::string& path) const {
+  if (!warp_lanes_) return false;
+  return write_file(path,
+                    [this](std::ostream& os) { warp_lanes_->write(os); });
+}
+
+bool TraceSession::write_windows_csv_file(const std::string& path) const {
+  if (!windows_) return false;
+  return write_file(path,
+                    [this](std::ostream& os) { windows_->write_csv(os); });
+}
+
+bool TraceSession::write_window_histograms_file(
+    const std::string& path) const {
+  if (!windows_) return false;
+  return write_file(
+      path, [this](std::ostream& os) { windows_->write_histograms_csv(os); });
+}
+
+}  // namespace prosim

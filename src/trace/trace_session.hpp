@@ -1,0 +1,84 @@
+// TraceSession: composes the concrete sinks behind one TraceSink* that
+// Gpu::set_trace_sink() accepts, and owns their lifetime and output files.
+//
+// Pay-for-use contract: a session with no modes enabled yields a null
+// sink pointer, so the simulator core takes its untraced fast path (no
+// virtual calls, fast-forward intact). With only stall attribution
+// enabled, wants_warp_states() stays false and the per-warp state pass
+// is skipped as well.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/csv_sink.hpp"
+#include "trace/stall_attribution.hpp"
+#include "trace/trace_events.hpp"
+#include "trace/warp_lane_trace.hpp"
+
+namespace prosim {
+
+/// Which observability products to collect during a run.
+struct TraceOptions {
+  bool stall_attribution = false;  ///< per-cause/per-SM StallBreakdown
+  bool warp_lanes = false;         ///< Chrome-trace warp timeline
+  bool windows = false;            ///< barrier/finish wait-window CSV
+
+  bool any() const { return stall_attribution || warp_lanes || windows; }
+};
+
+/// Fan-out sink: forwards every event to each child. wants_warp_states()
+/// is the OR of the children, so attribution-only tees stay cheap.
+class TraceTee final : public TraceSink {
+ public:
+  void add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  bool wants_warp_states() const override;
+  void on_sched_cycles(int sm, int sched, StallCause cause,
+                       Cycle count) override;
+  void on_warp_state(int sm, int warp, WarpState prev, Cycle since,
+                     WarpState next, Cycle now) override;
+  void on_tb_launch(int sm, int ctaid, Cycle now) override;
+  void on_tb_retire(int sm, int ctaid, Cycle start, Cycle end) override;
+  void on_pro_sort(int sm, Cycle now) override;
+  void on_sim_end(Cycle end) override;
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Owns the sinks selected by TraceOptions and hands out the single
+/// TraceSink* to attach to a Gpu. Accessors return nullptr for sinks
+/// that were not enabled.
+class TraceSession {
+ public:
+  explicit TraceSession(const TraceOptions& opts);
+
+  /// The sink to pass to Gpu::set_trace_sink() / simulate(). Null when
+  /// no mode is enabled — the caller can pass it through unconditionally.
+  TraceSink* sink() { return sink_; }
+
+  const StallAttributionSink* attribution() const {
+    return attribution_.get();
+  }
+  const WarpLaneTraceSink* warp_lanes() const { return warp_lanes_.get(); }
+  const WindowCsvSink* windows() const { return windows_.get(); }
+
+  /// File writers; return false (and report via Err) when the sink is
+  /// disabled or the path cannot be opened.
+  bool write_warp_lanes_file(const std::string& path) const;
+  bool write_windows_csv_file(const std::string& path) const;
+  bool write_window_histograms_file(const std::string& path) const;
+
+ private:
+  std::unique_ptr<StallAttributionSink> attribution_;
+  std::unique_ptr<WarpLaneTraceSink> warp_lanes_;
+  std::unique_ptr<WindowCsvSink> windows_;
+  TraceTee tee_;
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace prosim

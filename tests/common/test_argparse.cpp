@@ -1,0 +1,150 @@
+#include "common/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace prosim {
+namespace {
+
+/// argv builder: keeps the strings alive and hands out char* the way
+/// main() receives them.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "prog");
+    for (std::string& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(ArgParser, TypedFlagsBindAndKeepDefaults) {
+  bool flag = false;
+  std::string str = "default";
+  int num = 42;
+  std::int64_t big = -1;
+  std::uint64_t seed = 7;
+  ArgParser p("prog", "");
+  p.add_flag("--flag", &flag, "");
+  p.add_string("--str", &str, "S", "");
+  p.add_int("--num", &num, "N", "");
+  p.add_i64("--big", &big, "N", "");
+  p.add_u64("--seed", &seed, "N", "");
+
+  Argv args({"--flag", "--num", "7", "--big", "-123456789012"});
+  ASSERT_EQ(p.parse(args.argc(), args.argv()), ArgParser::Status::kOk);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(str, "default");  // untouched: bound value is the default
+  EXPECT_EQ(num, 7);
+  EXPECT_EQ(big, -123456789012ll);
+  EXPECT_EQ(seed, 7u);
+  EXPECT_TRUE(p.seen("--num"));
+  EXPECT_FALSE(p.seen("--seed"));
+}
+
+TEST(ArgParser, EqualsSpellingAndStringList) {
+  std::string str;
+  std::vector<std::string> list;
+  ArgParser p("prog", "");
+  p.add_string("--str", &str, "S", "");
+  p.add_string_list("--list", &list, "A,B", "");
+  Argv args({"--str=hello", "--list=a,b,,c"});
+  ASSERT_EQ(p.parse(args.argc(), args.argv()), ArgParser::Status::kOk);
+  EXPECT_EQ(str, "hello");
+  EXPECT_EQ(list, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ArgParser, PositionalsFillInOrder) {
+  std::string first = "one-default";
+  std::string second = "two-default";
+  ArgParser p("prog", "");
+  p.add_positional("first", &first, "");
+  p.add_positional("second", &second, "");
+  Argv args({"alpha"});
+  ASSERT_EQ(p.parse(args.argc(), args.argv()), ArgParser::Status::kOk);
+  EXPECT_EQ(first, "alpha");
+  EXPECT_EQ(second, "two-default");
+  EXPECT_TRUE(p.seen("first"));
+  EXPECT_FALSE(p.seen("second"));
+}
+
+TEST(ArgParser, UnknownFlagIsAnError) {
+  ArgParser p("prog", "");
+  Argv args({"--nope"});
+  EXPECT_EQ(p.parse(args.argc(), args.argv()), ArgParser::Status::kError);
+}
+
+TEST(ArgParser, ExtraPositionalIsAnError) {
+  ArgParser p("prog", "");
+  Argv args({"stray"});
+  EXPECT_EQ(p.parse(args.argc(), args.argv()), ArgParser::Status::kError);
+}
+
+TEST(ArgParser, MissingOrMalformedValuesAreErrors) {
+  int num = 0;
+  std::uint64_t seed = 0;
+  bool flag = false;
+  {
+    ArgParser p("prog", "");
+    p.add_int("--num", &num, "N", "");
+    Argv args({"--num"});
+    EXPECT_EQ(p.parse(args.argc(), args.argv()),
+              ArgParser::Status::kError);
+  }
+  {
+    ArgParser p("prog", "");
+    p.add_int("--num", &num, "N", "");
+    Argv args({"--num", "twelve"});
+    EXPECT_EQ(p.parse(args.argc(), args.argv()),
+              ArgParser::Status::kError);
+  }
+  {
+    ArgParser p("prog", "");
+    p.add_u64("--seed", &seed, "N", "");
+    Argv args({"--seed", "-3"});
+    EXPECT_EQ(p.parse(args.argc(), args.argv()),
+              ArgParser::Status::kError);
+  }
+  {
+    ArgParser p("prog", "");
+    p.add_flag("--flag", &flag, "");
+    Argv args({"--flag=yes"});
+    EXPECT_EQ(p.parse(args.argc(), args.argv()),
+              ArgParser::Status::kError);
+  }
+}
+
+TEST(ArgParser, HelpListsFlagsSectionsAndEpilog) {
+  bool flag = false;
+  std::string str;
+  ArgParser p("prog", "Test tool.");
+  p.add_section("group one");
+  p.add_flag("--flag", &flag, "a boolean");
+  p.add_string("--str", &str, "S", "a string");
+  p.add_positional("kernel", &str, "the kernel");
+  p.set_epilog("closing words");
+  std::ostringstream os;
+  p.write_help(os);
+  const std::string help = os.str();
+  EXPECT_NE(help.find("usage: prog"), std::string::npos);
+  EXPECT_NE(help.find("Test tool."), std::string::npos);
+  EXPECT_NE(help.find("group one:"), std::string::npos);
+  EXPECT_NE(help.find("--flag"), std::string::npos);
+  EXPECT_NE(help.find("--str S"), std::string::npos);
+  EXPECT_NE(help.find("kernel"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+  EXPECT_NE(help.find("closing words"), std::string::npos);
+
+  Argv args({"--help"});
+  EXPECT_EQ(p.parse(args.argc(), args.argv()), ArgParser::Status::kHelp);
+}
+
+}  // namespace
+}  // namespace prosim

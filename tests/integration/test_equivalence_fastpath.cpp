@@ -23,14 +23,16 @@
 #include "gpu/gpu.hpp"
 #include "gpu/result_io.hpp"
 #include "kernels/registry.hpp"
+#include "trace/trace_session.hpp"
 
 namespace prosim {
 namespace {
 
-std::uint64_t result_fingerprint(const Workload& w, const GpuConfig& cfg) {
+std::uint64_t result_fingerprint(const Workload& w, const GpuConfig& cfg,
+                                 TraceSink* trace = nullptr) {
   GlobalMemory mem;
   if (w.init) w.init(mem);
-  const GpuResult r = simulate(cfg, w.program, mem);
+  const GpuResult r = simulate(cfg, w.program, mem, trace);
   const std::string json = gpu_result_to_json(r);
   Fingerprint fp;
   fp.add_bytes(json.data(), json.size());
@@ -98,6 +100,51 @@ std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {
 
 INSTANTIATE_TEST_SUITE_P(SeedCells, EquivalenceFastpath,
                          ::testing::ValuesIn(kCells), cell_name);
+
+// Tracing must be purely observational: attaching every sink (stall
+// attribution, warp lanes, wait windows) may not move a single bit of the
+// canonical result. The pinned constants are the untraced seed values, so
+// any perturbation — a classification side effect, a changed skip
+// decision, an extra tick — fails against the same fingerprints above.
+TEST(EquivalenceFastpath, TracingIsBitIdentical) {
+  constexpr Cell kTracedCells[] = {
+      {"scalarProdGPU", SchedulerKind::kLrr, 0x856755624a190199ull},
+      {"scalarProdGPU", SchedulerKind::kPro, 0xf0604c1acd235617ull},
+      {"GPU_laplace3d", SchedulerKind::kPro, 0x38970701efbcb9abull},
+      {"bfs_kernel", SchedulerKind::kTl, 0x2a1b77df2e26072full},
+      {"calculate_temp", SchedulerKind::kGto, 0xf73d34b299219e61ull},
+  };
+  for (const Cell& cell : kTracedCells) {
+    GpuConfig cfg;
+    cfg.scheduler.kind = cell.kind;
+    TraceOptions opts;
+    opts.stall_attribution = true;
+    opts.warp_lanes = true;
+    opts.windows = true;
+    TraceSession session(opts);
+    const std::uint64_t actual = result_fingerprint(
+        find_workload(cell.kernel), cfg, session.sink());
+    EXPECT_EQ(actual, cell.expected)
+        << cell.kernel << "/" << scheduler_name(cell.kind)
+        << ": result changed when tracing was attached (actual "
+        << "fingerprint 0x" << std::hex << actual << ")";
+  }
+}
+
+// Attribution-only sessions take the cheaper no-warp-states path; pin
+// that configuration separately from the everything-on case above.
+TEST(EquivalenceFastpath, AttributionOnlyIsBitIdentical) {
+  GpuConfig cfg;
+  cfg.scheduler.kind = SchedulerKind::kPro;
+  TraceOptions opts;
+  opts.stall_attribution = true;
+  TraceSession session(opts);
+  const std::uint64_t actual = result_fingerprint(
+      find_workload("scalarProdGPU"), cfg, session.sink());
+  EXPECT_EQ(actual, 0xf0604c1acd235617ull)
+      << "attribution-only tracing changed the result (actual "
+      << "fingerprint 0x" << std::hex << actual << ")";
+}
 
 // Fault injection disables fast-forwarding entirely (the injector draws
 // per-cycle random numbers), so this cell pins the plain ticking loop —
