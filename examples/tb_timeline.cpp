@@ -32,6 +32,7 @@ char state_char(WarpState s) {
     case WarpState::kEligible: return '+';
     case WarpState::kScoreboard: return 's';
     case WarpState::kMemPending: return 'm';
+    case WarpState::kSpinWait: return 'w';
     case WarpState::kFuBusy: return 'f';
     case WarpState::kFetch: return 'i';
     case WarpState::kBarrierWait: return 'B';

@@ -11,6 +11,7 @@ const char* to_string(ErrorCategory category) {
     case ErrorCategory::kLivelock: return "livelock";
     case ErrorCategory::kBarrierMismatch: return "barrier_mismatch";
     case ErrorCategory::kMshrLeak: return "mshr_leak";
+    case ErrorCategory::kStarvation: return "starvation";
     case ErrorCategory::kInvariant: return "invariant";
   }
   return "?";
@@ -52,6 +53,9 @@ std::string SimError::to_string() const {
         first = false;
       }
       os << "}";
+    }
+    if (w.reason != WarpBlockReason::kBarrier && w.issue_gap > 0) {
+      os << " (no issue for " << w.issue_gap << " cycles)";
     }
   }
   for (const SmHealth& h : sm_health) {
@@ -109,7 +113,8 @@ void SimError::write_json(std::ostream& os) const {
        << "\", \"pending_regs\": " << w.pending_regs
        << ", \"warps_at_barrier\": " << w.warps_at_barrier
        << ", \"warps_live\": " << w.warps_live
-       << ", \"barrier_wait\": " << w.barrier_wait << "}";
+       << ", \"barrier_wait\": " << w.barrier_wait
+       << ", \"issue_gap\": " << w.issue_gap << "}";
   }
   os << (warps.empty() ? "],\n" : "\n  ],\n");
   os << "  \"sm_health\": [";

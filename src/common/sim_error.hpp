@@ -27,6 +27,7 @@ enum class ErrorCategory {
   kLivelock,         ///< no forward progress / max_cycles overrun
   kBarrierMismatch,  ///< warps stuck at a barrier that can never release
   kMshrLeak,         ///< outstanding memory requests that never complete
+  kStarvation,       ///< a warp never issues while the GPU keeps issuing
   kInvariant,        ///< invalid program or configuration
 };
 
@@ -59,6 +60,7 @@ struct WarpBlockInfo {
   int warps_at_barrier = 0;
   int warps_live = 0;
   Cycle barrier_wait = 0;  ///< cycles spent waiting at the barrier so far
+  Cycle issue_gap = 0;     ///< cycles since the warp last issued
 };
 
 /// Snapshot of one SM's memory-side liveness at diagnosis time.

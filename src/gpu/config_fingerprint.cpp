@@ -11,7 +11,7 @@ namespace {
 
 // Bump when GpuConfig (or any nested config) gains/loses a field, so stale
 // cache entries keyed on the old layout can never be returned.
-constexpr const char* kConfigSchema = "GpuConfig-v1";
+constexpr const char* kConfigSchema = "GpuConfig-v2";
 
 void hash_into(Fingerprint& fp, const CacheGeometry& c) {
   fp.add(c.size_bytes).add(c.line_bytes).add(c.ways);
@@ -79,6 +79,7 @@ void hash_into(Fingerprint& fp, const SchedulerSpec& spec) {
 void hash_into(Fingerprint& fp, const WatchdogConfig& wd) {
   fp.add("WatchdogConfig");
   fp.add(wd.enabled).add(wd.window).add(wd.stall_windows).add(wd.barrier_timeout);
+  fp.add(wd.starvation_timeout);
 }
 
 void hash_into(Fingerprint& fp, const FaultConfig& f) {

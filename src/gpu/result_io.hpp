@@ -34,7 +34,7 @@ Expected<GpuResult> gpu_result_from_json(std::string_view text);
 
 /// Schema tag of the stall-breakdown export below.
 inline constexpr const char* kStallBreakdownSchema =
-    "prosim-stall-breakdown-v1";
+    "prosim-stall-breakdown-v2";  // v2: adds the spin_wait cause/state
 
 /// Exports a StallBreakdown (GpuResult::stall_breakdown) as its own
 /// schema-versioned document: per-SM and total scheduler-cycles keyed by

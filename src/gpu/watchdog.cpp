@@ -73,6 +73,39 @@ std::optional<SimError> Watchdog::check(
     return scan;
   }
 
+  // Rule 3: per-warp starvation — a runnable (non-barrier) warp that has
+  // not issued for longer than starvation_timeout, even though the GPU as
+  // a whole keeps making progress. Deterministic under fast-forward:
+  // issue gaps derive from exact per-warp issue cycles and this check
+  // runs only at window boundaries, which cycle skipping never jumps.
+  if (config_.starvation_timeout > 0) {
+    const WarpBlockInfo* starved = nullptr;
+    int starved_count = 0;
+    for (const WarpBlockInfo& w : scan.warps) {
+      if (w.reason == WarpBlockReason::kBarrier) continue;
+      if (w.issue_gap <= config_.starvation_timeout) continue;
+      ++starved_count;
+      if (starved == nullptr || w.issue_gap > starved->issue_gap) {
+        starved = &w;
+      }
+    }
+    if (starved != nullptr) {
+      std::ostringstream msg;
+      msg << starved_count << " warp(s) starved: no issue for more than "
+          << config_.starvation_timeout
+          << " cycles while the GPU keeps issuing (worst: sm "
+          << starved->sm_id << " warp " << starved->warp << ", "
+          << starved->issue_gap << " cycles)";
+      scan.category = ErrorCategory::kStarvation;
+      scan.message = msg.str();
+      scan.cycle = now;
+      scan.sm_id = starved->sm_id;
+      scan.warp = starved->warp;
+      scan.pc = starved->pc;
+      return scan;
+    }
+  }
+
   // Rule 1: zero GPU-wide issue across consecutive windows.
   if (stalled_windows_ >= config_.stall_windows) {
     ErrorCategory category = ErrorCategory::kLivelock;

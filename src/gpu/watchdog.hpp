@@ -4,12 +4,16 @@
 // everything else runs at window granularity. At each window boundary the
 // watchdog compares the GPU-wide issued-instruction count against the
 // previous window and scans resident warps for overlong barrier waits.
-// Two firing rules:
+// Three firing rules:
 //  - no issue at all for `stall_windows` consecutive windows (true
-//    deadlock: every resident warp is blocked), or
+//    deadlock: every resident warp is blocked),
 //  - any warp waiting at a barrier for more than `barrier_timeout` cycles
 //    (catches barrier mismatches where the missing warps still issue,
-//    e.g. a partner warp spinning on a flag that is set after the barrier).
+//    e.g. a partner warp spinning on a flag that is set after the barrier),
+//  - with `starvation_timeout` > 0, any non-barrier warp that has not
+//    issued for more than that many cycles while the GPU as a whole keeps
+//    issuing (catches unfair schedulers starving a single warp — the
+//    litmus harness's per-warp forward-progress rule; off by default).
 // On firing it walks every resident warp and attaches a structured
 // diagnosis — block reason, pending scoreboard registers, barrier
 // arrival counts, per-SM MSHR/pending-load health — to the SimError.
@@ -34,6 +38,12 @@ struct WatchdogConfig {
   int stall_windows = 2;
   /// Longest barrier wait considered legitimate.
   Cycle barrier_timeout = 2'000'000;
+  /// Per-warp issue-gap starvation rule: a warp (not parked at a barrier)
+  /// that has not issued for more than this many cycles fires a
+  /// `starvation` error. 0 disables the rule (the default — ordinary
+  /// workloads legitimately park warps for long stretches; the litmus
+  /// harness turns it on).
+  Cycle starvation_timeout = 0;
 };
 
 class Watchdog {

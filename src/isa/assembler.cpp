@@ -317,6 +317,7 @@ std::optional<AssemblerError> handle_instruction(ParseState& st, int line_no,
 
     case Opcode::kAtomGAdd:
     case Opcode::kAtomSAdd:
+    case Opcode::kAtomGExch:
       if (ops.size() == 3) {
         if (auto e = reg_at(0, inst.dst)) return e;
         if (auto e = mem_at(1)) return e;
@@ -325,6 +326,22 @@ std::optional<AssemblerError> handle_instruction(ParseState& st, int line_no,
         if (auto e = want(2)) return e;
         if (auto e = mem_at(0)) return e;
         if (auto e = reg_at(1, inst.src1)) return e;
+      }
+      break;
+
+    case Opcode::kAtomGCas:
+    case Opcode::kAtomSCas:
+      // "atom.cas [dst,] [rA+off], rCmp, rNew"
+      if (ops.size() == 4) {
+        if (auto e = reg_at(0, inst.dst)) return e;
+        if (auto e = mem_at(1)) return e;
+        if (auto e = reg_at(2, inst.src1)) return e;
+        if (auto e = reg_at(3, inst.src2)) return e;
+      } else {
+        if (auto e = want(3)) return e;
+        if (auto e = mem_at(0)) return e;
+        if (auto e = reg_at(1, inst.src1)) return e;
+        if (auto e = reg_at(2, inst.src2)) return e;
       }
       break;
 

@@ -290,6 +290,49 @@ ProgramBuilder& ProgramBuilder::atoms_add(Reg addr, std::int64_t off,
   return *this;
 }
 
+ProgramBuilder& ProgramBuilder::atomg_cas(Reg d, Reg addr, std::int64_t off,
+                                          Reg cmp, Reg value) {
+  Instruction& i = emit(Opcode::kAtomGCas);
+  i.dst = d;
+  i.src0 = addr;
+  i.src1 = cmp;
+  i.src2 = value;
+  i.imm = off;
+  note_reg(d);
+  note_reg(addr);
+  note_reg(cmp);
+  note_reg(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::atomg_exch(Reg d, Reg addr, std::int64_t off,
+                                           Reg value) {
+  Instruction& i = emit(Opcode::kAtomGExch);
+  i.dst = d;
+  i.src0 = addr;
+  i.src1 = value;
+  i.imm = off;
+  note_reg(d);
+  note_reg(addr);
+  note_reg(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::atoms_cas(Reg d, Reg addr, std::int64_t off,
+                                          Reg cmp, Reg value) {
+  Instruction& i = emit(Opcode::kAtomSCas);
+  i.dst = d;
+  i.src0 = addr;
+  i.src1 = cmp;
+  i.src2 = value;
+  i.imm = off;
+  note_reg(d);
+  note_reg(addr);
+  note_reg(cmp);
+  note_reg(value);
+  return *this;
+}
+
 ProgramBuilder& ProgramBuilder::bar() {
   emit(Opcode::kBar);
   return *this;

@@ -77,6 +77,13 @@ class ProgramBuilder {
   ProgramBuilder& ldc(Reg d, Reg addr, std::int64_t off = 0);
   ProgramBuilder& atomg_add(Reg addr, std::int64_t off, Reg value);
   ProgramBuilder& atoms_add(Reg addr, std::int64_t off, Reg value);
+  /// Compare-and-swap / exchange. `d` receives the old value (pass kNoReg
+  /// to discard it). CAS stores `value` only where the word equals `cmp`.
+  ProgramBuilder& atomg_cas(Reg d, Reg addr, std::int64_t off, Reg cmp,
+                            Reg value);
+  ProgramBuilder& atomg_exch(Reg d, Reg addr, std::int64_t off, Reg value);
+  ProgramBuilder& atoms_cas(Reg d, Reg addr, std::int64_t off, Reg cmp,
+                            Reg value);
 
   ProgramBuilder& bar();
   ProgramBuilder& exit_();

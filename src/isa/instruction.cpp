@@ -81,12 +81,20 @@ std::string disassemble(const Instruction& inst) {
       break;
     case Opcode::kAtomGAdd:
     case Opcode::kAtomSAdd:
+    case Opcode::kAtomGExch:
       if (inst.dst != kNoReg) {
         out += " " + reg(inst.dst) + ", " + mem_operand(inst) + ", " +
                reg(inst.src1);
       } else {
         out += " " + mem_operand(inst) + ", " + reg(inst.src1);
       }
+      break;
+    case Opcode::kAtomGCas:
+    case Opcode::kAtomSCas:
+      // atom.cas [dst,] [rA+off], rCmp, rNew
+      if (inst.dst != kNoReg) out += " " + reg(inst.dst) + ",";
+      out += " " + mem_operand(inst) + ", " + reg(inst.src1) + ", " +
+             reg(inst.src2);
       break;
     case Opcode::kBra:
       out += " @" + std::to_string(inst.target);

@@ -120,6 +120,25 @@ class TbRun {
         if (inst.dst != kNoReg) t.regs[inst.dst] = old;
         break;
       }
+      case Opcode::kAtomGCas: {
+        const RegValue old = memory_.atomic_cas(
+            mem_addr(), t.regs[inst.src1], t.regs[inst.src2]);
+        if (inst.dst != kNoReg) t.regs[inst.dst] = old;
+        break;
+      }
+      case Opcode::kAtomGExch: {
+        const RegValue old =
+            memory_.atomic_exch(mem_addr(), t.regs[inst.src1]);
+        if (inst.dst != kNoReg) t.regs[inst.dst] = old;
+        break;
+      }
+      case Opcode::kAtomSCas: {
+        const Addr addr = mem_addr();
+        const RegValue old = smem_load(addr);
+        if (old == t.regs[inst.src1]) smem_store(addr, t.regs[inst.src2]);
+        if (inst.dst != kNoReg) t.regs[inst.dst] = old;
+        break;
+      }
       case Opcode::kBra: {
         bool taken = true;
         if (inst.pred != kNoReg) {

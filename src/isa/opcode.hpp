@@ -53,7 +53,10 @@ enum class Opcode : std::uint8_t {
   kSts,
   kLdc,
   kAtomGAdd,
+  kAtomGCas,
+  kAtomGExch,
   kAtomSAdd,
+  kAtomSCas,
   // Control.
   kBra,
   kBar,
@@ -173,7 +176,13 @@ inline constexpr OpcodeInfo
          false, true, false},
         {"atomg.add", FuType::kMem, MemSpace::kGlobal, false, 1, false, false,
          false, true, false, true},
+        {"atomg.cas", FuType::kMem, MemSpace::kGlobal, false, 2, false, false,
+         false, true, false, true},
+        {"atomg.exch", FuType::kMem, MemSpace::kGlobal, false, 1, false,
+         false, false, true, false, true},
         {"atoms.add", FuType::kMem, MemSpace::kShared, false, 1, false, false,
+         false, true, false, true},
+        {"atoms.cas", FuType::kMem, MemSpace::kShared, false, 2, false, false,
          false, true, false, true},
         {"bra", FuType::kControl, MemSpace::kNone, false, 0, true, false,
          false, false, false, false},

@@ -1,0 +1,157 @@
+// Forward-progress litmus harness (docs/ROBUSTNESS.md).
+//
+// A litmus test is a small synchronizing kernel whose *termination* depends
+// on the warp scheduler giving every resident warp a chance to issue:
+// spin-lock handoffs inside one TB, producer/consumer flags across TBs,
+// ticket locks, a flat TB-count barrier, and a CAS mutex — each
+// parameterized over two occupancy regimes (everything resident vs. grid
+// oversubscribing the SM). The harness runs every registered scheduler
+// through every (litmus x regime) cell under a deterministic per-warp
+// starvation watchdog and classifies each scheduler into a progress model:
+//
+//  - terminates:           every cell terminates, even oversubscribed
+//                          cross-TB waits (no real GPU scheduler can — a
+//                          non-resident TB cannot run — so this class is
+//                          attainable only by preemptive designs);
+//  - occupancy_bound_fair: every cell where fairness among *resident*
+//                          warps suffices terminates; cells that need a
+//                          non-resident TB hang (the hardware norm);
+//  - unfair_livelocks:     at least one cell that a fair scheduler would
+//                          finish instead starves or livelocks (e.g.
+//                          Two-Level parking a flag producer in the
+//                          pending set forever).
+//
+// Verdicts are bit-deterministic: every hang is detected at an identical
+// cycle whatever --jobs is and whether event-driven fast-forward is on
+// (watchdog checks run at window boundaries the fast-forward path never
+// skips; the max_cycles backstop trips at exactly max_cycles).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_config.hpp"
+#include "gpu/gpu_result.hpp"
+#include "isa/program.hpp"
+
+namespace prosim::runner {
+struct SweepProgress;
+}  // namespace prosim::runner
+
+namespace prosim::litmus {
+
+/// Occupancy regime a litmus cell runs under.
+enum class Regime {
+  kResident,        ///< whole grid fits the SM's residency limit
+  kOversubscribed,  ///< grid exceeds residency: TBs launch in waves
+};
+const char* regime_name(Regime regime);
+
+/// One forward-progress litmus kernel, parameterized over the grid size.
+struct LitmusTest {
+  std::string name;
+  std::string description;
+  int block_dim = 32;
+  /// Builds the program for a `grid`-TB launch.
+  std::function<Program(int grid)> build;
+  /// Grid size for a regime given this kernel's per-SM residency limit.
+  std::function<int(Regime, int residency)> grid_for;
+  /// True when termination in this regime only requires fairness among
+  /// *resident* warps — i.e. any fair scheduler must finish the cell.
+  /// False marks cells whose completion needs a TB that cannot become
+  /// resident (every non-preemptive scheduler is expected to hang).
+  std::function<bool(Regime)> resident_fair_suffices;
+  /// Validates the final per-thread registers of a terminated run
+  /// (record_registers layout); returns "" on success, else a diagnosis.
+  std::function<std::string(const GpuResult&, int grid)> check;
+};
+
+/// The litmus suite, in canonical order.
+const std::vector<LitmusTest>& litmus_suite();
+
+/// Lookup by name, or nullptr if unknown.
+const LitmusTest* find_litmus(const std::string& name);
+
+/// Per-cell outcome.
+enum class Verdict {
+  kPass,         ///< terminated and the correctness checker is satisfied
+  kWrongResult,  ///< terminated but the checker found a violation
+  kStarvation,   ///< the per-warp issue-gap watchdog rule fired
+  kHang,         ///< deadlock/livelock/barrier watchdog or max_cycles
+  kError,        ///< any other structured SimError
+};
+const char* verdict_name(Verdict verdict);
+
+/// Scheduler-level classification (see file header).
+enum class ProgressModel {
+  kTerminates,
+  kOccupancyBoundFair,
+  kUnfairLivelocks,
+};
+const char* progress_model_name(ProgressModel model);
+
+/// One (scheduler x litmus x regime) cell of the certification matrix.
+struct LitmusCell {
+  SchedulerKind scheduler = SchedulerKind::kLrr;
+  std::string litmus;
+  Regime regime = Regime::kResident;
+  int grid = 0;
+  /// Whether a fair scheduler is required to finish this cell.
+  bool fair_suffices = true;
+  Verdict verdict = Verdict::kError;
+  /// Completion cycle for kPass/kWrongResult; detection cycle otherwise.
+  /// Deterministic across --jobs and fast-forward on/off.
+  Cycle detect_cycle = 0;
+  std::string detail;  ///< checker diagnosis or SimError message
+
+  /// "pass" cells and expected hangs (fair_suffices == false) certify
+  /// correct behavior; anything else is a fairness or simulator defect.
+  bool as_expected() const {
+    return verdict == Verdict::kPass ||
+           (!fair_suffices && verdict == Verdict::kHang);
+  }
+};
+
+struct SchedulerSummary {
+  SchedulerKind scheduler = SchedulerKind::kLrr;
+  ProgressModel model = ProgressModel::kTerminates;
+  int passes = 0;
+  int expected_hangs = 0;  ///< hangs on cells where fairness cannot help
+  int unfair_cells = 0;    ///< starved/hung cells a fair scheduler finishes
+  int broken_cells = 0;    ///< wrong_result / unclassified errors
+};
+
+struct LitmusReport {
+  std::vector<LitmusCell> cells;  ///< scheduler-major, suite order
+  std::vector<SchedulerSummary> schedulers;
+};
+
+struct LitmusOptions {
+  /// Worker threads for the sweep; <= 0 picks hardware concurrency.
+  int jobs = 1;
+  /// Schedulers to certify; empty = the whole registry.
+  std::vector<SchedulerKind> schedulers;
+  /// Litmus names to run; empty = the whole suite.
+  std::vector<std::string> tests;
+  /// Per-cell progress callback (forwarded to the sweep runner).
+  std::function<void(const runner::SweepProgress&)> progress;
+};
+
+/// The GpuConfig every litmus cell simulates under: one SM, registers
+/// recorded, tight watchdog windows, the per-warp starvation rule armed,
+/// and a small max_cycles backstop so hangs resolve quickly.
+GpuConfig litmus_config(SchedulerKind kind);
+
+/// Runs the certification matrix through the sweep runner.
+LitmusReport run_litmus(const LitmusOptions& options = {});
+
+/// Schema tag of the JSON verdict matrix below.
+inline constexpr const char* kLitmusSchema = "prosim-litmus-v1";
+
+/// Writes the full verdict matrix + per-scheduler progress models.
+void write_litmus_json(std::ostream& os, const LitmusReport& report);
+std::string litmus_report_to_json(const LitmusReport& report);
+
+}  // namespace prosim::litmus

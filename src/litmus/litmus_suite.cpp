@@ -1,0 +1,344 @@
+// The forward-progress litmus kernels (see litmus.hpp).
+//
+// Every kernel is built so its synchronization idiom exercises one distinct
+// scheduler obligation:
+//
+//  - intra_tb_flag:   consumers poll a *shared-memory* flag, so polling
+//                     never touches the long-latency path some policies
+//                     (Two-Level) key their warp rotation on — the flag
+//                     producer sits in the pending set and only a fair
+//                     policy lets it run;
+//  - global_pc_flag:  cross-TB producer/consumer pairs through global
+//                     memory — polling is a long-latency load, so even
+//                     Two-Level rotates and everyone passes;
+//  - ticket_lock:     FIFO lock handoff, CAS-loop ticket draw, one
+//                     lock-holder per grid in turn;
+//  - tb_tree_barrier: flat atomic-counter barrier over the whole grid —
+//                     terminates iff every TB can become resident;
+//  - cas_mutex:       test-and-set mutex with an exchange release,
+//                     mutual-exclusion certified from final registers.
+//
+// Checkers read the record_registers image, laid out
+// [(ctaid * block_dim + tid) * regs_per_thread + reg].
+#include <sstream>
+
+#include "common/check.hpp"
+#include "isa/builder.hpp"
+#include "litmus/litmus.hpp"
+
+namespace prosim::litmus {
+
+namespace {
+
+RegValue reg_of(const GpuResult& r, int ctaid, int tid, int reg) {
+  const std::size_t idx =
+      (static_cast<std::size_t>(ctaid) * static_cast<std::size_t>(r.block_dim) +
+       static_cast<std::size_t>(tid)) *
+          static_cast<std::size_t>(r.regs_per_thread) +
+      static_cast<std::size_t>(reg);
+  PROSIM_CHECK(idx < r.registers.size());
+  return r.registers[idx];
+}
+
+/// Every thread of every TB ended with `reg` == `want`.
+std::string check_all_threads(const GpuResult& r, int grid, int reg,
+                              RegValue want) {
+  for (int ctaid = 0; ctaid < grid; ++ctaid) {
+    for (int tid = 0; tid < r.block_dim; ++tid) {
+      const RegValue got = reg_of(r, ctaid, tid, reg);
+      if (got != want) {
+        std::ostringstream msg;
+        msg << "ctaid " << ctaid << " tid " << tid << ": r" << reg << " = "
+            << got << ", want " << want;
+        return msg.str();
+      }
+    }
+  }
+  return "";
+}
+
+/// The tid-0 threads observed counter values forming exactly {1..grid}:
+/// each entered the critical section once and saw a distinct count — the
+/// mutual-exclusion certificate.
+std::string check_exclusion_counter(const GpuResult& r, int grid, int reg) {
+  std::vector<bool> seen(static_cast<std::size_t>(grid), false);
+  for (int ctaid = 0; ctaid < grid; ++ctaid) {
+    const RegValue got = reg_of(r, ctaid, 0, reg);
+    if (got < 1 || got > grid) {
+      std::ostringstream msg;
+      msg << "ctaid " << ctaid << ": counter " << got << " outside 1.."
+          << grid << " (lost update or torn critical section)";
+      return msg.str();
+    }
+    if (seen[static_cast<std::size_t>(got - 1)]) {
+      std::ostringstream msg;
+      msg << "ctaid " << ctaid << ": counter " << got
+          << " observed twice (two holders inside the critical section)";
+      return msg.str();
+    }
+    seen[static_cast<std::size_t>(got - 1)] = true;
+  }
+  return "";
+}
+
+// ---- intra_tb_flag ------------------------------------------------------
+// One 512-thread TB: the last warp stores 1 to a shared-memory flag, the
+// other 15 warps spin on `lds` until they see it. The poll loop never
+// issues a long-latency instruction, so a policy that only rotates its
+// active set on long-latency events parks the producer forever.
+
+constexpr int kFlagBlock = 512;
+
+Program build_intra_tb_flag(int grid) {
+  ProgramBuilder b("litmus_intra_tb_flag");
+  b.block_dim(kFlagBlock).grid_dim(grid).smem(8);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kGe, 1, 0, kFlagBlock - 32);  // last warp produces
+  b.movi(2, 0);                                // smem flag address
+  b.if_begin(1);
+  b.movi(4, 1);
+  b.sts(2, 0, 4);
+  b.if_else();
+  ProgramBuilder::Label top = b.loop_begin();
+  b.lds(4, 2, 0);
+  b.setpi(CmpOp::kEq, 5, 4, 0);
+  b.loop_end_if(5, top);
+  b.if_end();
+  b.exit_();
+  return b.build();
+}
+
+// ---- global_pc_flag -----------------------------------------------------
+// TB pairs: the odd TB stores 1 to a per-pair global flag, the even TB
+// polls it with `ldg`. Oversubscribed, pairs retire in launch order so
+// resident fairness suffices.
+
+Program build_global_pc_flag(int grid) {
+  ProgramBuilder b("litmus_global_pc_flag");
+  b.block_dim(64).grid_dim(grid);
+  b.s2r(0, SpecialReg::kCtaId);
+  b.iandi(1, 0, 1);    // odd = producer
+  b.ishri(2, 0, 1);    // pair index
+  b.imuli(2, 2, 64);   // one cache line per pair
+  b.iaddi(2, 2, 4096); // flag address
+  b.setpi(CmpOp::kNe, 3, 1, 0);
+  b.if_begin(3);
+  b.movi(4, 1);
+  b.stg(2, 0, 4);
+  b.if_else();
+  ProgramBuilder::Label top = b.loop_begin();
+  b.ldg(4, 2, 0);
+  b.setpi(CmpOp::kEq, 5, 4, 0);
+  b.loop_end_if(5, top);
+  b.if_end();
+  b.exit_();
+  return b.build();
+}
+
+// ---- ticket_lock --------------------------------------------------------
+// tid 0 of every TB draws a ticket with a CAS fetch-add loop, spins on the
+// serving counter, bumps the protected counter, then publishes the next
+// serving number. FIFO handoff: exactly one holder at a time, in ticket
+// order.
+
+constexpr std::int64_t kTicket = 0;
+constexpr std::int64_t kServing = 128;
+constexpr std::int64_t kCounter = 256;
+
+Program build_ticket_lock(int grid) {
+  ProgramBuilder b("litmus_ticket_lock");
+  b.block_dim(32).grid_dim(grid);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kEq, 1, 0, 0);
+  b.movi(2, 0);
+  b.if_begin(1);
+  ProgramBuilder::Label acq = b.loop_begin();  // ticket = fetch_add(T, 1)
+  b.ldg(4, 2, kTicket);
+  b.iaddi(5, 4, 1);
+  b.atomg_cas(6, 2, kTicket, 4, 5);
+  b.setp(CmpOp::kNe, 7, 6, 4);
+  b.loop_end_if(7, acq);
+  ProgramBuilder::Label spin = b.loop_begin();  // wait until serving == ticket
+  b.ldg(8, 2, kServing);
+  b.setp(CmpOp::kNe, 9, 8, 4);
+  b.loop_end_if(9, spin);
+  b.ldg(10, 2, kCounter);  // critical section
+  b.iaddi(10, 10, 1);
+  b.stg(2, kCounter, 10);
+  b.iaddi(11, 4, 1);  // serving = ticket + 1
+  b.stg(2, kServing, 11);
+  b.if_end();
+  b.exit_();
+  return b.build();
+}
+
+// ---- tb_tree_barrier ----------------------------------------------------
+// Flat grid-wide barrier: every lane atomically bumps a global counter,
+// then all warps poll until it reaches grid * 32. Completes iff every TB
+// of the grid can be resident simultaneously — the canonical
+// occupancy-bound hang when oversubscribed.
+
+Program build_tb_tree_barrier(int grid) {
+  ProgramBuilder b("litmus_tb_tree_barrier");
+  b.block_dim(32).grid_dim(grid);
+  b.movi(2, 0);
+  b.movi(4, 1);
+  b.atomg_add(2, 0, 4);
+  b.s2r(5, SpecialReg::kNCtaId);
+  b.imuli(5, 5, 32);  // arrival target: one add per lane
+  ProgramBuilder::Label top = b.loop_begin();
+  b.ldg(6, 2, 0);
+  b.setp(CmpOp::kLt, 7, 6, 5);
+  b.loop_end_if(7, top);
+  b.exit_();
+  return b.build();
+}
+
+// ---- cas_mutex ----------------------------------------------------------
+// tid 0 of every TB: CAS 0->1 to acquire, bump the protected counter,
+// exchange 0 to release. The spin body is pure atomic+setp, so the
+// detected-spin trace attribution covers it too.
+
+constexpr std::int64_t kLock = 0;
+constexpr std::int64_t kMutexCounter = 128;
+
+Program build_cas_mutex(int grid) {
+  ProgramBuilder b("litmus_cas_mutex");
+  b.block_dim(32).grid_dim(grid);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kEq, 1, 0, 0);
+  b.movi(2, 512);
+  b.movi(3, 0);  // unlocked
+  b.movi(4, 1);  // locked
+  b.if_begin(1);
+  ProgramBuilder::Label spin = b.loop_begin();
+  b.atomg_cas(5, 2, kLock, 3, 4);
+  b.setpi(CmpOp::kNe, 6, 5, 0);
+  b.loop_end_if(6, spin);
+  b.ldg(7, 2, kMutexCounter);  // critical section
+  b.iaddi(7, 7, 1);
+  b.stg(2, kMutexCounter, 7);
+  b.atomg_exch(kNoReg, 2, kLock, 3);  // release: store 0, discard old
+  b.if_end();
+  b.exit_();
+  return b.build();
+}
+
+int even(int n) { return n & ~1; }
+
+std::vector<LitmusTest> make_suite() {
+  std::vector<LitmusTest> suite;
+
+  {
+    LitmusTest t;
+    t.name = "intra_tb_flag";
+    t.description =
+        "last warp sets a shared-memory flag; 15 sibling warps spin on it "
+        "without ever issuing a long-latency instruction";
+    t.block_dim = kFlagBlock;
+    t.build = build_intra_tb_flag;
+    t.grid_for = [](Regime regime, int residency) {
+      return regime == Regime::kResident ? residency : 2 * residency;
+    };
+    t.resident_fair_suffices = [](Regime) { return true; };
+    t.check = [](const GpuResult& r, int grid) {
+      return check_all_threads(r, grid, 4, 1);
+    };
+    suite.push_back(std::move(t));
+  }
+  {
+    LitmusTest t;
+    t.name = "global_pc_flag";
+    t.description =
+        "odd TBs store a per-pair global flag; even TBs poll it with ldg "
+        "(long-latency spin, pairs retire in launch order)";
+    t.block_dim = 64;
+    t.build = build_global_pc_flag;
+    t.grid_for = [](Regime regime, int residency) {
+      return regime == Regime::kResident ? even(residency)
+                                         : even(3 * residency);
+    };
+    t.resident_fair_suffices = [](Regime) { return true; };
+    t.check = [](const GpuResult& r, int grid) {
+      return check_all_threads(r, grid, 4, 1);
+    };
+    suite.push_back(std::move(t));
+  }
+  {
+    LitmusTest t;
+    t.name = "ticket_lock";
+    t.description =
+        "FIFO ticket lock: CAS fetch-add ticket draw, serving-counter "
+        "spin, one critical section per TB in ticket order";
+    t.build = build_ticket_lock;
+    t.grid_for = [](Regime regime, int residency) {
+      return regime == Regime::kResident ? residency : 3 * residency;
+    };
+    t.resident_fair_suffices = [](Regime) { return true; };
+    t.check = [](const GpuResult& r, int grid) {
+      return check_exclusion_counter(r, grid, 10);
+    };
+    suite.push_back(std::move(t));
+  }
+  {
+    LitmusTest t;
+    t.name = "tb_tree_barrier";
+    t.description =
+        "flat grid-wide atomic-counter barrier; completes iff the whole "
+        "grid is resident simultaneously";
+    t.build = build_tb_tree_barrier;
+    t.grid_for = [](Regime regime, int residency) {
+      return regime == Regime::kResident ? residency
+                                         : residency + residency / 2;
+    };
+    t.resident_fair_suffices = [](Regime regime) {
+      return regime == Regime::kResident;
+    };
+    t.check = [](const GpuResult& r, int grid) {
+      return check_all_threads(r, grid, 6,
+                               static_cast<RegValue>(grid) * 32);
+    };
+    suite.push_back(std::move(t));
+  }
+  {
+    LitmusTest t;
+    t.name = "cas_mutex";
+    t.description =
+        "test-and-set mutex (CAS acquire, exchange release) with a "
+        "register-certified mutual-exclusion counter";
+    t.build = build_cas_mutex;
+    t.grid_for = [](Regime regime, int residency) {
+      return regime == Regime::kResident ? residency : 3 * residency;
+    };
+    t.resident_fair_suffices = [](Regime) { return true; };
+    t.check = [](const GpuResult& r, int grid) {
+      return check_exclusion_counter(r, grid, 7);
+    };
+    suite.push_back(std::move(t));
+  }
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<LitmusTest>& litmus_suite() {
+  static const std::vector<LitmusTest> suite = make_suite();
+  return suite;
+}
+
+const LitmusTest* find_litmus(const std::string& name) {
+  for (const LitmusTest& t : litmus_suite()) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const char* regime_name(Regime regime) {
+  switch (regime) {
+    case Regime::kResident: return "resident";
+    case Regime::kOversubscribed: return "oversubscribed";
+  }
+  return "?";
+}
+
+}  // namespace prosim::litmus

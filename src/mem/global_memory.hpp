@@ -71,6 +71,26 @@ class GlobalMemory {
     return old;
   }
 
+  /// Compare-and-swap: stores `desired` only when the word equals
+  /// `expected`; always returns the old value.
+  RegValue atomic_cas(Addr addr, RegValue expected, RegValue desired) {
+    check_aligned(addr);
+    const std::uint64_t word = addr >> 3;
+    RegValue& slot = ensure_page(word >> kPageShift)[word & kPageMask];
+    const RegValue old = slot;
+    if (old == expected) slot = desired;
+    return old;
+  }
+
+  RegValue atomic_exch(Addr addr, RegValue value) {
+    check_aligned(addr);
+    const std::uint64_t word = addr >> 3;
+    RegValue& slot = ensure_page(word >> kPageShift)[word & kPageMask];
+    const RegValue old = slot;
+    slot = value;
+    return old;
+  }
+
   /// Bulk initialization helper for workload generators.
   void fill(Addr base, const std::vector<RegValue>& values) {
     check_aligned(base);

@@ -39,6 +39,7 @@ SmCore::SmCore(int sm_id, const SmConfig& config, const Program& program,
                    regs_per_thread_,
                0);
   warp_progress_.assign(config_.max_warps, 0);
+  last_issue_.assign(static_cast<std::size_t>(config_.max_warps), 0);
   tb_progress_.assign(max_resident_tbs_, 0);
   tb_ctaid_.assign(max_resident_tbs_, -1);
   tb_launch_seq_.assign(max_resident_tbs_, 0);
@@ -55,7 +56,36 @@ SmCore::SmCore(int sm_id, const SmConfig& config, const Program& program,
   for (std::size_t pc = 0; pc < program_.code.size(); ++pc) {
     const Instruction& inst = program_.code[pc];
     inst_meta_[pc] = {Scoreboard::regs_of(inst), inst.info().fu,
-                      inst.info().is_exit};
+                      inst.info().is_exit, false};
+  }
+
+  // Static spin-loop detection for stall attribution: a backward branch
+  // whose body consists purely of memory polls (loads/atomics), setp, and
+  // the branch itself is a busy-wait — the warp re-reads a location until
+  // another warp changes it. Bodies that compute (other ALU), store, or
+  // synchronize do real work and stay unmarked.
+  for (std::size_t pc = 0; pc < program_.code.size(); ++pc) {
+    const Instruction& bra = program_.code[pc];
+    if (bra.op != Opcode::kBra || bra.target < 0 ||
+        static_cast<std::size_t>(bra.target) > pc) {
+      continue;
+    }
+    bool pure_poll = false;
+    for (std::size_t q = static_cast<std::size_t>(bra.target); q <= pc; ++q) {
+      const Instruction& inst = program_.code[q];
+      const OpcodeInfo& oi = inst.info();
+      if (q == pc) break;  // the backward branch itself
+      if (oi.is_load || oi.is_atomic || inst.op == Opcode::kSetp) {
+        if (oi.is_load || oi.is_atomic) pure_poll = true;
+        continue;
+      }
+      pure_poll = false;
+      break;
+    }
+    if (!pure_poll) continue;
+    for (std::size_t q = static_cast<std::size_t>(bra.target); q <= pc; ++q) {
+      inst_meta_[q].in_spin = true;
+    }
   }
 
   PolicyContext ctx;
@@ -130,6 +160,7 @@ void SmCore::launch_tb(int ctaid, Cycle now) {
     live_mask_ |= 1ull << w;
     scoreboard_.reset(w);
     warp_progress_[w] = 0;
+    last_issue_[static_cast<std::size_t>(w)] = now;
     std::memset(&reg(w, 0, 0), 0,
                 static_cast<std::size_t>(kWarpSize) * regs_per_thread_ *
                     sizeof(RegValue));
@@ -486,6 +517,12 @@ bool SmCore::regs_mem_pending(int warp, std::uint64_t regs) const {
 StallCause SmCore::classify_scoreboard(int sched, Cycle now) const {
   // Re-walk the candidates the issue scan just classified: in the
   // scoreboard branch every fetch-ready candidate is register-blocked.
+  // When every blocked candidate sits inside a detected spin loop the
+  // scheduler is stalled purely by busy-waiting — attribute kSpinWait;
+  // otherwise refine into mem vs alu as before.
+  bool any_blocked = false;
+  bool all_spin = true;
+  bool mem = false;
   std::uint64_t candidates =
       live_mask_ & sched_mask_[static_cast<std::size_t>(sched)] &
       policy_->consider_mask(sched);
@@ -500,9 +537,12 @@ StallCause SmCore::classify_scoreboard(int sched, Cycle now) const {
     std::uint64_t blocked = pending & meta.regs;
     if (meta.is_exit) blocked |= pending;  // exit drains all writebacks
     if (blocked == 0) continue;
-    if (regs_mem_pending(w, blocked)) return StallCause::kScoreboardMem;
+    any_blocked = true;
+    if (!meta.in_spin) all_spin = false;
+    if (regs_mem_pending(w, blocked)) mem = true;
   }
-  return StallCause::kScoreboardAlu;
+  if (any_blocked && all_spin) return StallCause::kSpinWait;
+  return mem ? StallCause::kScoreboardMem : StallCause::kScoreboardAlu;
 }
 
 StallCause SmCore::classify_idle(int sched, Cycle now) const {
@@ -549,9 +589,11 @@ WarpState SmCore::trace_state_of(int warp, Cycle now) const {
   const std::uint64_t pending = scoreboard_.pending_mask(warp);
   std::uint64_t blocked = pending & meta.regs;
   if (meta.is_exit) blocked |= pending;
-  if (blocked != 0)
+  if (blocked != 0) {
+    if (meta.in_spin) return WarpState::kSpinWait;
     return regs_mem_pending(warp, blocked) ? WarpState::kMemPending
                                            : WarpState::kScoreboard;
+  }
   const bool can_accept =
       meta.fu == FuType::kSfu
           ? sfu_ready_at_ <= now
@@ -614,11 +656,13 @@ void SmCore::issue_warp(int warp, const Instruction& inst, Cycle now) {
   const int tb_slot = wc.tb_slot;
 
   warp_progress_[warp] += static_cast<std::uint64_t>(lanes);
+  last_issue_[static_cast<std::size_t>(warp)] = now;
   tb_progress_[tb_slot] += static_cast<std::uint64_t>(lanes);
   stats_.thread_insts += static_cast<std::uint64_t>(lanes);
   ++stats_.warp_insts;
   const bool long_latency =
-      inst.op == Opcode::kLdg || inst.op == Opcode::kAtomGAdd;
+      inst.op == Opcode::kLdg || inst.op == Opcode::kAtomGAdd ||
+      inst.op == Opcode::kAtomGCas || inst.op == Opcode::kAtomGExch;
   policy_->on_warp_issue(warp, lanes, long_latency);
 
   const std::int32_t prev_pc = wc.stack.pc();
@@ -808,6 +852,36 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
       ldst_op_.is_const = false;
       break;
     }
+    case Opcode::kAtomGCas:
+    case Opcode::kAtomGExch: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        const RegValue old =
+            inst.op == Opcode::kAtomGCas
+                ? gmem_.atomic_cas(lane_addrs_[lane],
+                                   reg(warp, lane, inst.src1),
+                                   reg(warp, lane, inst.src2))
+                : gmem_.atomic_exch(lane_addrs_[lane],
+                                    reg(warp, lane, inst.src1));
+        if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
+      }
+      const int count = coalesce_lines_into(
+          lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      stats_.gmem_transactions += static_cast<std::uint64_t>(count);
+      std::uint32_t token = kNoToken;
+      if (inst.dst != kNoReg) {
+        token = alloc_pending_load(warp, inst.dst, count);
+        scoreboard_.reserve(warp, inst.dst);
+      }
+      ldst_op_.valid = true;
+      ldst_op_.warp = warp;
+      ldst_op_.num_lines = count;
+      ldst_op_.next = 0;
+      ldst_op_.kind = MemReqKind::kAtomic;
+      ldst_op_.token = token;
+      ldst_op_.is_const = false;
+      break;
+    }
     case Opcode::kLds: {
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if ((active & (1u << lane)) == 0) continue;
@@ -843,6 +917,28 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
         word = static_cast<RegValue>(
             static_cast<std::uint64_t>(word) +
             static_cast<std::uint64_t>(reg(warp, lane, inst.src1)));
+        if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
+      }
+      const int degree =
+          smem_conflict_degree(lane_addrs_, active, config_.smem_banks);
+      stats_.smem_conflict_extra_cycles +=
+          static_cast<std::uint64_t>(degree - 1);
+      ldst_busy_until_ = now + static_cast<Cycle>(degree);
+      if (inst.dst != kNoReg) {
+        scoreboard_.reserve(warp, inst.dst);
+        schedule_release(warp, inst.dst,
+                         now + config_.smem_latency + degree - 1);
+      }
+      break;
+    }
+    case Opcode::kAtomSCas: {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        if ((active & (1u << lane)) == 0) continue;
+        RegValue& word = smem_word(lane);
+        const RegValue old = word;
+        if (old == reg(warp, lane, inst.src1)) {
+          word = reg(warp, lane, inst.src2);
+        }
         if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
       }
       const int degree =
@@ -908,6 +1004,7 @@ void SmCore::diagnose(Cycle now, std::vector<WarpBlockInfo>& warps,
     info.pc = wc.stack.empty() ? -1 : wc.stack.pc();
     info.warps_at_barrier = tb.warps_at_barrier;
     info.warps_live = tb.warps_live;
+    info.issue_gap = now - last_issue_[static_cast<std::size_t>(w)];
 
     if (wc.at_barrier) {
       info.reason = WarpBlockReason::kBarrier;

@@ -208,6 +208,7 @@ class SmCore {
     std::uint64_t regs = 0;  // scoreboard mask (Scoreboard::regs_of)
     FuType fu = FuType::kSpInt;
     bool is_exit = false;
+    bool in_spin = false;  // pc lies inside a detected spin-wait loop
   };
 
   /// What a hardware scheduler did in the last executed cycle; multiplied
@@ -293,6 +294,7 @@ class SmCore {
   std::vector<TbCtx> tbs_;
   std::vector<RegValue> regs_;
   std::vector<std::uint64_t> warp_progress_;
+  std::vector<Cycle> last_issue_;  // per warp slot; reset at TB launch
   std::vector<std::uint64_t> tb_progress_;
   std::vector<int> tb_ctaid_;
   std::vector<std::uint64_t> tb_launch_seq_;

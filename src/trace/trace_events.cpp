@@ -8,6 +8,7 @@ const char* stall_cause_name(StallCause cause) {
     case StallCause::kFuBusy: return "fu_busy";
     case StallCause::kScoreboardMem: return "scoreboard_mem";
     case StallCause::kScoreboardAlu: return "scoreboard_alu";
+    case StallCause::kSpinWait: return "spin_wait";
     case StallCause::kBarrierWait: return "barrier_wait";
     case StallCause::kFinishWait: return "finish_wait";
     case StallCause::kFetch: return "fetch";
@@ -24,6 +25,7 @@ const char* warp_state_name(WarpState state) {
     case WarpState::kEligible: return "eligible";
     case WarpState::kScoreboard: return "scoreboard";
     case WarpState::kMemPending: return "mem_pending";
+    case WarpState::kSpinWait: return "spin_wait";
     case WarpState::kFuBusy: return "fu_busy";
     case WarpState::kFetch: return "fetch";
     case WarpState::kBarrierWait: return "barrier_wait";

@@ -38,6 +38,8 @@ enum class StallCause : std::uint8_t {
   kFuBusy,         ///< pipeline: ready candidates, functional unit busy
   kScoreboardMem,  ///< scoreboard: blocked on an in-flight load register
   kScoreboardAlu,  ///< scoreboard: blocked on an ALU/SFU/smem writeback
+  kSpinWait,       ///< scoreboard: every blocked candidate busy-waits in a
+                   ///< detected spin loop (lock/flag polling)
   kBarrierWait,    ///< idle: the scheduler's warps are parked at a barrier
   kFinishWait,     ///< idle: warps finished, TB waiting for its siblings
   kFetch,          ///< idle: instruction buffers refilling
@@ -45,7 +47,7 @@ enum class StallCause : std::uint8_t {
                    ///< consider mask (Two-Level pending set)
   kNoWarp,         ///< idle: no allocated warp at all (startup / TB drain)
 };
-inline constexpr int kNumStallCauses = 9;
+inline constexpr int kNumStallCauses = 10;
 
 constexpr LegacyStallClass legacy_stall_class(StallCause cause) {
   switch (cause) {
@@ -55,6 +57,7 @@ constexpr LegacyStallClass legacy_stall_class(StallCause cause) {
       return LegacyStallClass::kPipeline;
     case StallCause::kScoreboardMem:
     case StallCause::kScoreboardAlu:
+    case StallCause::kSpinWait:
       return LegacyStallClass::kScoreboard;
     case StallCause::kBarrierWait:
     case StallCause::kFinishWait:
@@ -77,12 +80,13 @@ enum class WarpState : std::uint8_t {
   kEligible,         ///< ready to issue but lost arbitration
   kScoreboard,       ///< blocked on an ALU/SFU/smem writeback register
   kMemPending,       ///< blocked on an outstanding memory load register
+  kSpinWait,         ///< busy-waiting in a detected spin loop
   kFuBusy,           ///< instruction ready but its functional unit is busy
   kFetch,            ///< instruction buffer refilling (fetch/redirect)
   kBarrierWait,      ///< parked at a barrier (§II-B barrierWait window)
   kFinishWait,       ///< retired, TB waiting for siblings (finishWait)
 };
-inline constexpr int kNumWarpStates = 9;
+inline constexpr int kNumWarpStates = 10;
 
 const char* warp_state_name(WarpState state);
 

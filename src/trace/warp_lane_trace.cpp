@@ -15,6 +15,7 @@ const char* state_cname(WarpState state) {
     case WarpState::kEligible: return "thread_state_runnable";
     case WarpState::kScoreboard: return "thread_state_uninterruptible";
     case WarpState::kMemPending: return "thread_state_iowait";
+    case WarpState::kSpinWait: return "bad";
     case WarpState::kFuBusy: return "thread_state_unknown";
     case WarpState::kFetch: return "generic_work";
     case WarpState::kBarrierWait: return "terrible";

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -163,6 +164,116 @@ TEST(Watchdog, ErrorJsonIsWellFormedEnough) {
   EXPECT_NE(json.find("\"reason\": \"barrier\""), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+/// One TB, four warps, Two-Level with a single-slot active set: warps 0/1
+/// hold the active slots spinning on a shared-memory flag that warp 3 —
+/// parked in the pending set — would write. The poll loop never issues a
+/// long-latency instruction, so TL never rotates and the producer starves
+/// while the GPU as a whole keeps issuing: exactly the per-warp issue-gap
+/// rule's case (neither the zero-issue nor the barrier rule can see it).
+Program pending_set_starvation() {
+  ProgramBuilder b("tl_starved_producer");
+  b.block_dim(128).grid_dim(1).smem(8);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kGe, 1, 0, 96);  // warp 3 produces
+  b.movi(2, 0);
+  b.if_begin(1);
+  b.movi(4, 1);
+  b.sts(2, 0, 4);
+  b.if_else();
+  ProgramBuilder::Label top = b.loop_begin();
+  b.lds(4, 2, 0);
+  b.setpi(CmpOp::kEq, 5, 4, 0);
+  b.loop_end_if(5, top);
+  b.if_end();
+  b.exit_();
+  return b.build();
+}
+
+GpuConfig starvation_config() {
+  GpuConfig cfg = tight_watchdog_config();
+  cfg.scheduler.kind = SchedulerKind::kTl;
+  cfg.scheduler.tl_active_set = 1;
+  cfg.watchdog.starvation_timeout = 5'000;
+  return cfg;
+}
+
+TEST(Watchdog, PendingSetStarvationFiresDeterministically) {
+  GpuConfig cfg = starvation_config();
+  GlobalMemory mem;
+  Expected<GpuResult> r = simulate_checked(cfg, pending_set_starvation(), mem);
+  ASSERT_FALSE(r.has_value());
+  const SimError& e = r.error();
+  EXPECT_EQ(e.category, ErrorCategory::kStarvation);
+  // The starved warps never issued (launch at cycle 0), so the rule fires
+  // at the first window boundary past the timeout: gap 5'500 > 5'000.
+  EXPECT_EQ(e.cycle, 5'500u);
+  // The primary location is a starved warp (2 or 3 — both gaps are equal,
+  // the scan order breaks the tie), not an active spinner.
+  EXPECT_TRUE(e.warp == 2 || e.warp == 3) << e.to_string();
+
+  const WarpBlockInfo* producer = nullptr;
+  for (const WarpBlockInfo& w : e.warps) {
+    if (w.warp == 3) producer = &w;
+  }
+  ASSERT_NE(producer, nullptr);
+  EXPECT_EQ(producer->issue_gap, e.cycle);
+  EXPECT_NE(producer->reason, WarpBlockReason::kBarrier);
+
+  const std::string text = e.to_string();
+  EXPECT_NE(text.find("starved"), std::string::npos);
+  EXPECT_NE(text.find("no issue for"), std::string::npos);
+}
+
+TEST(Watchdog, StarvationRuleIsOffByDefault) {
+  // Same starving workload, but with the default starvation_timeout (0 =
+  // disabled): every active warp keeps issuing, so no watchdog rule may
+  // fire and the run must reach the max_cycles backstop instead.
+  GpuConfig cfg = starvation_config();
+  cfg.watchdog.starvation_timeout = WatchdogConfig{}.starvation_timeout;
+  ASSERT_EQ(cfg.watchdog.starvation_timeout, 0u);
+  cfg.max_cycles = 30'000;
+  GlobalMemory mem;
+  Expected<GpuResult> r = simulate_checked(cfg, pending_set_starvation(), mem);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().category, ErrorCategory::kLivelock);
+  EXPECT_EQ(r.error().cycle, 30'000u);
+}
+
+/// Runs one stuck workload twice — event-driven fast-forward on, then the
+/// PROSIM_NO_FASTFORWARD tick-every-cycle loop — and requires the full
+/// structured diagnosis to be bit-identical.
+void expect_detection_bit_identical(const Program& p, const GpuConfig& cfg,
+                                    ErrorCategory want) {
+  GlobalMemory mem_fast;
+  Expected<GpuResult> fast = simulate_checked(cfg, p, mem_fast);
+
+  ::setenv("PROSIM_NO_FASTFORWARD", "1", 1);
+  GlobalMemory mem_tick;
+  Expected<GpuResult> tick = simulate_checked(cfg, p, mem_tick);
+  ::unsetenv("PROSIM_NO_FASTFORWARD");
+
+  ASSERT_FALSE(fast.has_value());
+  ASSERT_FALSE(tick.has_value());
+  EXPECT_EQ(fast.error().category, want);
+  EXPECT_EQ(tick.error().category, want);
+  EXPECT_EQ(fast.error().cycle, tick.error().cycle);
+  // to_string covers message, location, and the whole per-warp diagnosis
+  // (including issue gaps), so string equality is the strongest check.
+  EXPECT_EQ(fast.error().to_string(), tick.error().to_string());
+}
+
+TEST(Watchdog, BarrierTimeoutBitIdenticalWithoutFastForward) {
+  expect_detection_bit_identical(barrier_subset_deadlock(),
+                                 tight_watchdog_config(),
+                                 ErrorCategory::kBarrierMismatch);
+}
+
+TEST(Watchdog, StarvationBitIdenticalWithoutFastForward) {
+  expect_detection_bit_identical(pending_set_starvation(),
+                                 starvation_config(),
+                                 ErrorCategory::kStarvation);
 }
 
 TEST(Watchdog, DivergentBarrierReportsStructuredError) {

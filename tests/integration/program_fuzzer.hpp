@@ -16,6 +16,7 @@ namespace fuzz {
 constexpr Addr kInputBase = 0;        // read-only input, 8KB
 constexpr std::int64_t kInputMask = 0x1FF8;
 constexpr Addr kAtomicBase = 512u << 10;
+constexpr Addr kCasBase = 768u << 10;  // per-thread CAS/exchange slots
 constexpr Addr kOutputBase = 1u << 20;
 
 class ProgramFuzzer {
@@ -112,6 +113,28 @@ class ProgramFuzzer {
     b_.atomg_add(a, static_cast<std::int64_t>(kAtomicBase), v);
   }
 
+  void emit_casx() {
+    // CAS and exchange are not commutative, so racing them on shared
+    // counters would be schedule-dependent. Each thread targets its own
+    // private word (r2 = gid*8 globally, r3 = tid*8 in shared memory),
+    // which keeps the returned old value — and hence the destination
+    // register — deterministic under every scheduler.
+    const std::uint8_t d = rng_.next_bool(0.25) ? kNoReg : scratch();
+    const std::uint8_t c = scratch();
+    const std::uint8_t v = scratch();
+    switch (rng_.next_below(3)) {
+      case 0:
+        b_.atomg_cas(d, 2, static_cast<std::int64_t>(kCasBase), c, v);
+        break;
+      case 1:
+        b_.atomg_exch(d, 2, static_cast<std::int64_t>(kCasBase), v);
+        break;
+      case 2:
+        b_.atoms_cas(d, 3, 0, c, v);
+        break;
+    }
+  }
+
   void emit_smem() {
     if (rng_.next_bool(0.5)) {
       b_.sts(3, 0, scratch());
@@ -163,13 +186,16 @@ class ProgramFuzzer {
       } else if (roll < 68) {
         emit_atomic();
         budget -= 2;
-      } else if (roll < 76) {
+      } else if (roll < 72) {
+        emit_casx();
+        budget -= 2;
+      } else if (roll < 79) {
         emit_smem();
         budget -= 1;
-      } else if (roll < 82 && !in_divergent && depth == 0) {
+      } else if (roll < 85 && !in_divergent && depth == 0) {
         b_.bar();
         budget -= 1;
-      } else if (roll < 91 && depth < 3) {
+      } else if (roll < 92 && depth < 3) {
         emit_if(budget, depth);
         budget -= 4;
       } else if (depth < 2) {

@@ -7,6 +7,9 @@
 //  - global loads from a read-only input region (addresses masked+aligned),
 //  - global stores to a per-thread output slot,
 //  - global atomic adds (commutative, result discarded),
+//  - global CAS/exchange and shared CAS on per-thread private slots
+//    (non-commutative, so the old value must be race-free to stay
+//    deterministic; the returned value feeds the register comparison),
 //  - shared-memory load/store restricted to the thread's own slot,
 //  - nested if/else on thread-varying predicates (divergence),
 //  - loops with uniform trip counts (so barriers inside them are legal),

@@ -109,6 +109,30 @@ TEST(Assembler, SharedAndAtomicOps) {
   EXPECT_EQ(p.code[3].dst, 3);
 }
 
+TEST(Assembler, CasAndExchangeOps) {
+  Program p = ok(R"(
+.smem 64
+    atomg.cas r1, [r2+0], r3, r4
+    atomg.cas [r2+0], r3, r4
+    atomg.exch r5, [r2+8], r6
+    atoms.cas r7, [r2+0], r3, r4
+    exit
+)");
+  EXPECT_EQ(p.code[0].op, Opcode::kAtomGCas);
+  EXPECT_EQ(p.code[0].dst, 1);
+  EXPECT_EQ(p.code[0].src0, 2);
+  EXPECT_EQ(p.code[0].src1, 3);
+  EXPECT_EQ(p.code[0].src2, 4);
+  EXPECT_EQ(p.code[1].op, Opcode::kAtomGCas);
+  EXPECT_EQ(p.code[1].dst, kNoReg);
+  EXPECT_EQ(p.code[2].op, Opcode::kAtomGExch);
+  EXPECT_EQ(p.code[2].dst, 5);
+  EXPECT_EQ(p.code[2].src1, 6);
+  EXPECT_EQ(p.code[2].imm, 8);
+  EXPECT_EQ(p.code[3].op, Opcode::kAtomSCas);
+  EXPECT_EQ(p.code[3].dst, 7);
+}
+
 TEST(Assembler, CommentsAndBlankLinesIgnored) {
   Program p = ok(R"(
 ; full-line comment

@@ -55,6 +55,14 @@ TEST(Disassembler, Atomics) {
             "atomg.add [r1+0], r2");
   EXPECT_EQ(disasm_of([](auto& b) { b.atoms_add(1, 8, 2); }),
             "atoms.add [r1+8], r2");
+  EXPECT_EQ(disasm_of([](auto& b) { b.atomg_cas(1, 2, 0, 3, 4); }),
+            "atomg.cas r1, [r2+0], r3, r4");
+  EXPECT_EQ(disasm_of([](auto& b) { b.atomg_cas(kNoReg, 2, 0, 3, 4); }),
+            "atomg.cas [r2+0], r3, r4");
+  EXPECT_EQ(disasm_of([](auto& b) { b.atomg_exch(5, 2, 8, 6); }),
+            "atomg.exch r5, [r2+8], r6");
+  EXPECT_EQ(disasm_of([](auto& b) { b.atoms_cas(7, 2, 0, 3, 4); }),
+            "atoms.cas r7, [r2+0], r3, r4");
 }
 
 TEST(Disassembler, SfuOps) {

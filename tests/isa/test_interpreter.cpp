@@ -195,6 +195,56 @@ TEST(Interpreter, AtomicReturnsOldValue) {
   EXPECT_EQ(mem.load(0), 42);
 }
 
+TEST(Interpreter, GlobalCasSwapsOnlyOnMatch) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1);
+  b.movi(0, 0);   // address
+  b.movi(1, 37);  // expected
+  b.movi(2, 99);  // desired
+  b.atomg_cas(3, 0, 0, 1, 2);  // 37 matches: r3 = 37, mem <- 99
+  b.atomg_cas(4, 0, 0, 1, 2);  // 99 != 37: r4 = 99, no store
+  b.exit_();
+  GlobalMemory mem;
+  mem.store(0, 37);
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(final_reg(r, 0, 0, 3), 37);
+  EXPECT_EQ(final_reg(r, 0, 0, 4), 99);
+  EXPECT_EQ(mem.load(0), 99);
+}
+
+TEST(Interpreter, GlobalExchangeReturnsOldAndStoresNew) {
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(1);
+  b.movi(0, 0);
+  b.movi(1, 7);
+  b.atomg_exch(2, 0, 0, 1);
+  b.exit_();
+  GlobalMemory mem;
+  mem.store(0, 41);
+  auto r = interpret(b.build(), mem);
+  EXPECT_EQ(final_reg(r, 0, 0, 2), 41);
+  EXPECT_EQ(mem.load(0), 7);
+}
+
+TEST(Interpreter, SharedCasIsPerBlock) {
+  // Both blocks CAS 0 -> 5 on fresh shared memory: each must see old 0
+  // (success), proving the swap happened on its own copy.
+  ProgramBuilder b("k");
+  b.block_dim(1).grid_dim(2).smem(64);
+  b.movi(0, 0);
+  b.movi(1, 0);
+  b.movi(2, 5);
+  b.atoms_cas(3, 0, 0, 1, 2);
+  b.lds(4, 0, 0);
+  b.exit_();
+  GlobalMemory mem;
+  auto r = interpret(b.build(), mem);
+  for (int cta = 0; cta < 2; ++cta) {
+    EXPECT_EQ(final_reg(r, cta, 0, 3), 0) << cta;
+    EXPECT_EQ(final_reg(r, cta, 0, 4), 5) << cta;
+  }
+}
+
 TEST(Interpreter, InstructionsExecutedCountsPerThread) {
   ProgramBuilder b("k");
   b.block_dim(10).grid_dim(2);

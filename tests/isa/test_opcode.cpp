@@ -33,6 +33,11 @@ TEST(Opcode, MemoryOpcodesClassified) {
   EXPECT_EQ(opcode_info(Opcode::kLdc).space, MemSpace::kConst);
   EXPECT_TRUE(opcode_info(Opcode::kAtomGAdd).is_atomic);
   EXPECT_TRUE(opcode_info(Opcode::kAtomSAdd).is_atomic);
+  EXPECT_TRUE(opcode_info(Opcode::kAtomGCas).is_atomic);
+  EXPECT_TRUE(opcode_info(Opcode::kAtomGExch).is_atomic);
+  EXPECT_TRUE(opcode_info(Opcode::kAtomSCas).is_atomic);
+  EXPECT_EQ(opcode_info(Opcode::kAtomGCas).num_srcs, 2);
+  EXPECT_EQ(opcode_info(Opcode::kAtomGExch).num_srcs, 1);
 }
 
 TEST(Opcode, FunctionalUnitAssignment) {
