@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   bool quiet = false;
   bool list = false;
+  bool background = false;
 
   ArgParser parser("prosim-litmus",
                    "Forward-progress litmus harness: certifies every warp "
@@ -47,6 +48,9 @@ int main(int argc, char** argv) {
   parser.add_string("--out", &out_path, "FILE",
                     "verdict matrix as prosim-litmus-v1 JSON ('-' = "
                     "stdout)");
+  parser.add_flag("--background", &background,
+                  "certify with a streaming co-tenant kernel resident "
+                  "(tb_interleaved admission, two SMs; docs/SERVING.md)");
   parser.add_flag("--quiet", &quiet, "no per-cell progress on stderr");
   parser.add_flag("--list", &list, "list the litmus suite and exit");
   parser.set_epilog(list_schedulers() +
@@ -85,14 +89,15 @@ int main(int argc, char** argv) {
     }
     opt.tests.push_back(name);
   }
-  if (!quiet) {
+  if (!quiet && !background) {
     opt.progress = [](const runner::SweepProgress& p) {
       std::cerr << "[" << p.completed << "/" << p.total << "] "
                 << p.cell->label << "\n";
     };
   }
 
-  const LitmusReport report = run_litmus(opt);
+  const LitmusReport report =
+      background ? run_litmus_bg(opt) : run_litmus(opt);
 
   // With --out - the JSON owns stdout; the human matrix moves to stderr.
   std::ostream& human = out_path == "-" ? std::cerr : std::cout;

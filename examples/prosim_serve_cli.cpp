@@ -1,0 +1,190 @@
+// prosim-serve: multi-tenant serving experiments (docs/SERVING.md).
+//
+//   $ prosim-serve                                  # default trace, table
+//   $ prosim-serve --schedulers PRO,GTO --admissions tb_interleaved
+//   $ prosim-serve --seed 7 --requests 16 --mix scalarProdGPU,bfs_kernel
+//   $ prosim-serve --jobs 8 --out serve.json        # prosim-serve-v1 JSON
+//
+// Generates one deterministic open-loop arrival trace (seeded heavy-tailed
+// inter-arrivals over a kernel mix) and replays it against every requested
+// scheduler x admission-policy cell on the concurrent-kernel GPU, printing
+// per-tenant p50/p95/p99 queueing and completion latency, slowdown versus
+// isolated execution, and Jain's fairness index. The whole report is
+// bit-identical whatever --jobs is.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "gpu/scheduler_registry.hpp"
+#include "kernels/registry.hpp"
+#include "serving/serving.hpp"
+
+using namespace prosim;
+using namespace prosim::serving;
+
+int main(int argc, char** argv) {
+  int jobs = 1;
+  std::vector<std::string> scheds;
+  std::vector<std::string> admissions;
+  std::uint64_t seed = 42;
+  int requests = 12;
+  std::uint64_t gap_scale = 20000;
+  std::vector<std::string> mix;
+  int sms = 0;
+  std::string out_path;
+  bool quiet = false;
+  bool list = false;
+
+  ArgParser parser("prosim-serve",
+                   "Multi-tenant serving harness: replays a deterministic "
+                   "kernel arrival trace against scheduler x admission "
+                   "cells and reports tail latency and fairness.");
+  parser.add_int("--jobs", &jobs, "N",
+                 "worker threads over cells (default 1; the report is "
+                 "identical whatever N is)");
+  parser.add_string_list("--schedulers", &scheds, "S,...",
+                         "schedulers to serve under (default: all)");
+  parser.add_string_list("--admissions", &admissions, "A,...",
+                         "admission policies (default: all)");
+  parser.add_u64("--seed", &seed, "N", "arrival-trace RNG seed (default 42)");
+  parser.add_int("--requests", &requests, "N",
+                 "kernel launches in the trace (default 12)");
+  parser.add_u64("--gap-scale", &gap_scale, "CYCLES",
+                 "inter-arrival scale; mean gap is about this many cycles "
+                 "(default 20000)");
+  parser.add_string_list("--mix", &mix, "K,...",
+                         "kernel mix by registry name (default: "
+                         "scalarProdGPU,histogram64Kernel,GPU_laplace3d)");
+  parser.add_int("--sms", &sms, "N",
+                 "SM count (default: the 2-SM test configuration; the "
+                 "GTX480 default is 14)");
+  parser.add_string("--out", &out_path, "FILE",
+                    "report as prosim-serve-v1 JSON ('-' = stdout)");
+  parser.add_flag("--quiet", &quiet, "no per-cell progress on stderr");
+  parser.add_flag("--list", &list,
+                  "list schedulers, admission policies, and kernels; exit");
+  parser.set_epilog(list_schedulers() + "\n" + list_admissions() +
+                    "\nexit: 0 ok | 2 usage | 1 I/O error | 4 cell "
+                    "failures (docs/ROBUSTNESS.md has the shared exit-code "
+                    "table)");
+  switch (parser.parse(argc, argv)) {
+    case ArgParser::Status::kOk: break;
+    case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kError: return 2;
+  }
+
+  if (list) {
+    std::cout << list_schedulers() << "\n" << list_admissions() << "\nkernels:\n";
+    for (const Workload& w : all_workloads()) {
+      std::cout << "  " << w.kernel << " (" << w.app << ")\n";
+    }
+    return 0;
+  }
+
+  ServingOptions opt;
+  opt.jobs = jobs;
+  opt.trace.seed = seed;
+  opt.trace.requests = requests;
+  opt.trace.gap_scale = gap_scale;
+  opt.trace.mix = mix.empty()
+                      ? std::vector<std::string>{"scalarProdGPU",
+                                                 "histogram64Kernel",
+                                                 "GPU_laplace3d"}
+                      : mix;
+  if (requests <= 0) {
+    std::cerr << "--requests must be positive\n";
+    return 2;
+  }
+  for (const std::string& kernel : opt.trace.mix) {
+    bool known = false;
+    for (const Workload& w : all_workloads()) known = known || w.kernel == kernel;
+    if (!known) {
+      std::cerr << "unknown kernel '" << kernel << "' (--list shows the "
+                << "registry)\n";
+      return 2;
+    }
+  }
+  opt.base = GpuConfig::test_config();
+  if (sms > 0) {
+    opt.base.num_sms = sms;
+  }
+  if (scheds.empty()) {
+    for (const SchedulerInfo& info : scheduler_registry()) {
+      opt.schedulers.push_back(info.kind);
+    }
+  } else {
+    for (const std::string& name : scheds) {
+      const SchedulerInfo* info = find_scheduler(name);
+      if (info == nullptr) {
+        std::cerr << "unknown scheduler '" << name << "'\n"
+                  << list_schedulers();
+        return 2;
+      }
+      opt.schedulers.push_back(info->kind);
+    }
+  }
+  if (admissions.empty()) {
+    opt.admissions = all_admission_kinds();
+  } else {
+    for (const std::string& name : admissions) {
+      AdmissionKind kind;
+      if (!admission_from_name(name, kind)) {
+        std::cerr << "unknown admission policy '" << name << "'\n"
+                  << list_admissions();
+        return 2;
+      }
+      opt.admissions.push_back(kind);
+    }
+  }
+  if (!quiet) {
+    opt.progress = [](const ServingProgress& p) {
+      std::cerr << "[" << p.completed << "/" << p.total << "] "
+                << p.cell->scheduler << "/" << admission_name(p.cell->admission)
+                << (p.cell->ok() ? "" : " FAILED") << "\n";
+    };
+  }
+
+  const ServingReport report = run_serving(opt);
+
+  // With --out - the JSON owns stdout; the human tables move to stderr.
+  std::ostream& human = out_path == "-" ? std::cerr : std::cout;
+  human << "trace: " << report.trace.size() << " requests, seed " << seed
+        << ", mean gap ~" << gap_scale << " cycles\n\n";
+  Table table({"scheduler", "admission", "tenant", "n", "queue_p50",
+               "queue_p99", "compl_p50", "compl_p99", "slowdown", "jain"});
+  for (const ServingCell& cell : report.cells) {
+    if (!cell.ok()) {
+      table.add_row({cell.scheduler, admission_name(cell.admission),
+                     "(failed)", "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    for (const TenantMetrics& t : cell.tenants) {
+      table.add_row({cell.scheduler, admission_name(cell.admission), t.kernel,
+                     Table::fmt(t.requests), Table::fmt(t.queue_p50),
+                     Table::fmt(t.queue_p99), Table::fmt(t.completion_p50),
+                     Table::fmt(t.completion_p99), Table::fmt(t.slowdown),
+                     Table::fmt(cell.jain_fairness)});
+    }
+  }
+  table.print(human);
+
+  if (!out_path.empty()) {
+    const std::string json = serving_report_to_json(report, opt.trace);
+    if (out_path == "-") {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << json << "\n";
+      std::cerr << "wrote serving report to " << out_path << "\n";
+    }
+  }
+
+  return report.failures > 0 ? 4 : 0;
+}

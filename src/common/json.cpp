@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
+#include <sstream>
 
 #include "common/sim_error.hpp"
 
@@ -77,6 +78,11 @@ double JsonValue::as_double() const {
 
 const std::string& JsonValue::as_string() const {
   PROSIM_REQUIRE(is_string(), SimError::make(ErrorCategory::kInvariant, "JSON value is not a string"));
+  return scalar_;
+}
+
+const std::string& JsonValue::number_token() const {
+  PROSIM_REQUIRE(is_number(), SimError::make(ErrorCategory::kInvariant, "JSON value is not a number"));
   return scalar_;
 }
 
@@ -354,6 +360,43 @@ void write_json_string(std::ostream& os, std::string_view s) {
     }
   }
   os << '"';
+}
+
+void write_json(std::ostream& os, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: os << "null"; break;
+    case JsonValue::Kind::kBool: os << (v.as_bool() ? "true" : "false"); break;
+    case JsonValue::Kind::kNumber: os << v.number_token(); break;
+    case JsonValue::Kind::kString: write_json_string(os, v.as_string()); break;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      const std::vector<JsonValue>& items = v.items();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) os << ',';
+        write_json(os, items[i]);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      const auto& members = v.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) os << ',';
+        write_json_string(os, members[i].first);
+        os << ':';
+        write_json(os, members[i].second);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string json_to_string(const JsonValue& v) {
+  std::ostringstream os;
+  write_json(os, v);
+  return os.str();
 }
 
 }  // namespace prosim

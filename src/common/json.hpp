@@ -45,6 +45,8 @@ class JsonValue {
   std::int64_t as_i64() const;
   double as_double() const;
   const std::string& as_string() const;
+  /// Raw source token of a number (write_json emits it verbatim).
+  const std::string& number_token() const;
 
   const std::vector<JsonValue>& items() const;
   const std::vector<std::pair<std::string, JsonValue>>& members() const;
@@ -83,5 +85,13 @@ JsonParseResult parse_json(std::string_view text);
 
 /// Writes `s` as a JSON string literal (quotes + escapes).
 void write_json_string(std::ostream& os, std::string_view s);
+
+/// Writes any JsonValue back out in canonical form (no whitespace, members
+/// in stored order). Number tokens are emitted verbatim, so a parse →
+/// write round trip is lossless for 64-bit integers; string escapes are
+/// normalized to write_json_string's form. Used to carry *unknown* JSON
+/// blocks through readers that don't understand them (see result_io).
+void write_json(std::ostream& os, const JsonValue& v);
+std::string json_to_string(const JsonValue& v);
 
 }  // namespace prosim

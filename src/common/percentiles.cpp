@@ -1,0 +1,25 @@
+#include "common/percentiles.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+Percentiles::Percentiles(std::vector<std::uint64_t> samples)
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+  for (const std::uint64_t s : samples_) sum_ += s;
+}
+
+std::uint64_t Percentiles::percentile(int pct) const {
+  PROSIM_CHECK_MSG(!samples_.empty(), "percentile of an empty sample set");
+  PROSIM_CHECK_MSG(pct >= 1 && pct <= 100, "percent outside [1, 100]");
+  // Nearest rank, integer-only: rank = ceil(pct/100 * N), 1-based.
+  const std::uint64_t n = samples_.size();
+  const std::uint64_t rank =
+      (n * static_cast<std::uint64_t>(pct) + 99) / 100;
+  return samples_[static_cast<std::size_t>(rank - 1)];
+}
+
+}  // namespace prosim

@@ -1,0 +1,48 @@
+// Exact percentile computation over integer samples (nearest-rank method).
+//
+// Built for the serving report's tail-latency metrics (p50/p95/p99 queueing
+// and completion latency), where the sample counts are small and the
+// determinism discipline forbids interpolation: every reported percentile
+// is one of the observed samples, selected by integer arithmetic only, so
+// reports are bit-identical across platforms and worker-thread counts.
+//
+// Tie handling is deterministic by construction: samples are sorted with
+// std::sort (equal values are indistinguishable u64s) and the nearest-rank
+// index ceil(p/100 * N) is computed without floating point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prosim {
+
+class Percentiles {
+ public:
+  /// Takes ownership of the samples and sorts them ascending.
+  explicit Percentiles(std::vector<std::uint64_t> samples);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank percentile for an integer percent in [1, 100]: the
+  /// sample at 1-based rank ceil(pct/100 * N). PROSIM_CHECKs a non-empty
+  /// sample set and a valid percent.
+  std::uint64_t percentile(int pct) const;
+
+  std::uint64_t p50() const { return percentile(50); }
+  std::uint64_t p95() const { return percentile(95); }
+  std::uint64_t p99() const { return percentile(99); }
+  std::uint64_t min() const { return percentile(1); }
+  std::uint64_t max() const { return percentile(100); }
+
+  /// Exact integer sum (for means computed by callers).
+  std::uint64_t sum() const { return sum_; }
+
+  const std::vector<std::uint64_t>& sorted() const { return samples_; }
+
+ private:
+  std::vector<std::uint64_t> samples_;  // sorted ascending
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace prosim

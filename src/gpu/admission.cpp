@@ -1,0 +1,123 @@
+#include "gpu/admission.hpp"
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+namespace {
+
+class FifoExclusive final : public AdmissionPolicy {
+ public:
+  AdmissionKind kind() const override { return AdmissionKind::kFifoExclusive; }
+
+  bool may_refill(int /*sm*/, int bound,
+                  const AdmissionView& view) const override {
+    return !view.active.empty() && bound == view.active.front();
+  }
+
+  int next_stream(int /*sm*/, const AdmissionView& view) override {
+    if (view.active.empty()) return -1;
+    const int head = view.active.front();
+    return view.is_waiting(head) ? head : -1;
+  }
+};
+
+class SmPartitioned final : public AdmissionPolicy {
+ public:
+  AdmissionKind kind() const override { return AdmissionKind::kSmPartitioned; }
+
+  static int owner(int sm, const AdmissionView& view) {
+    if (view.active.empty()) return -1;
+    return view.active[static_cast<std::size_t>(sm) % view.active.size()];
+  }
+
+  bool may_refill(int sm, int bound, const AdmissionView& view) const override {
+    return bound == owner(sm, view);
+  }
+
+  int next_stream(int sm, const AdmissionView& view) override {
+    const int k = owner(sm, view);
+    return (k >= 0 && view.is_waiting(k)) ? k : -1;
+  }
+};
+
+class TbInterleaved final : public AdmissionPolicy {
+ public:
+  AdmissionKind kind() const override { return AdmissionKind::kTbInterleaved; }
+
+  bool may_refill(int /*sm*/, int /*bound*/,
+                  const AdmissionView& /*view*/) const override {
+    return true;  // work-conserving: an SM never idles on an empty queue
+  }
+
+  int next_stream(int /*sm*/, const AdmissionView& view) override {
+    if (view.waiting.empty()) return -1;
+    // Round-robin over waiting kernels: first id strictly past the cursor,
+    // wrapping to the smallest. The cursor moves only on a hit, keeping
+    // quiet (no-launch) cycles state-free.
+    for (const int k : view.waiting) {
+      if (k > cursor_) {
+        cursor_ = k;
+        return k;
+      }
+    }
+    cursor_ = view.waiting.front();
+    return cursor_;
+  }
+
+ private:
+  int cursor_ = -1;
+};
+
+}  // namespace
+
+const char* admission_name(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kFifoExclusive: return "fifo_exclusive";
+    case AdmissionKind::kSmPartitioned: return "sm_partitioned";
+    case AdmissionKind::kTbInterleaved: return "tb_interleaved";
+  }
+  return "?";
+}
+
+bool admission_from_name(const std::string& name, AdmissionKind& out) {
+  for (const AdmissionKind kind : all_admission_kinds()) {
+    if (name == admission_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<AdmissionKind>& all_admission_kinds() {
+  static const std::vector<AdmissionKind> kinds = {
+      AdmissionKind::kFifoExclusive,
+      AdmissionKind::kSmPartitioned,
+      AdmissionKind::kTbInterleaved,
+  };
+  return kinds;
+}
+
+std::string list_admissions() {
+  std::string out = "admission policies:\n";
+  out += "  fifo_exclusive  oldest arrived kernel runs alone (FCFS)\n";
+  out += "  sm_partitioned  arrived kernels split the SM pool spatially\n";
+  out += "  tb_interleaved  work-conserving TB-granularity sharing\n";
+  return out;
+}
+
+std::unique_ptr<AdmissionPolicy> make_admission(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kFifoExclusive:
+      return std::make_unique<FifoExclusive>();
+    case AdmissionKind::kSmPartitioned:
+      return std::make_unique<SmPartitioned>();
+    case AdmissionKind::kTbInterleaved:
+      return std::make_unique<TbInterleaved>();
+  }
+  PROSIM_CHECK_MSG(false, "unknown admission kind");
+  return nullptr;
+}
+
+}  // namespace prosim

@@ -1,0 +1,88 @@
+// GPU-level kernel admission policies for concurrent (multi-stream)
+// execution — the arbitration layer of the Cooperative-Kernels-style
+// multitasking setting (docs/SERVING.md).
+//
+// When several kernels are resident, the existing TB-launch path (one TB
+// per SM per cycle, round-robin over SMs) stays untouched; what the policy
+// decides is *which kernel's queue* each SM may draw from:
+//
+//  - fifo_exclusive: strict kernel-granularity FCFS — only the oldest
+//    arrived, unfinished kernel is admitted; later kernels queue behind it
+//    (classic single-stream GPU behavior, the head-of-line-blocking
+//    baseline);
+//  - sm_partitioned: arrived kernels are spatially partitioned over the SM
+//    pool (SM s serves active[s mod |active|]); repartitioning happens at
+//    TB-drain granularity when the active set changes;
+//  - tb_interleaved: work-conserving sharing — a drained SM rebinds to the
+//    next kernel with waiting TBs in round-robin order, interleaving TBs
+//    of co-resident kernels across the SM pool.
+//
+// Policies are consulted only on the deterministic single-threaded cycle
+// loop, and their state (the interleaver's rotation cursor) advances only
+// when a rebind actually launches work — so decisions are bit-identical
+// with event-driven fast-forward on or off.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prosim {
+
+enum class AdmissionKind {
+  kFifoExclusive,
+  kSmPartitioned,
+  kTbInterleaved,
+};
+
+const char* admission_name(AdmissionKind kind);
+
+/// Inverse of admission_name ("fifo_exclusive", "sm_partitioned",
+/// "tb_interleaved"); returns false on an unknown name.
+bool admission_from_name(const std::string& name, AdmissionKind& out);
+
+/// All kinds, in declaration order.
+const std::vector<AdmissionKind>& all_admission_kinds();
+
+/// Human-readable catalogue for CLI help text.
+std::string list_admissions();
+
+/// Snapshot of the stream state a policy decides over, rebuilt by the GPU
+/// each cycle TB assignment runs. Both lists hold kernel ids ascending;
+/// ids are assigned in arrival order, so ascending id == arrival FCFS.
+struct AdmissionView {
+  /// Arrived and unfinished kernels.
+  const std::vector<int>& active;
+  /// Subset of `active` that still has unassigned TBs queued.
+  const std::vector<int>& waiting;
+
+  bool is_waiting(int kernel) const {
+    for (const int k : waiting) {
+      if (k == kernel) return true;
+    }
+    return false;
+  }
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual AdmissionKind kind() const = 0;
+
+  /// May SM `sm`, whose resident TBs belong to kernel `bound`, keep
+  /// launching further TBs of that kernel? (The GPU has already checked
+  /// that `bound` is active and has waiting TBs.) Const: refill decisions
+  /// never advance policy state.
+  virtual bool may_refill(int sm, int bound, const AdmissionView& view)
+      const = 0;
+
+  /// Kernel a fully drained SM `sm` should rebind to, or -1 to stay idle.
+  /// Must return a member of view.waiting. State (e.g. a rotation cursor)
+  /// may advance only when a kernel is returned — a -1 answer must leave
+  /// the policy bit-identical, so quiet cycles stay skippable.
+  virtual int next_stream(int sm, const AdmissionView& view) = 0;
+};
+
+std::unique_ptr<AdmissionPolicy> make_admission(AdmissionKind kind);
+
+}  // namespace prosim

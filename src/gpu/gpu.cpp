@@ -8,6 +8,35 @@
 
 namespace prosim {
 
+namespace {
+
+void accumulate_stats(SmStats& into, const SmStats& s) {
+  into.issued += s.issued;
+  into.idle_stalls += s.idle_stalls;
+  into.scoreboard_stalls += s.scoreboard_stalls;
+  into.pipeline_stalls += s.pipeline_stalls;
+  into.sched_cycles += s.sched_cycles;
+  into.thread_insts += s.thread_insts;
+  into.warp_insts += s.warp_insts;
+  into.tbs_executed += s.tbs_executed;
+  into.smem_conflict_extra_cycles += s.smem_conflict_extra_cycles;
+  into.gmem_transactions += s.gmem_transactions;
+  into.const_transactions += s.const_transactions;
+  into.barrier_releases += s.barrier_releases;
+  into.barrier_wait_cycles += s.barrier_wait_cycles;
+  into.warp_finish_disparity_sum += s.warp_finish_disparity_sum;
+  into.occupancy_tb_cycles += s.occupancy_tb_cycles;
+}
+
+/// Distinct physical address spaces per kernel: co-resident kernels must
+/// contend for L2/DRAM capacity, not falsely alias each other's lines.
+/// Kernel 0 (and therefore every single-kernel run) gets salt 0.
+Addr stream_addr_salt(int kernel_id) {
+  return static_cast<Addr>(kernel_id) << 40;
+}
+
+}  // namespace
+
 GpuConfig GpuConfig::test_config() {
   GpuConfig cfg;
   cfg.num_sms = 2;
@@ -16,66 +45,212 @@ GpuConfig GpuConfig::test_config() {
 }
 
 Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
+    : Gpu(config,
+          [&] {
+            std::vector<KernelLaunch> launches;
+            launches.push_back(
+                KernelLaunch{0, "", std::move(program), &memory, 0});
+            return launches;
+          }(),
+          nullptr, /*multi=*/false) {}
+
+Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
+         AdmissionKind admission)
+    : Gpu(config, std::move(launches), make_admission(admission),
+          /*multi=*/true) {}
+
+Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
+         std::unique_ptr<AdmissionPolicy> admission, bool multi)
     : config_(config),
-      program_(std::move(program)),
-      memory_(memory),
-      tb_scheduler_(program_.info.grid_dim),
+      admission_(std::move(admission)),
       faults_(config.faults.enabled
                   ? std::make_unique<FaultInjector>(
                         config.faults, config.num_sms,
                         config.mem.num_partitions)
                   : nullptr),
       mem_(config.mem, config.num_sms, faults_.get()),
-      watchdog_(config.watchdog) {
-  const std::string error = program_.validate();
-  PROSIM_REQUIRE(error.empty(),
+      watchdog_(config.watchdog),
+      multi_(multi) {
+  PROSIM_REQUIRE(!launches.empty(),
                  SimError::make(ErrorCategory::kInvariant,
-                                "invalid program: " + error));
+                                "multi-stream run needs at least one kernel"));
+  streams_.reserve(launches.size());
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    KernelLaunch& l = launches[i];
+    PROSIM_REQUIRE(l.kernel_id == static_cast<int>(i),
+                   SimError::make(ErrorCategory::kInvariant,
+                                  "kernel_id must equal launch index"));
+    PROSIM_REQUIRE(i == 0 || l.arrival >= launches[i - 1].arrival,
+                   SimError::make(ErrorCategory::kInvariant,
+                                  "launches must arrive in order"));
+    PROSIM_REQUIRE(l.memory != nullptr,
+                   SimError::make(ErrorCategory::kInvariant,
+                                  "kernel launch without a GlobalMemory"));
+    const std::string error = l.program.validate();
+    PROSIM_REQUIRE(error.empty(),
+                   SimError::make(ErrorCategory::kInvariant,
+                                  "invalid program: " + error));
+    streams_.push_back(std::make_unique<Stream>(std::move(l)));
+  }
 
   // Debug kill-switch: force the original tick-every-cycle loop. Not part
   // of the config fingerprint — results are bit-identical either way.
   fast_forward_enabled_ = std::getenv("PROSIM_NO_FASTFORWARD") == nullptr;
 
   if (config_.record_registers) {
-    register_dump_.assign(
-        static_cast<std::size_t>(program_.info.grid_dim) *
-            program_.info.block_dim * program_.info.regs_per_thread,
-        0);
+    for (auto& st : streams_) {
+      const KernelInfo& info = st->launch.program.info;
+      st->registers.assign(static_cast<std::size_t>(info.grid_dim) *
+                               info.block_dim * info.regs_per_thread,
+                           0);
+    }
   }
 
-  sms_.reserve(static_cast<std::size_t>(config_.num_sms));
-  for (int s = 0; s < config_.num_sms; ++s) {
-    auto policy = make_policy(config_.scheduler);
-    if (s == 0 && config_.record_tb_order_sm0) {
-      if (auto* pro = dynamic_cast<ProPolicy*>(policy.get())) {
-        pro->set_order_trace(&tb_order_sm0_);
-      }
-    }
-    sms_.push_back(std::make_unique<SmCore>(
-        s, config_.sm, program_, memory_, mem_, std::move(policy),
-        [this] { return tb_scheduler_.has_waiting(); }));
-    sms_.back()->set_fault_injector(faults_.get());
-    if (config_.record_registers) {
-      sms_.back()->set_register_dump(register_dump_.data());
+  binding_.assign(static_cast<std::size_t>(config_.num_sms), -1);
+  per_sm_acc_.assign(static_cast<std::size_t>(config_.num_sms), SmStats{});
+  per_sm_acc_l1_hits_.assign(static_cast<std::size_t>(config_.num_sms), 0);
+  per_sm_acc_l1_misses_.assign(static_cast<std::size_t>(config_.num_sms), 0);
+  timeline_acc_.resize(static_cast<std::size_t>(config_.num_sms));
+  sms_.resize(static_cast<std::size_t>(config_.num_sms));
+  // Every SM starts bound to the earliest-arrival kernel (stream 0); in
+  // single-kernel mode this reproduces the classic construction exactly.
+  for (int s = 0; s < config_.num_sms; ++s) bind_sm(s, 0);
+}
+
+void Gpu::bind_sm(int s, int k) {
+  Stream& st = *streams_[k];
+  if (sms_[s] != nullptr) {
+    // Tear-down accounting: the outgoing generation's counters belong to
+    // the stream it executed and to this SM slot's running totals.
+    Stream& old = *streams_[binding_[s]];
+    accumulate_stats(old.acc, sms_[s]->stats());
+    old.acc_l1_hits += sms_[s]->l1().hits;
+    old.acc_l1_misses += sms_[s]->l1().misses;
+    accumulate_stats(per_sm_acc_[s], sms_[s]->stats());
+    per_sm_acc_l1_hits_[s] += sms_[s]->l1().hits;
+    per_sm_acc_l1_misses_[s] += sms_[s]->l1().misses;
+    for (const TbTimelineEntry& e : sms_[s]->timeline()) {
+      timeline_acc_[s].push_back(e);
     }
   }
+  auto policy = make_policy(config_.scheduler);
+  if (s == 0 && !multi_ && config_.record_tb_order_sm0) {
+    if (auto* pro = dynamic_cast<ProPolicy*>(policy.get())) {
+      pro->set_order_trace(&tb_order_sm0_);
+    }
+  }
+  sms_[s] = std::make_unique<SmCore>(
+      s, config_.sm, st.launch.program, *st.launch.memory, mem_,
+      std::move(policy), [this, k] { return streams_[k]->tbs.has_waiting(); });
+  sms_[s]->set_fault_injector(faults_.get());
+  sms_[s]->set_addr_salt(stream_addr_salt(k));
+  if (config_.record_registers) {
+    sms_[s]->set_register_dump(streams_[k]->registers.data());
+  }
+  if (trace_ != nullptr) sms_[s]->set_trace_sink(trace_);
+  binding_[s] = k;
+}
+
+const std::vector<RegValue>& Gpu::stream_registers(int kernel) const {
+  return streams_[static_cast<std::size_t>(kernel)]->registers;
+}
+
+int Gpu::waiting_tbs() const {
+  if (!multi_) return streams_[0]->tbs.remaining();
+  int waiting = 0;
+  for (const auto& st : streams_) {
+    if (!st->finished && st->launch.arrival <= now_) {
+      waiting += st->tbs.remaining();
+    }
+  }
+  return waiting;
 }
 
 bool Gpu::assign_tbs() {
   if (faults_ != nullptr && faults_->tb_launch_blocked(now_)) return false;
-  // One TB per SM per cycle, round-robin over SMs — models the global work
-  // distribution engine refilling an SM as soon as a resident TB retires.
   const int n = static_cast<int>(sms_.size());
   bool launched = false;
-  for (int i = 0; i < n && tb_scheduler_.has_waiting(); ++i) {
-    const int s = (next_sm_ + i) % n;
-    if (sms_[s]->can_accept_tb()) {
-      sms_[s]->launch_tb(tb_scheduler_.pop(), now_);
-      launched = true;
+  if (multi_) {
+    launched = assign_tbs_multi();
+  } else {
+    // One TB per SM per cycle, round-robin over SMs — models the global
+    // work distribution engine refilling an SM as soon as a resident TB
+    // retires.
+    Stream& st = *streams_[0];
+    for (int i = 0; i < n && st.tbs.has_waiting(); ++i) {
+      const int s = (next_sm_ + i) % n;
+      if (sms_[s]->can_accept_tb()) {
+        if (!st.launched_any) {
+          st.launched_any = true;
+          st.first_launch = now_;
+        }
+        sms_[s]->launch_tb(st.tbs.pop(), now_);
+        launched = true;
+      }
     }
   }
   next_sm_ = (next_sm_ + 1) % n;
   return launched;
+}
+
+bool Gpu::assign_tbs_multi() {
+  std::vector<int> active;
+  std::vector<int> waiting;
+  for (const auto& st : streams_) {
+    if (st->finished || st->launch.arrival > now_) continue;
+    active.push_back(st->launch.kernel_id);
+    if (st->tbs.has_waiting()) waiting.push_back(st->launch.kernel_id);
+  }
+  if (active.empty()) return false;
+  const AdmissionView view{active, waiting};
+
+  const int n = static_cast<int>(sms_.size());
+  bool launched = false;
+  for (int i = 0; i < n; ++i) {
+    const int s = (next_sm_ + i) % n;
+    int k = binding_[s];
+    const Stream& bound = *streams_[k];
+    const bool bound_serves = !bound.finished && bound.launch.arrival <= now_ &&
+                              bound.tbs.has_waiting() &&
+                              admission_->may_refill(s, k, view);
+    if (!bound_serves) {
+      // The bound kernel has nothing (or may give nothing) to this SM; a
+      // fully drained SM asks the admission policy for its next kernel.
+      if (!sms_[s]->drained()) continue;
+      const int next = admission_->next_stream(s, view);
+      if (next < 0) continue;
+      if (next != k) bind_sm(s, next);
+      k = next;
+    }
+    Stream& st = *streams_[k];
+    if (sms_[s]->can_accept_tb() && st.tbs.has_waiting()) {
+      if (!st.launched_any) {
+        st.launched_any = true;
+        st.first_launch = now_;
+      }
+      sms_[s]->launch_tb(st.tbs.pop(), now_);
+      launched = true;
+    }
+  }
+  return launched;
+}
+
+void Gpu::update_streams() {
+  for (auto& st : streams_) {
+    if (st->finished || st->launch.arrival > now_) continue;
+    if (st->tbs.has_waiting() || !st->launched_any) continue;
+    bool busy = false;
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+      if (binding_[s] == st->launch.kernel_id && !sms_[s]->drained()) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) {
+      st->finished = true;
+      st->finish = now_;
+    }
+  }
 }
 
 void Gpu::fast_forward() {
@@ -93,6 +268,14 @@ void Gpu::fast_forward() {
     target = std::min(target, watchdog_.next_check());
   }
   target = std::min(target, config_.max_cycles);
+  if (multi_) {
+    // A kernel arrival re-activates TB assignment; never skip past one.
+    for (const auto& st : streams_) {
+      if (st->launch.arrival > now_) {
+        target = std::min(target, st->launch.arrival);
+      }
+    }
+  }
   if (target <= now_) return;
 
   const Cycle skipped = target - now_;
@@ -104,7 +287,7 @@ void Gpu::fast_forward() {
 
   if (watchdog_.due(now_)) {
     if (std::optional<SimError> stuck =
-            watchdog_.check(now_, sms_, tb_scheduler_.remaining())) {
+            watchdog_.check(now_, sms_, waiting_tbs())) {
       throw SimException(std::move(*stuck));
     }
   }
@@ -121,26 +304,39 @@ bool Gpu::step() {
     sm_active = sm->cycle(now_) || sm_active;
   }
   ++now_;
+  if (multi_) update_streams();
 
   if (watchdog_.due(now_)) {
     if (std::optional<SimError> stuck =
-            watchdog_.check(now_, sms_, tb_scheduler_.remaining())) {
+            watchdog_.check(now_, sms_, waiting_tbs())) {
       throw SimException(std::move(*stuck));
     }
   }
   PROSIM_REQUIRE(now_ < config_.max_cycles,
                  watchdog_.overrun_error(now_, sms_, config_.max_cycles));
 
-  bool running = tb_scheduler_.has_waiting();
-  if (!running) {
-    for (const auto& sm : sms_) {
-      if (!sm->drained()) {
+  bool running;
+  if (multi_) {
+    running = false;
+    for (const auto& st : streams_) {
+      if (!st->finished) {
         running = true;
         break;
       }
     }
+    if (!running) running = !mem_.idle();
+  } else {
+    running = streams_[0]->tbs.has_waiting();
+    if (!running) {
+      for (const auto& sm : sms_) {
+        if (!sm->drained()) {
+          running = true;
+          break;
+        }
+      }
+    }
+    if (!running) running = !mem_.idle();
   }
-  if (!running) running = !mem_.idle();
 
   // Fault injection draws per-cycle random numbers (TB-launch gating), so
   // skipping cycles would shift the fault stream; fall back to ticking.
@@ -177,29 +373,20 @@ Expected<GpuResult> Gpu::run_checked() {
 GpuResult Gpu::collect() const {
   GpuResult result;
   result.cycles = now_;
-  result.regs_per_thread = program_.info.regs_per_thread;
-  result.block_dim = program_.info.block_dim;
-  for (const auto& sm : sms_) {
-    const SmStats& s = sm->stats();
-    result.per_sm.push_back(s);
-    result.totals.issued += s.issued;
-    result.totals.idle_stalls += s.idle_stalls;
-    result.totals.scoreboard_stalls += s.scoreboard_stalls;
-    result.totals.pipeline_stalls += s.pipeline_stalls;
-    result.totals.sched_cycles += s.sched_cycles;
-    result.totals.thread_insts += s.thread_insts;
-    result.totals.warp_insts += s.warp_insts;
-    result.totals.tbs_executed += s.tbs_executed;
-    result.totals.smem_conflict_extra_cycles += s.smem_conflict_extra_cycles;
-    result.totals.gmem_transactions += s.gmem_transactions;
-    result.totals.const_transactions += s.const_transactions;
-    result.totals.barrier_releases += s.barrier_releases;
-    result.totals.barrier_wait_cycles += s.barrier_wait_cycles;
-    result.totals.warp_finish_disparity_sum += s.warp_finish_disparity_sum;
-    result.totals.occupancy_tb_cycles += s.occupancy_tb_cycles;
-    result.l1_hits += sm->l1().hits;
-    result.l1_misses += sm->l1().misses;
-    result.timelines.push_back(sm->timeline());
+  const KernelInfo& info0 = streams_[0]->launch.program.info;
+  result.regs_per_thread = info0.regs_per_thread;
+  result.block_dim = info0.block_dim;
+  for (std::size_t s = 0; s < sms_.size(); ++s) {
+    const SmCore& sm = *sms_[s];
+    SmStats stats = per_sm_acc_[s];
+    accumulate_stats(stats, sm.stats());
+    result.per_sm.push_back(stats);
+    accumulate_stats(result.totals, stats);
+    result.l1_hits += per_sm_acc_l1_hits_[s] + sm.l1().hits;
+    result.l1_misses += per_sm_acc_l1_misses_[s] + sm.l1().misses;
+    std::vector<TbTimelineEntry> timeline = timeline_acc_[s];
+    for (const TbTimelineEntry& e : sm.timeline()) timeline.push_back(e);
+    result.timelines.push_back(std::move(timeline));
   }
   if (faults_ != nullptr) result.faults_injected = faults_->total_faults();
   result.l2_hits = mem_.l2_hits();
@@ -207,7 +394,33 @@ GpuResult Gpu::collect() const {
   result.dram_row_hits = mem_.dram_row_hits();
   result.dram_row_misses = mem_.dram_row_misses();
   result.tb_order_sm0 = tb_order_sm0_;
-  result.registers = register_dump_;
+  if (!multi_) {
+    result.registers = streams_[0]->registers;
+  } else {
+    // Per-kernel slices: accumulated tear-down counters plus the share of
+    // every live core still bound to the kernel. Registers stay per-stream
+    // (see stream_registers) — grids differ per kernel.
+    for (const auto& st : streams_) {
+      KernelSlice slice;
+      slice.kernel_id = st->launch.kernel_id;
+      slice.name = st->launch.name;
+      slice.arrival = st->launch.arrival;
+      slice.first_launch = st->first_launch;
+      slice.launched = st->launched_any;
+      slice.finish = st->finish;
+      slice.finished = st->finished;
+      slice.stats = st->acc;
+      slice.l1_hits = st->acc_l1_hits;
+      slice.l1_misses = st->acc_l1_misses;
+      for (std::size_t s = 0; s < sms_.size(); ++s) {
+        if (binding_[s] != st->launch.kernel_id) continue;
+        accumulate_stats(slice.stats, sms_[s]->stats());
+        slice.l1_hits += sms_[s]->l1().hits;
+        slice.l1_misses += sms_[s]->l1().misses;
+      }
+      result.kernel_slices.push_back(std::move(slice));
+    }
+  }
   return result;
 }
 

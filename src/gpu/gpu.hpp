@@ -10,13 +10,24 @@
 //   cfg.scheduler.kind = SchedulerKind::kPro;
 //   GpuResult r = simulate(cfg, program, mem);
 //
+// Concurrent kernel execution (docs/SERVING.md): the multi-stream
+// constructor takes several KernelLaunches — each with its own Program,
+// GlobalMemory, and arrival cycle — plus an AdmissionPolicy that decides
+// which kernel's TB queue every SM draws from. An SM executes one kernel's
+// TBs at a time and rebinds to another kernel only once fully drained
+// (TB-drain-granularity sharing; the L1 is flushed by the rebind, as on
+// real kernel switches). Per-kernel accounting lands in
+// GpuResult::kernel_slices; single-kernel runs keep the slice list empty
+// and stay bit-identical to the classic path.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/sim_error.hpp"
 #include "faults/fault_injector.hpp"
+#include "gpu/admission.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_result.hpp"
 #include "gpu/watchdog.hpp"
@@ -28,12 +39,30 @@
 
 namespace prosim {
 
+/// One kernel of a concurrent (multi-stream) run. `memory` must outlive
+/// the Gpu; each kernel mutates its own GlobalMemory, so co-resident
+/// kernels interfere only through the shared timing model (L2/DRAM
+/// contention), never functionally.
+struct KernelLaunch {
+  int kernel_id = 0;  ///< must equal the launch's index (arrival order)
+  std::string name;
+  Program program;
+  GlobalMemory* memory = nullptr;
+  Cycle arrival = 0;  ///< cycle the launch enters the GPU-level queue
+};
+
 class Gpu {
  public:
   /// `memory` must outlive the Gpu; kernels mutate it in place. The
   /// program is copied (temporaries are safe to pass). Throws SimException
   /// (category `invariant`) on an invalid program.
   Gpu(const GpuConfig& config, Program program, GlobalMemory& memory);
+
+  /// Concurrent-kernel form: launches must be ordered by non-decreasing
+  /// arrival with kernel_id == index. Per-kernel results land in
+  /// GpuResult::kernel_slices. Throws SimException on invalid input.
+  Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
+      AdmissionKind admission);
 
   /// Runs the kernel to completion and returns the collected results.
   /// Throws SimException when the simulated program misbehaves (deadlock,
@@ -52,6 +81,13 @@ class Gpu {
   const SmCore& sm(int index) const { return *sms_[index]; }
   int num_sms() const { return static_cast<int>(sms_.size()); }
 
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  /// Kernel id SM `index` is currently bound to.
+  int sm_binding(int index) const { return binding_[index]; }
+  /// Final per-thread registers of one kernel's grid (record_registers
+  /// layout, [ctaid][tid][reg]); empty unless record_registers was set.
+  const std::vector<RegValue>& stream_registers(int kernel) const;
+
   GpuResult collect() const;
 
   /// Attaches an observability sink to every SM and policy (see trace/;
@@ -63,8 +99,41 @@ class Gpu {
   const FaultInjector* fault_injector() const { return faults_.get(); }
 
  private:
+  /// One resident kernel (stream): its launch, TB queue, and the counters
+  /// accumulated from SM generations that already rebound away from it.
+  struct Stream {
+    KernelLaunch launch;
+    TbScheduler tbs;
+    bool launched_any = false;
+    Cycle first_launch = 0;
+    bool finished = false;
+    Cycle finish = 0;
+    SmStats acc;  ///< stats of SmCore generations already torn down
+    std::uint64_t acc_l1_hits = 0;
+    std::uint64_t acc_l1_misses = 0;
+    std::vector<RegValue> registers;
+
+    explicit Stream(KernelLaunch l)
+        : launch(std::move(l)), tbs(launch.program.info.grid_dim) {}
+  };
+
+  Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
+      std::unique_ptr<AdmissionPolicy> admission, bool multi);
+
+  /// (Re)binds SM `s` to stream `k`: accumulates the outgoing core's
+  /// counters into its stream and the per-SM totals, then constructs a
+  /// fresh SmCore on stream k's program and memory (fresh L1 — a kernel
+  /// switch flushes it).
+  void bind_sm(int s, int k);
+
   /// Returns true when at least one TB was launched this cycle.
   bool assign_tbs();
+  bool assign_tbs_multi();
+  /// Marks arrived streams whose TBs have all drained as finished
+  /// (multi-stream bookkeeping; runs once per executed cycle).
+  void update_streams();
+  /// Unassigned TBs across arrived, unfinished streams (watchdog context).
+  int waiting_tbs() const;
   /// After a globally quiet cycle (no launch, no SM did any work), jumps
   /// the clock to the earliest pending event, bulk-applying the per-cycle
   /// constant stat increments. Bit-identical to ticking through the same
@@ -73,17 +142,22 @@ class Gpu {
   void fast_forward();
 
   GpuConfig config_;
-  const Program program_;
-  GlobalMemory& memory_;
-  TbScheduler tb_scheduler_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::unique_ptr<AdmissionPolicy> admission_;  // null in single-kernel mode
   std::unique_ptr<FaultInjector> faults_;  // must precede mem_ (ctor order)
   MemorySubsystem mem_;
   Watchdog watchdog_;
   std::vector<std::unique_ptr<SmCore>> sms_;
-  std::vector<RegValue> register_dump_;
+  std::vector<int> binding_;  ///< per SM: bound stream id
+  // Counters of torn-down SmCore generations, per SM slot (multi mode).
+  std::vector<SmStats> per_sm_acc_;
+  std::vector<std::uint64_t> per_sm_acc_l1_hits_;
+  std::vector<std::uint64_t> per_sm_acc_l1_misses_;
+  std::vector<std::vector<TbTimelineEntry>> timeline_acc_;
   std::vector<TbOrderSample> tb_order_sm0_;
   Cycle now_ = 0;
   int next_sm_ = 0;
+  bool multi_ = false;
   bool fast_forward_enabled_ = true;
   TraceSink* trace_ = nullptr;
 };

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -37,6 +39,31 @@ struct SimThroughput {
     t.insts_per_second = static_cast<double>(warp_insts) / wall_seconds;
     return t;
   }
+};
+
+/// Per-kernel accounting of a concurrent (multi-stream) run: one slice per
+/// launched kernel, accumulated across every SM generation that executed
+/// its TBs. Empty for single-kernel runs, so the canonical result bytes —
+/// and every fingerprint derived from them — are unchanged when serving is
+/// off; result_io round-trips non-empty slices as the optional
+/// `prosim-serving-v1` block.
+struct KernelSlice {
+  int kernel_id = 0;
+  std::string name;
+  Cycle arrival = 0;       ///< cycle the launch entered the GPU-level queue
+  Cycle first_launch = 0;  ///< cycle the first TB launched (if `launched`)
+  bool launched = false;
+  Cycle finish = 0;        ///< cycle the last TB drained (if `finished`)
+  bool finished = false;
+  /// This kernel's share of the SM counters (per-kernel IPC/stall story).
+  SmStats stats;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+
+  Cycle queueing_latency() const {
+    return launched ? first_launch - arrival : 0;
+  }
+  Cycle completion_latency() const { return finished ? finish - arrival : 0; }
 };
 
 struct GpuResult {
@@ -77,6 +104,21 @@ struct GpuResult {
   /// When present, summing it per legacy class reproduces the totals.*
   /// stall counters exactly.
   std::optional<StallBreakdown> stall_breakdown;
+
+  /// Per-kernel slices of a concurrent run (arrival/launch/finish cycles
+  /// plus this kernel's share of the SM counters), ordered by kernel id.
+  /// Empty — and absent from the serialized document — for single-kernel
+  /// runs.
+  std::vector<KernelSlice> kernel_slices;
+
+  /// Forward compatibility: top-level JSON members of a parsed
+  /// `prosim-result-v1` document that this build does not understand,
+  /// preserved as (key, canonical JSON text) in document order. result_io
+  /// re-emits them verbatim after every known field, so a newer writer's
+  /// optional blocks survive a parse → serialize round trip through an
+  /// older reader losslessly. Always empty for results produced by
+  /// simulation in this build.
+  std::vector<std::pair<std::string, std::string>> extra_blocks;
 
   /// Final per-thread registers, [ctaid][tid][reg] flattened; only filled
   /// when record_registers was set.

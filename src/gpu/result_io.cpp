@@ -53,6 +53,13 @@ const JsonValue& object_field(const JsonValue& obj, const char* key) {
   return *v;
 }
 
+bool bool_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  PROSIM_REQUIRE(v != nullptr && v->is_bool(),
+                 field_error(std::string("missing field ") + key));
+  return v->as_bool();
+}
+
 int int_field(const JsonValue& obj, const char* key) {
   const JsonValue* v = obj.find(key);
   PROSIM_REQUIRE(v != nullptr && v->is_number(),
@@ -133,7 +140,37 @@ void write_gpu_result_json(std::ostream& os, const GpuResult& r) {
     os << r.registers[i];
   }
   os << "],\"regs_per_thread\":" << r.regs_per_thread
-     << ",\"block_dim\":" << r.block_dim << "}";
+     << ",\"block_dim\":" << r.block_dim;
+  // Optional serving block: only concurrent-kernel runs carry slices, so
+  // single-kernel documents keep their exact historical bytes.
+  if (!r.kernel_slices.empty()) {
+    os << ",\"serving\":{\"schema\":\"" << kServingSchema
+       << "\",\"kernels\":[";
+    for (std::size_t i = 0; i < r.kernel_slices.size(); ++i) {
+      const KernelSlice& k = r.kernel_slices[i];
+      if (i != 0) os << ",";
+      os << "{\"kernel_id\":" << k.kernel_id << ",\"name\":";
+      write_json_string(os, k.name);
+      os << ",\"arrival\":" << k.arrival
+         << ",\"first_launch\":" << k.first_launch
+         << ",\"launched\":" << (k.launched ? "true" : "false")
+         << ",\"finish\":" << k.finish
+         << ",\"finished\":" << (k.finished ? "true" : "false")
+         << ",\"stats\":";
+      write_sm_stats(os, k.stats);
+      os << ",\"l1_hits\":" << k.l1_hits << ",\"l1_misses\":" << k.l1_misses
+         << "}";
+    }
+    os << "]}";
+  }
+  // Unknown optional blocks captured by the parser ride through verbatim
+  // (forward compatibility — see GpuResult::extra_blocks).
+  for (const auto& [key, text] : r.extra_blocks) {
+    os << ",";
+    write_json_string(os, key);
+    os << ":" << text;
+  }
+  os << "}";
 }
 
 std::string gpu_result_to_json(const GpuResult& result) {
@@ -252,6 +289,48 @@ Expected<GpuResult> gpu_result_from_json(std::string_view text) {
     }
     r.regs_per_thread = int_field(doc, "regs_per_thread");
     r.block_dim = int_field(doc, "block_dim");
+    // Optional blocks: "serving" is the one this build understands; any
+    // other unknown top-level key is preserved as canonical text in
+    // extra_blocks so the document round-trips losslessly (forward
+    // compatibility with newer writers).
+    if (const JsonValue* serving = doc.find("serving")) {
+      PROSIM_REQUIRE(serving->is_object(), field_error("bad serving block"));
+      const JsonValue* serving_schema = serving->find("schema");
+      PROSIM_REQUIRE(serving_schema != nullptr && serving_schema->is_string() &&
+                         serving_schema->as_string() == kServingSchema,
+                     field_error("serving schema mismatch (want " +
+                                 std::string(kServingSchema) + ")"));
+      for (const JsonValue& k : array_field(*serving, "kernels")) {
+        PROSIM_REQUIRE(k.is_object(), field_error("bad kernel slice"));
+        KernelSlice slice;
+        slice.kernel_id = int_field(k, "kernel_id");
+        const JsonValue* name = k.find("name");
+        PROSIM_REQUIRE(name != nullptr && name->is_string(),
+                       field_error("missing field name"));
+        slice.name = name->as_string();
+        slice.arrival = u64_field(k, "arrival");
+        slice.first_launch = u64_field(k, "first_launch");
+        slice.launched = bool_field(k, "launched");
+        slice.finish = u64_field(k, "finish");
+        slice.finished = bool_field(k, "finished");
+        slice.stats = sm_stats_from_json(object_field(k, "stats"));
+        slice.l1_hits = u64_field(k, "l1_hits");
+        slice.l1_misses = u64_field(k, "l1_misses");
+        r.kernel_slices.push_back(std::move(slice));
+      }
+    }
+    static constexpr const char* kKnownKeys[] = {
+        "schema",     "cycles",          "totals",
+        "per_sm",     "timelines",       "tb_order_sm0",
+        "faults_injected", "l1_hits",    "l1_misses",
+        "l2_hits",    "l2_misses",       "dram_row_hits",
+        "dram_row_misses", "registers",  "regs_per_thread",
+        "block_dim",  "serving"};
+    for (const auto& [key, value] : doc.members()) {
+      bool known = false;
+      for (const char* k : kKnownKeys) known = known || key == k;
+      if (!known) r.extra_blocks.emplace_back(key, json_to_string(value));
+    }
     return r;
   } catch (const SimException& e) {
     return e.error();

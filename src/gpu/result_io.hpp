@@ -21,6 +21,15 @@ namespace prosim {
 /// checked on read so stale cache files are rejected, not mis-parsed.
 inline constexpr const char* kGpuResultSchema = "prosim-result-v1";
 
+/// Schema tag of the optional per-kernel "serving" block appended to the
+/// document when GpuResult::kernel_slices is non-empty (concurrent-kernel
+/// runs; see docs/SERVING.md). Single-kernel documents never carry the
+/// block, so their bytes — and every pinned fingerprint — are unchanged.
+/// Readers preserve unknown optional blocks verbatim
+/// (GpuResult::extra_blocks), so older binaries round-trip newer
+/// documents losslessly (tests/runner/test_result_io.cpp pins this).
+inline constexpr const char* kServingSchema = "prosim-serving-v1";
+
 void write_gpu_result_json(std::ostream& os, const GpuResult& result);
 
 /// Convenience: the JSON document as a string.

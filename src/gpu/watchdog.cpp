@@ -56,6 +56,15 @@ std::optional<SimError> Watchdog::check(
   // Rule 2: overlong barrier wait (fires even while other warps issue).
   SimError scan = SimError::make(ErrorCategory::kBarrierMismatch, "");
   collect(now, sms, scan);
+
+  // Healthy idle: no resident warps and no TBs queued means the GPU is
+  // legitimately between kernels (multi-stream runs waiting for the next
+  // arrival) — that is not a stall. Unreachable in single-kernel runs,
+  // where the driver stops stepping once everything drains.
+  if (scan.warps.empty() && tbs_waiting == 0) {
+    stalled_windows_ = 0;
+    return std::nullopt;
+  }
   int stuck_at_barrier = 0;
   for (const WarpBlockInfo& w : scan.warps) {
     if (w.reason == WarpBlockReason::kBarrier &&

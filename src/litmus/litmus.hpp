@@ -147,6 +147,35 @@ GpuConfig litmus_config(SchedulerKind kind);
 /// Runs the certification matrix through the sweep runner.
 LitmusReport run_litmus(const LitmusOptions& options = {});
 
+/// SimError → verdict mapping shared by the base and background-tenant
+/// harnesses (starvation → kStarvation; livelock/barrier/MSHR → kHang).
+Verdict classify_sim_error(const SimError& error);
+
+/// Rolls one scheduler's cells up into its SchedulerSummary (progress
+/// model derivation; shared by both harnesses).
+SchedulerSummary summarize_scheduler(SchedulerKind kind,
+                                     const std::vector<LitmusCell>& cells);
+
+/// Background-tenant certification (docs/SERVING.md): every litmus cell
+/// re-runs with a streaming background kernel co-resident under
+/// tb_interleaved admission on a two-SM GPU. The matrix asserts that
+/// multi-tenancy never demotes a scheduler's progress model silently —
+/// any cell a fair scheduler finishes alone must still finish (or be
+/// caught by the starvation watchdog) with the tenant present. Grids are
+/// sized against the same per-SM residency as the base harness, so cells
+/// line up 1:1; a cell whose whole grid fits the doubled capacity counts
+/// as fair_suffices (cross-TB waits resolvable by fairness alone).
+GpuConfig litmus_bg_config(SchedulerKind kind);
+
+/// The background tenant: `grid` small TBs streaming a private global
+/// buffer through a fixed-iteration load/increment/store loop — steady
+/// memory traffic, no synchronization, guaranteed termination.
+Program background_tenant_program(int grid);
+
+/// Runs the background-tenant matrix (options.progress is unused here:
+/// cells run on a simple deterministic pool, not the sweep runner).
+LitmusReport run_litmus_bg(const LitmusOptions& options = {});
+
 /// Schema tag of the JSON verdict matrix below.
 inline constexpr const char* kLitmusSchema = "prosim-litmus-v1";
 

@@ -1,0 +1,188 @@
+// Background-tenant litmus certification (litmus.hpp): re-runs the
+// forward-progress suite with a streaming co-tenant admitted under
+// tb_interleaved sharing on a two-SM GPU, through the concurrent-kernel
+// constructor. The question it answers: does multi-tenancy silently
+// demote any scheduler's progress model? A fair scheduler must still
+// finish every cell fairness can finish, and every unfair parking must
+// still be caught by the per-warp starvation watchdog — co-residency is
+// allowed to change *cycles*, never *verdict classes*, except by honestly
+// promoting cells whose grid now fits the doubled residency.
+#include <atomic>
+#include <thread>
+
+#include "common/check.hpp"
+#include "gpu/gpu.hpp"
+#include "gpu/scheduler_registry.hpp"
+#include "isa/builder.hpp"
+#include "litmus/litmus.hpp"
+#include "sm/sm_core.hpp"
+
+namespace prosim::litmus {
+
+namespace {
+
+constexpr Regime kRegimes[] = {Regime::kResident, Regime::kOversubscribed};
+constexpr int kBackgroundGrid = 6;
+
+}  // namespace
+
+GpuConfig litmus_bg_config(SchedulerKind kind) {
+  GpuConfig cfg = litmus_config(kind);
+  // Two SMs: the minimum pool where a co-tenant can genuinely share the
+  // GPU with the litmus kernel at TB-drain granularity. Everything else
+  // (watchdog windows, starvation rule, max_cycles backstop) stays at the
+  // base harness's settings so detection cycles remain comparable.
+  cfg.num_sms = 2;
+  cfg.mem.num_partitions = 2;
+  return cfg;
+}
+
+Program background_tenant_program(int grid) {
+  ProgramBuilder b("background_tenant");
+  b.block_dim(32).grid_dim(grid);
+  // r4 = 8 * (ctaid * 32 + tid): a private word per thread, so the tenant
+  // produces steady load/store traffic with zero synchronization.
+  b.s2r(0, SpecialReg::kCtaId);
+  b.imuli(0, 0, 32);
+  b.s2r(1, SpecialReg::kTid);
+  b.iadd(4, 0, 1);
+  b.imuli(4, 4, 8);
+  b.movi(2, 0);  // iteration counter
+  ProgramBuilder::Label top = b.loop_begin();
+  b.ldg(3, 4, 0);
+  b.iaddi(3, 3, 1);
+  b.stg(4, 0, 3);
+  b.iaddi(2, 2, 1);
+  b.setpi(CmpOp::kLt, 5, 2, 64);
+  b.loop_end_if(5, top);
+  b.exit_();
+  return b.build();
+}
+
+LitmusReport run_litmus_bg(const LitmusOptions& options) {
+  std::vector<SchedulerKind> kinds = options.schedulers;
+  if (kinds.empty()) {
+    for (const SchedulerInfo& info : scheduler_registry()) {
+      kinds.push_back(info.kind);
+    }
+  }
+  std::vector<const LitmusTest*> tests;
+  if (options.tests.empty()) {
+    for (const LitmusTest& t : litmus_suite()) tests.push_back(&t);
+  } else {
+    for (const std::string& name : options.tests) {
+      const LitmusTest* t = find_litmus(name);
+      PROSIM_CHECK_MSG(t != nullptr, "unknown litmus test");
+      tests.push_back(t);
+    }
+  }
+
+  struct CellMeta {
+    SchedulerKind kind;
+    const LitmusTest* test;
+    Regime regime;
+    int grid;
+    bool fair_suffices;
+  };
+  std::vector<CellMeta> metas;
+  for (SchedulerKind kind : kinds) {
+    const GpuConfig cfg = litmus_bg_config(kind);
+    for (const LitmusTest* t : tests) {
+      // Same per-SM residency as the base harness (grids line up 1:1).
+      const int residency =
+          SmCore::compute_residency(cfg.sm, t->build(1).info);
+      for (Regime regime : kRegimes) {
+        const int grid = t->grid_for(regime, residency);
+        // With two SMs the whole grid may become resident at once; then
+        // every cross-TB wait is resolvable by fairness alone, so the
+        // cell is honestly promoted to fair_suffices.
+        const bool fair =
+            grid <= cfg.num_sms * residency || t->resident_fair_suffices(regime);
+        metas.push_back({kind, t, regime, grid, fair});
+      }
+    }
+  }
+
+  LitmusReport report;
+  report.cells.resize(metas.size());
+
+  const int total = static_cast<int>(metas.size());
+  int jobs = options.jobs;
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  if (jobs > total) jobs = total;
+
+  // Deterministic pool: each cell simulates single-threaded into its
+  // pre-sized slot, so the report is bit-identical whatever `jobs` is.
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= total) return;
+      const CellMeta& meta = metas[static_cast<std::size_t>(i)];
+      LitmusCell cell;
+      cell.scheduler = meta.kind;
+      cell.litmus = meta.test->name;
+      cell.regime = meta.regime;
+      cell.grid = meta.grid;
+      cell.fair_suffices = meta.fair_suffices;
+
+      GlobalMemory litmus_memory;
+      GlobalMemory background_memory;
+      std::vector<KernelLaunch> launches;
+      KernelLaunch foreground;
+      foreground.kernel_id = 0;
+      foreground.name = meta.test->name;
+      foreground.program = meta.test->build(meta.grid);
+      foreground.memory = &litmus_memory;
+      launches.push_back(std::move(foreground));
+      KernelLaunch background;
+      background.kernel_id = 1;
+      background.name = "background_tenant";
+      background.program = background_tenant_program(kBackgroundGrid);
+      background.memory = &background_memory;
+      launches.push_back(std::move(background));
+
+      try {
+        Gpu gpu(litmus_bg_config(meta.kind), std::move(launches),
+                AdmissionKind::kTbInterleaved);
+        Expected<GpuResult> result = gpu.run_checked();
+        if (result.has_value()) {
+          // The checkers read the litmus kernel's registers; splice the
+          // foreground stream's image into the result view (regs/block
+          // geometry already comes from stream 0).
+          GpuResult view = std::move(result.value());
+          view.registers = gpu.stream_registers(0);
+          cell.detect_cycle = view.cycles;
+          cell.detail = meta.test->check(view, meta.grid);
+          cell.verdict =
+              cell.detail.empty() ? Verdict::kPass : Verdict::kWrongResult;
+        } else {
+          cell.detect_cycle = result.error().cycle;
+          cell.detail = result.error().message;
+          cell.verdict = classify_sim_error(result.error());
+        }
+      } catch (const SimException& e) {
+        cell.detect_cycle = e.error().cycle;
+        cell.detail = e.error().message;
+        cell.verdict = classify_sim_error(e.error());
+      }
+      report.cells[static_cast<std::size_t>(i)] = std::move(cell);
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (SchedulerKind kind : kinds) {
+    report.schedulers.push_back(summarize_scheduler(kind, report.cells));
+  }
+  return report;
+}
+
+}  // namespace prosim::litmus

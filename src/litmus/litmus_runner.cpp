@@ -19,7 +19,9 @@ namespace {
 
 constexpr Regime kRegimes[] = {Regime::kResident, Regime::kOversubscribed};
 
-Verdict classify_error(const SimError& error) {
+}  // namespace
+
+Verdict classify_sim_error(const SimError& error) {
   switch (error.category) {
     case ErrorCategory::kStarvation:
       return Verdict::kStarvation;
@@ -33,8 +35,8 @@ Verdict classify_error(const SimError& error) {
   return Verdict::kError;
 }
 
-SchedulerSummary summarize(SchedulerKind kind,
-                           const std::vector<LitmusCell>& cells) {
+SchedulerSummary summarize_scheduler(SchedulerKind kind,
+                                     const std::vector<LitmusCell>& cells) {
   SchedulerSummary s;
   s.scheduler = kind;
   for (const LitmusCell& cell : cells) {
@@ -55,8 +57,6 @@ SchedulerSummary summarize(SchedulerKind kind,
                                     : ProgressModel::kTerminates;
   return s;
 }
-
-}  // namespace
 
 GpuConfig litmus_config(SchedulerKind kind) {
   GpuConfig cfg = GpuConfig::test_config();
@@ -156,12 +156,12 @@ LitmusReport run_litmus(const LitmusOptions& options) {
     } else {
       cell.detect_cycle = sc.error->cycle;
       cell.detail = sc.error->message;
-      cell.verdict = classify_error(*sc.error);
+      cell.verdict = classify_sim_error(*sc.error);
     }
     report.cells.push_back(std::move(cell));
   }
   for (SchedulerKind kind : kinds) {
-    report.schedulers.push_back(summarize(kind, report.cells));
+    report.schedulers.push_back(summarize_scheduler(kind, report.cells));
   }
   return report;
 }

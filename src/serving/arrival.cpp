@@ -1,0 +1,48 @@
+#include "serving/arrival.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace prosim::serving {
+
+namespace {
+
+/// Heavy-tailed burst exponent: number of trailing zero bits of a uniform
+/// draw, capped at 8 — P(k) = 2^-(k+1), so most gaps are short and a few
+/// are up to 256× the base. Trailing-zero counting keeps the distribution
+/// exactly reproducible (no floating-point log).
+int burst_exponent(Rng& rng) {
+  const std::uint64_t r = rng.next_u64();
+  int k = 0;
+  while (k < 8 && ((r >> k) & 1u) == 0) ++k;
+  return k;
+}
+
+}  // namespace
+
+std::vector<Request> generate_trace(const TraceSpec& spec) {
+  PROSIM_CHECK_MSG(!spec.mix.empty(), "trace spec needs a non-empty mix");
+  PROSIM_CHECK_MSG(spec.requests > 0, "trace spec needs requests > 0");
+  PROSIM_CHECK_MSG(spec.gap_scale > 0, "trace spec needs gap_scale > 0");
+
+  Rng rng(spec.seed);
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(spec.requests));
+  Cycle now = 0;
+  for (int i = 0; i < spec.requests; ++i) {
+    if (i > 0) {
+      const Cycle base = spec.gap_scale / 4 + 1;
+      const Cycle burst = base << burst_exponent(rng);
+      const Cycle jitter = rng.next_below(spec.gap_scale / 2 + 1);
+      now += burst + jitter;
+    }
+    Request r;
+    r.id = i;
+    r.kernel = spec.mix[rng.next_below(spec.mix.size())];
+    r.arrival = now;
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace prosim::serving

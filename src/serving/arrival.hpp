@@ -1,0 +1,45 @@
+// Deterministic open-loop arrival-trace generation for the serving
+// harness (docs/SERVING.md).
+//
+// A trace is a sequence of kernel-launch requests with absolute arrival
+// cycles, drawn from a seeded xoshiro256** stream: inter-arrival gaps are
+// heavy-tailed (a geometric-exponent burst term plus uniform jitter, so
+// traces show both back-to-back bursts and long quiet stretches — the
+// shape that separates admission policies), and each request picks a
+// kernel uniformly from a caller-supplied mix of Table-II workloads.
+// Same spec → bit-identical trace, on every platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace prosim::serving {
+
+struct TraceSpec {
+  std::uint64_t seed = 42;
+  int requests = 12;
+  /// Inter-arrival scale in cycles; the burst term ranges from
+  /// gap_scale/4 to ~256×gap_scale/4 with geometrically decaying
+  /// probability (mean gap ≈ gap_scale).
+  Cycle gap_scale = 20000;
+  /// Kernel mix, by registry kernel name (kernels/registry.hpp); requests
+  /// draw uniformly from this list. Duplicates weight a kernel heavier.
+  std::vector<std::string> mix;
+};
+
+struct Request {
+  int id = 0;  ///< index in the trace == kernel_id of the launch
+  std::string kernel;
+  Cycle arrival = 0;
+};
+
+/// Expands a spec into its request trace: arrivals start at 0 and are
+/// non-decreasing; ids are assigned in arrival order. Aborts (CHECK) on an
+/// empty mix or a non-positive request count; unknown kernel names are the
+/// caller's problem (find_workload aborts later with a clear message).
+std::vector<Request> generate_trace(const TraceSpec& spec);
+
+}  // namespace prosim::serving

@@ -1,0 +1,259 @@
+#include "serving/serving.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "common/percentiles.hpp"
+#include "common/stats.hpp"
+#include "gpu/gpu.hpp"
+#include "kernels/registry.hpp"
+#include "runner/runner.hpp"
+
+namespace prosim::serving {
+
+namespace {
+
+/// Shortest round-trippable decimal: slowdowns and fairness indices are
+/// derived quantities, 9 significant digits pin them well past any
+/// meaningful difference while keeping the bytes deterministic.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+ServingCell simulate_cell(const std::vector<Request>& trace,
+                          SchedulerKind scheduler, AdmissionKind admission,
+                          const GpuConfig& base) {
+  ServingCell cell;
+  cell.scheduler = scheduler_name(scheduler);
+  cell.admission = admission;
+
+  GpuConfig config = base;
+  config.scheduler.kind = scheduler;
+
+  // Fresh functional memory per request: co-resident kernels interfere
+  // only through the shared timing model, never through data.
+  std::vector<GlobalMemory> memories(trace.size());
+  std::vector<KernelLaunch> launches;
+  launches.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& req = trace[i];
+    const Workload& w = find_workload(req.kernel);
+    w.init(memories[i]);
+    KernelLaunch launch;
+    launch.kernel_id = req.id;
+    launch.name = req.kernel;
+    launch.program = w.program;
+    launch.memory = &memories[i];
+    launch.arrival = req.arrival;
+    launches.push_back(std::move(launch));
+  }
+
+  Gpu gpu(config, std::move(launches), admission);
+  Expected<GpuResult> result = gpu.run_checked();
+  if (!result.has_value()) {
+    cell.error = std::move(result.error());
+    return cell;
+  }
+  const GpuResult& r = result.value();
+  cell.makespan = r.cycles;
+  PROSIM_CHECK(r.kernel_slices.size() == trace.size());
+
+  for (const Request& req : trace) {
+    const KernelSlice& slice = r.kernel_slices[static_cast<std::size_t>(req.id)];
+    RequestMetrics m;
+    m.id = req.id;
+    m.kernel = req.kernel;
+    m.arrival = req.arrival;
+    m.queueing = slice.queueing_latency();
+    m.completion = slice.completion_latency();
+    cell.requests.push_back(std::move(m));
+  }
+
+  // Tenants = distinct kernels, in trace first-appearance order.
+  std::vector<std::string> kernels;
+  for (const Request& req : trace) {
+    bool seen = false;
+    for (const std::string& k : kernels) seen = seen || k == req.kernel;
+    if (!seen) kernels.push_back(req.kernel);
+  }
+  std::vector<double> slowdowns;
+  for (const std::string& kernel : kernels) {
+    TenantMetrics t;
+    t.kernel = kernel;
+    // Same scheduler, no co-tenants: the denominator isolates the cost of
+    // sharing, not the cost of the scheduler itself.
+    t.isolated_cycles =
+        runner::memoized_run(find_workload(kernel), config).cycles;
+    std::vector<std::uint64_t> queue;
+    std::vector<std::uint64_t> completion;
+    std::vector<double> ratios;
+    for (const RequestMetrics& m : cell.requests) {
+      if (m.kernel != kernel) continue;
+      queue.push_back(m.queueing);
+      completion.push_back(m.completion);
+      ratios.push_back(static_cast<double>(m.completion) /
+                       static_cast<double>(t.isolated_cycles));
+    }
+    t.requests = static_cast<int>(queue.size());
+    const Percentiles q(std::move(queue));
+    const Percentiles c(std::move(completion));
+    t.queue_p50 = q.p50();
+    t.queue_p95 = q.p95();
+    t.queue_p99 = q.p99();
+    t.completion_p50 = c.p50();
+    t.completion_p95 = c.p95();
+    t.completion_p99 = c.p99();
+    t.slowdown = geomean(ratios);
+    slowdowns.push_back(t.slowdown);
+    cell.tenants.push_back(std::move(t));
+  }
+
+  // Jain's fairness index over tenant slowdowns.
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double s : slowdowns) {
+    sum += s;
+    sum_sq += s * s;
+  }
+  cell.jain_fairness =
+      sum_sq == 0.0
+          ? 1.0
+          : (sum * sum) / (static_cast<double>(slowdowns.size()) * sum_sq);
+  return cell;
+}
+
+}  // namespace
+
+ServingReport run_serving(const ServingOptions& options) {
+  PROSIM_CHECK_MSG(!options.schedulers.empty(),
+                   "run_serving needs at least one scheduler");
+  PROSIM_CHECK_MSG(!options.admissions.empty(),
+                   "run_serving needs at least one admission policy");
+  ServingReport report;
+  report.trace = generate_trace(options.trace);
+
+  struct CellSpec {
+    SchedulerKind scheduler;
+    AdmissionKind admission;
+  };
+  std::vector<CellSpec> specs;
+  for (const SchedulerKind s : options.schedulers) {
+    for (const AdmissionKind a : options.admissions) specs.push_back({s, a});
+  }
+  report.cells.resize(specs.size());
+
+  const int total = static_cast<int>(specs.size());
+  int jobs = options.jobs;
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  if (jobs > total) jobs = total;
+
+  std::atomic<int> next{0};
+  std::mutex mutex;  // serializes the progress callback
+  int completed = 0;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= total) return;
+      report.cells[static_cast<std::size_t>(i)] = simulate_cell(
+          report.trace, specs[static_cast<std::size_t>(i)].scheduler,
+          specs[static_cast<std::size_t>(i)].admission, options.base);
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ServingProgress p;
+        p.completed = ++completed;
+        p.total = total;
+        p.cell = &report.cells[static_cast<std::size_t>(i)];
+        options.progress(p);
+      }
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const ServingCell& cell : report.cells) {
+    if (!cell.ok()) ++report.failures;
+  }
+  return report;
+}
+
+std::string serving_report_to_json(const ServingReport& report,
+                                   const TraceSpec& spec) {
+  std::ostringstream os;
+  os << "{\"schema\":\"prosim-serve-v1\"";
+  os << ",\"spec\":{\"seed\":" << spec.seed
+     << ",\"requests\":" << spec.requests
+     << ",\"gap_scale\":" << spec.gap_scale << ",\"mix\":[";
+  for (std::size_t i = 0; i < spec.mix.size(); ++i) {
+    if (i > 0) os << ',';
+    write_json_string(os, spec.mix[i]);
+  }
+  os << "]}";
+  os << ",\"trace\":[";
+  for (std::size_t i = 0; i < report.trace.size(); ++i) {
+    const Request& r = report.trace[i];
+    if (i > 0) os << ',';
+    os << "{\"id\":" << r.id << ",\"kernel\":";
+    write_json_string(os, r.kernel);
+    os << ",\"arrival\":" << r.arrival << '}';
+  }
+  os << "],\"cells\":[";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const ServingCell& cell = report.cells[i];
+    if (i > 0) os << ',';
+    os << "{\"scheduler\":";
+    write_json_string(os, cell.scheduler);
+    os << ",\"admission\":\"" << admission_name(cell.admission) << '"';
+    os << ",\"ok\":" << (cell.ok() ? "true" : "false");
+    if (!cell.ok()) {
+      os << ",\"error\":{\"category\":\"" << to_string(cell.error->category)
+         << "\",\"message\":";
+      write_json_string(os, cell.error->message);
+      os << '}';
+    } else {
+      os << ",\"makespan\":" << cell.makespan;
+      os << ",\"jain_fairness\":" << fmt_double(cell.jain_fairness);
+      os << ",\"tenants\":[";
+      for (std::size_t t = 0; t < cell.tenants.size(); ++t) {
+        const TenantMetrics& tm = cell.tenants[t];
+        if (t > 0) os << ',';
+        os << "{\"kernel\":";
+        write_json_string(os, tm.kernel);
+        os << ",\"requests\":" << tm.requests
+           << ",\"isolated_cycles\":" << tm.isolated_cycles
+           << ",\"queue_p50\":" << tm.queue_p50
+           << ",\"queue_p95\":" << tm.queue_p95
+           << ",\"queue_p99\":" << tm.queue_p99
+           << ",\"completion_p50\":" << tm.completion_p50
+           << ",\"completion_p95\":" << tm.completion_p95
+           << ",\"completion_p99\":" << tm.completion_p99
+           << ",\"slowdown\":" << fmt_double(tm.slowdown) << '}';
+      }
+      os << "],\"requests\":[";
+      for (std::size_t r = 0; r < cell.requests.size(); ++r) {
+        const RequestMetrics& m = cell.requests[r];
+        if (r > 0) os << ',';
+        os << "{\"id\":" << m.id << ",\"queueing\":" << m.queueing
+           << ",\"completion\":" << m.completion << '}';
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace prosim::serving

@@ -1,0 +1,94 @@
+// Multi-tenant serving harness (docs/SERVING.md): replays one deterministic
+// arrival trace (serving/arrival.hpp) against every requested
+// scheduler × admission-policy combination on the concurrent-kernel GPU
+// (gpu/gpu.hpp multi-stream constructor) and reports per-tenant tail
+// latency, slowdown versus isolated execution, and Jain's fairness index.
+//
+// Determinism contract: each cell simulates single-threaded on its own
+// fresh GlobalMemory images, so the full report is bit-identical whatever
+// `jobs` is — the same guarantee runner::run_sweep gives experiment sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hpp"
+#include "gpu/admission.hpp"
+#include "gpu/gpu_config.hpp"
+#include "serving/arrival.hpp"
+
+namespace prosim::serving {
+
+/// Latency accounting for one request of a cell, in cycles.
+struct RequestMetrics {
+  int id = 0;
+  std::string kernel;
+  Cycle arrival = 0;
+  Cycle queueing = 0;    ///< arrival → first TB launch
+  Cycle completion = 0;  ///< arrival → last TB drained
+};
+
+/// One tenant = one distinct kernel of the mix (all its requests).
+struct TenantMetrics {
+  std::string kernel;
+  int requests = 0;
+  /// Makespan of the kernel running alone under the cell's scheduler
+  /// (runner::memoized_run), the slowdown denominator.
+  Cycle isolated_cycles = 0;
+  std::uint64_t queue_p50 = 0, queue_p95 = 0, queue_p99 = 0;
+  std::uint64_t completion_p50 = 0, completion_p95 = 0, completion_p99 = 0;
+  /// Geomean over this tenant's requests of completion / isolated.
+  double slowdown = 0.0;
+};
+
+struct ServingCell {
+  std::string scheduler;
+  AdmissionKind admission = AdmissionKind::kFifoExclusive;
+  std::optional<SimError> error;  ///< set iff the cell failed
+  Cycle makespan = 0;
+  /// Jain's index over tenant slowdowns: 1 = perfectly fair, 1/n = one
+  /// tenant got everything.
+  double jain_fairness = 0.0;
+  std::vector<TenantMetrics> tenants;  ///< mix first-appearance order
+  std::vector<RequestMetrics> requests;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+struct ServingProgress {
+  int completed = 0;
+  int total = 0;
+  const ServingCell* cell = nullptr;
+};
+
+struct ServingOptions {
+  TraceSpec trace;
+  /// Base GPU configuration; the scheduler field is overwritten per cell.
+  GpuConfig base;
+  std::vector<SchedulerKind> schedulers;
+  std::vector<AdmissionKind> admissions;
+  /// Worker threads over cells; <= 0 picks hardware_concurrency().
+  int jobs = 1;
+  /// Invoked after every cell completes, serialized under a mutex.
+  std::function<void(const ServingProgress&)> progress;
+};
+
+struct ServingReport {
+  std::vector<Request> trace;
+  /// scheduler-major × admission-minor, matching the options' lists.
+  std::vector<ServingCell> cells;
+  std::uint64_t failures = 0;
+};
+
+ServingReport run_serving(const ServingOptions& options);
+
+/// Serializes a report as the `prosim-serve-v1` JSON document (spec echo,
+/// trace, and every cell's tenant/request metrics). Deterministic bytes
+/// for a deterministic report.
+std::string serving_report_to_json(const ServingReport& report,
+                                   const TraceSpec& spec);
+
+}  // namespace prosim::serving

@@ -761,6 +761,11 @@ void SmCore::execute_branch(int warp, const Instruction& inst,
   wc.stack.take_branch(inst, taken);
 }
 
+void SmCore::salt_lines(int count) {
+  if (addr_salt_ == 0) return;
+  for (int i = 0; i < count; ++i) ldst_op_.lines[i] += addr_salt_;
+}
+
 void SmCore::execute_memory(int warp, const Instruction& inst,
                             ActiveMask active, Cycle now) {
   WarpCtx& wc = warps_[warp];
@@ -799,6 +804,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
       // the coalescer writes its line list straight into it.
       const int count = coalesce_lines_into(
           lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      salt_lines(count);
       stats_.gmem_transactions += static_cast<std::uint64_t>(count);
       const std::uint32_t token = alloc_pending_load(warp, inst.dst, count);
       scoreboard_.reserve(warp, inst.dst);
@@ -818,6 +824,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
       }
       const int count = coalesce_lines_into(
           lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      salt_lines(count);
       stats_.gmem_transactions += static_cast<std::uint64_t>(count);
       ldst_op_.valid = true;
       ldst_op_.warp = warp;
@@ -837,6 +844,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
       }
       const int count = coalesce_lines_into(
           lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      salt_lines(count);
       stats_.gmem_transactions += static_cast<std::uint64_t>(count);
       std::uint32_t token = kNoToken;
       if (inst.dst != kNoReg) {
@@ -867,6 +875,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
       }
       const int count = coalesce_lines_into(
           lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
+      salt_lines(count);
       stats_.gmem_transactions += static_cast<std::uint64_t>(count);
       std::uint32_t token = kNoToken;
       if (inst.dst != kNoReg) {
@@ -963,6 +972,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
         const int count = coalesce_lines_into(
             lane_addrs_, active, config_.const_cache.line_bytes,
             ldst_op_.lines);
+        salt_lines(count);
         stats_.const_transactions += static_cast<std::uint64_t>(count);
         const std::uint32_t token =
             alloc_pending_load(warp, inst.dst, count);

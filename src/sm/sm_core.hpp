@@ -129,6 +129,14 @@ class SmCore {
   /// faults. Consulted on the L1/const MSHR allocation path.
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
 
+  /// Constant added to every coalesced line address on the *timing* path
+  /// (L1/L2/DRAM), giving each co-resident kernel a distinct physical
+  /// address space so tenants contend for cache capacity instead of
+  /// falsely sharing lines. Functional accesses use the raw per-lane
+  /// addresses and are unaffected. Zero (the default, and always the value
+  /// for kernel 0) is a strict no-op.
+  void set_addr_salt(Addr salt) { addr_salt_ = salt; }
+
   /// Attaches an observability sink (nullptr detaches). Strictly
   /// observational: simulation results are bit-identical with tracing on
   /// or off, and with no sink attached the instrumentation reduces to a
@@ -340,6 +348,11 @@ class SmCore {
 
   // Scratch (per-issue) lane addresses.
   Addr lane_addrs_[kWarpSize] = {};
+
+  /// Adds addr_salt_ to the first `count` coalesced lines in ldst_op_
+  /// (no-op at salt 0; see set_addr_salt).
+  void salt_lines(int count);
+  Addr addr_salt_ = 0;
 
   SmStats stats_;
   std::vector<TbTimelineEntry> timeline_;

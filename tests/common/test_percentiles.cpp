@@ -1,0 +1,85 @@
+// Nearest-rank percentile semantics (common/percentiles.hpp) — the math
+// behind every serving-report tail-latency number, so the exact rank
+// selection is pinned here: rank = ceil(pct/100 * N), 1-based, computed
+// with integer arithmetic only.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/percentiles.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(Percentiles, SortsAndSums) {
+  const Percentiles p({5, 1, 4, 2, 3});
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.count(), 5u);
+  EXPECT_EQ(p.sorted(), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(p.sum(), 15u);
+  EXPECT_EQ(p.min(), 1u);
+  EXPECT_EQ(p.max(), 5u);
+}
+
+TEST(Percentiles, NearestRankSelectsObservedSamples) {
+  // N = 5: rank(50) = ceil(2.5) = 3, rank(95) = ceil(4.75) = 5,
+  // rank(99) = ceil(4.95) = 5 — always an observed sample, never an
+  // interpolation.
+  const Percentiles p({10, 20, 30, 40, 50});
+  EXPECT_EQ(p.p50(), 30u);
+  EXPECT_EQ(p.p95(), 50u);
+  EXPECT_EQ(p.p99(), 50u);
+  EXPECT_EQ(p.percentile(20), 10u);  // rank ceil(1.0) = 1
+  EXPECT_EQ(p.percentile(21), 20u);  // rank ceil(1.05) = 2
+  EXPECT_EQ(p.percentile(60), 30u);
+  EXPECT_EQ(p.percentile(61), 40u);
+}
+
+TEST(Percentiles, SingleSampleIsEveryPercentile) {
+  const Percentiles p({42});
+  EXPECT_EQ(p.p50(), 42u);
+  EXPECT_EQ(p.p95(), 42u);
+  EXPECT_EQ(p.p99(), 42u);
+  EXPECT_EQ(p.min(), 42u);
+  EXPECT_EQ(p.max(), 42u);
+}
+
+TEST(Percentiles, LargeExactRanksDoNotOverflow) {
+  // 100 equal-spaced samples: pct maps exactly onto ranks; u64 samples
+  // near the top of the range survive the integer rank computation.
+  std::vector<std::uint64_t> samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<std::uint64_t>(i) * 1'000'000'000'000ull);
+  }
+  const Percentiles p(std::move(samples));
+  EXPECT_EQ(p.p50(), 50u * 1'000'000'000'000ull);
+  EXPECT_EQ(p.p95(), 95u * 1'000'000'000'000ull);
+  EXPECT_EQ(p.p99(), 99u * 1'000'000'000'000ull);
+  EXPECT_EQ(p.percentile(1), 1'000'000'000'000ull);
+  EXPECT_EQ(p.percentile(100), 100u * 1'000'000'000'000ull);
+}
+
+TEST(Percentiles, TiesAreStable) {
+  const Percentiles p({7, 7, 7, 9});
+  EXPECT_EQ(p.p50(), 7u);   // rank 2
+  EXPECT_EQ(p.p99(), 9u);   // rank 4
+  EXPECT_EQ(p.sum(), 30u);
+}
+
+TEST(Percentiles, EmptyIsQueryableButGuarded) {
+  const Percentiles p({});
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.sum(), 0u);
+  EXPECT_DEATH((void)p.p50(), "");
+}
+
+TEST(Percentiles, PercentOutOfRangeIsGuarded) {
+  const Percentiles p({1, 2, 3});
+  EXPECT_DEATH((void)p.percentile(0), "");
+  EXPECT_DEATH((void)p.percentile(101), "");
+}
+
+}  // namespace
+}  // namespace prosim

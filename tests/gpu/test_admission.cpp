@@ -1,0 +1,132 @@
+// Admission-policy unit tests (gpu/admission.hpp): name round trips plus
+// the per-policy arbitration contracts — FIFO head-of-line exclusivity,
+// SM-modulo partitioning, and the tb_interleaved rotation cursor that may
+// advance ONLY when a rebind actually yields a kernel (the property that
+// keeps quiet cycles skippable by event-driven fast-forward).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/admission.hpp"
+
+namespace prosim {
+namespace {
+
+TEST(Admission, NamesRoundTrip) {
+  EXPECT_EQ(std::string(admission_name(AdmissionKind::kFifoExclusive)),
+            "fifo_exclusive");
+  EXPECT_EQ(std::string(admission_name(AdmissionKind::kSmPartitioned)),
+            "sm_partitioned");
+  EXPECT_EQ(std::string(admission_name(AdmissionKind::kTbInterleaved)),
+            "tb_interleaved");
+  for (const AdmissionKind kind : all_admission_kinds()) {
+    AdmissionKind parsed;
+    ASSERT_TRUE(admission_from_name(admission_name(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  AdmissionKind out;
+  EXPECT_FALSE(admission_from_name("round_robin", out));
+  EXPECT_FALSE(admission_from_name("", out));
+}
+
+TEST(Admission, CatalogueListsAllKinds) {
+  ASSERT_EQ(all_admission_kinds().size(), 3u);
+  const std::string list = list_admissions();
+  for (const AdmissionKind kind : all_admission_kinds()) {
+    EXPECT_NE(list.find(admission_name(kind)), std::string::npos)
+        << admission_name(kind);
+    EXPECT_EQ(make_admission(kind)->kind(), kind);
+  }
+}
+
+TEST(Admission, FifoExclusiveAdmitsOnlyTheOldestActive) {
+  std::unique_ptr<AdmissionPolicy> p =
+      make_admission(AdmissionKind::kFifoExclusive);
+  const std::vector<int> active = {1, 2, 3};
+  const std::vector<int> waiting = {2, 3};
+  const AdmissionView view{active, waiting};
+  // Kernel 1 is the FCFS head but has no waiting TBs (its tail is
+  // draining) — later kernels must still queue behind it.
+  EXPECT_EQ(p->next_stream(0, view), -1);
+  EXPECT_FALSE(p->may_refill(0, 2, view));
+  // Once the head itself is waiting, it is the only admissible kernel.
+  const std::vector<int> head_waiting = {1, 3};
+  const AdmissionView head_view{active, head_waiting};
+  EXPECT_EQ(p->next_stream(0, head_view), 1);
+  EXPECT_EQ(p->next_stream(5, head_view), 1);
+  EXPECT_TRUE(p->may_refill(0, 1, head_view));
+  EXPECT_FALSE(p->may_refill(0, 3, head_view));
+}
+
+TEST(Admission, SmPartitionedSplitsTheActiveSet) {
+  std::unique_ptr<AdmissionPolicy> p =
+      make_admission(AdmissionKind::kSmPartitioned);
+  const std::vector<int> active = {0, 2};
+  const std::vector<int> waiting = {0, 2};
+  const AdmissionView view{active, waiting};
+  // SM s owns active[s mod |active|].
+  EXPECT_EQ(p->next_stream(0, view), 0);
+  EXPECT_EQ(p->next_stream(1, view), 2);
+  EXPECT_EQ(p->next_stream(2, view), 0);
+  EXPECT_EQ(p->next_stream(3, view), 2);
+  EXPECT_TRUE(p->may_refill(0, 0, view));
+  EXPECT_FALSE(p->may_refill(0, 2, view));  // not SM 0's partition
+  EXPECT_TRUE(p->may_refill(1, 2, view));
+  // An owner with nothing waiting leaves its SM idle rather than
+  // stealing another partition's TBs.
+  const std::vector<int> only_two = {2};
+  const AdmissionView drained{active, only_two};
+  EXPECT_EQ(p->next_stream(0, drained), -1);
+  EXPECT_EQ(p->next_stream(1, drained), 2);
+}
+
+TEST(Admission, TbInterleavedRotatesAcrossRebinds) {
+  std::unique_ptr<AdmissionPolicy> p =
+      make_admission(AdmissionKind::kTbInterleaved);
+  const std::vector<int> active = {0, 1, 2};
+  const std::vector<int> waiting = {0, 1, 2};
+  const AdmissionView view{active, waiting};
+  // Work-conserving round robin: successive rebinds walk the waiting set,
+  // whatever SM asks.
+  EXPECT_EQ(p->next_stream(0, view), 0);
+  EXPECT_EQ(p->next_stream(1, view), 1);
+  EXPECT_EQ(p->next_stream(0, view), 2);
+  EXPECT_EQ(p->next_stream(0, view), 0);
+  // A bound SM may always keep refilling its own kernel while it waits.
+  EXPECT_TRUE(p->may_refill(0, 1, view));
+}
+
+TEST(Admission, TbInterleavedCursorHoldsOnMiss) {
+  std::unique_ptr<AdmissionPolicy> p =
+      make_admission(AdmissionKind::kTbInterleaved);
+  const std::vector<int> active = {0, 1};
+  const std::vector<int> both = {0, 1};
+  const std::vector<int> none = {};
+  // A -1 answer must leave the cursor bit-identical: any number of quiet
+  // consultations (the cycles fast-forward would skip) cannot change the
+  // next decision.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(p->next_stream(0, AdmissionView{active, none}), -1);
+  }
+  EXPECT_EQ(p->next_stream(0, AdmissionView{active, both}), 0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(p->next_stream(0, AdmissionView{active, none}), -1);
+  }
+  EXPECT_EQ(p->next_stream(0, AdmissionView{active, both}), 1);
+}
+
+TEST(Admission, TbInterleavedSkipsNonWaitingKernels) {
+  std::unique_ptr<AdmissionPolicy> p =
+      make_admission(AdmissionKind::kTbInterleaved);
+  const std::vector<int> active = {0, 1, 2};
+  const std::vector<int> only_middle = {1};
+  // The rotation lands on the only waiting kernel regardless of where the
+  // cursor sits.
+  EXPECT_EQ(p->next_stream(0, AdmissionView{active, only_middle}), 1);
+  EXPECT_EQ(p->next_stream(0, AdmissionView{active, only_middle}), 1);
+}
+
+}  // namespace
+}  // namespace prosim

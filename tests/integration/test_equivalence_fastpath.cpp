@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/fingerprint.hpp"
+#include "gpu/admission.hpp"
 #include "gpu/gpu.hpp"
 #include "gpu/result_io.hpp"
 #include "kernels/registry.hpp"
@@ -144,6 +146,55 @@ TEST(EquivalenceFastpath, AttributionOnlyIsBitIdentical) {
   EXPECT_EQ(actual, 0xf0604c1acd235617ull)
       << "attribution-only tracing changed the result (actual "
       << "fingerprint 0x" << std::hex << actual << ")";
+}
+
+// The concurrent-kernel constructor with a single launch must be the
+// *same simulation* as the legacy path: every admission policy degenerates
+// to "this kernel, always", so the result fingerprints — pinned above from
+// the seed implementation — must come out bit-identical, and the document
+// must not grow the optional serving block's sibling fields into the
+// canonical bytes (kernel_slices are serialized, appended after block_dim,
+// so the prefix is the untouched single-kernel document).
+TEST(EquivalenceFastpath, SingleKernelViaMultiCtorMatchesSeed) {
+  constexpr Cell kCell = {"scalarProdGPU", SchedulerKind::kPro,
+                          0xf0604c1acd235617ull};
+  const Workload& w = find_workload(kCell.kernel);
+  for (const AdmissionKind admission : all_admission_kinds()) {
+    GpuConfig cfg;
+    cfg.scheduler.kind = kCell.kind;
+    GlobalMemory mem;
+    if (w.init) w.init(mem);
+    std::vector<KernelLaunch> launches;
+    KernelLaunch launch;
+    launch.kernel_id = 0;
+    launch.name = kCell.kernel;
+    launch.program = w.program;
+    launch.memory = &mem;
+    launches.push_back(std::move(launch));
+    Gpu gpu(cfg, std::move(launches), admission);
+    GpuResult r = gpu.run();
+    // The multi path records a (correct) slice for its one kernel; the
+    // canonical document then carries the optional serving block. Every
+    // *seed* field must still hash to the pinned fingerprint, so strip
+    // the optional block and compare against the legacy constant.
+    ASSERT_EQ(r.kernel_slices.size(), 1u) << admission_name(admission);
+    EXPECT_TRUE(r.kernel_slices[0].finished) << admission_name(admission);
+    // The slice finishes when its last TB drains; the run's cycle count
+    // additionally covers the memory-subsystem drain that follows.
+    EXPECT_GT(r.kernel_slices[0].finish, 0u) << admission_name(admission);
+    EXPECT_LE(r.kernel_slices[0].finish, r.cycles)
+        << admission_name(admission);
+    r.kernel_slices.clear();
+    const std::string json = gpu_result_to_json(r);
+    EXPECT_EQ(json.find("\"serving\""), std::string::npos);
+    Fingerprint fp;
+    fp.add_bytes(json.data(), json.size());
+    EXPECT_EQ(fp.hash(), kCell.expected)
+        << admission_name(admission)
+        << ": single-kernel run through the concurrent-kernel "
+        << "constructor diverged from the legacy path (actual "
+        << "fingerprint 0x" << std::hex << fp.hash() << ")";
+  }
 }
 
 // Fault injection disables fast-forwarding entirely (the injector draws

@@ -86,6 +86,108 @@ TEST(ResultIo, MalformedInputIsARecoverableError) {
                    .has_value());
 }
 
+// The optional serving block (concurrent-kernel runs) is part of the
+// storage contract too: per-kernel slices must survive the round trip
+// bit-exactly, and single-kernel documents must never grow the block.
+TEST(ResultIo, ServingBlockRoundTripsBitExactly) {
+  GpuConfig cfg = runner_test::sweep_test_config();
+  GlobalMemory mem_a;
+  GlobalMemory mem_b;
+  const Workload a = runner_test::make_mem_workload("serve_a", 3);
+  const Workload b = runner_test::make_alu_workload("serve_b", 2);
+  a.init(mem_a);
+  b.init(mem_b);
+  std::vector<KernelLaunch> launches;
+  KernelLaunch la;
+  la.kernel_id = 0;
+  la.name = "serve_a";
+  la.program = a.program;
+  la.memory = &mem_a;
+  launches.push_back(std::move(la));
+  KernelLaunch lb;
+  lb.kernel_id = 1;
+  lb.name = "serve_b";
+  lb.program = b.program;
+  lb.memory = &mem_b;
+  lb.arrival = 100;
+  launches.push_back(std::move(lb));
+  Gpu gpu(cfg, std::move(launches), AdmissionKind::kTbInterleaved);
+  const GpuResult original = gpu.run();
+  ASSERT_EQ(original.kernel_slices.size(), 2u);
+
+  const std::string json = gpu_result_to_json(original);
+  EXPECT_NE(json.find("\"serving\""), std::string::npos);
+  EXPECT_NE(json.find(kServingSchema), std::string::npos);
+  Expected<GpuResult> parsed = gpu_result_from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(gpu_result_to_json(parsed.value()), json);
+
+  const GpuResult& r = parsed.value();
+  ASSERT_EQ(r.kernel_slices.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const KernelSlice& got = r.kernel_slices[i];
+    const KernelSlice& want = original.kernel_slices[i];
+    EXPECT_EQ(got.kernel_id, want.kernel_id);
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.arrival, want.arrival);
+    EXPECT_EQ(got.first_launch, want.first_launch);
+    EXPECT_EQ(got.launched, want.launched);
+    EXPECT_EQ(got.finish, want.finish);
+    EXPECT_EQ(got.finished, want.finished);
+    EXPECT_EQ(got.stats.warp_insts, want.stats.warp_insts);
+    EXPECT_EQ(got.l1_misses, want.l1_misses);
+  }
+  // A single-kernel document never grows the block.
+  const Workload solo = runner_test::make_alu_workload("solo", 1);
+  const GpuResult solo_result =
+      simulate_workload(solo, runner_test::sweep_test_config());
+  EXPECT_EQ(gpu_result_to_json(solo_result).find("\"serving\""),
+            std::string::npos);
+}
+
+TEST(ResultIo, ServingSchemaMismatchIsRejected) {
+  const Workload w = runner_test::make_alu_workload("badserve", 1);
+  const GpuResult original =
+      simulate_workload(w, runner_test::sweep_test_config());
+  std::string json = gpu_result_to_json(original);
+  ASSERT_EQ(json.back(), '}');
+  json.insert(json.size() - 1,
+              ",\"serving\":{\"schema\":\"prosim-serving-v0\",\"kernels\":[]}");
+  Expected<GpuResult> parsed = gpu_result_from_json(json);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("serving schema"), std::string::npos)
+      << parsed.error().message;
+}
+
+// Forward compatibility: a newer writer may append optional top-level
+// blocks this build has never heard of. The reader must not reject them —
+// and must carry them through a parse → serialize round trip losslessly,
+// so an old binary rewriting a cache entry cannot destroy newer data.
+TEST(ResultIo, UnknownOptionalBlockRoundTripsLosslessly) {
+  const Workload w = runner_test::make_alu_workload("future", 1);
+  const GpuResult original =
+      simulate_workload(w, runner_test::sweep_test_config());
+  std::string json = gpu_result_to_json(original);
+  ASSERT_EQ(json.back(), '}');
+  const std::string block =
+      ",\"future_block\":{\"schema\":\"prosim-future-v9\",\"data\":[1,2,3],"
+      "\"deep\":{\"flag\":true,\"label\":\"x\\ny\"}}"
+      ",\"another\":null";
+  json.insert(json.size() - 1, block);
+
+  Expected<GpuResult> parsed = gpu_result_from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  ASSERT_EQ(parsed.value().extra_blocks.size(), 2u);
+  EXPECT_EQ(parsed.value().extra_blocks[0].first, "future_block");
+  EXPECT_EQ(parsed.value().extra_blocks[1].first, "another");
+  // Known fields are untouched by the unknown company.
+  EXPECT_EQ(parsed.value().cycles, original.cycles);
+  EXPECT_EQ(parsed.value().totals.issued, original.totals.issued);
+  // The full document — including both unknown blocks — survives
+  // re-serialization byte for byte.
+  EXPECT_EQ(gpu_result_to_json(parsed.value()), json);
+}
+
 TEST(ResultIo, SchemaMismatchIsRejected) {
   const Workload w = runner_test::make_alu_workload("schema", 1);
   const GpuResult original =

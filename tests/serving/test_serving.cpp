@@ -1,0 +1,188 @@
+// Serving-harness tests (src/serving/): the arrival-trace generator's
+// determinism and heavy-tail shape, full scheduler × admission cell
+// sweeps on the concurrent-kernel GPU, and the report-level bit-identity
+// guarantees (worker-thread count and event-driven fast-forward must not
+// change a single byte of the prosim-serve-v1 document).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serving/arrival.hpp"
+#include "serving/serving.hpp"
+
+namespace prosim::serving {
+namespace {
+
+TraceSpec small_spec() {
+  TraceSpec spec;
+  spec.seed = 7;
+  spec.requests = 5;
+  spec.gap_scale = 4000;
+  spec.mix = {"scalarProdGPU", "histogram64Kernel"};
+  return spec;
+}
+
+ServingOptions small_options() {
+  ServingOptions opt;
+  opt.trace = small_spec();
+  opt.base = GpuConfig::test_config();
+  opt.schedulers = {SchedulerKind::kPro, SchedulerKind::kGto};
+  opt.admissions = all_admission_kinds();
+  return opt;
+}
+
+TEST(ArrivalTrace, SameSeedIsBitIdentical) {
+  const std::vector<Request> a = generate_trace(small_spec());
+  const std::vector<Request> b = generate_trace(small_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].kernel, b[i].kernel);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+  }
+}
+
+TEST(ArrivalTrace, IsWellFormedOpenLoop) {
+  TraceSpec spec = small_spec();
+  spec.requests = 64;
+  const std::vector<Request> trace = generate_trace(spec);
+  ASSERT_EQ(trace.size(), 64u);
+  EXPECT_EQ(trace.front().arrival, 0u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, static_cast<int>(i));
+    EXPECT_TRUE(trace[i].kernel == "scalarProdGPU" ||
+                trace[i].kernel == "histogram64Kernel")
+        << trace[i].kernel;
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+    }
+  }
+  // Both mix entries actually appear in a 64-request draw.
+  std::set<std::string> kernels;
+  for (const Request& r : trace) kernels.insert(r.kernel);
+  EXPECT_EQ(kernels.size(), 2u);
+}
+
+TEST(ArrivalTrace, DifferentSeedsDiverge) {
+  TraceSpec spec = small_spec();
+  spec.requests = 16;
+  const std::vector<Request> a = generate_trace(spec);
+  spec.seed = 8;
+  const std::vector<Request> b = generate_trace(spec);
+  bool diverged = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diverged = diverged || a[i].arrival != b[i].arrival ||
+               a[i].kernel != b[i].kernel;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ArrivalTrace, GapsAreHeavyTailed) {
+  TraceSpec spec = small_spec();
+  spec.requests = 256;
+  const std::vector<Request> trace = generate_trace(spec);
+  Cycle min_gap = ~Cycle{0};
+  Cycle max_gap = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const Cycle gap = trace[i].arrival - trace[i - 1].arrival;
+    if (gap < min_gap) min_gap = gap;
+    if (gap > max_gap) max_gap = gap;
+  }
+  // The burst exponent spans 0..8 doublings: a 256-draw trace must show
+  // both near-minimum gaps and at least one 16x-scale burst.
+  EXPECT_LT(min_gap, spec.gap_scale);
+  EXPECT_GT(max_gap, spec.gap_scale * 4);
+}
+
+TEST(Serving, EveryCellCompletesWithFullMetrics) {
+  const ServingOptions opt = small_options();
+  const ServingReport report = run_serving(opt);
+  EXPECT_EQ(report.failures, 0u);
+  ASSERT_EQ(report.trace.size(), 5u);
+  // 2 schedulers x 3 admission policies, scheduler-major.
+  ASSERT_EQ(report.cells.size(), 6u);
+  EXPECT_EQ(report.cells[0].scheduler, "PRO");
+  EXPECT_EQ(report.cells[0].admission, AdmissionKind::kFifoExclusive);
+  EXPECT_EQ(report.cells[5].scheduler, "GTO");
+  EXPECT_EQ(report.cells[5].admission, AdmissionKind::kTbInterleaved);
+  for (const ServingCell& cell : report.cells) {
+    ASSERT_TRUE(cell.ok()) << cell.scheduler << "/"
+                           << admission_name(cell.admission) << ": "
+                           << cell.error->message;
+    EXPECT_GT(cell.makespan, 0u);
+    EXPECT_GT(cell.jain_fairness, 0.0);
+    EXPECT_LE(cell.jain_fairness, 1.0 + 1e-12);
+    ASSERT_EQ(cell.requests.size(), report.trace.size());
+    int covered = 0;
+    for (const TenantMetrics& t : cell.tenants) {
+      covered += t.requests;
+      EXPECT_GT(t.isolated_cycles, 0u) << t.kernel;
+      EXPECT_GT(t.slowdown, 0.0) << t.kernel;
+      EXPECT_LE(t.queue_p50, t.queue_p99) << t.kernel;
+      EXPECT_LE(t.completion_p50, t.completion_p99) << t.kernel;
+      // Completion includes the kernel's own execution: its tail cannot
+      // be cheaper than the queueing tail.
+      EXPECT_GT(t.completion_p99, t.queue_p99) << t.kernel;
+    }
+    EXPECT_EQ(covered, static_cast<int>(report.trace.size()));
+  }
+}
+
+TEST(Serving, ReportIsBitIdenticalAcrossJobs) {
+  ServingOptions opt = small_options();
+  opt.jobs = 1;
+  const ServingReport serial = run_serving(opt);
+  opt.jobs = 4;
+  const ServingReport parallel = run_serving(opt);
+  EXPECT_EQ(serving_report_to_json(serial, opt.trace),
+            serving_report_to_json(parallel, opt.trace));
+}
+
+TEST(Serving, ReportIsBitIdenticalWithoutFastForward) {
+  ServingOptions opt = small_options();
+  // One scheduler is enough: this pins the cycle-loop/fast-forward
+  // equivalence of the multi-kernel path, which is scheduler-agnostic.
+  opt.schedulers = {SchedulerKind::kPro};
+  const std::string fast = serving_report_to_json(run_serving(opt), opt.trace);
+  ::setenv("PROSIM_NO_FASTFORWARD", "1", 1);
+  const std::string tick = serving_report_to_json(run_serving(opt), opt.trace);
+  ::unsetenv("PROSIM_NO_FASTFORWARD");
+  EXPECT_EQ(fast, tick);
+}
+
+TEST(Serving, JsonReportIsWellFormed) {
+  ServingOptions opt = small_options();
+  opt.schedulers = {SchedulerKind::kLrr};
+  opt.admissions = {AdmissionKind::kFifoExclusive};
+  const ServingReport report = run_serving(opt);
+  const std::string json = serving_report_to_json(report, opt.trace);
+  EXPECT_NE(json.find("\"schema\":\"prosim-serve-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cells\":["), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\":"), std::string::npos);
+  EXPECT_NE(json.find("\"slowdown\":"), std::string::npos);
+  EXPECT_NE(json.find("scalarProdGPU"), std::string::npos);
+}
+
+TEST(Serving, FifoExclusiveSerializesTheBacklog) {
+  // Under fifo_exclusive a request can never start before the previous
+  // one finished: completion cycles are strictly ordered by id.
+  ServingOptions opt = small_options();
+  opt.schedulers = {SchedulerKind::kPro};
+  opt.admissions = {AdmissionKind::kFifoExclusive};
+  const ServingReport report = run_serving(opt);
+  ASSERT_EQ(report.failures, 0u);
+  const ServingCell& cell = report.cells.front();
+  for (std::size_t i = 1; i < cell.requests.size(); ++i) {
+    const RequestMetrics& prev = cell.requests[i - 1];
+    const RequestMetrics& cur = cell.requests[i];
+    EXPECT_GE(cur.arrival + cur.completion, prev.arrival + prev.completion)
+        << "request " << cur.id;
+  }
+}
+
+}  // namespace
+}  // namespace prosim::serving
