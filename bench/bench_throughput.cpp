@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 
 #include "gpu/gpu.hpp"
 #include "harness.hpp"
@@ -60,6 +61,25 @@ void bm_throughput(benchmark::State& state, const Workload* w,
       benchmark::Counter::kIsRate);
 }
 
+// Intra-simulation SM sharding (GpuConfig::sm_threads) on one 14-SM
+// workload: smt1 is the sequential code path, smt4 shards the SMs over 4
+// worker threads. Results are bit-identical; only wall time moves. The
+// perf-smoke job gates smt4 against smt1 with --speedup (skipped on hosts
+// with fewer than 4 CPUs, where the sharded path cannot win).
+void bm_throughput_smt(benchmark::State& state, const Workload* w,
+                       int sm_threads) {
+  GpuConfig cfg = bench_config(SchedulerKind::kPro);
+  cfg.sm_threads = sm_threads;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GlobalMemory mem;
+    if (w->init) w->init(mem);
+    state.ResumeTiming();
+    const GpuResult r = simulate(cfg, w->program, mem);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+
 void register_benchmarks() {
   for (const char* kernel : kPinned) {
     const Workload& w = find_workload(kernel);
@@ -70,6 +90,15 @@ void register_benchmarks() {
           ->Unit(benchmark::kMillisecond)
           ->UseRealTime();
     }
+  }
+  const Workload& smt_workload = find_workload("GPU_laplace3d");
+  for (const int sm_threads : {1, 4}) {
+    benchmark::RegisterBenchmark(
+        ("throughput/GPU_laplace3d/PRO/smt" + std::to_string(sm_threads))
+            .c_str(),
+        bm_throughput_smt, &smt_workload, sm_threads)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
   }
 }
 

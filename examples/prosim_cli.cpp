@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
   std::string asm_path;
   std::string scheduler = "PRO";
   int num_sms = -1;
+  int sm_threads = 1;
   std::int64_t threshold = 0;
   std::int64_t max_cycles = 0;
   std::uint64_t fault_seed = 0;
@@ -116,6 +117,9 @@ int main(int argc, char** argv) {
                     "warp scheduler (see listing below; default PRO)");
   parser.add_int("--sms", &num_sms, "N",
                  "override number of SMs (default 14)");
+  parser.add_int("--sm-threads", &sm_threads, "N",
+                 "worker threads sharding the SMs of this simulation "
+                 "(results are bit-identical at any value; default 1)");
   parser.add_i64("--threshold", &threshold, "N",
                  "PRO sort threshold in cycles (default 1000)");
   parser.add_flag("--no-barrier", &no_barrier_handling,
@@ -156,6 +160,10 @@ int main(int argc, char** argv) {
   }
   if (parser.seen("--sms") && num_sms <= 0) {
     std::cerr << "--sms must be positive\n";
+    return 2;
+  }
+  if (parser.seen("--sm-threads") && sm_threads < 1) {
+    std::cerr << "--sm-threads must be >= 1\n";
     return 2;
   }
   if (parser.seen("--max-cycles") && max_cycles <= 0) {
@@ -219,6 +227,7 @@ int main(int argc, char** argv) {
   GpuConfig cfg;
   cfg.scheduler.kind = sched_info->kind;
   if (num_sms > 0) cfg.num_sms = num_sms;
+  cfg.sm_threads = sm_threads;
   if (threshold > 0) {
     cfg.scheduler.pro.sort_threshold = static_cast<Cycle>(threshold);
     cfg.scheduler.adaptive.base.sort_threshold =

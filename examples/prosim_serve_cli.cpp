@@ -20,6 +20,7 @@
 #include "common/table.hpp"
 #include "gpu/scheduler_registry.hpp"
 #include "kernels/registry.hpp"
+#include "runner/runner.hpp"
 #include "serving/serving.hpp"
 
 using namespace prosim;
@@ -27,6 +28,7 @@ using namespace prosim::serving;
 
 int main(int argc, char** argv) {
   int jobs = 1;
+  int sm_threads = 1;
   std::vector<std::string> scheds;
   std::vector<std::string> admissions;
   std::uint64_t seed = 42;
@@ -45,6 +47,9 @@ int main(int argc, char** argv) {
   parser.add_int("--jobs", &jobs, "N",
                  "worker threads over cells (default 1; the report is "
                  "identical whatever N is)");
+  parser.add_int("--sm-threads", &sm_threads, "N",
+                 "SM-shard threads inside each cell's simulation (the "
+                 "report is bit-identical at any value; default 1)");
   parser.add_string_list("--schedulers", &scheds, "S,...",
                          "schedulers to serve under (default: all)");
   parser.add_string_list("--admissions", &admissions, "A,...",
@@ -98,6 +103,10 @@ int main(int argc, char** argv) {
     std::cerr << "--requests must be positive\n";
     return 2;
   }
+  if (parser.seen("--sm-threads") && sm_threads < 1) {
+    std::cerr << "--sm-threads must be >= 1\n";
+    return 2;
+  }
   for (const std::string& kernel : opt.trace.mix) {
     bool known = false;
     for (const Workload& w : all_workloads()) known = known || w.kernel == kernel;
@@ -110,6 +119,12 @@ int main(int argc, char** argv) {
   opt.base = GpuConfig::test_config();
   if (sms > 0) {
     opt.base.num_sms = sms;
+  }
+  if (sm_threads > 1) {
+    // Same oversubscription cap as the sweep runner: cell-level x SM-level
+    // threads must not exceed the host (sm_threads is unfingerprinted, so
+    // the capped value never shows up in the report).
+    opt.base.sm_threads = runner::capped_sm_threads(sm_threads, jobs);
   }
   if (scheds.empty()) {
     for (const SchedulerInfo& info : scheduler_registry()) {

@@ -35,7 +35,8 @@ struct Options {
   bool fig4 = false;
   std::vector<std::string> workloads;
   std::vector<std::string> schedulers;
-  int jobs = 0;  // 0 = hardware concurrency
+  int jobs = 0;        // 0 = hardware concurrency
+  int sm_threads = 1;  // SM-shard threads inside each cell
   std::string cache_dir;
   std::uint64_t fault_seed = 0;
   bool have_fault_seed = false;
@@ -210,6 +211,10 @@ int main(int argc, char** argv) {
   parser.add_section("execution");
   parser.add_int("--jobs", &opt.jobs, "N",
                  "worker threads (default: hardware concurrency)");
+  parser.add_int("--sm-threads", &opt.sm_threads, "N",
+                 "SM-shard threads inside each cell's simulation, capped "
+                 "so jobs x sm-threads never oversubscribes the host "
+                 "(results are bit-identical at any value; default 1)");
   parser.add_string("--cache-dir", &opt.cache_dir, "DIR",
                     "persistent result cache (created if missing)");
   parser.add_u64("--fault-seed", &opt.fault_seed, "N",
@@ -239,6 +244,10 @@ int main(int argc, char** argv) {
     std::cerr << "--jobs must be >= 0\n";
     return 2;
   }
+  if (parser.seen("--sm-threads") && opt.sm_threads < 1) {
+    std::cerr << "--sm-threads must be >= 1\n";
+    return 2;
+  }
   opt.have_fault_seed = parser.seen("--fault-seed");
 
   std::vector<SweepJob> jobs;
@@ -246,6 +255,7 @@ int main(int argc, char** argv) {
 
   SweepOptions sweep_opt;
   sweep_opt.jobs = opt.jobs;
+  sweep_opt.sm_threads = opt.sm_threads;
   sweep_opt.cache_dir = opt.cache_dir;
   if (!opt.trace_dir.empty()) {
     sweep_opt.trace.warp_lanes = true;

@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--max-drop 0.25]
+        [--speedup BASE:FAST:MIN_RATIO:MIN_CPUS ...]
 
 Compares per-benchmark wall time (real_time). A benchmark "regresses" when
 its throughput (1 / real_time) drops by more than --max-drop relative to
@@ -12,7 +13,15 @@ the baseline, i.e. when
 
 Benchmarks present in the baseline but missing from the current run fail
 the gate; extra benchmarks in the current run are reported but ignored.
-Exit status: 0 = pass, 1 = regression or missing benchmark, 2 = bad input.
+
+--speedup additionally asserts that, *within the current run*, benchmark
+FAST is at least MIN_RATIO times faster than benchmark BASE (by real_time).
+The check is skipped when the current run's context reports fewer than
+MIN_CPUS cpus — a multi-thread speedup cannot materialize on a host without
+the cores (the 1-cpu dev container runs the same command as 4-vcpu CI).
+
+Exit status: 0 = pass, 1 = regression / missing benchmark / speedup not
+met, 2 = bad input.
 
 To refresh the baseline after an intentional perf change (see docs/PERF.md):
     cp BENCH_throughput.json bench/baselines/ci-ubuntu.json
@@ -23,13 +32,16 @@ import json
 import sys
 
 
-def load_benchmarks(path):
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def extract_benchmarks(doc, path):
     out = {}
     for b in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if present.
@@ -42,16 +54,65 @@ def load_benchmarks(path):
     return out
 
 
+def parse_speedup_spec(spec):
+    parts = spec.rsplit(":", 2)
+    if len(parts) != 3:
+        print(f"error: bad --speedup spec '{spec}' "
+              "(want BASE:FAST:MIN_RATIO:MIN_CPUS)", file=sys.stderr)
+        sys.exit(2)
+    names, min_ratio, min_cpus = parts[0], parts[1], parts[2]
+    # The benchmark names themselves contain ':'-free '/' separators, so
+    # only the two numeric fields come off the right; the rest splits once.
+    name_parts = names.split(":")
+    if len(name_parts) != 2:
+        print(f"error: bad --speedup spec '{spec}' "
+              "(want BASE:FAST:MIN_RATIO:MIN_CPUS)", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return name_parts[0], name_parts[1], float(min_ratio), int(min_cpus)
+    except ValueError:
+        print(f"error: bad --speedup numbers in '{spec}'", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_speedups(specs, current, num_cpus, failures):
+    for spec in specs:
+        base, fast, min_ratio, min_cpus = parse_speedup_spec(spec)
+        if num_cpus is not None and num_cpus < min_cpus:
+            print(f"speedup {fast} vs {base}: skipped "
+                  f"({num_cpus} cpus < {min_cpus} required)")
+            continue
+        missing = [n for n in (base, fast) if n not in current]
+        if missing:
+            for n in missing:
+                failures.append(f"--speedup: {n} missing from current run")
+            continue
+        ratio = current[base] / current[fast] if current[fast] > 0 else 0.0
+        ok = ratio >= min_ratio
+        flag = "" if ok else "  <-- FAIL"
+        print(f"speedup {fast} vs {base}: {ratio:.2f}x "
+              f"(need >= {min_ratio:.2f}x){flag}")
+        if not ok:
+            failures.append(
+                f"{fast}: only {ratio:.2f}x faster than {base} "
+                f"(need {min_ratio:.2f}x)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
     ap.add_argument("baseline")
     ap.add_argument("--max-drop", type=float, default=0.25,
                     help="maximum tolerated throughput drop (default 0.25)")
+    ap.add_argument("--speedup", action="append", default=[],
+                    metavar="BASE:FAST:MIN_RATIO:MIN_CPUS",
+                    help="require current[FAST] to beat current[BASE] by "
+                         "MIN_RATIO; skipped below MIN_CPUS cpus")
     args = ap.parse_args()
 
-    current = load_benchmarks(args.current)
-    baseline = load_benchmarks(args.baseline)
+    current_doc = load_doc(args.current)
+    current = extract_benchmarks(current_doc, args.current)
+    baseline = extract_benchmarks(load_doc(args.baseline), args.baseline)
 
     failures = []
     width = max(len(n) for n in baseline)
@@ -74,6 +135,9 @@ def main():
 
     for name in sorted(set(current) - set(baseline)):
         print(f"note: benchmark not in baseline (ignored): {name}")
+
+    num_cpus = current_doc.get("context", {}).get("num_cpus")
+    check_speedups(args.speedup, current, num_cpus, failures)
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

@@ -61,6 +61,7 @@ class DelayQueue {
 
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
+  std::size_t free_slots() const { return capacity_ - queue_.size(); }
 
   /// Cycle at which the head item becomes poppable (kNoCycle when empty).
   /// Arrival times are monotone (FIFO, fixed latency), so the head is

@@ -5,10 +5,20 @@
 
 #include "core/pro_scheduler.hpp"
 #include "gpu/scheduler_registry.hpp"
+#include "gpu/sm_worker_pool.hpp"
 
 namespace prosim {
 
 namespace {
+
+/// Internal signal: a staged cycle observed a stale cross-SM read. Never
+/// escapes the Gpu — run_loop() catches it and restarts sequentially.
+struct ParallelConflict {};
+
+/// Spin budget while waiting for the admission-handoff turn. Handoffs are
+/// a handful of loads behind the (cheap) drain phase of at most num_sms-1
+/// lower SMs, so the futex fallback should be rare.
+constexpr int kPlanTurnSpinIterations = 512;
 
 void accumulate_stats(SmStats& into, const SmStats& s) {
   into.issued += s.issued;
@@ -57,7 +67,9 @@ Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
 Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
          AdmissionKind admission)
     : Gpu(config, std::move(launches), make_admission(admission),
-          /*multi=*/true) {}
+          /*multi=*/true) {
+  admission_kind_ = admission;  // a conflict restart re-makes the policy
+}
 
 Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
          std::unique_ptr<AdmissionPolicy> admission, bool multi)
@@ -74,9 +86,8 @@ Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
   PROSIM_REQUIRE(!launches.empty(),
                  SimError::make(ErrorCategory::kInvariant,
                                 "multi-stream run needs at least one kernel"));
-  streams_.reserve(launches.size());
   for (std::size_t i = 0; i < launches.size(); ++i) {
-    KernelLaunch& l = launches[i];
+    const KernelLaunch& l = launches[i];
     PROSIM_REQUIRE(l.kernel_id == static_cast<int>(i),
                    SimError::make(ErrorCategory::kInvariant,
                                   "kernel_id must equal launch index"));
@@ -90,13 +101,49 @@ Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
     PROSIM_REQUIRE(error.empty(),
                    SimError::make(ErrorCategory::kInvariant,
                                   "invalid program: " + error));
-    streams_.push_back(std::make_unique<Stream>(std::move(l)));
   }
 
   // Debug kill-switch: force the original tick-every-cycle loop. Not part
   // of the config fingerprint — results are bit-identical either way.
   fast_forward_enabled_ = std::getenv("PROSIM_NO_FASTFORWARD") == nullptr;
 
+  // Thread-count escape hatch, PROSIM_NO_FASTFORWARD-style: results are
+  // bit-identical at any thread count, so CI can force sharding onto code
+  // paths configured for one thread (and vice versa) without touching
+  // configs or fingerprints.
+  sm_threads_ = std::max(config_.sm_threads, 1);
+  if (const char* env = std::getenv("PROSIM_SM_THREADS")) {
+    const int parsed = std::atoi(env);
+    sm_threads_ = std::max(parsed, 1);
+  }
+
+  if (sm_threads_ > 1 && config_.num_sms > 1 && faults_ == nullptr) {
+    // Snapshot construction state for the conflict-restart path: launch
+    // descriptors plus each distinct functional memory image (kernels may
+    // mutate them before a conflict is discovered).
+    backup_launches_ = launches;
+    for (const KernelLaunch& l : launches) {
+      bool seen = false;
+      for (const auto& [ptr, copy] : backup_memories_) {
+        if (ptr == l.memory) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) backup_memories_.emplace_back(l.memory, *l.memory);
+    }
+  }
+
+  build_streams(std::move(launches));
+  reset_machine();
+}
+
+void Gpu::build_streams(std::vector<KernelLaunch> launches) {
+  streams_.clear();
+  streams_.reserve(launches.size());
+  for (KernelLaunch& l : launches) {
+    streams_.push_back(std::make_unique<Stream>(std::move(l)));
+  }
   if (config_.record_registers) {
     for (auto& st : streams_) {
       const KernelInfo& info = st->launch.program.info;
@@ -105,13 +152,20 @@ Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
                            0);
     }
   }
+}
 
+void Gpu::reset_machine() {
   binding_.assign(static_cast<std::size_t>(config_.num_sms), -1);
   per_sm_acc_.assign(static_cast<std::size_t>(config_.num_sms), SmStats{});
   per_sm_acc_l1_hits_.assign(static_cast<std::size_t>(config_.num_sms), 0);
   per_sm_acc_l1_misses_.assign(static_cast<std::size_t>(config_.num_sms), 0);
+  timeline_acc_.clear();
   timeline_acc_.resize(static_cast<std::size_t>(config_.num_sms));
+  tb_order_sm0_.clear();
+  sms_.clear();
   sms_.resize(static_cast<std::size_t>(config_.num_sms));
+  now_ = 0;
+  next_sm_ = 0;
   // Every SM starts bound to the earliest-arrival kernel (stream 0); in
   // single-kernel mode this reproduces the classic construction exactly.
   for (int s = 0; s < config_.num_sms; ++s) bind_sm(s, 0);
@@ -295,14 +349,23 @@ void Gpu::fast_forward() {
                  watchdog_.overrun_error(now_, sms_, config_.max_cycles));
 }
 
-bool Gpu::step() {
+bool Gpu::begin_step() {
   const bool launched = assign_tbs();
   mem_.cycle(now_);
+  return launched;
+}
+
+bool Gpu::step() {
+  const bool launched = begin_step();
   bool sm_active = false;
   for (auto& sm : sms_) {
     // No short-circuit: every SM must be cycled every cycle.
     sm_active = sm->cycle(now_) || sm_active;
   }
+  return finish_step(launched, sm_active);
+}
+
+bool Gpu::finish_step(bool launched, bool sm_active) {
   ++now_;
   if (multi_) update_streams();
 
@@ -352,9 +415,173 @@ void Gpu::set_trace_sink(TraceSink* trace) {
   for (auto& sm : sms_) sm->set_trace_sink(trace);
 }
 
-GpuResult Gpu::run() {
+// ---------------------------------------------------------------------------
+// Parallel cycle loop (docs/PERF.md, "Sharding one simulation across SMs")
+// ---------------------------------------------------------------------------
+
+bool Gpu::parallel_eligible() const {
+  return sm_threads_ > 1 && config_.num_sms > 1 && faults_ == nullptr &&
+         trace_ == nullptr && !parallel_disabled_;
+}
+
+void Gpu::parallel_sm_cycle(int s, Cycle now) {
+  const auto idx = static_cast<std::size_t>(s);
+  SmCore& sm = *sms_[idx];
+  bool active = false;
+  try {
+    active = sm.cycle_local(now);
+  } catch (...) {
+    sm_exceptions_[idx] = std::current_exception();
+  }
+
+  // Admission handoff: SMs take ascending-sm_id turns on the shared
+  // free-slot array, replaying the sequential loop's first-come inject
+  // allocation exactly — each grant equals the number of injects this
+  // SM's ldst_cycle would get admitted, and staged dispatch consumes the
+  // grant instead of live queue occupancy, so every can_inject verdict is
+  // bit-identical even under full backpressure. The release/acquire pair
+  // on plan_turn_ orders the array across shards; the turn comes right
+  // after the (cheap) drain, so waits overlap the issue work of lower
+  // SMs. An SM that threw must still pass the turn (grant 0, consuming
+  // nothing) or every higher SM would deadlock; post-throw grants can
+  // diverge from the sequential interleaving, but the whole run aborts on
+  // the rethrow, so nothing observable depends on them.
+  int spins = kPlanTurnSpinIterations;
+  int cur = plan_turn_.load(std::memory_order_acquire);
+  while (cur != s) {
+    if (spins > 0) {
+      --spins;
+    } else {
+      plan_turn_.wait(cur, std::memory_order_acquire);
+    }
+    cur = plan_turn_.load(std::memory_order_acquire);
+  }
+  int grant = 0;
+  if (sm_exceptions_[idx] == nullptr) {
+    grant = sm.plan_inject_admission(plan_free_slots_.data());
+  }
+  plan_turn_.store(s + 1, std::memory_order_release);
+  plan_turn_.notify_all();
+
+  sm.begin_staged_cycle(grant);
+  if (sm_exceptions_[idx] == nullptr) {
+    try {
+      if (sm.cycle_rest(now)) active = true;
+    } catch (...) {
+      sm_exceptions_[idx] = std::current_exception();
+    }
+  }
+  sm_cycle_active_[idx] = active ? 1 : 0;
+}
+
+bool Gpu::staged_cycle_conflicts() {
+  // Commit order is ascending sm_id, exactly like the sequential SM loop.
+  // A staged read is therefore stale only when a *lower*-numbered SM
+  // stored to the same address of the same shared image this cycle —
+  // sequentially that store would have landed before the read. Writes
+  // never conflict with each other: the ordered commit reproduces the
+  // sequential last-writer. Logs are tiny (one warp instruction per SM
+  // per cycle), so a linear scan beats building hash sets every cycle.
+  staged_writes_.clear();
+  for (const auto& sm : sms_) {
+    const GlobalMemory* image = sm->gmem_image();
+    if (!staged_writes_.empty()) {
+      for (const Addr addr : sm->staged_base_reads()) {
+        for (const StagedWrite& w : staged_writes_) {
+          if (w.addr == addr && w.image == image) return true;
+        }
+      }
+    }
+    for (const auto& [addr, value] : sm->staged_stores()) {
+      staged_writes_.push_back({addr, image});
+    }
+  }
+  return false;
+}
+
+bool Gpu::step_parallel(SmWorkerPool& pool) {
+  const bool launched = begin_step();
+  ++parallel_cycles_;
+  const std::size_t n = sms_.size();
+  sm_cycle_active_.assign(n, 0);
+  sm_exceptions_.assign(n, nullptr);
+
+  // Free-slot snapshot for the in-epoch admission handoff: nothing but
+  // staged SM dispatch touches the request ports between here and the
+  // commit, so the snapshot plus per-grant decrements track the queues
+  // the sequential interleaving would have seen exactly.
+  const Interconnect& icnt = mem_.interconnect();
+  const int parts = icnt.num_partitions();
+  plan_free_slots_.resize(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    plan_free_slots_[static_cast<std::size_t>(p)] =
+        static_cast<int>(icnt.request_free_slots(p));
+  }
+  plan_turn_.store(0, std::memory_order_relaxed);
+
+  const Cycle now = now_;
+  pool.run_epoch([this, now](int s) { parallel_sm_cycle(s, now); });
+
+  // Conflicts before exceptions: a worker that threw after consuming a
+  // stale read must resolve as a restart, not as a real error. With no
+  // conflict every staged read was clean, so each SM behaved exactly as
+  // in the sequential interleaving — and the lowest-sm_id exception is
+  // the one the sequential loop (ascending, aborting on first throw)
+  // would have raised.
+  if (staged_cycle_conflicts()) {
+    for (auto& sm : sms_) sm->discard_staged_cycle();
+    throw ParallelConflict{};
+  }
+  bool sm_active = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (sm_exceptions_[s] != nullptr) {
+      for (auto& sm : sms_) sm->discard_staged_cycle();
+      std::rethrow_exception(sm_exceptions_[s]);
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    sms_[s]->commit_staged_cycle(now_);
+    sm_active = sm_cycle_active_[s] != 0 || sm_active;
+  }
+  return finish_step(launched, sm_active);
+}
+
+void Gpu::restart_sequential() {
+  ++conflict_restarts_;
+  parallel_disabled_ = true;
+  for (auto& [ptr, copy] : backup_memories_) *ptr = copy;
+  build_streams(backup_launches_);
+  if (multi_) admission_ = make_admission(admission_kind_);
+  mem_ = MemorySubsystem(config_.mem, config_.num_sms, faults_.get());
+  watchdog_ = Watchdog(config_.watchdog);
+  reset_machine();
+}
+
+void Gpu::run_loop() {
+  if (parallel_eligible()) {
+    bool conflict = false;
+    {
+      SmWorkerPool pool(std::min(sm_threads_, config_.num_sms),
+                        config_.num_sms);
+      try {
+        while (step_parallel(pool)) {
+        }
+      } catch (const ParallelConflict&) {
+        conflict = true;
+      }
+    }  // pool joined before any state is rebuilt
+    if (!conflict) return;
+    // Kernels with genuine same-cycle cross-SM memory dependencies (e.g.
+    // spin-flag litmus tests) conflict immediately and permanently; replay
+    // the whole run on the sequential loop, which is always correct.
+    restart_sequential();
+  }
   while (step()) {
   }
+}
+
+GpuResult Gpu::run() {
+  run_loop();
   if (trace_ != nullptr) {
     for (auto& sm : sms_) sm->trace_finalize(now_);
     trace_->on_sim_end(now_);

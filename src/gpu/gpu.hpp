@@ -21,8 +21,11 @@
 // and stay bit-identical to the classic path.
 #pragma once
 
+#include <atomic>
+#include <exception>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/sim_error.hpp"
@@ -38,6 +41,8 @@
 #include "sm/sm_core.hpp"
 
 namespace prosim {
+
+class SmWorkerPool;
 
 /// One kernel of a concurrent (multi-stream) run. `memory` must outlive
 /// the Gpu; each kernel mutates its own GlobalMemory, so co-resident
@@ -98,6 +103,17 @@ class Gpu {
   /// The attached fault injector, or nullptr when faults are disabled.
   const FaultInjector* fault_injector() const { return faults_.get(); }
 
+  // -- parallel-simulation diagnostics (docs/PERF.md) ----------------------
+  /// Effective worker-thread request (config.sm_threads, overridden by the
+  /// PROSIM_SM_THREADS environment variable). Purely an execution knob:
+  /// never part of result fingerprints.
+  int sm_threads() const { return sm_threads_; }
+  /// Cycles executed by the sharded (staged) path in this run.
+  std::uint64_t parallel_cycles() const { return parallel_cycles_; }
+  /// Times a cross-SM memory conflict forced a full sequential restart
+  /// (0 or 1: threading stays off for the rest of the run).
+  std::uint64_t conflict_restarts() const { return conflict_restarts_; }
+
  private:
   /// One resident kernel (stream): its launch, TB queue, and the counters
   /// accumulated from SM generations that already rebound away from it.
@@ -119,6 +135,46 @@ class Gpu {
 
   Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
       std::unique_ptr<AdmissionPolicy> admission, bool multi);
+
+  /// Moves the launches into fresh Stream objects (allocating register
+  /// recordings when configured). Factored out of the constructor so a
+  /// conflict restart can rebuild the streams from the backup launches.
+  void build_streams(std::vector<KernelLaunch> launches);
+  /// (Re)initializes all per-run machine state: bindings, accumulators,
+  /// the clock, and one fresh SmCore per SM bound to stream 0.
+  void reset_machine();
+
+  // -- parallel cycle loop (engaged by run() when eligible) -----------------
+  /// True when run() may shard SMs across threads: multiple SMs, more than
+  /// one requested thread, no fault injector (per-cycle RNG draws), no
+  /// trace sink (sinks are not thread-safe), and no prior conflict restart.
+  bool parallel_eligible() const;
+  /// The while(step()) loop, parallel when eligible, with the
+  /// conflict-restart fallback.
+  void run_loop();
+  /// One cycle with the SM phase sharded across the pool, bit-identical to
+  /// step(). Two epochs: SM-local drains settle cache/MSHR state, then a
+  /// serial admission plan precomputes the sequential interleaving's
+  /// interconnect-inject verdicts, then dispatch + issue runs staged and
+  /// commits in ascending sm_id order.
+  bool step_parallel(SmWorkerPool& pool);
+  /// Serial pre-SM phase shared by step()/step_parallel.
+  bool begin_step();
+  /// Serial post-SM phase shared by step()/step_parallel: clock advance,
+  /// stream/watchdog/max-cycles bookkeeping, fast-forward. Returns the
+  /// "still running" verdict.
+  bool finish_step(bool launched, bool sm_active);
+  /// One SM's share of a staged cycle, run on its shard's worker thread:
+  /// local drains, then an ascending-sm_id turn on the shared free-slot
+  /// array (plan_turn_) computing this SM's exact inject-admission grant,
+  /// then staged dispatch + issue. Exceptions land in sm_exceptions_.
+  void parallel_sm_cycle(int s, Cycle now);
+  /// Detects stale staged reads: some SM stored to an address a
+  /// higher-numbered SM read from the same shared image this cycle.
+  bool staged_cycle_conflicts();
+  /// Rolls the whole simulation back to construction state (backup
+  /// memories + launches) and disables threading for this run.
+  void restart_sequential();
 
   /// (Re)binds SM `s` to stream `k`: accumulates the outgoing core's
   /// counters into its stream and the per-SM totals, then constructs a
@@ -160,6 +216,29 @@ class Gpu {
   bool multi_ = false;
   bool fast_forward_enabled_ = true;
   TraceSink* trace_ = nullptr;
+
+  // -- parallel simulation (sm_threads > 1; see docs/PERF.md) ---------------
+  int sm_threads_ = 1;
+  AdmissionKind admission_kind_ = AdmissionKind::kFifoExclusive;
+  bool parallel_disabled_ = false;  ///< set by a conflict restart
+  std::uint64_t parallel_cycles_ = 0;
+  std::uint64_t conflict_restarts_ = 0;
+  /// Construction-time snapshots for the conflict-restart path (taken only
+  /// when threading can engage; empty otherwise).
+  std::vector<KernelLaunch> backup_launches_;
+  std::vector<std::pair<GlobalMemory*, GlobalMemory>> backup_memories_;
+  /// Per-cycle scratch (sized once; the hot path never allocates).
+  std::vector<int> plan_free_slots_;
+  /// Admission-handoff baton: the sm_id whose turn it is to consume from
+  /// plan_free_slots_; release/acquire transfers the array between shards.
+  std::atomic<int> plan_turn_{0};
+  std::vector<unsigned char> sm_cycle_active_;
+  std::vector<std::exception_ptr> sm_exceptions_;
+  struct StagedWrite {
+    Addr addr;
+    const GlobalMemory* image;
+  };
+  std::vector<StagedWrite> staged_writes_;
 };
 
 /// One-shot convenience wrapper (throws SimException on stuck programs).

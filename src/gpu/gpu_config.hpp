@@ -59,6 +59,15 @@ struct GpuConfig {
   /// Record the PRO TB priority order on SM 0 (Table IV).
   bool record_tb_order_sm0 = false;
 
+  /// Worker threads sharding the SMs of *one* simulation (docs/PERF.md).
+  /// 1 (default) = the exact sequential code path; >1 shards SM cycles
+  /// across threads with a per-cycle commit barrier that keeps results
+  /// bit-identical, so — like SimThroughput — this field is deliberately
+  /// excluded from fingerprint()/hash_into: the same cell at any thread
+  /// count is the same simulation, and cached results stay shareable.
+  /// Overridable at runtime via PROSIM_SM_THREADS (CI escape hatch).
+  int sm_threads = 1;
+
   /// A small test-sized GPU (fewer SMs/partitions) for unit tests.
   static GpuConfig test_config();
 

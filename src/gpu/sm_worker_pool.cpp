@@ -1,0 +1,74 @@
+#include "gpu/sm_worker_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace prosim {
+
+namespace {
+
+/// Brief spin before parking on the futex: an epoch is one simulated cycle,
+/// so the next wakeup usually arrives within the spin window and the futex
+/// round-trip (microseconds) would dominate the cycle otherwise.
+constexpr int kSpinIterations = 4096;
+
+}  // namespace
+
+SmWorkerPool::SmWorkerPool(int threads, int num_sms)
+    : threads_(threads), num_sms_(num_sms) {
+  PROSIM_CHECK(threads_ >= 1);
+  PROSIM_CHECK(num_sms_ >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int shard = 1; shard < threads_; ++shard) {
+    workers_.emplace_back([this, shard] { worker_main(shard); });
+  }
+}
+
+SmWorkerPool::~SmWorkerPool() {
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void SmWorkerPool::run_shard(int shard, const Job& job) {
+  for (int sm = shard; sm < num_sms_; sm += threads_) job(sm);
+}
+
+void SmWorkerPool::run_epoch(const Job& job) {
+  job_ = &job;
+  pending_.store(threads_ - 1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+
+  run_shard(0, job);
+
+  int spins = 0;
+  while (true) {
+    const int left = pending_.load(std::memory_order_acquire);
+    if (left == 0) break;
+    if (++spins < kSpinIterations) continue;
+    pending_.wait(left, std::memory_order_acquire);
+  }
+  job_ = nullptr;
+}
+
+void SmWorkerPool::worker_main(int shard) {
+  std::uint64_t seen = 0;
+  while (true) {
+    int spins = 0;
+    std::uint64_t cur;
+    while ((cur = epoch_.load(std::memory_order_acquire)) == seen) {
+      if (++spins < kSpinIterations) continue;
+      epoch_.wait(seen, std::memory_order_acquire);
+      spins = 0;
+    }
+    seen = cur;
+    if (stop_.load(std::memory_order_acquire)) return;
+    run_shard(shard, *job_);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pending_.notify_one();
+    }
+  }
+}
+
+}  // namespace prosim

@@ -1,0 +1,54 @@
+// Fork-join worker pool for sharding one simulation's SMs across threads.
+//
+// One pool drives one Gpu's parallel cycle loop: every epoch (= one
+// simulated cycle) the caller hands in a job, each shard runs the job over
+// the SM indices it owns (sm % threads == shard), and run_epoch returns
+// once all shards are done. Shard 0 always executes on the calling thread,
+// so thread-affine state (e.g. the SM-0 PRO order trace) stays on the main
+// thread and a 1-thread "pool" degenerates to a plain loop.
+//
+// Epochs are simulated cycles, so the handoff must be cheap: a generation
+// counter the workers wait on (short spin, then C++20 atomic wait) and a
+// countdown the caller waits on. No mutexes on the per-epoch path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace prosim {
+
+class SmWorkerPool {
+ public:
+  /// The job must not throw — catch inside and report out of band.
+  using Job = std::function<void(int sm)>;
+
+  SmWorkerPool(int threads, int num_sms);
+  ~SmWorkerPool();
+
+  SmWorkerPool(const SmWorkerPool&) = delete;
+  SmWorkerPool& operator=(const SmWorkerPool&) = delete;
+
+  /// Runs job(sm) for every sm in [0, num_sms), sharded across the pool;
+  /// blocks until every shard finished. Only the constructing thread may
+  /// call this, and `job` must stay valid for the duration of the call.
+  void run_epoch(const Job& job);
+
+  int threads() const { return threads_; }
+
+ private:
+  void worker_main(int shard);
+  void run_shard(int shard, const Job& job);
+
+  const int threads_;
+  const int num_sms_;
+  const Job* job_ = nullptr;  // valid between epoch publish and completion
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prosim

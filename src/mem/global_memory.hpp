@@ -54,6 +54,28 @@ class GlobalMemory {
     return page == nullptr ? 0 : page[word & kPageMask];
   }
 
+  /// External one-entry page cache for concurrent readers. The plain
+  /// load() refreshes the object's own mutable cache, which is a data
+  /// race when several SM shards read the same image in parallel; this
+  /// overload keeps the locality win but stores the cached page in
+  /// caller-owned state instead, leaving *this untouched.
+  struct PageLookup {
+    std::uint64_t page = ~std::uint64_t{0};
+    const RegValue* data = nullptr;
+  };
+
+  RegValue load(Addr addr, PageLookup& lookup) const {
+    check_aligned(addr);
+    const std::uint64_t word = addr >> 3;
+    const std::uint64_t page_id = word >> kPageShift;
+    if (page_id != lookup.page) {
+      auto it = pages_.find(page_id);
+      lookup.page = page_id;
+      lookup.data = it == pages_.end() ? nullptr : it->second.data();
+    }
+    return lookup.data == nullptr ? 0 : lookup.data[word & kPageMask];
+  }
+
   void store(Addr addr, RegValue value) {
     check_aligned(addr);
     const std::uint64_t word = addr >> 3;

@@ -25,6 +25,13 @@ class Interconnect {
 
   // ---- Request direction (SM -> partition) -----------------------------
   bool can_send_request(Addr line_addr) const;
+  /// Free entries in the request port feeding `partition` — the parallel
+  /// step's admission plan replays the sequential first-come slot
+  /// allocation against these before letting SM shards run unsynchronized.
+  std::size_t request_free_slots(int partition) const {
+    return to_partition_[static_cast<std::size_t>(partition)].free_slots();
+  }
+  int num_partitions() const { return num_partitions_; }
   void send_request(const MemRequest& request, Cycle now);
   bool has_request(int partition, Cycle) const;
   MemRequest peek_request(int partition) const;

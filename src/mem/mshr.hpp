@@ -25,6 +25,13 @@ class Mshr {
     return static_cast<int>(entries_.size()) < config_.entries;
   }
 
+  /// can_allocate() as if `extra` entries had already been taken. The
+  /// parallel step's inject-admission plan walks a dispatch cycle without
+  /// mutating the MSHR, tracking its would-be allocations in `extra`.
+  bool can_allocate_plus(int extra) const {
+    return static_cast<int>(entries_.size()) + extra < config_.entries;
+  }
+
   /// True if a miss to this line can merge into an existing entry.
   bool can_merge(Addr line_addr) const {
     auto it = entries_.find(line_addr);

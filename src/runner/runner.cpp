@@ -1,5 +1,6 @@
 #include "runner/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -56,12 +57,19 @@ SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
   // worker traces only its own cell.
   TraceSession session(options.trace);
 
+  // Intra-cell SM sharding: a config copy carries the capped thread
+  // budget, so the cell's cache key (sm_threads is unfingerprinted) and
+  // result bytes are untouched.
+  GpuConfig config = job.config;
+  if (options.sm_threads > 1) {
+    config.sm_threads = capped_sm_threads(options.sm_threads, options.jobs);
+  }
+
   GlobalMemory mem;
   if (job.workload.init) job.workload.init(mem);
   const auto wall_start = std::chrono::steady_clock::now();
   Expected<GpuResult> outcome =
-      simulate_checked(job.config, job.workload.program, mem,
-                       session.sink());
+      simulate_checked(config, job.workload.program, mem, session.sink());
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -96,6 +104,15 @@ SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
 }
 
 }  // namespace
+
+int capped_sm_threads(int requested, int jobs) {
+  if (requested <= 1) return 1;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 1;
+  const int workers = jobs <= 0 ? hw : jobs;
+  const int budget = std::max(hw / std::max(workers, 1), 1);
+  return std::min(requested, budget);
+}
 
 SweepReport run_sweep(const std::vector<SweepJob>& jobs,
                       const SweepOptions& options) {

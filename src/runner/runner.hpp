@@ -66,6 +66,12 @@ struct SweepProgress {
 struct SweepOptions {
   /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
   int jobs = 1;
+  /// SM-shard worker threads *inside* each cell's simulation (see
+  /// GpuConfig::sm_threads; results are bit-identical at any value).
+  /// Applied per cell as min(sm_threads, hardware_concurrency / jobs) so
+  /// sweep-level × sim-level parallelism never oversubscribes the host —
+  /// the PROSIM_SM_THREADS environment variable bypasses the cap.
+  int sm_threads = 1;
   /// Directory for the persistent result cache; empty disables it.
   std::string cache_dir;
   /// Invoked after every cell completes, serialized under an internal
@@ -97,6 +103,11 @@ struct SweepReport {
 
 SweepReport run_sweep(const std::vector<SweepJob>& jobs,
                       const SweepOptions& options = {});
+
+/// The per-cell SM-thread budget run_sweep grants: `requested` capped so
+/// that `jobs` concurrent cells never exceed the machine's hardware
+/// concurrency (never below 1). Exposed for tests and CLIs.
+int capped_sm_threads(int requested, int jobs);
 
 /// Thread-safe process-wide memoized simulation: the bench harness's
 /// replacement for its former per-file static maps. Keyed by the same

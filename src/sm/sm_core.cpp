@@ -218,9 +218,19 @@ bool SmCore::drained() const {
 // ---------------------------------------------------------------------------
 
 bool SmCore::cycle(Cycle now) {
+  const bool local = cycle_local(now);
+  return cycle_rest(now) || local;
+}
+
+bool SmCore::cycle_local(Cycle now) {
   stats_.occupancy_tb_cycles += static_cast<std::uint64_t>(resident_tbs_);
   bool active = drain_responses(now);
   active |= drain_writebacks(now);
+  return active;
+}
+
+bool SmCore::cycle_rest(Cycle now) {
+  bool active = false;
   if (ldst_op_.valid) {
     ldst_cycle(now);
     active = true;
@@ -285,6 +295,134 @@ void SmCore::skip_cycles(Cycle count) {
                               count);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel staging (see docs/PERF.md, "Sharding one simulation across SMs")
+// ---------------------------------------------------------------------------
+
+void SmCore::begin_staged_cycle(int granted_injects) {
+  staged_ = true;
+  staged_grants_ = granted_injects;
+  staged_injects_.clear();
+  staged_stores_.clear();
+  staged_base_reads_.clear();
+  // The shared image may have gained pages from other SMs' commits since
+  // the last cycle; a cached "page absent" must not survive the barrier.
+  staged_lookup_ = {};
+}
+
+void SmCore::commit_staged_cycle(Cycle now) {
+  staged_ = false;
+  for (const MemRequest& req : staged_injects_) mem_.inject(req, now);
+  for (const auto& [addr, value] : staged_stores_) gmem_.store(addr, value);
+}
+
+int SmCore::plan_inject_admission(int* free_by_partition) const {
+  if (!ldst_op_.valid) return 0;
+  // Mirror of ldst_cycle's dispatch loop, read-only. Lines within one op
+  // are distinct (the coalescer dedupes), so probing instead of mutating
+  // cannot change a later line's classification; would-be MSHR allocations
+  // are tracked in `planned_allocs`. Faults never reach this path — the
+  // Gpu disables the parallel step whenever an injector is attached.
+  const Interconnect& icnt = mem_.interconnect();
+  int budget = config_.ldst_dispatch_per_cycle;
+  int granted = 0;
+  int planned_allocs = 0;
+  for (int i = ldst_op_.next; budget > 0 && i < ldst_op_.num_lines;
+       ++i, --budget) {
+    const Addr line = ldst_op_.lines[i];
+    if (ldst_op_.kind == MemReqKind::kRead) {
+      const bool is_const = ldst_op_.is_const;
+      const Cache& cache = is_const ? const_cache_ : l1_;
+      const Mshr<std::uint32_t>& mshr = is_const ? const_mshr_ : l1_mshr_;
+      const bool cacheable = is_const || config_.l1_enabled;
+      if (cacheable && cache.probe(line)) continue;  // hit: no inject
+      if (mshr.has(line)) {
+        if (!mshr.can_merge(line)) break;  // dispatch stalls this cycle
+        continue;                          // merge: no inject
+      }
+      if (!mshr.can_allocate_plus(planned_allocs)) break;
+      int& free = free_by_partition[icnt.partition_of(line)];
+      if (free == 0) break;  // port full: ldst_cycle returns here
+      --free;
+      ++granted;
+      ++planned_allocs;
+    } else {
+      int& free = free_by_partition[icnt.partition_of(line)];
+      if (free == 0) break;
+      --free;
+      ++granted;
+    }
+  }
+  return granted;
+}
+
+bool SmCore::can_inject_gated(Addr line) {
+  if (!staged_) return mem_.can_inject(line);
+  if (staged_grants_ == 0) return false;
+  --staged_grants_;
+  return true;
+}
+
+void SmCore::inject_or_stage(Addr line, MemReqKind kind, std::uint32_t token,
+                             bool is_const, Cycle now) {
+  if (staged_) {
+    staged_injects_.push_back({line, kind, sm_id_, token, is_const});
+  } else {
+    mem_.inject({line, kind, sm_id_, token, is_const}, now);
+  }
+}
+
+RegValue SmCore::staged_load(Addr addr) {
+  // Same-cycle own stores win, matching the sequential interleaving where
+  // this SM's earlier instructions already reached global memory. A hit
+  // here does not depend on the shared image, so it needs no conflict log.
+  for (auto it = staged_stores_.rbegin(); it != staged_stores_.rend(); ++it) {
+    if (it->first == addr) return it->second;
+  }
+  staged_base_reads_.push_back(addr);
+  return gmem_.load(addr, staged_lookup_);
+}
+
+RegValue SmCore::gmem_load(Addr addr) {
+  return staged_ ? staged_load(addr) : gmem_.load(addr);
+}
+
+void SmCore::gmem_store(Addr addr, RegValue value) {
+  if (staged_) {
+    staged_stores_.emplace_back(addr, value);
+  } else {
+    gmem_.store(addr, value);
+  }
+}
+
+RegValue SmCore::gmem_atomic_add(Addr addr, RegValue delta) {
+  if (!staged_) return gmem_.atomic_add(addr, delta);
+  const RegValue old = staged_load(addr);
+  staged_stores_.emplace_back(
+      addr, static_cast<RegValue>(static_cast<std::uint64_t>(old) +
+                                  static_cast<std::uint64_t>(delta)));
+  return old;
+}
+
+RegValue SmCore::gmem_atomic_cas(Addr addr, RegValue expected,
+                                 RegValue desired) {
+  if (!staged_) return gmem_.atomic_cas(addr, expected, desired);
+  const RegValue old = staged_load(addr);
+  // A failed CAS writes nothing, so it must not enter the store log: the
+  // log is also this SM's write set for conflict detection, and a no-op
+  // entry would manufacture write-read conflicts the sequential path
+  // cannot have.
+  if (old == expected) staged_stores_.emplace_back(addr, desired);
+  return old;
+}
+
+RegValue SmCore::gmem_atomic_exch(Addr addr, RegValue value) {
+  if (!staged_) return gmem_.atomic_exch(addr, value);
+  const RegValue old = staged_load(addr);
+  staged_stores_.emplace_back(addr, value);
+  return old;
 }
 
 Cycle SmCore::next_event(Cycle now) const {
@@ -376,26 +514,26 @@ void SmCore::ldst_cycle(Cycle now) {
           mshr.merge(line, ldst_op_.token);
           break;
         }
-        if (!mshr.can_allocate() || !mem_.can_inject(line) ||
+        if (!mshr.can_allocate() || !can_inject_gated(line) ||
             (faults_ != nullptr && faults_->mshr_blocked(sm_id_, now))) {
           ++mshr.allocation_fails;
           return;
         }
         ++cache.misses;
         mshr.allocate(line, ldst_op_.token);
-        mem_.inject({line, MemReqKind::kRead, sm_id_, 0, is_const}, now);
+        inject_or_stage(line, MemReqKind::kRead, 0, is_const, now);
         break;
       }
       case MemReqKind::kWrite: {
-        if (!mem_.can_inject(line)) return;
+        if (!can_inject_gated(line)) return;
         l1_.invalidate(line);  // write-evict, write-through
-        mem_.inject({line, MemReqKind::kWrite, sm_id_, 0}, now);
+        inject_or_stage(line, MemReqKind::kWrite, 0, false, now);
         break;
       }
       case MemReqKind::kAtomic: {
-        if (!mem_.can_inject(line)) return;
+        if (!can_inject_gated(line)) return;
         l1_.invalidate(line);  // atomics operate at the L2
-        mem_.inject({line, MemReqKind::kAtomic, sm_id_, ldst_op_.token}, now);
+        inject_or_stage(line, MemReqKind::kAtomic, ldst_op_.token, false, now);
         break;
       }
     }
@@ -798,7 +936,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
     case Opcode::kLdg: {
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if ((active & (1u << lane)) == 0) continue;
-        reg(warp, lane, inst.dst) = gmem_.load(lane_addrs_[lane]);
+        reg(warp, lane, inst.dst) = gmem_load(lane_addrs_[lane]);
       }
       // fu_can_accept guarantees the LDST op slot is free at issue time, so
       // the coalescer writes its line list straight into it.
@@ -820,7 +958,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
     case Opcode::kStg: {
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if ((active & (1u << lane)) == 0) continue;
-        gmem_.store(lane_addrs_[lane], reg(warp, lane, inst.src1));
+        gmem_store(lane_addrs_[lane], reg(warp, lane, inst.src1));
       }
       const int count = coalesce_lines_into(
           lane_addrs_, active, config_.l1d.line_bytes, ldst_op_.lines);
@@ -838,8 +976,8 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
     case Opcode::kAtomGAdd: {
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if ((active & (1u << lane)) == 0) continue;
-        const RegValue old = gmem_.atomic_add(lane_addrs_[lane],
-                                              reg(warp, lane, inst.src1));
+        const RegValue old = gmem_atomic_add(lane_addrs_[lane],
+                                             reg(warp, lane, inst.src1));
         if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
       }
       const int count = coalesce_lines_into(
@@ -866,11 +1004,11 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
         if ((active & (1u << lane)) == 0) continue;
         const RegValue old =
             inst.op == Opcode::kAtomGCas
-                ? gmem_.atomic_cas(lane_addrs_[lane],
-                                   reg(warp, lane, inst.src1),
-                                   reg(warp, lane, inst.src2))
-                : gmem_.atomic_exch(lane_addrs_[lane],
-                                    reg(warp, lane, inst.src1));
+                ? gmem_atomic_cas(lane_addrs_[lane],
+                                  reg(warp, lane, inst.src1),
+                                  reg(warp, lane, inst.src2))
+                : gmem_atomic_exch(lane_addrs_[lane],
+                                   reg(warp, lane, inst.src1));
         if (inst.dst != kNoReg) reg(warp, lane, inst.dst) = old;
       }
       const int count = coalesce_lines_into(
@@ -965,7 +1103,7 @@ void SmCore::execute_memory(int warp, const Instruction& inst,
     case Opcode::kLdc: {
       for (int lane = 0; lane < kWarpSize; ++lane) {
         if ((active & (1u << lane)) == 0) continue;
-        reg(warp, lane, inst.dst) = gmem_.load(lane_addrs_[lane]);
+        reg(warp, lane, inst.dst) = gmem_load(lane_addrs_[lane]);
       }
       scoreboard_.reserve(warp, inst.dst);
       if (config_.const_cache_enabled) {

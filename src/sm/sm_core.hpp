@@ -94,7 +94,18 @@ class SmCore {
   /// a response, retired a writeback, dispatched LDST transactions, or
   /// issued an instruction) — false means the cycle was pure bookkeeping
   /// and the GPU may fast-forward past identical cycles (see skip_cycles).
+  /// Equivalent to cycle_local() followed by cycle_rest().
   bool cycle(Cycle now);
+
+  /// First half of cycle(): drains this SM's memory responses and
+  /// writebacks. Strictly SM-local (own response queue, own caches/MSHRs),
+  /// so the parallel step runs it for every SM before planning inject
+  /// admission — the L1/MSHR state that classifies the cycle's pending
+  /// lines is settled once this returns.
+  bool cycle_local(Cycle now);
+  /// Second half of cycle(): LDST dispatch and instruction issue. OR the
+  /// return value with cycle_local()'s for the full cycle's activity.
+  bool cycle_rest(Cycle now);
 
   /// Bulk-applies `count` quiet cycles' worth of per-cycle-constant stat
   /// increments (occupancy, scheduler cycles, the stall classification
@@ -152,6 +163,46 @@ class SmCore {
   /// snapshot. Used by the forward-progress watchdog; not on the hot path.
   void diagnose(Cycle now, std::vector<WarpBlockInfo>& warps,
                 SmHealth& health) const;
+
+  // -- parallel staging (epoch-sharded simulation; see docs/PERF.md) --------
+  /// Enters staged mode for one cycle: shared-state traffic (functional
+  /// global-memory stores/atomics and timing-path interconnect injects) is
+  /// buffered locally instead of published, so SM shards can run cycle()
+  /// concurrently. Loads from global memory first consult this cycle's own
+  /// store log (read-your-writes, as in the sequential interleaving); reads
+  /// that fall through to the shared image are recorded for cross-SM
+  /// conflict detection. `granted_injects` is this SM's admission grant
+  /// from plan_inject_admission: the number of interconnect injects the
+  /// sequential interleaving would admit this cycle. Staged dispatch
+  /// consumes the grant instead of consulting live queue occupancy.
+  void begin_staged_cycle(int granted_injects);
+  /// Leaves staged mode and publishes the buffered traffic: interconnect
+  /// injects in staged order, then the store log into global memory. Must
+  /// be called serially, in ascending sm_id order — that reproduces the
+  /// sequential loop's per-SM publication order bit-exactly.
+  void commit_staged_cycle(Cycle now);
+  /// Drops the buffers without publishing (conflict path).
+  void discard_staged_cycle() { staged_ = false; }
+  /// Replays this cycle's LDST dispatch loop without mutating anything,
+  /// computing exactly how many interconnect injects the sequential
+  /// interleaving would admit: lines classify as L1/const hit, MSHR merge,
+  /// or inject against the post-drain cache state (call after
+  /// cycle_local()), and each inject consumes one entry of
+  /// `free_by_partition` (indexed by Interconnect::partition_of). Stops at
+  /// the first rejection — exhausted port or MSHR — exactly where
+  /// ldst_cycle stops dispatching. The Gpu calls this per SM in ascending
+  /// sm_id order over one shared free-slot array, reproducing the
+  /// sequential loop's first-come slot allocation bit-exactly.
+  int plan_inject_admission(int* free_by_partition) const;
+  const std::vector<Addr>& staged_base_reads() const {
+    return staged_base_reads_;
+  }
+  const std::vector<std::pair<Addr, RegValue>>& staged_stores() const {
+    return staged_stores_;
+  }
+  /// Identity of the functional memory this SM executes against; conflict
+  /// detection only compares logs of SMs bound to the same image.
+  const GlobalMemory* gmem_image() const { return &gmem_; }
 
  private:
   struct WarpCtx {
@@ -263,6 +314,20 @@ class SmCore {
   void complete_load_transaction(std::uint32_t token, Cycle now);
   void schedule_release(int warp, std::uint8_t reg, Cycle at);
 
+  // -- staged-mode indirection for all shared-state traffic -----------------
+  /// Sequential mode: live interconnect occupancy (mem_.can_inject).
+  /// Staged mode: consumes one unit of this cycle's admission grant — the
+  /// plan already proved which injects the sequential order would admit.
+  bool can_inject_gated(Addr line);
+  void inject_or_stage(Addr line, MemReqKind kind, std::uint32_t token,
+                       bool is_const, Cycle now);
+  RegValue staged_load(Addr addr);
+  RegValue gmem_load(Addr addr);
+  void gmem_store(Addr addr, RegValue value);
+  RegValue gmem_atomic_add(Addr addr, RegValue delta);
+  RegValue gmem_atomic_cas(Addr addr, RegValue expected, RegValue desired);
+  RegValue gmem_atomic_exch(Addr addr, RegValue value);
+
   RegValue& reg(int warp, int lane, int r) {
     return regs_[(static_cast<std::size_t>(warp) * kWarpSize + lane) *
                      regs_per_thread_ +
@@ -353,6 +418,16 @@ class SmCore {
   /// (no-op at salt 0; see set_addr_salt).
   void salt_lines(int count);
   Addr addr_salt_ = 0;
+
+  // -- parallel staging state (engaged only via begin_staged_cycle) ---------
+  bool staged_ = false;
+  int staged_grants_ = 0;  ///< admitted injects left this staged cycle
+  std::vector<MemRequest> staged_injects_;
+  std::vector<std::pair<Addr, RegValue>> staged_stores_;
+  std::vector<Addr> staged_base_reads_;
+  /// Per-SM page cache for shared-image reads: the GlobalMemory-internal
+  /// one mutates `mutable` members and would race across shards.
+  GlobalMemory::PageLookup staged_lookup_;
 
   SmStats stats_;
   std::vector<TbTimelineEntry> timeline_;

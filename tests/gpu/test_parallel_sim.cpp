@@ -1,0 +1,277 @@
+// The sharded cycle loop (GpuConfig::sm_threads, docs/PERF.md) beyond the
+// fingerprint suite: that the staged path actually engages, that a genuine
+// same-cycle cross-SM memory dependency triggers the conflict restart and
+// still produces the sequential answer, that interconnect backpressure
+// (the admission plan's hardest case) stays bit-identical, that watchdog
+// errors are deterministic under sharding, and that the PROSIM_SM_THREADS
+// environment override behaves.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "gpu/gpu.hpp"
+#include "gpu/result_io.hpp"
+#include "isa/builder.hpp"
+
+namespace prosim {
+namespace {
+
+/// Tests in this file pin thread counts through GpuConfig, so the
+/// environment override (which beats the config by design) must be parked
+/// for the duration — the CI ThreadSanitizer lane exports
+/// PROSIM_SM_THREADS=4 for the whole suite.
+class ParallelSim : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (const char* env = std::getenv("PROSIM_SM_THREADS")) {
+      saved_ = env;
+      had_env_ = true;
+      ::unsetenv("PROSIM_SM_THREADS");
+    }
+  }
+  void TearDown() override {
+    if (had_env_) {
+      ::setenv("PROSIM_SM_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("PROSIM_SM_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_env_ = false;
+};
+
+/// Multi-TB kernel with real memory traffic: each thread loads a word,
+/// scales it, and stores to a disjoint region. Enough TBs to keep both
+/// test-config SMs busy at once.
+Program traffic_program(int grid_dim) {
+  ProgramBuilder b("traffic");
+  b.block_dim(64).grid_dim(grid_dim).regs(8);
+  b.s2r(0, SpecialReg::kTid);
+  b.s2r(1, SpecialReg::kCtaId);
+  b.imuli(2, 1, 64);
+  b.iadd(2, 2, 0);   // global thread id
+  b.ishli(3, 2, 3);  // byte address
+  b.ldg(4, 3, 0);
+  b.imuli(4, 4, 3);
+  b.stg(3, 0x8000, 4);
+  b.exit_();
+  return b.build();
+}
+
+void traffic_init(GlobalMemory& mem, int grid_dim) {
+  for (int i = 0; i < grid_dim * 64; ++i) {
+    mem.store(static_cast<Addr>(i) * 8, i + 1);
+  }
+}
+
+std::string run_json(const GpuConfig& cfg, const Program& p, int grid_dim,
+                     std::uint64_t* parallel_cycles = nullptr,
+                     std::uint64_t* conflict_restarts = nullptr) {
+  GlobalMemory mem;
+  traffic_init(mem, grid_dim);
+  Gpu gpu(cfg, p, mem);
+  const GpuResult r = gpu.run();
+  if (parallel_cycles != nullptr) *parallel_cycles = gpu.parallel_cycles();
+  if (conflict_restarts != nullptr) {
+    *conflict_restarts = gpu.conflict_restarts();
+  }
+  return gpu_result_to_json(r);
+}
+
+TEST_F(ParallelSim, ShardedPathEngagesAndMatchesSequential) {
+  const Program p = traffic_program(8);
+  GpuConfig seq = GpuConfig::test_config();
+  const std::string sequential = run_json(seq, p, 8);
+
+  GpuConfig par = GpuConfig::test_config();
+  par.sm_threads = 2;
+  std::uint64_t cycles = 0;
+  std::uint64_t restarts = 0;
+  const std::string sharded = run_json(par, p, 8, &cycles, &restarts);
+
+  EXPECT_GT(cycles, 0u) << "sm_threads=2 never took the staged path";
+  EXPECT_EQ(restarts, 0u)
+      << "disjoint-address kernel should never conflict";
+  EXPECT_EQ(sharded, sequential);
+}
+
+TEST_F(ParallelSim, SingleSmRunsStaySequential) {
+  // <2 SMs: nothing to shard, so the staged machinery must stay cold even
+  // when threads are requested.
+  const Program p = traffic_program(4);
+  GpuConfig cfg = GpuConfig::test_config();
+  cfg.num_sms = 1;
+  cfg.mem.num_partitions = 1;
+  cfg.sm_threads = 4;
+  std::uint64_t cycles = 0;
+  run_json(cfg, p, 4, &cycles);
+  EXPECT_EQ(cycles, 0u);
+}
+
+// A same-cycle cross-SM memory dependency is the one thing the staged
+// cycle cannot replay: TB0 (SM0, the lower commit slot) hammers a flag
+// word while TB1 (SM1) spin-reads it, so some staged read lands on the
+// same cycle as a lower-SM store. The run must detect the stale read,
+// roll back to construction state, replay sequentially, and return the
+// sequential answer — all deterministic, because the staged schedule is
+// an exact replay of the sequential one.
+Program flag_handoff_program() {
+  ProgramBuilder b("flag_handoff");
+  // 8 warps per TB: the writer's interleaved store loops put a store on
+  // nearly every cycle, and the readers' staggered spin loads cover dense
+  // runs of cycles — so some staged read is guaranteed to land on the
+  // same cycle as a lower-SM store (the functional gmem read happens at
+  // ldg issue time).
+  b.block_dim(256).grid_dim(2).regs(8);
+  b.s2r(0, SpecialReg::kCtaId);
+  b.setpi(CmpOp::kGt, 1, 0, 0);  // r1 != 0 on TB1
+  ProgramBuilder::Label reader = b.new_label();
+  ProgramBuilder::Label done = b.new_label();
+  b.bra(1, /*invert=*/false, reader, done);
+  // TB0: every warp stores 1 to the flag over and over (the stores keep
+  // landing while TB1's loads issue), then exits.
+  b.movi(2, 0x4000);  // flag address, untouched by traffic_init
+  b.movi(3, 1);
+  b.movi(4, 0);
+  ProgramBuilder::Label store_loop = b.new_label();
+  b.bind(store_loop);
+  b.stg(2, 0, 3);
+  b.stg(2, 0, 3);
+  b.stg(2, 0, 3);
+  b.stg(2, 0, 3);
+  b.iaddi(4, 4, 1);
+  b.setpi(CmpOp::kLt, 5, 4, 100);
+  b.bra(5, /*invert=*/false, store_loop, done);
+  b.bind(reader);
+  // TB1: every warp spin-loads the flag until it reads non-zero.
+  b.movi(2, 0x4000);
+  ProgramBuilder::Label spin = b.new_label();
+  b.bind(spin);
+  b.ldg(6, 2, 0);
+  b.setpi(CmpOp::kEq, 7, 6, 0);
+  b.bra(7, /*invert=*/false, spin, done);
+  b.bind(done);
+  b.exit_();
+  return b.build();
+}
+
+TEST_F(ParallelSim, CrossSmFlagHandoffRestartsAndMatches) {
+  const Program p = flag_handoff_program();
+
+  GpuConfig seq = GpuConfig::test_config();
+  GlobalMemory seq_mem;
+  Gpu seq_gpu(seq, p, seq_mem);
+  const GpuResult seq_r = seq_gpu.run();
+  EXPECT_EQ(seq_gpu.conflict_restarts(), 0u);
+
+  GpuConfig par = GpuConfig::test_config();
+  par.sm_threads = 2;
+  GlobalMemory par_mem;
+  Gpu par_gpu(par, p, par_mem);
+  const GpuResult par_r = par_gpu.run();
+
+  EXPECT_EQ(par_gpu.conflict_restarts(), 1u)
+      << "the flag handoff should have forced a sequential restart";
+  EXPECT_EQ(gpu_result_to_json(par_r), gpu_result_to_json(seq_r))
+      << "restarted run diverged from the sequential answer";
+  // The restart also rolled the GlobalMemory image back before replaying,
+  // so the final memory contents agree too.
+  EXPECT_EQ(par_mem.load(0x4000), seq_mem.load(0x4000));
+}
+
+TEST_F(ParallelSim, BackpressureIsBitIdentical) {
+  // A starved interconnect (1-deep request queues) keeps the admission
+  // plan's port-full branch hot: most dispatch cycles stall mid-op, and
+  // every free slot is contended between the SMs. The plan must still
+  // replay the sequential first-come allocation exactly.
+  const Program p = traffic_program(12);
+  GpuConfig seq = GpuConfig::test_config();
+  seq.mem.icnt_queue_capacity = 1;
+  const std::string sequential = run_json(seq, p, 12);
+
+  GpuConfig par = seq;
+  par.sm_threads = 2;
+  std::uint64_t cycles = 0;
+  std::uint64_t restarts = 0;
+  const std::string sharded = run_json(par, p, 12, &cycles, &restarts);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_EQ(restarts, 0u);
+  EXPECT_EQ(sharded, sequential);
+}
+
+// Watchdog verdicts must not depend on the execution strategy: the same
+// deadlock diagnosed on the sequential loop and on the sharded loop must
+// produce the same structured error, byte for byte.
+Program barrier_deadlock_program() {
+  ProgramBuilder b("barrier_deadlock");
+  b.block_dim(64).grid_dim(2);
+  b.s2r(0, SpecialReg::kTid);
+  b.setpi(CmpOp::kGt, 1, 0, 31);  // r1 != 0 on warp 1's lanes
+  ProgramBuilder::Label spin = b.new_label();
+  ProgramBuilder::Label skip = b.new_label();
+  b.bra(1, /*invert=*/false, spin, skip);
+  b.bar();  // warp 0 arrives; warp 1 never will
+  b.exit_();
+  b.bind(spin);
+  b.iaddi(2, 2, 1);
+  b.jump(spin);
+  b.bind(skip);
+  b.exit_();
+  return b.build();
+}
+
+TEST_F(ParallelSim, WatchdogErrorIsDeterministicUnderSharding) {
+  GpuConfig cfg = GpuConfig::test_config();
+  cfg.watchdog.window = 500;
+  cfg.watchdog.stall_windows = 2;
+  cfg.watchdog.barrier_timeout = 2'000;
+  cfg.max_cycles = 1'000'000;
+
+  const Program p = barrier_deadlock_program();
+  GlobalMemory seq_mem;
+  Expected<GpuResult> seq = simulate_checked(cfg, p, seq_mem);
+  ASSERT_FALSE(seq.has_value());
+
+  cfg.sm_threads = 2;
+  GlobalMemory par_mem;
+  Expected<GpuResult> par = simulate_checked(cfg, p, par_mem);
+  ASSERT_FALSE(par.has_value());
+
+  EXPECT_EQ(par.error().category, seq.error().category);
+  EXPECT_EQ(par.error().to_string(), seq.error().to_string())
+      << "sharding changed the watchdog diagnosis";
+}
+
+TEST_F(ParallelSim, EnvVarOverridesConfig) {
+  const Program p = traffic_program(2);
+  GlobalMemory mem;
+  traffic_init(mem, 2);
+
+  ::setenv("PROSIM_SM_THREADS", "3", 1);
+  GpuConfig cfg = GpuConfig::test_config();
+  cfg.sm_threads = 1;
+  {
+    Gpu gpu(cfg, p, mem);
+    EXPECT_EQ(gpu.sm_threads(), 3)
+        << "PROSIM_SM_THREADS must beat GpuConfig::sm_threads";
+  }
+
+  // Nonsense values clamp to the sequential path instead of exploding.
+  ::setenv("PROSIM_SM_THREADS", "0", 1);
+  {
+    Gpu gpu(cfg, p, mem);
+    EXPECT_EQ(gpu.sm_threads(), 1);
+  }
+  ::unsetenv("PROSIM_SM_THREADS");
+  cfg.sm_threads = 5;
+  {
+    Gpu gpu(cfg, p, mem);
+    EXPECT_EQ(gpu.sm_threads(), 5);
+  }
+}
+
+}  // namespace
+}  // namespace prosim

@@ -197,6 +197,82 @@ TEST(EquivalenceFastpath, SingleKernelViaMultiCtorMatchesSeed) {
   }
 }
 
+// Sharding the SMs over worker threads (GpuConfig::sm_threads, see
+// docs/PERF.md) is purely an execution strategy: the staged cycle commits
+// in ascending sm_id order against an exact replay of the sequential
+// inject-admission interleaving, so every pinned fingerprint above must
+// come out bit-identical with any thread count. One cell per kernel keeps
+// the sequential-box runtime bounded; the CI ThreadSanitizer lane reruns
+// the whole suite with PROSIM_SM_THREADS=4 for full-matrix coverage.
+TEST(EquivalenceFastpath, ShardedSimulationIsBitIdentical) {
+  constexpr Cell kShardedCells[] = {
+      {"scalarProdGPU", SchedulerKind::kPro, 0xf0604c1acd235617ull},
+      {"histogram64Kernel", SchedulerKind::kLrr, 0xa5566c0fdeb4c1a3ull},
+      {"GPU_laplace3d", SchedulerKind::kPro, 0x38970701efbcb9abull},
+      {"bfs_kernel", SchedulerKind::kTl, 0x2a1b77df2e26072full},
+      {"calculate_temp", SchedulerKind::kGto, 0xf73d34b299219e61ull},
+      {"MonteCarloOneBlockPerOption", SchedulerKind::kPro,
+       0x14e6a647818a95dbull},
+  };
+  for (const Cell& cell : kShardedCells) {
+    GpuConfig cfg;
+    cfg.scheduler.kind = cell.kind;
+    cfg.sm_threads = 4;
+    const std::uint64_t actual =
+        result_fingerprint(find_workload(cell.kernel), cfg);
+    EXPECT_EQ(actual, cell.expected)
+        << cell.kernel << "/" << scheduler_name(cell.kind)
+        << ": sm_threads=4 changed the result (actual fingerprint 0x"
+        << std::hex << actual << ")";
+  }
+}
+
+// The thread count itself must be invisible too: 2, 3, and 14 workers
+// (14 = one per SM, the degenerate all-shards case) all reproduce the
+// sequential fingerprint on the same cell.
+TEST(EquivalenceFastpath, ShardedResultIndependentOfThreadCount) {
+  for (const int threads : {2, 3, 14}) {
+    GpuConfig cfg;
+    cfg.scheduler.kind = SchedulerKind::kPro;
+    cfg.sm_threads = threads;
+    const std::uint64_t actual =
+        result_fingerprint(find_workload("scalarProdGPU"), cfg);
+    EXPECT_EQ(actual, 0xf0604c1acd235617ull)
+        << "sm_threads=" << threads << " changed the result (actual "
+        << "fingerprint 0x" << std::hex << actual << ")";
+  }
+}
+
+// Sharding composes with the concurrent-kernel constructor: a single
+// launch through the multi path at sm_threads=4 still reproduces the
+// legacy pinned fingerprint (after stripping the optional serving block,
+// exactly as SingleKernelViaMultiCtorMatchesSeed does).
+TEST(EquivalenceFastpath, ShardedMultiCtorMatchesSeed) {
+  const Workload& w = find_workload("scalarProdGPU");
+  GpuConfig cfg;
+  cfg.scheduler.kind = SchedulerKind::kPro;
+  cfg.sm_threads = 4;
+  GlobalMemory mem;
+  if (w.init) w.init(mem);
+  std::vector<KernelLaunch> launches;
+  KernelLaunch launch;
+  launch.kernel_id = 0;
+  launch.name = "scalarProdGPU";
+  launch.program = w.program;
+  launch.memory = &mem;
+  launches.push_back(std::move(launch));
+  Gpu gpu(cfg, std::move(launches), AdmissionKind::kFifoExclusive);
+  GpuResult r = gpu.run();
+  ASSERT_EQ(r.kernel_slices.size(), 1u);
+  r.kernel_slices.clear();
+  const std::string json = gpu_result_to_json(r);
+  Fingerprint fp;
+  fp.add_bytes(json.data(), json.size());
+  EXPECT_EQ(fp.hash(), 0xf0604c1acd235617ull)
+      << "sharded multi-ctor run diverged (actual fingerprint 0x"
+      << std::hex << fp.hash() << ")";
+}
+
 // Fault injection disables fast-forwarding entirely (the injector draws
 // per-cycle random numbers), so this cell pins the plain ticking loop —
 // and the fault stream itself — across the optimization work.
@@ -209,6 +285,31 @@ TEST(EquivalenceFastpath, FaultInjectedCellMatchesSeed) {
   EXPECT_EQ(actual, 0xadab3da89f00b3abull)
       << "fault-injected cell diverged from the seed implementation "
       << "(actual fingerprint 0x" << std::hex << actual << ")";
+}
+
+// Faults + sharding: the fault injector draws per-cycle random numbers,
+// so the Gpu auto-disables SM sharding when an injector is attached
+// (parallel_eligible() — docs/PERF.md). Requesting threads anyway must
+// therefore reproduce the exact sequential fault-cell fingerprint, with
+// the sharded path never engaging.
+TEST(EquivalenceFastpath, FaultInjectedCellIgnoresSmThreads) {
+  GpuConfig cfg;
+  cfg.scheduler.kind = SchedulerKind::kPro;
+  cfg.faults = FaultConfig::chaos(1234);
+  cfg.sm_threads = 4;
+  const Workload& w = find_workload("scalarProdGPU");
+  GlobalMemory mem;
+  if (w.init) w.init(mem);
+  Gpu gpu(cfg, w.program, mem);
+  const GpuResult r = gpu.run();
+  EXPECT_EQ(gpu.parallel_cycles(), 0u)
+      << "sharding engaged despite an attached fault injector";
+  const std::string json = gpu_result_to_json(r);
+  Fingerprint fp;
+  fp.add_bytes(json.data(), json.size());
+  EXPECT_EQ(fp.hash(), 0xadab3da89f00b3abull)
+      << "fault-injected cell diverged under sm_threads=4 (actual "
+      << "fingerprint 0x" << std::hex << fp.hash() << ")";
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+// Sweep-level parallelism (--jobs) composed with intra-simulation SM
+// sharding (SweepOptions::sm_threads): the two knobs multiply threads but
+// may never touch results — a jobs=4/sm_threads=2 sweep must be
+// bit-identical to jobs=1/sm_threads=1, fault-injected cells included
+// (those auto-disable sharding inside the Gpu). Plus the oversubscription
+// cap's unit contract.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpu/result_io.hpp"
+#include "runner/matrix.hpp"
+#include "runner/runner.hpp"
+#include "sweep_test_util.hpp"
+
+namespace prosim::runner {
+namespace {
+
+TEST(CappedSmThreads, UnitContract) {
+  // Requesting the sequential path is always granted verbatim, whatever
+  // the host looks like.
+  EXPECT_EQ(capped_sm_threads(1, 1), 1);
+  EXPECT_EQ(capped_sm_threads(1, 64), 1);
+  EXPECT_EQ(capped_sm_threads(0, 4), 1);
+  EXPECT_EQ(capped_sm_threads(-3, 4), 1);
+
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 1;
+  // Never more than requested, never below 1, and a single sweep worker
+  // may use the whole machine.
+  for (const int requested : {2, 4, 16}) {
+    for (const int jobs : {1, 2, 8}) {
+      const int granted = capped_sm_threads(requested, jobs);
+      EXPECT_GE(granted, 1) << requested << "/" << jobs;
+      EXPECT_LE(granted, requested) << requested << "/" << jobs;
+      // jobs * granted never oversubscribes (modulo the >=1 floor).
+      EXPECT_LE(jobs * (granted - 1), std::max(hw - jobs, 0))
+          << requested << "/" << jobs;
+    }
+  }
+  EXPECT_EQ(capped_sm_threads(hw + 5, 1), std::min(hw + 5, std::max(hw, 1)));
+  // Enough sweep workers to cover the machine leave no sharding budget.
+  EXPECT_EQ(capped_sm_threads(8, hw), 1);
+}
+
+TEST(SweepThreads, JobsTimesSmThreadsIsBitIdentical) {
+  // PROSIM_SM_THREADS bypasses the runner's cap by design; park it so the
+  // options below are what actually runs (the CI TSan lane exports it).
+  const char* env = std::getenv("PROSIM_SM_THREADS");
+  const std::string saved = env != nullptr ? env : "";
+  if (env != nullptr) ::unsetenv("PROSIM_SM_THREADS");
+
+  const std::vector<Workload> workloads = {
+      runner_test::make_mem_workload("smt_mem", 4),
+      runner_test::make_alu_workload("smt_alu", 3),
+  };
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kLrr,
+                                            SchedulerKind::kPro};
+  // Fault-free cells shard; the chaos-faulted twins auto-disable sharding
+  // inside the Gpu (the injector draws per-cycle randoms) — both legs must
+  // come out identical.
+  const std::vector<SweepJob> jobs =
+      cross_matrix(workloads, kinds, /*fault_seeds=*/{11},
+                   /*include_fault_free=*/true,
+                   runner_test::sweep_test_config());
+  ASSERT_EQ(jobs.size(), 8u);
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.sm_threads = 1;
+  const SweepReport a = run_sweep(jobs, serial);
+
+  SweepOptions stacked;
+  stacked.jobs = 4;
+  stacked.sm_threads = 2;
+  const SweepReport b = run_sweep(jobs, stacked);
+
+  ASSERT_EQ(a.cells.size(), jobs.size());
+  ASSERT_EQ(b.cells.size(), jobs.size());
+  bool any_faulted = false;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(a.cells[i].ok()) << a.cells[i].label;
+    ASSERT_TRUE(b.cells[i].ok()) << b.cells[i].label;
+    EXPECT_EQ(a.cells[i].label, b.cells[i].label);
+    EXPECT_EQ(gpu_result_to_json(*a.cells[i].result),
+              gpu_result_to_json(*b.cells[i].result))
+        << "cell " << a.cells[i].label
+        << " differs between jobs=1/sm_threads=1 and jobs=4/sm_threads=2";
+    if (a.cells[i].result->faults_injected > 0) any_faulted = true;
+  }
+  EXPECT_TRUE(any_faulted)
+      << "no cell injected faults; the fault leg proves nothing";
+
+  if (!saved.empty()) ::setenv("PROSIM_SM_THREADS", saved.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace prosim::runner
