@@ -18,6 +18,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "gpu/admission.hpp"
 #include "gpu/gpu.hpp"
 #include "gpu/report.hpp"
 #include "gpu/result_io.hpp"
@@ -144,7 +145,7 @@ int main(int argc, char** argv) {
                   "collect and print the per-cause stall attribution");
   parser.add_flag("--csv", &csv, "emit the result row as CSV");
   parser.add_flag("--json", &json, "emit the full result as JSON");
-  parser.set_epilog(list_schedulers());
+  parser.set_epilog(list_schedulers() + "\n" + list_admissions());
 
   switch (parser.parse(argc, argv)) {
     case ArgParser::Status::kOk: break;

@@ -19,6 +19,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "gpu/admission.hpp"
 #include "gpu/scheduler_registry.hpp"
 #include "litmus/litmus.hpp"
 #include "runner/runner.hpp"
@@ -31,9 +32,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> scheds;
   std::vector<std::string> tests;
   std::string out_path;
+  std::string admission;
   bool quiet = false;
   bool list = false;
   bool background = false;
+  bool preemptive = false;
 
   ArgParser parser("prosim-litmus",
                    "Forward-progress litmus harness: certifies every warp "
@@ -51,9 +54,16 @@ int main(int argc, char** argv) {
   parser.add_flag("--background", &background,
                   "certify with a streaming co-tenant kernel resident "
                   "(tb_interleaved admission, two SMs; docs/SERVING.md)");
+  parser.add_flag("--preemptive", &preemptive,
+                  "certify under a preemptive admission policy "
+                  "(preemptive_slo): TB yield-resume lets oversubscribed "
+                  "cross-TB waits terminate, so every hang is a defect");
+  parser.add_string("--admission", &admission, "A",
+                    "admission policy for --background / --preemptive "
+                    "(defaults: tb_interleaved / preemptive_slo)");
   parser.add_flag("--quiet", &quiet, "no per-cell progress on stderr");
   parser.add_flag("--list", &list, "list the litmus suite and exit");
-  parser.set_epilog(list_schedulers() +
+  parser.set_epilog(list_schedulers() + "\n" + list_admissions() +
                     "\nexit: 0 ok | 2 usage | 1 I/O error | 3 broken cells "
                     "(wrong_result/error verdicts)");
   switch (parser.parse(argc, argv)) {
@@ -70,8 +80,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (background && preemptive) {
+    std::cerr << "--background and --preemptive are mutually exclusive\n";
+    return 2;
+  }
+  if (!admission.empty() && find_admission(admission) == nullptr) {
+    std::cerr << "unknown admission policy '" << admission << "'\n"
+              << list_admissions();
+    return 2;
+  }
+  if (!admission.empty() && !background && !preemptive) {
+    std::cerr << "--admission needs --background or --preemptive\n";
+    return 2;
+  }
+
   LitmusOptions opt;
   opt.jobs = jobs;
+  opt.admission = admission;
   for (const std::string& name : scheds) {
     const SchedulerInfo* info = find_scheduler(name);
     if (info == nullptr) {
@@ -89,15 +114,16 @@ int main(int argc, char** argv) {
     }
     opt.tests.push_back(name);
   }
-  if (!quiet && !background) {
+  if (!quiet && !background && !preemptive) {
     opt.progress = [](const runner::SweepProgress& p) {
       std::cerr << "[" << p.completed << "/" << p.total << "] "
                 << p.cell->label << "\n";
     };
   }
 
-  const LitmusReport report =
-      background ? run_litmus_bg(opt) : run_litmus(opt);
+  const LitmusReport report = background    ? run_litmus_bg(opt)
+                              : preemptive  ? run_litmus_preemptive(opt)
+                                            : run_litmus(opt);
 
   // With --out - the JSON owns stdout; the human matrix moves to stderr.
   std::ostream& human = out_path == "-" ? std::cerr : std::cout;

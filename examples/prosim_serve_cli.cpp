@@ -2,15 +2,19 @@
 //
 //   $ prosim-serve                                  # default trace, table
 //   $ prosim-serve --schedulers PRO,GTO --admissions tb_interleaved
-//   $ prosim-serve --seed 7 --requests 16 --mix scalarProdGPU,bfs_kernel
-//   $ prosim-serve --jobs 8 --out serve.json        # prosim-serve-v1 JSON
+//   $ prosim-serve --admissions preemptive_slo --slo-factor 3
+//   $ prosim-serve --closed-loop --concurrency 4    # completion-gated load
+//   $ prosim-serve --jobs 8 --out serve.json        # prosim-serve-v2 JSON
 //
-// Generates one deterministic open-loop arrival trace (seeded heavy-tailed
-// inter-arrivals over a kernel mix) and replays it against every requested
-// scheduler x admission-policy cell on the concurrent-kernel GPU, printing
-// per-tenant p50/p95/p99 queueing and completion latency, slowdown versus
-// isolated execution, and Jain's fairness index. The whole report is
-// bit-identical whatever --jobs is.
+// Generates one deterministic arrival trace (seeded heavy-tailed
+// inter-arrivals over a kernel mix — or, with --closed-loop,
+// completion-gated arrivals at fixed concurrency) and replays it against
+// every requested scheduler x admission-policy cell on the
+// concurrent-kernel GPU, printing per-tenant p50/p95/p99 queueing and
+// completion latency, slowdown versus isolated execution, SLO attainment
+// against a slo_factor x isolated deadline, and Jain's fairness index.
+// The whole report is bit-identical whatever --jobs is.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -37,6 +41,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> mix;
   int sms = 0;
   std::string out_path;
+  std::string slo_factor_str;
+  bool closed_loop = false;
+  int concurrency = 4;
   bool quiet = false;
   bool list = false;
 
@@ -66,8 +73,17 @@ int main(int argc, char** argv) {
   parser.add_int("--sms", &sms, "N",
                  "SM count (default: the 2-SM test configuration; the "
                  "GTX480 default is 14)");
+  parser.add_string("--slo-factor", &slo_factor_str, "F",
+                    "per-tenant deadline = F x isolated cycles; drives the "
+                    "preemptive_slo policy and the SLO-attainment column "
+                    "(default 4.0; 0 disables deadlines)");
+  parser.add_flag("--closed-loop", &closed_loop,
+                  "gate arrivals on completions at fixed concurrency "
+                  "instead of replaying trace arrivals verbatim");
+  parser.add_int("--concurrency", &concurrency, "N",
+                 "in-flight requests under --closed-loop (default 4)");
   parser.add_string("--out", &out_path, "FILE",
-                    "report as prosim-serve-v1 JSON ('-' = stdout)");
+                    "report as prosim-serve-v2 JSON ('-' = stdout)");
   parser.add_flag("--quiet", &quiet, "no per-cell progress on stderr");
   parser.add_flag("--list", &list,
                   "list schedulers, admission policies, and kernels; exit");
@@ -91,6 +107,20 @@ int main(int argc, char** argv) {
 
   ServingOptions opt;
   opt.jobs = jobs;
+  opt.closed_loop = closed_loop;
+  opt.concurrency = concurrency;
+  if (!slo_factor_str.empty()) {
+    char* end = nullptr;
+    opt.slo_factor = std::strtod(slo_factor_str.c_str(), &end);
+    if (end == nullptr || *end != '\0' || opt.slo_factor < 0.0) {
+      std::cerr << "--slo-factor needs a non-negative number\n";
+      return 2;
+    }
+  }
+  if (closed_loop && concurrency < 1) {
+    std::cerr << "--concurrency must be >= 1\n";
+    return 2;
+  }
   opt.trace.seed = seed;
   opt.trace.requests = requests;
   opt.trace.gap_scale = gap_scale;
@@ -142,22 +172,23 @@ int main(int argc, char** argv) {
     }
   }
   if (admissions.empty()) {
-    opt.admissions = all_admission_kinds();
+    for (const AdmissionInfo& info : admission_registry()) {
+      opt.admissions.push_back(info.name);
+    }
   } else {
     for (const std::string& name : admissions) {
-      AdmissionKind kind;
-      if (!admission_from_name(name, kind)) {
+      if (find_admission(name) == nullptr) {
         std::cerr << "unknown admission policy '" << name << "'\n"
                   << list_admissions();
         return 2;
       }
-      opt.admissions.push_back(kind);
+      opt.admissions.push_back(name);
     }
   }
   if (!quiet) {
     opt.progress = [](const ServingProgress& p) {
       std::cerr << "[" << p.completed << "/" << p.total << "] "
-                << p.cell->scheduler << "/" << admission_name(p.cell->admission)
+                << p.cell->scheduler << "/" << p.cell->admission
                 << (p.cell->ok() ? "" : " FAILED") << "\n";
     };
   }
@@ -169,18 +200,20 @@ int main(int argc, char** argv) {
   human << "trace: " << report.trace.size() << " requests, seed " << seed
         << ", mean gap ~" << gap_scale << " cycles\n\n";
   Table table({"scheduler", "admission", "tenant", "n", "queue_p50",
-               "queue_p99", "compl_p50", "compl_p99", "slowdown", "jain"});
+               "queue_p99", "compl_p50", "compl_p99", "slowdown", "slo_att",
+               "jain"});
   for (const ServingCell& cell : report.cells) {
     if (!cell.ok()) {
-      table.add_row({cell.scheduler, admission_name(cell.admission),
-                     "(failed)", "-", "-", "-", "-", "-", "-", "-"});
+      table.add_row({cell.scheduler, cell.admission, "(failed)", "-", "-",
+                     "-", "-", "-", "-", "-", "-"});
       continue;
     }
     for (const TenantMetrics& t : cell.tenants) {
-      table.add_row({cell.scheduler, admission_name(cell.admission), t.kernel,
+      table.add_row({cell.scheduler, cell.admission, t.kernel,
                      Table::fmt(t.requests), Table::fmt(t.queue_p50),
                      Table::fmt(t.queue_p99), Table::fmt(t.completion_p50),
                      Table::fmt(t.completion_p99), Table::fmt(t.slowdown),
+                     Table::fmt(t.slo_attainment),
                      Table::fmt(cell.jain_fairness)});
     }
   }

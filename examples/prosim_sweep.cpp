@@ -20,6 +20,7 @@
 #include "common/argparse.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "gpu/admission.hpp"
 #include "gpu/result_io.hpp"
 #include "gpu/scheduler_registry.hpp"
 #include "runner/matrix.hpp"
@@ -231,7 +232,7 @@ int main(int argc, char** argv) {
   parser.add_string("--csv", &opt.csv_path, "FILE",
                     "per-cell headline stats as CSV ('-' = stdout)");
   parser.add_flag("--quiet", &opt.quiet, "no per-cell progress on stderr");
-  parser.set_epilog(list_schedulers() +
+  parser.set_epilog(list_schedulers() + "\n" + list_admissions() +
                     "\nexit: 0 ok | 2 usage | 1 I/O or spec error | "
                     "4 cell failures |\n      5 --expect-cached violated");
 

@@ -1,6 +1,7 @@
 #include "gpu/admission.hpp"
 
-#include "common/check.hpp"
+#include <algorithm>
+#include <limits>
 
 namespace prosim {
 
@@ -8,7 +9,7 @@ namespace {
 
 class FifoExclusive final : public AdmissionPolicy {
  public:
-  AdmissionKind kind() const override { return AdmissionKind::kFifoExclusive; }
+  const char* name() const override { return "fifo_exclusive"; }
 
   bool may_refill(int /*sm*/, int bound,
                   const AdmissionView& view) const override {
@@ -24,7 +25,7 @@ class FifoExclusive final : public AdmissionPolicy {
 
 class SmPartitioned final : public AdmissionPolicy {
  public:
-  AdmissionKind kind() const override { return AdmissionKind::kSmPartitioned; }
+  const char* name() const override { return "sm_partitioned"; }
 
   static int owner(int sm, const AdmissionView& view) {
     if (view.active.empty()) return -1;
@@ -43,7 +44,7 @@ class SmPartitioned final : public AdmissionPolicy {
 
 class TbInterleaved final : public AdmissionPolicy {
  public:
-  AdmissionKind kind() const override { return AdmissionKind::kTbInterleaved; }
+  const char* name() const override { return "tb_interleaved"; }
 
   bool may_refill(int /*sm*/, int /*bound*/,
                   const AdmissionView& /*view*/) const override {
@@ -69,55 +70,109 @@ class TbInterleaved final : public AdmissionPolicy {
   int cursor_ = -1;
 };
 
+/// SLO-aware preemptive admission: all SMs follow one *focus* kernel — the
+/// waiting kernel with the highest priority, then the earliest absolute
+/// deadline (arrival + deadline_cycles; no deadline sorts last), then the
+/// smallest id (FCFS). A kernel losing focus is demoted at TB-drain
+/// granularity; the GPU additionally yields spin-stuck resident TBs
+/// (checkpoint + re-queue) so a blocked SM frees up for the focus kernel.
+/// Stateless: every answer is a pure function of the view, so quiet cycles
+/// are trivially skippable by fast-forward.
+class PreemptiveSlo final : public AdmissionPolicy {
+ public:
+  const char* name() const override { return "preemptive_slo"; }
+  bool preemptive() const override { return true; }
+
+  bool may_refill(int /*sm*/, int bound,
+                  const AdmissionView& view) const override {
+    return bound == focus(view);
+  }
+
+  int next_stream(int /*sm*/, const AdmissionView& view) override {
+    return focus(view);
+  }
+
+  int preempt_focus(int /*sm*/, const AdmissionView& view) const override {
+    return focus(view);
+  }
+
+ private:
+  static int focus(const AdmissionView& view) {
+    constexpr Cycle kNoDeadline = std::numeric_limits<Cycle>::max();
+    int best = -1;
+    int best_priority = std::numeric_limits<int>::min();
+    Cycle best_deadline = kNoDeadline;
+    for (const int k : view.waiting) {
+      int priority = 0;
+      Cycle deadline = kNoDeadline;
+      if (view.tenants != nullptr && k < view.num_kernels) {
+        priority = view.tenants[k].priority;
+        if (view.tenants[k].deadline_cycles > 0 && view.arrivals != nullptr) {
+          deadline = view.arrivals[k] + view.tenants[k].deadline_cycles;
+        }
+      }
+      const bool better =
+          best < 0 || priority > best_priority ||
+          (priority == best_priority && deadline < best_deadline);
+      // Equal keys keep the earlier (smaller-id, FCFS) kernel: `waiting`
+      // is ascending, so the first hit wins ties.
+      if (better) {
+        best = k;
+        best_priority = priority;
+        best_deadline = deadline;
+      }
+    }
+    return best;
+  }
+};
+
+template <typename Policy>
+std::unique_ptr<AdmissionPolicy> make() {
+  return std::make_unique<Policy>();
+}
+
+constexpr AdmissionInfo kRegistry[] = {
+    {"fifo_exclusive", "oldest arrived kernel runs alone (FCFS)",
+     make<FifoExclusive>},
+    {"sm_partitioned", "arrived kernels split the SM pool spatially",
+     make<SmPartitioned>},
+    {"tb_interleaved", "work-conserving TB-granularity sharing",
+     make<TbInterleaved>},
+    {"preemptive_slo",
+     "priority/deadline focus with TB yield-resume preemption",
+     make<PreemptiveSlo>},
+};
+
 }  // namespace
 
-const char* admission_name(AdmissionKind kind) {
-  switch (kind) {
-    case AdmissionKind::kFifoExclusive: return "fifo_exclusive";
-    case AdmissionKind::kSmPartitioned: return "sm_partitioned";
-    case AdmissionKind::kTbInterleaved: return "tb_interleaved";
-  }
-  return "?";
-}
+std::span<const AdmissionInfo> admission_registry() { return kRegistry; }
 
-bool admission_from_name(const std::string& name, AdmissionKind& out) {
-  for (const AdmissionKind kind : all_admission_kinds()) {
-    if (name == admission_name(kind)) {
-      out = kind;
-      return true;
-    }
+const AdmissionInfo* find_admission(const std::string& name) {
+  for (const AdmissionInfo& info : kRegistry) {
+    if (name == info.name) return &info;
   }
-  return false;
-}
-
-const std::vector<AdmissionKind>& all_admission_kinds() {
-  static const std::vector<AdmissionKind> kinds = {
-      AdmissionKind::kFifoExclusive,
-      AdmissionKind::kSmPartitioned,
-      AdmissionKind::kTbInterleaved,
-  };
-  return kinds;
+  return nullptr;
 }
 
 std::string list_admissions() {
+  std::size_t width = 0;
+  for (const AdmissionInfo& info : kRegistry) {
+    width = std::max(width, std::string(info.name).size());
+  }
   std::string out = "admission policies:\n";
-  out += "  fifo_exclusive  oldest arrived kernel runs alone (FCFS)\n";
-  out += "  sm_partitioned  arrived kernels split the SM pool spatially\n";
-  out += "  tb_interleaved  work-conserving TB-granularity sharing\n";
+  for (const AdmissionInfo& info : kRegistry) {
+    out += "  ";
+    out += info.name;
+    out.append(width + 2 - std::string(info.name).size(), ' ');
+    out += info.description;
+    out += "\n";
+  }
   return out;
 }
 
-std::unique_ptr<AdmissionPolicy> make_admission(AdmissionKind kind) {
-  switch (kind) {
-    case AdmissionKind::kFifoExclusive:
-      return std::make_unique<FifoExclusive>();
-    case AdmissionKind::kSmPartitioned:
-      return std::make_unique<SmPartitioned>();
-    case AdmissionKind::kTbInterleaved:
-      return std::make_unique<TbInterleaved>();
-  }
-  PROSIM_CHECK_MSG(false, "unknown admission kind");
-  return nullptr;
+std::unique_ptr<AdmissionPolicy> make_admission(const std::string& name) {
+  const AdmissionInfo* info = find_admission(name);
+  return info == nullptr ? nullptr : info->factory();
 }
 
 }  // namespace prosim

@@ -65,10 +65,18 @@ Gpu::Gpu(const GpuConfig& config, Program program, GlobalMemory& memory)
           nullptr, /*multi=*/false) {}
 
 Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
-         AdmissionKind admission)
-    : Gpu(config, std::move(launches), make_admission(admission),
+         const std::string& admission)
+    : Gpu(config, std::move(launches),
+          [&] {
+            std::unique_ptr<AdmissionPolicy> policy = make_admission(admission);
+            PROSIM_REQUIRE(
+                policy != nullptr,
+                SimError::make(ErrorCategory::kInvariant,
+                               "unknown admission policy: " + admission));
+            return policy;
+          }(),
           /*multi=*/true) {
-  admission_kind_ = admission;  // a conflict restart re-makes the policy
+  admission_name_ = admission;  // a conflict restart re-makes the policy
 }
 
 Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
@@ -144,6 +152,12 @@ void Gpu::build_streams(std::vector<KernelLaunch> launches) {
   for (KernelLaunch& l : launches) {
     streams_.push_back(std::make_unique<Stream>(std::move(l)));
   }
+  arrivals_.clear();
+  tenants_.clear();
+  for (const auto& st : streams_) {
+    arrivals_.push_back(st->launch.arrival);
+    tenants_.push_back(st->launch.tenant);
+  }
   if (config_.record_registers) {
     for (auto& st : streams_) {
       const KernelInfo& info = st->launch.program.info;
@@ -214,7 +228,7 @@ int Gpu::waiting_tbs() const {
   int waiting = 0;
   for (const auto& st : streams_) {
     if (!st->finished && st->launch.arrival <= now_) {
-      waiting += st->tbs.remaining();
+      waiting += st->tbs.remaining() + static_cast<int>(st->parked.size());
     }
   }
   return waiting;
@@ -247,16 +261,58 @@ bool Gpu::assign_tbs() {
   return launched;
 }
 
+void Gpu::harvest_yields() {
+  // Quiescent yield victims checkpoint into their stream's parked queue;
+  // the freed slot is available to this same cycle's launch loop.
+  for (std::size_t s = 0; s < sms_.size(); ++s) {
+    if (sms_[s]->yield_pending() < 0 || !sms_[s]->yield_quiescent()) continue;
+    Stream& st = *streams_[binding_[s]];
+    st.parked.push_back(sms_[s]->take_yield_checkpoint(now_));
+    ++st.demotions;
+  }
+}
+
+void Gpu::request_yields(const std::vector<int>& active,
+                         const std::vector<int>& waiting) {
+  const AdmissionView view{active, waiting, arrivals_.data(), tenants_.data(),
+                           static_cast<int>(streams_.size())};
+  for (std::size_t s = 0; s < sms_.size(); ++s) {
+    if (sms_[s]->yield_pending() >= 0 || sms_[s]->resident_tbs() == 0)
+      continue;
+    const int k = binding_[static_cast<std::size_t>(s)];
+    const int focus = admission_->preempt_focus(static_cast<int>(s), view);
+    if (focus < 0) continue;
+    const Stream& bound = *streams_[k];
+    // Yielding only ever helps an SM whose every resident TB is spin-stuck:
+    // TBs making progress drain on their own (TB-drain granularity). Two
+    // triggers: the focus kernel wants this SM (focus != k), or the focus
+    // kernel is stuck on its own occupancy limit (oversubscribed blocking
+    // kernels: rotate the oldest spinner out so a queued TB can run —
+    // the Cooperative-Kernels yield).
+    const bool rotate = focus == k && !sms_[s]->can_accept_tb() &&
+                        (bound.tbs.has_waiting() || !bound.parked.empty());
+    if ((focus != k || rotate) && sms_[s]->all_resident_spin_stuck()) {
+      sms_[s]->request_yield(sms_[s]->oldest_tb_slot());
+    }
+  }
+}
+
 bool Gpu::assign_tbs_multi() {
+  const bool preemptive = admission_->preemptive();
+  if (preemptive) harvest_yields();
+
   std::vector<int> active;
   std::vector<int> waiting;
   for (const auto& st : streams_) {
     if (st->finished || st->launch.arrival > now_) continue;
     active.push_back(st->launch.kernel_id);
-    if (st->tbs.has_waiting()) waiting.push_back(st->launch.kernel_id);
+    if (st->tbs.has_waiting() || !st->parked.empty()) {
+      waiting.push_back(st->launch.kernel_id);
+    }
   }
   if (active.empty()) return false;
-  const AdmissionView view{active, waiting};
+  const AdmissionView view{active, waiting, arrivals_.data(), tenants_.data(),
+                           static_cast<int>(streams_.size())};
 
   const int n = static_cast<int>(sms_.size());
   bool launched = false;
@@ -265,7 +321,8 @@ bool Gpu::assign_tbs_multi() {
     int k = binding_[s];
     const Stream& bound = *streams_[k];
     const bool bound_serves = !bound.finished && bound.launch.arrival <= now_ &&
-                              bound.tbs.has_waiting() &&
+                              (bound.tbs.has_waiting() ||
+                               !bound.parked.empty()) &&
                               admission_->may_refill(s, k, view);
     if (!bound_serves) {
       // The bound kernel has nothing (or may give nothing) to this SM; a
@@ -273,18 +330,48 @@ bool Gpu::assign_tbs_multi() {
       if (!sms_[s]->drained()) continue;
       const int next = admission_->next_stream(s, view);
       if (next < 0) continue;
-      if (next != k) bind_sm(s, next);
+      if (next != k) {
+        if (preemptive && !bound.finished &&
+            (bound.tbs.has_waiting() || !bound.parked.empty())) {
+          // Rebinding away from a kernel that still has work is the
+          // stream-level demotion (it stops getting SMs).
+          ++streams_[k]->demotions;
+        }
+        bind_sm(s, next);
+      }
       k = next;
     }
     Stream& st = *streams_[k];
-    if (sms_[s]->can_accept_tb() && st.tbs.has_waiting()) {
-      if (!st.launched_any) {
-        st.launched_any = true;
-        st.first_launch = now_;
+    if (sms_[s]->can_accept_tb()) {
+      if (st.tbs.has_waiting()) {
+        if (!st.launched_any) {
+          st.launched_any = true;
+          st.first_launch = now_;
+        }
+        sms_[s]->launch_tb(st.tbs.pop(), now_);
+        launched = true;
+      } else if (!st.parked.empty()) {
+        sms_[s]->resume_tb(st.parked.front(), now_);
+        st.parked.pop_front();
+        ++st.resumptions;
+        launched = true;
       }
-      sms_[s]->launch_tb(st.tbs.pop(), now_);
-      launched = true;
     }
+  }
+
+  if (preemptive) {
+    // Launches and resumptions above changed the waiting sets; rebuild the
+    // lists before deciding which SMs must start draining toward a yield.
+    active.clear();
+    waiting.clear();
+    for (const auto& st : streams_) {
+      if (st->finished || st->launch.arrival > now_) continue;
+      active.push_back(st->launch.kernel_id);
+      if (st->tbs.has_waiting() || !st->parked.empty()) {
+        waiting.push_back(st->launch.kernel_id);
+      }
+    }
+    request_yields(active, waiting);
   }
   return launched;
 }
@@ -292,7 +379,8 @@ bool Gpu::assign_tbs_multi() {
 void Gpu::update_streams() {
   for (auto& st : streams_) {
     if (st->finished || st->launch.arrival > now_) continue;
-    if (st->tbs.has_waiting() || !st->launched_any) continue;
+    if (st->tbs.has_waiting() || !st->parked.empty() || !st->launched_any)
+      continue;
     bool busy = false;
     for (std::size_t s = 0; s < sms_.size(); ++s) {
       if (binding_[s] == st->launch.kernel_id && !sms_[s]->drained()) {
@@ -308,6 +396,14 @@ void Gpu::update_streams() {
 }
 
 void Gpu::fast_forward() {
+  // A pending yield transitions at the next TB-assignment phase (harvest),
+  // which next_event() cannot see — tick through the drain window instead
+  // of skipping (it lasts at most a writeback latency).
+  if (multi_ && admission_->preemptive()) {
+    for (const auto& sm : sms_) {
+      if (sm->yield_pending() >= 0) return;
+    }
+  }
   // The cycle just executed. Every next_event() lower bound is relative to
   // it and strictly greater; skipping to the minimum therefore crosses only
   // cycles that would have repeated the quiet cycle verbatim.
@@ -337,6 +433,11 @@ void Gpu::fast_forward() {
   const auto n = static_cast<Cycle>(sms_.size());
   next_sm_ = static_cast<int>(
       (static_cast<Cycle>(next_sm_) + skipped) % n);  // per-cycle rotation
+  // Bindings, queues, and parked sets are constant across a quiet span, so
+  // the per-cycle preemption accounting multiplies out exactly.
+  if (multi_ && admission_->preemptive()) {
+    account_preempted(executed, skipped);
+  }
   now_ = target;
 
   if (watchdog_.due(now_)) {
@@ -347,6 +448,21 @@ void Gpu::fast_forward() {
   }
   PROSIM_REQUIRE(now_ < config_.max_cycles,
                  watchdog_.overrun_error(now_, sms_, config_.max_cycles));
+}
+
+void Gpu::account_preempted(Cycle executed, Cycle count) {
+  for (auto& st : streams_) {
+    if (st->finished || st->launch.arrival > executed) continue;
+    if (!st->tbs.has_waiting() && st->parked.empty()) continue;
+    bool bound_any = false;
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+      if (binding_[s] == st->launch.kernel_id) {
+        bound_any = true;
+        break;
+      }
+    }
+    if (!bound_any) st->preempted_cycles += count;
+  }
 }
 
 bool Gpu::begin_step() {
@@ -367,7 +483,10 @@ bool Gpu::step() {
 
 bool Gpu::finish_step(bool launched, bool sm_active) {
   ++now_;
-  if (multi_) update_streams();
+  if (multi_) {
+    update_streams();
+    if (admission_->preemptive()) account_preempted(now_ - 1, 1);
+  }
 
   if (watchdog_.due(now_)) {
     if (std::optional<SimError> stuck =
@@ -551,7 +670,7 @@ void Gpu::restart_sequential() {
   parallel_disabled_ = true;
   for (auto& [ptr, copy] : backup_memories_) *ptr = copy;
   build_streams(backup_launches_);
-  if (multi_) admission_ = make_admission(admission_kind_);
+  if (multi_) admission_ = make_admission(admission_name_);
   mem_ = MemorySubsystem(config_.mem, config_.num_sms, faults_.get());
   watchdog_ = Watchdog(config_.watchdog);
   reset_machine();
@@ -639,6 +758,11 @@ GpuResult Gpu::collect() const {
       slice.stats = st->acc;
       slice.l1_hits = st->acc_l1_hits;
       slice.l1_misses = st->acc_l1_misses;
+      slice.slo_active = admission_->preemptive();
+      slice.tenant = st->launch.tenant;
+      slice.demotions = st->demotions;
+      slice.resumptions = st->resumptions;
+      slice.preempted_cycles = st->preempted_cycles;
       for (std::size_t s = 0; s < sms_.size(); ++s) {
         if (binding_[s] != st->launch.kernel_id) continue;
         accumulate_stats(slice.stats, sms_[s]->stats());

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <string>
@@ -54,6 +55,9 @@ struct KernelLaunch {
   Program program;
   GlobalMemory* memory = nullptr;
   Cycle arrival = 0;  ///< cycle the launch enters the GPU-level queue
+  /// Per-tenant SLO (admission.hpp). Inert under non-preemptive policies:
+  /// it neither changes scheduling nor reaches serialized results there.
+  TenantSpec tenant;
 };
 
 class Gpu {
@@ -64,10 +68,12 @@ class Gpu {
   Gpu(const GpuConfig& config, Program program, GlobalMemory& memory);
 
   /// Concurrent-kernel form: launches must be ordered by non-decreasing
-  /// arrival with kernel_id == index. Per-kernel results land in
-  /// GpuResult::kernel_slices. Throws SimException on invalid input.
+  /// arrival with kernel_id == index; `admission` is an admission-registry
+  /// name ("fifo_exclusive", ...). Per-kernel results land in
+  /// GpuResult::kernel_slices. Throws SimException on invalid input or an
+  /// unknown admission name.
   Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
-      AdmissionKind admission);
+      const std::string& admission);
 
   /// Runs the kernel to completion and returns the collected results.
   /// Throws SimException when the simulated program misbehaves (deadlock,
@@ -128,6 +134,13 @@ class Gpu {
     std::uint64_t acc_l1_hits = 0;
     std::uint64_t acc_l1_misses = 0;
     std::vector<RegValue> registers;
+    /// Yield-checkpointed TBs awaiting resumption, FIFO (preemptive
+    /// admission only; always empty under the legacy policies).
+    std::deque<TbCheckpoint> parked;
+    std::uint64_t demotions = 0;    ///< TB yields + rebinds away from work
+    std::uint64_t resumptions = 0;  ///< parked TBs re-launched
+    /// Cycles the stream had runnable work but zero SMs bound to it.
+    std::uint64_t preempted_cycles = 0;
 
     explicit Stream(KernelLaunch l)
         : launch(std::move(l)), tbs(launch.program.info.grid_dim) {}
@@ -185,6 +198,16 @@ class Gpu {
   /// Returns true when at least one TB was launched this cycle.
   bool assign_tbs();
   bool assign_tbs_multi();
+  /// Preemptive-only phases of assign_tbs_multi: parks quiescent yield
+  /// victims (before launches) and requests new yields where the policy's
+  /// focus demands the SM but every resident TB is spin-stuck (after).
+  void harvest_yields();
+  void request_yields(const std::vector<int>& active,
+                      const std::vector<int>& waiting);
+  /// Adds `count` cycles to preempted_cycles of every arrived, unfinished
+  /// stream that has runnable work but no SM bound to it (preemptive only;
+  /// `executed` is the last cycle of the accounted span).
+  void account_preempted(Cycle executed, Cycle count);
   /// Marks arrived streams whose TBs have all drained as finished
   /// (multi-stream bookkeeping; runs once per executed cycle).
   void update_streams();
@@ -217,9 +240,14 @@ class Gpu {
   bool fast_forward_enabled_ = true;
   TraceSink* trace_ = nullptr;
 
+  /// Flat per-kernel SLO context handed to AdmissionView (indexed by
+  /// kernel id; rebuilt with the streams).
+  std::vector<Cycle> arrivals_;
+  std::vector<TenantSpec> tenants_;
+
   // -- parallel simulation (sm_threads > 1; see docs/PERF.md) ---------------
   int sm_threads_ = 1;
-  AdmissionKind admission_kind_ = AdmissionKind::kFifoExclusive;
+  std::string admission_name_;  ///< re-makes the policy on conflict restart
   bool parallel_disabled_ = false;  ///< set by a conflict restart
   std::uint64_t parallel_cycles_ = 0;
   std::uint64_t conflict_restarts_ = 0;

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "core/pro_scheduler.hpp"
+#include "gpu/admission.hpp"
 #include "sm/sm_core.hpp"
 #include "trace/stall_attribution.hpp"
 
@@ -46,7 +47,9 @@ struct SimThroughput {
 /// its TBs. Empty for single-kernel runs, so the canonical result bytes —
 /// and every fingerprint derived from them — are unchanged when serving is
 /// off; result_io round-trips non-empty slices as the optional
-/// `prosim-serving-v1` block.
+/// `prosim-serving-v1` block, upgraded to `prosim-serving-v2` only when a
+/// slice carries SLO/preemption data (slo_active — the documented
+/// fingerprinting rule: legacy-admission documents stay byte-identical).
 struct KernelSlice {
   int kernel_id = 0;
   std::string name;
@@ -59,6 +62,25 @@ struct KernelSlice {
   SmStats stats;
   std::uint64_t l1_hits = 0;
   std::uint64_t l1_misses = 0;
+
+  /// SLO/preemption accounting (prosim-serving-v2; meaningful only when
+  /// slo_active — i.e. the run used a preemptive admission policy).
+  bool slo_active = false;
+  TenantSpec tenant;
+  std::uint64_t demotions = 0;    ///< TB yields + rebinds away from work
+  std::uint64_t resumptions = 0;  ///< parked TBs re-launched
+  /// Cycles the kernel had runnable work but zero SMs bound to it.
+  std::uint64_t preempted_cycles = 0;
+
+  /// Absolute deadline, or 0 when the tenant set none.
+  Cycle deadline() const {
+    return tenant.deadline_cycles == 0 ? 0 : arrival + tenant.deadline_cycles;
+  }
+  /// Finished within the tenant's deadline (true when no deadline is set).
+  bool slo_met() const {
+    return tenant.deadline_cycles == 0 ||
+           (finished && finish <= arrival + tenant.deadline_cycles);
+  }
 
   Cycle queueing_latency() const {
     return launched ? first_launch - arrival : 0;

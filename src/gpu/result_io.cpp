@@ -142,10 +142,15 @@ void write_gpu_result_json(std::ostream& os, const GpuResult& r) {
   os << "],\"regs_per_thread\":" << r.regs_per_thread
      << ",\"block_dim\":" << r.block_dim;
   // Optional serving block: only concurrent-kernel runs carry slices, so
-  // single-kernel documents keep their exact historical bytes.
+  // single-kernel documents keep their exact historical bytes. The block
+  // upgrades to prosim-serving-v2 only when a slice carries SLO/preemption
+  // data — legacy-admission documents keep their exact v1 bytes (the
+  // fingerprinting rule of admission.hpp).
   if (!r.kernel_slices.empty()) {
-    os << ",\"serving\":{\"schema\":\"" << kServingSchema
-       << "\",\"kernels\":[";
+    bool slo = false;
+    for (const KernelSlice& k : r.kernel_slices) slo = slo || k.slo_active;
+    os << ",\"serving\":{\"schema\":\""
+       << (slo ? kServingSchemaV2 : kServingSchema) << "\",\"kernels\":[";
     for (std::size_t i = 0; i < r.kernel_slices.size(); ++i) {
       const KernelSlice& k = r.kernel_slices[i];
       if (i != 0) os << ",";
@@ -158,8 +163,15 @@ void write_gpu_result_json(std::ostream& os, const GpuResult& r) {
          << ",\"finished\":" << (k.finished ? "true" : "false")
          << ",\"stats\":";
       write_sm_stats(os, k.stats);
-      os << ",\"l1_hits\":" << k.l1_hits << ",\"l1_misses\":" << k.l1_misses
-         << "}";
+      os << ",\"l1_hits\":" << k.l1_hits << ",\"l1_misses\":" << k.l1_misses;
+      if (slo) {
+        os << ",\"priority\":" << k.tenant.priority
+           << ",\"deadline_cycles\":" << k.tenant.deadline_cycles
+           << ",\"demotions\":" << k.demotions
+           << ",\"resumptions\":" << k.resumptions
+           << ",\"preempted_cycles\":" << k.preempted_cycles;
+      }
+      os << "}";
     }
     os << "]}";
   }
@@ -296,10 +308,13 @@ Expected<GpuResult> gpu_result_from_json(std::string_view text) {
     if (const JsonValue* serving = doc.find("serving")) {
       PROSIM_REQUIRE(serving->is_object(), field_error("bad serving block"));
       const JsonValue* serving_schema = serving->find("schema");
-      PROSIM_REQUIRE(serving_schema != nullptr && serving_schema->is_string() &&
-                         serving_schema->as_string() == kServingSchema,
+      PROSIM_REQUIRE(serving_schema != nullptr && serving_schema->is_string(),
+                     field_error("missing serving schema"));
+      const bool v2 = serving_schema->as_string() == kServingSchemaV2;
+      PROSIM_REQUIRE(v2 || serving_schema->as_string() == kServingSchema,
                      field_error("serving schema mismatch (want " +
-                                 std::string(kServingSchema) + ")"));
+                                 std::string(kServingSchema) + " or " +
+                                 std::string(kServingSchemaV2) + ")"));
       for (const JsonValue& k : array_field(*serving, "kernels")) {
         PROSIM_REQUIRE(k.is_object(), field_error("bad kernel slice"));
         KernelSlice slice;
@@ -316,6 +331,14 @@ Expected<GpuResult> gpu_result_from_json(std::string_view text) {
         slice.stats = sm_stats_from_json(object_field(k, "stats"));
         slice.l1_hits = u64_field(k, "l1_hits");
         slice.l1_misses = u64_field(k, "l1_misses");
+        if (v2) {
+          slice.slo_active = true;
+          slice.tenant.priority = int_field(k, "priority");
+          slice.tenant.deadline_cycles = u64_field(k, "deadline_cycles");
+          slice.demotions = u64_field(k, "demotions");
+          slice.resumptions = u64_field(k, "resumptions");
+          slice.preempted_cycles = u64_field(k, "preempted_cycles");
+        }
         r.kernel_slices.push_back(std::move(slice));
       }
     }

@@ -21,14 +21,20 @@ namespace prosim {
 /// checked on read so stale cache files are rejected, not mis-parsed.
 inline constexpr const char* kGpuResultSchema = "prosim-result-v1";
 
-/// Schema tag of the optional per-kernel "serving" block appended to the
+/// Schema tags of the optional per-kernel "serving" block appended to the
 /// document when GpuResult::kernel_slices is non-empty (concurrent-kernel
 /// runs; see docs/SERVING.md). Single-kernel documents never carry the
 /// block, so their bytes — and every pinned fingerprint — are unchanged.
-/// Readers preserve unknown optional blocks verbatim
+/// The writer emits v1 unless a slice carries SLO/preemption data
+/// (KernelSlice::slo_active, set only under a preemptive admission
+/// policy), in which case the block upgrades to v2 with per-kernel tenant
+/// specs and demotion/resumption/preempted-cycle counters — so every
+/// legacy-admission document stays byte-identical to PR 7's. The reader
+/// accepts both tags. Readers preserve unknown optional blocks verbatim
 /// (GpuResult::extra_blocks), so older binaries round-trip newer
 /// documents losslessly (tests/runner/test_result_io.cpp pins this).
 inline constexpr const char* kServingSchema = "prosim-serving-v1";
+inline constexpr const char* kServingSchemaV2 = "prosim-serving-v2";
 
 void write_gpu_result_json(std::ostream& os, const GpuResult& result);
 

@@ -135,6 +135,11 @@ struct LitmusOptions {
   std::vector<SchedulerKind> schedulers;
   /// Litmus names to run; empty = the whole suite.
   std::vector<std::string> tests;
+  /// Admission-policy name for the concurrent-kernel harnesses; empty
+  /// picks each harness's default ("tb_interleaved" for the background
+  /// matrix, "preemptive_slo" for the preemptive matrix). Ignored by the
+  /// base single-kernel harness.
+  std::string admission;
   /// Per-cell progress callback (forwarded to the sweep runner).
   std::function<void(const runner::SweepProgress&)> progress;
 };
@@ -175,6 +180,17 @@ Program background_tenant_program(int grid);
 /// Runs the background-tenant matrix (options.progress is unused here:
 /// cells run on a simple deterministic pool, not the sweep runner).
 LitmusReport run_litmus_bg(const LitmusOptions& options = {});
+
+/// Preemptive-admission certification: re-runs the suite with the litmus
+/// kernel as the sole stream of the concurrent-kernel constructor under a
+/// preemptive admission policy (default "preemptive_slo") on the base
+/// one-SM config. TB-drain preemption lets the policy checkpoint
+/// spin-stuck resident TBs and rotate queued ones in, so cross-TB waits
+/// that need a non-resident TB — the cells every hardware scheduler hangs
+/// on — now terminate. Accordingly every cell is marked fair_suffices:
+/// under preemption a hang is a defect, never "expected", and a scheduler
+/// only earns the `terminates` progress model by passing everything.
+LitmusReport run_litmus_preemptive(const LitmusOptions& options = {});
 
 /// Schema tag of the JSON verdict matrix below.
 inline constexpr const char* kLitmusSchema = "prosim-litmus-v1";

@@ -60,6 +60,8 @@ Program background_tenant_program(int grid) {
 }
 
 LitmusReport run_litmus_bg(const LitmusOptions& options) {
+  const std::string admission =
+      options.admission.empty() ? "tb_interleaved" : options.admission;
   std::vector<SchedulerKind> kinds = options.schedulers;
   if (kinds.empty()) {
     for (const SchedulerInfo& info : scheduler_registry()) {
@@ -145,12 +147,122 @@ LitmusReport run_litmus_bg(const LitmusOptions& options) {
 
       try {
         Gpu gpu(litmus_bg_config(meta.kind), std::move(launches),
-                AdmissionKind::kTbInterleaved);
+                admission);
         Expected<GpuResult> result = gpu.run_checked();
         if (result.has_value()) {
           // The checkers read the litmus kernel's registers; splice the
           // foreground stream's image into the result view (regs/block
           // geometry already comes from stream 0).
+          GpuResult view = std::move(result.value());
+          view.registers = gpu.stream_registers(0);
+          cell.detect_cycle = view.cycles;
+          cell.detail = meta.test->check(view, meta.grid);
+          cell.verdict =
+              cell.detail.empty() ? Verdict::kPass : Verdict::kWrongResult;
+        } else {
+          cell.detect_cycle = result.error().cycle;
+          cell.detail = result.error().message;
+          cell.verdict = classify_sim_error(result.error());
+        }
+      } catch (const SimException& e) {
+        cell.detect_cycle = e.error().cycle;
+        cell.detail = e.error().message;
+        cell.verdict = classify_sim_error(e.error());
+      }
+      report.cells[static_cast<std::size_t>(i)] = std::move(cell);
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (SchedulerKind kind : kinds) {
+    report.schedulers.push_back(summarize_scheduler(kind, report.cells));
+  }
+  return report;
+}
+
+LitmusReport run_litmus_preemptive(const LitmusOptions& options) {
+  const std::string admission =
+      options.admission.empty() ? "preemptive_slo" : options.admission;
+  std::vector<SchedulerKind> kinds = options.schedulers;
+  if (kinds.empty()) {
+    for (const SchedulerInfo& info : scheduler_registry()) {
+      kinds.push_back(info.kind);
+    }
+  }
+  std::vector<const LitmusTest*> tests;
+  if (options.tests.empty()) {
+    for (const LitmusTest& t : litmus_suite()) tests.push_back(&t);
+  } else {
+    for (const std::string& name : options.tests) {
+      const LitmusTest* t = find_litmus(name);
+      PROSIM_CHECK_MSG(t != nullptr, "unknown litmus test");
+      tests.push_back(t);
+    }
+  }
+
+  struct CellMeta {
+    SchedulerKind kind;
+    const LitmusTest* test;
+    Regime regime;
+    int grid;
+  };
+  std::vector<CellMeta> metas;
+  for (SchedulerKind kind : kinds) {
+    const GpuConfig cfg = litmus_config(kind);
+    for (const LitmusTest* t : tests) {
+      const int residency =
+          SmCore::compute_residency(cfg.sm, t->build(1).info);
+      for (Regime regime : kRegimes) {
+        metas.push_back({kind, t, regime, t->grid_for(regime, residency)});
+      }
+    }
+  }
+
+  LitmusReport report;
+  report.cells.resize(metas.size());
+
+  const int total = static_cast<int>(metas.size());
+  int jobs = options.jobs;
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  if (jobs > total) jobs = total;
+
+  // Deterministic pool, same shape as the background matrix.
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= total) return;
+      const CellMeta& meta = metas[static_cast<std::size_t>(i)];
+      LitmusCell cell;
+      cell.scheduler = meta.kind;
+      cell.litmus = meta.test->name;
+      cell.regime = meta.regime;
+      cell.grid = meta.grid;
+      // Preemption can rotate any queued TB in, so termination never
+      // depends on residency: every hang is a defect.
+      cell.fair_suffices = true;
+
+      GlobalMemory memory;
+      std::vector<KernelLaunch> launches;
+      KernelLaunch foreground;
+      foreground.kernel_id = 0;
+      foreground.name = meta.test->name;
+      foreground.program = meta.test->build(meta.grid);
+      foreground.memory = &memory;
+      launches.push_back(std::move(foreground));
+
+      try {
+        Gpu gpu(litmus_config(meta.kind), std::move(launches), admission);
+        Expected<GpuResult> result = gpu.run_checked();
+        if (result.has_value()) {
           GpuResult view = std::move(result.value());
           view.registers = gpu.stream_registers(0);
           cell.detect_cycle = view.cycles;

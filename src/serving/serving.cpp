@@ -1,10 +1,12 @@
 #include "serving/serving.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/json.hpp"
@@ -27,23 +29,19 @@ std::string fmt_double(double v) {
   return buf;
 }
 
-ServingCell simulate_cell(const std::vector<Request>& trace,
-                          SchedulerKind scheduler, AdmissionKind admission,
-                          const GpuConfig& base) {
-  ServingCell cell;
-  cell.scheduler = scheduler_name(scheduler);
-  cell.admission = admission;
-
-  GpuConfig config = base;
-  config.scheduler.kind = scheduler;
-
-  // Fresh functional memory per request: co-resident kernels interfere
-  // only through the shared timing model, never through data.
-  std::vector<GlobalMemory> memories(trace.size());
+/// Builds the launch list for `reqs` (fresh functional memory per request:
+/// co-resident kernels interfere only through the shared timing model,
+/// never through data) and runs it on the concurrent-kernel GPU.
+/// `deadlines[i]` becomes request i's TenantSpec relative deadline.
+Expected<GpuResult> run_requests(const std::vector<Request>& reqs,
+                                 const GpuConfig& config,
+                                 const std::string& admission,
+                                 const std::vector<Cycle>& deadlines) {
+  std::vector<GlobalMemory> memories(reqs.size());
   std::vector<KernelLaunch> launches;
-  launches.reserve(trace.size());
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const Request& req = trace[i];
+  launches.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Request& req = reqs[i];
     const Workload& w = find_workload(req.kernel);
     w.init(memories[i]);
     KernelLaunch launch;
@@ -52,20 +50,116 @@ ServingCell simulate_cell(const std::vector<Request>& trace,
     launch.program = w.program;
     launch.memory = &memories[i];
     launch.arrival = req.arrival;
+    launch.tenant.deadline_cycles = deadlines[i];
     launches.push_back(std::move(launch));
   }
-
   Gpu gpu(config, std::move(launches), admission);
-  Expected<GpuResult> result = gpu.run_checked();
+  return gpu.run_checked();
+}
+
+/// Closed-loop load generation: request m's arrival is gated on the
+/// (m - concurrency)-th completion of a deterministic prefix simulation
+/// of requests 0..m-1, plus the open-loop trace's inter-arrival gap as
+/// think time. Arrivals are clamped non-decreasing (a KernelLaunch
+/// invariant). The generator is exact for the prefix it simulated and a
+/// deterministic approximation thereafter (later requests can delay the
+/// gating completion in the final run); either way the derived trace —
+/// and thus the whole cell — is bit-identical across jobs/thread counts.
+std::vector<Request> closed_loop_trace(const std::vector<Request>& trace,
+                                       const GpuConfig& config,
+                                       const std::string& admission,
+                                       const std::vector<Cycle>& deadlines,
+                                       int concurrency,
+                                       std::optional<SimError>& error) {
+  std::vector<Request> reqs = trace;
+  const int n = static_cast<int>(reqs.size());
+  const int conc = std::max(concurrency, 1);
+  for (int m = 0; m < n && m < conc; ++m) reqs[m].arrival = 0;
+  for (int m = conc; m < n; ++m) {
+    const Cycle think =
+        trace[static_cast<std::size_t>(m)].arrival -
+        trace[static_cast<std::size_t>(m) - 1].arrival;
+    const std::vector<Request> prefix(reqs.begin(), reqs.begin() + m);
+    const std::vector<Cycle> prefix_deadlines(deadlines.begin(),
+                                              deadlines.begin() + m);
+    Expected<GpuResult> r =
+        run_requests(prefix, config, admission, prefix_deadlines);
+    if (!r.has_value()) {
+      error = std::move(r.error());
+      return reqs;
+    }
+    std::vector<Cycle> completions;
+    completions.reserve(r.value().kernel_slices.size());
+    for (const KernelSlice& s : r.value().kernel_slices) {
+      completions.push_back(s.finished ? s.finish : r.value().cycles);
+    }
+    std::sort(completions.begin(), completions.end());
+    const Cycle gate = completions[static_cast<std::size_t>(m - conc)];
+    reqs[static_cast<std::size_t>(m)].arrival =
+        std::max(reqs[static_cast<std::size_t>(m) - 1].arrival, gate + think);
+  }
+  return reqs;
+}
+
+ServingCell simulate_cell(const std::vector<Request>& trace,
+                          SchedulerKind scheduler,
+                          const std::string& admission,
+                          const ServingOptions& options) {
+  ServingCell cell;
+  cell.scheduler = scheduler_name(scheduler);
+  cell.admission = admission;
+
+  GpuConfig config = options.base;
+  config.scheduler.kind = scheduler;
+  // An open-loop trace can park a whole backlog behind one kernel, so a
+  // warp legitimately waits at its barrier while every other request
+  // drains through the shared L2/DRAM — scale the barrier watchdog with
+  // trace depth. The zero-issue and starvation rules keep their usual
+  // pace, so genuine wedges are still caught quickly.
+  config.watchdog.barrier_timeout *=
+      std::max<Cycle>(1, static_cast<Cycle>(trace.size()));
+
+  // Per-tenant relative deadline: slo_factor × the kernel's isolated
+  // makespan under this cell's scheduler. Computed for every admission so
+  // the attainment column is comparable across policies; only the
+  // preemptive policy also *acts* on it (EDF focus order).
+  std::vector<std::pair<std::string, Cycle>> isolated;
+  const auto isolated_of = [&](const std::string& kernel) {
+    for (const auto& [k, c] : isolated) {
+      if (k == kernel) return c;
+    }
+    // Same scheduler, no co-tenants: the denominator isolates the cost of
+    // sharing, not the cost of the scheduler itself.
+    const Cycle c = runner::memoized_run(find_workload(kernel), config).cycles;
+    isolated.emplace_back(kernel, c);
+    return c;
+  };
+  std::vector<Cycle> deadlines(trace.size(), 0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (options.slo_factor > 0.0) {
+      deadlines[i] = static_cast<Cycle>(
+          options.slo_factor * static_cast<double>(isolated_of(trace[i].kernel)));
+    }
+  }
+
+  std::vector<Request> reqs = trace;
+  if (options.closed_loop) {
+    reqs = closed_loop_trace(trace, config, admission, deadlines,
+                             options.concurrency, cell.error);
+    if (!cell.ok()) return cell;
+  }
+
+  Expected<GpuResult> result =
+      run_requests(reqs, config, admission, deadlines);
   if (!result.has_value()) {
     cell.error = std::move(result.error());
     return cell;
   }
   const GpuResult& r = result.value();
   cell.makespan = r.cycles;
-  PROSIM_CHECK(r.kernel_slices.size() == trace.size());
+  PROSIM_CHECK(r.kernel_slices.size() == reqs.size());
 
-  for (const Request& req : trace) {
+  for (const Request& req : reqs) {
     const KernelSlice& slice = r.kernel_slices[static_cast<std::size_t>(req.id)];
     RequestMetrics m;
     m.id = req.id;
@@ -73,12 +167,13 @@ ServingCell simulate_cell(const std::vector<Request>& trace,
     m.arrival = req.arrival;
     m.queueing = slice.queueing_latency();
     m.completion = slice.completion_latency();
+    m.slo_met = slice.slo_met();
     cell.requests.push_back(std::move(m));
   }
 
   // Tenants = distinct kernels, in trace first-appearance order.
   std::vector<std::string> kernels;
-  for (const Request& req : trace) {
+  for (const Request& req : reqs) {
     bool seen = false;
     for (const std::string& k : kernels) seen = seen || k == req.kernel;
     if (!seen) kernels.push_back(req.kernel);
@@ -87,21 +182,36 @@ ServingCell simulate_cell(const std::vector<Request>& trace,
   for (const std::string& kernel : kernels) {
     TenantMetrics t;
     t.kernel = kernel;
-    // Same scheduler, no co-tenants: the denominator isolates the cost of
-    // sharing, not the cost of the scheduler itself.
-    t.isolated_cycles =
-        runner::memoized_run(find_workload(kernel), config).cycles;
+    t.isolated_cycles = isolated_of(kernel);
+    if (options.slo_factor > 0.0) {
+      t.deadline_cycles = static_cast<Cycle>(
+          options.slo_factor * static_cast<double>(t.isolated_cycles));
+    }
     std::vector<std::uint64_t> queue;
     std::vector<std::uint64_t> completion;
     std::vector<double> ratios;
+    int met = 0;
     for (const RequestMetrics& m : cell.requests) {
       if (m.kernel != kernel) continue;
       queue.push_back(m.queueing);
       completion.push_back(m.completion);
       ratios.push_back(static_cast<double>(m.completion) /
                        static_cast<double>(t.isolated_cycles));
+      if (m.slo_met) ++met;
+    }
+    for (const Request& req : reqs) {
+      if (req.kernel != kernel) continue;
+      const KernelSlice& slice =
+          r.kernel_slices[static_cast<std::size_t>(req.id)];
+      t.demotions += slice.demotions;
+      t.resumptions += slice.resumptions;
+      t.preempted_cycles += slice.preempted_cycles;
     }
     t.requests = static_cast<int>(queue.size());
+    t.slo_attainment = t.requests == 0
+                           ? 1.0
+                           : static_cast<double>(met) /
+                                 static_cast<double>(t.requests);
     const Percentiles q(std::move(queue));
     const Percentiles c(std::move(completion));
     t.queue_p50 = q.p50();
@@ -135,16 +245,19 @@ ServingReport run_serving(const ServingOptions& options) {
                    "run_serving needs at least one scheduler");
   PROSIM_CHECK_MSG(!options.admissions.empty(),
                    "run_serving needs at least one admission policy");
+  for (const std::string& a : options.admissions) {
+    PROSIM_CHECK_MSG(find_admission(a) != nullptr, a.c_str());
+  }
   ServingReport report;
   report.trace = generate_trace(options.trace);
 
   struct CellSpec {
     SchedulerKind scheduler;
-    AdmissionKind admission;
+    std::string admission;
   };
   std::vector<CellSpec> specs;
   for (const SchedulerKind s : options.schedulers) {
-    for (const AdmissionKind a : options.admissions) specs.push_back({s, a});
+    for (const std::string& a : options.admissions) specs.push_back({s, a});
   }
   report.cells.resize(specs.size());
 
@@ -163,7 +276,7 @@ ServingReport run_serving(const ServingOptions& options) {
       if (i >= total) return;
       report.cells[static_cast<std::size_t>(i)] = simulate_cell(
           report.trace, specs[static_cast<std::size_t>(i)].scheduler,
-          specs[static_cast<std::size_t>(i)].admission, options.base);
+          specs[static_cast<std::size_t>(i)].admission, options);
       if (options.progress) {
         std::lock_guard<std::mutex> lock(mutex);
         ServingProgress p;
@@ -192,7 +305,7 @@ ServingReport run_serving(const ServingOptions& options) {
 std::string serving_report_to_json(const ServingReport& report,
                                    const TraceSpec& spec) {
   std::ostringstream os;
-  os << "{\"schema\":\"prosim-serve-v1\"";
+  os << "{\"schema\":\"prosim-serve-v2\"";
   os << ",\"spec\":{\"seed\":" << spec.seed
      << ",\"requests\":" << spec.requests
      << ",\"gap_scale\":" << spec.gap_scale << ",\"mix\":[";
@@ -215,7 +328,8 @@ std::string serving_report_to_json(const ServingReport& report,
     if (i > 0) os << ',';
     os << "{\"scheduler\":";
     write_json_string(os, cell.scheduler);
-    os << ",\"admission\":\"" << admission_name(cell.admission) << '"';
+    os << ",\"admission\":";
+    write_json_string(os, cell.admission);
     os << ",\"ok\":" << (cell.ok() ? "true" : "false");
     if (!cell.ok()) {
       os << ",\"error\":{\"category\":\"" << to_string(cell.error->category)
@@ -233,6 +347,11 @@ std::string serving_report_to_json(const ServingReport& report,
         write_json_string(os, tm.kernel);
         os << ",\"requests\":" << tm.requests
            << ",\"isolated_cycles\":" << tm.isolated_cycles
+           << ",\"deadline_cycles\":" << tm.deadline_cycles
+           << ",\"slo_attainment\":" << fmt_double(tm.slo_attainment)
+           << ",\"demotions\":" << tm.demotions
+           << ",\"resumptions\":" << tm.resumptions
+           << ",\"preempted_cycles\":" << tm.preempted_cycles
            << ",\"queue_p50\":" << tm.queue_p50
            << ",\"queue_p95\":" << tm.queue_p95
            << ",\"queue_p99\":" << tm.queue_p99
@@ -245,8 +364,10 @@ std::string serving_report_to_json(const ServingReport& report,
       for (std::size_t r = 0; r < cell.requests.size(); ++r) {
         const RequestMetrics& m = cell.requests[r];
         if (r > 0) os << ',';
-        os << "{\"id\":" << m.id << ",\"queueing\":" << m.queueing
-           << ",\"completion\":" << m.completion << '}';
+        os << "{\"id\":" << m.id << ",\"arrival\":" << m.arrival
+           << ",\"queueing\":" << m.queueing
+           << ",\"completion\":" << m.completion
+           << ",\"slo_met\":" << (m.slo_met ? "true" : "false") << '}';
       }
       os << ']';
     }

@@ -26,9 +26,14 @@ namespace prosim::serving {
 struct RequestMetrics {
   int id = 0;
   std::string kernel;
+  /// Effective arrival: the trace arrival open-loop, the completion-gated
+  /// arrival closed-loop (per cell — completions differ per cell).
   Cycle arrival = 0;
   Cycle queueing = 0;    ///< arrival → first TB launch
   Cycle completion = 0;  ///< arrival → last TB drained
+  /// Completed within the tenant's relative deadline (slo_factor ×
+  /// isolated cycles).
+  bool slo_met = true;
 };
 
 /// One tenant = one distinct kernel of the mix (all its requests).
@@ -38,15 +43,25 @@ struct TenantMetrics {
   /// Makespan of the kernel running alone under the cell's scheduler
   /// (runner::memoized_run), the slowdown denominator.
   Cycle isolated_cycles = 0;
+  /// Relative deadline handed to each request of this tenant
+  /// (slo_factor × isolated_cycles).
+  Cycle deadline_cycles = 0;
   std::uint64_t queue_p50 = 0, queue_p95 = 0, queue_p99 = 0;
   std::uint64_t completion_p50 = 0, completion_p95 = 0, completion_p99 = 0;
   /// Geomean over this tenant's requests of completion / isolated.
   double slowdown = 0.0;
+  /// Fraction of this tenant's requests with completion <= deadline.
+  double slo_attainment = 1.0;
+  /// Preemption counters summed over this tenant's requests (nonzero only
+  /// under a preemptive admission policy).
+  std::uint64_t demotions = 0;
+  std::uint64_t resumptions = 0;
+  std::uint64_t preempted_cycles = 0;
 };
 
 struct ServingCell {
   std::string scheduler;
-  AdmissionKind admission = AdmissionKind::kFifoExclusive;
+  std::string admission = "fifo_exclusive";  ///< admission-registry name
   std::optional<SimError> error;  ///< set iff the cell failed
   Cycle makespan = 0;
   /// Jain's index over tenant slowdowns: 1 = perfectly fair, 1/n = one
@@ -69,7 +84,21 @@ struct ServingOptions {
   /// Base GPU configuration; the scheduler field is overwritten per cell.
   GpuConfig base;
   std::vector<SchedulerKind> schedulers;
-  std::vector<AdmissionKind> admissions;
+  /// Admission-registry names (gpu/admission.hpp); run_serving aborts on an
+  /// unknown name, mirroring the scheduler list.
+  std::vector<std::string> admissions;
+  /// Closed-loop load generation: instead of replaying the trace arrivals
+  /// verbatim, keep `concurrency` requests in flight — request m arrives
+  /// when the (m - concurrency)-th completion lands plus the trace's
+  /// inter-arrival gap as think time. Arrivals are derived per cell by
+  /// deterministic prefix simulation, so the report stays bit-identical
+  /// whatever `jobs` is.
+  bool closed_loop = false;
+  int concurrency = 4;
+  /// Relative deadline per tenant = slo_factor × isolated cycles; drives
+  /// both the preemptive_slo policy's EDF order and the reported
+  /// SLO-attainment column.
+  double slo_factor = 4.0;
   /// Worker threads over cells; <= 0 picks hardware_concurrency().
   int jobs = 1;
   /// Invoked after every cell completes, serialized under a mutex.
@@ -85,9 +114,10 @@ struct ServingReport {
 
 ServingReport run_serving(const ServingOptions& options);
 
-/// Serializes a report as the `prosim-serve-v1` JSON document (spec echo,
-/// trace, and every cell's tenant/request metrics). Deterministic bytes
-/// for a deterministic report.
+/// Serializes a report as the `prosim-serve-v2` JSON document (spec echo,
+/// trace, and every cell's tenant/request metrics — v2 adds per-request
+/// arrivals/SLO verdicts and per-tenant deadline, attainment, and
+/// preemption counters). Deterministic bytes for a deterministic report.
 std::string serving_report_to_json(const ServingReport& report,
                                    const TraceSpec& spec);
 

@@ -155,6 +155,7 @@ void SmCore::launch_tb(int ctaid, Cycle now) {
     wc.allocated = true;
     wc.finished = false;
     wc.at_barrier = false;
+    wc.issued_since_launch = false;
     wc.tb_slot = slot;
     wc.ibuffer_ready = now + 1;
     live_mask_ |= 1ull << w;
@@ -211,6 +212,168 @@ void SmCore::retire_tb(int tb_slot, Cycle now) {
 bool SmCore::drained() const {
   return resident_tbs_ == 0 && !ldst_op_.valid && wb_.empty() &&
          live_pending_loads_ == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Preemptive yield/resume (preemptive_slo admission; docs/SERVING.md)
+// ---------------------------------------------------------------------------
+
+bool SmCore::all_resident_spin_stuck() const {
+  if (resident_tbs_ == 0) return false;
+  for (int t = 0; t < max_resident_tbs_; ++t) {
+    if (!tbs_[t].active) continue;
+    for (int i = 0; i < warps_per_tb_; ++i) {
+      const WarpCtx& wc = warps_[t * warps_per_tb_ + i];
+      if (wc.finished || wc.at_barrier) continue;
+      // A warp that has not issued since its TB was (re)launched is not
+      // evidence of a livelock — its spin-classified PC may fall straight
+      // through under the current memory state (e.g. a flag written while
+      // the TB was parked). Requiring one issue per residency span also
+      // bounds the yield rotation: every round makes real progress.
+      if (!wc.issued_since_launch) return false;
+      if (!inst_meta_[static_cast<std::size_t>(wc.stack.pc())].in_spin)
+        return false;
+    }
+  }
+  return true;
+}
+
+int SmCore::oldest_tb_slot() const {
+  int best = -1;
+  for (int t = 0; t < max_resident_tbs_; ++t) {
+    if (!tbs_[t].active) continue;
+    if (best < 0 || tbs_[t].launch_seq < tbs_[best].launch_seq) best = t;
+  }
+  return best;
+}
+
+void SmCore::request_yield(int tb_slot) {
+  PROSIM_CHECK(pending_yield_slot_ < 0 && tbs_[tb_slot].active);
+  pending_yield_slot_ = tb_slot;
+  for (int i = 0; i < warps_per_tb_; ++i) {
+    yield_mask_ |= 1ull << (tb_slot * warps_per_tb_ + i);
+  }
+}
+
+bool SmCore::yield_quiescent() const {
+  PROSIM_CHECK(pending_yield_slot_ >= 0);
+  const int slot = pending_yield_slot_;
+  // An LDST op still dispatching for one of the TB's warps pins the TB; an
+  // in-flight transaction with no scoreboard reservation (a store, or a
+  // dst-less atomic whose functional effect landed at issue) does not —
+  // its eventual completion never touches warp state.
+  if (ldst_op_.valid && warps_[ldst_op_.warp].tb_slot == slot) return false;
+  for (int i = 0; i < warps_per_tb_; ++i) {
+    // pending_mask == 0 proves no writeback or in-flight load can still
+    // name this warp: every reserve is released exactly once, by the
+    // wb_ event or the final load transaction.
+    if (scoreboard_.pending_mask(slot * warps_per_tb_ + i) != 0) return false;
+  }
+  return true;
+}
+
+TbCheckpoint SmCore::take_yield_checkpoint(Cycle now) {
+  PROSIM_CHECK(pending_yield_slot_ >= 0 && yield_quiescent());
+  const int slot = pending_yield_slot_;
+  TbCtx& tb = tbs_[slot];
+
+  TbCheckpoint ckpt;
+  ckpt.ctaid = tb.ctaid;
+  ckpt.tb_progress = tb_progress_[slot];
+  ckpt.smem = std::move(tb.smem);
+  ckpt.warps.resize(static_cast<std::size_t>(warps_per_tb_));
+  for (int i = 0; i < warps_per_tb_; ++i) {
+    const int w = slot * warps_per_tb_ + i;
+    WarpCtx& wc = warps_[w];
+    TbCheckpoint::WarpCkpt& out = ckpt.warps[static_cast<std::size_t>(i)];
+    out.stack = wc.stack;
+    out.finished = wc.finished;
+    out.at_barrier = wc.at_barrier;
+    out.barrier_arrive = wc.barrier_arrive;
+    out.finish_cycle = wc.finish_cycle;
+    out.progress = warp_progress_[w];
+    live_mask_ &= ~(1ull << w);
+    wc.allocated = false;
+  }
+  const std::size_t reg_base = static_cast<std::size_t>(slot) *
+                               warps_per_tb_ * kWarpSize * regs_per_thread_;
+  const std::size_t reg_count = static_cast<std::size_t>(warps_per_tb_) *
+                                kWarpSize * regs_per_thread_;
+  ckpt.regs.assign(regs_.begin() + static_cast<std::ptrdiff_t>(reg_base),
+                   regs_.begin() +
+                       static_cast<std::ptrdiff_t>(reg_base + reg_count));
+
+  // Close the residency span for the timeline, but the TB is not executed:
+  // tbs_executed and the finish-disparity stat count only true retirements.
+  timeline_.push_back({tb.ctaid, tb.start_cycle, now});
+  policy_->on_tb_finish(slot);
+  if (trace_ != nullptr)
+    trace_->on_tb_retire(sm_id_, tb.ctaid, tb.start_cycle, now);
+  tb.active = false;
+  tb_ctaid_[slot] = -1;
+  --resident_tbs_;
+  yield_mask_ = 0;
+  pending_yield_slot_ = -1;
+  return ckpt;
+}
+
+void SmCore::resume_tb(const TbCheckpoint& ckpt, Cycle now) {
+  PROSIM_CHECK(can_accept_tb());
+  int slot = -1;
+  for (int t = 0; t < max_resident_tbs_; ++t) {
+    if (!tbs_[t].active) {
+      slot = t;
+      break;
+    }
+  }
+  PROSIM_CHECK(slot >= 0);
+
+  TbCtx& tb = tbs_[slot];
+  tb.active = true;
+  tb.ctaid = ckpt.ctaid;
+  tb.launch_seq = next_launch_seq_++;
+  tb.warps_live = 0;
+  tb.warps_at_barrier = 0;
+  tb.start_cycle = now;
+  tb.smem = ckpt.smem;
+
+  tb_progress_[slot] = ckpt.tb_progress;
+  tb_ctaid_[slot] = ckpt.ctaid;
+  tb_launch_seq_[slot] = tb.launch_seq;
+
+  for (int i = 0; i < warps_per_tb_; ++i) {
+    const int w = slot * warps_per_tb_ + i;
+    const TbCheckpoint::WarpCkpt& in = ckpt.warps[static_cast<std::size_t>(i)];
+    WarpCtx& wc = warps_[w];
+    wc.stack = in.stack;
+    wc.allocated = true;
+    wc.finished = in.finished;
+    wc.at_barrier = in.at_barrier;
+    wc.issued_since_launch = false;
+    wc.barrier_arrive = in.barrier_arrive;
+    wc.finish_cycle = in.finish_cycle;
+    wc.tb_slot = slot;
+    wc.ibuffer_ready = now + 1;
+    scoreboard_.reset(w);
+    warp_progress_[w] = in.progress;
+    last_issue_[static_cast<std::size_t>(w)] = now;
+    if (!in.finished) {
+      ++tb.warps_live;
+      if (in.at_barrier) {
+        ++tb.warps_at_barrier;
+      } else {
+        live_mask_ |= 1ull << w;
+      }
+    }
+  }
+  // A checkpointable TB always had a non-barrier live warp (the spinner),
+  // so the restored barrier can never be complete-but-unreleased.
+  PROSIM_CHECK(tb.warps_live > tb.warps_at_barrier);
+  std::memcpy(&reg(slot * warps_per_tb_, 0, 0), ckpt.regs.data(),
+              ckpt.regs.size() * sizeof(RegValue));
+  ++resident_tbs_;
+  policy_->on_tb_launch(slot);
+  if (trace_ != nullptr) trace_->on_tb_launch(sm_id_, ckpt.ctaid, now);
 }
 
 // ---------------------------------------------------------------------------
@@ -567,11 +730,13 @@ bool SmCore::issue_cycle(Cycle now) {
     bool any_fu_blocked = false;
     std::uint64_t ready = 0;
     // Candidates: allocated, unfinished, not at a barrier (live_mask_),
-    // owned by this hardware scheduler, and visible per the policy's
-    // consider mask. Iterating set bits replaces the strided probe of
-    // every warp slot; the per-warp checks are unchanged.
+    // not draining toward a yield checkpoint (~yield_mask_), owned by this
+    // hardware scheduler, and visible per the policy's consider mask.
+    // Iterating set bits replaces the strided probe of every warp slot;
+    // the per-warp checks are unchanged.
     std::uint64_t candidates =
-        live_mask_ & sched_mask_[static_cast<std::size_t>(sched)] &
+        live_mask_ & ~yield_mask_ &
+        sched_mask_[static_cast<std::size_t>(sched)] &
         policy_->consider_mask(sched);
     while (candidates != 0) {
       const int w = std::countr_zero(candidates);
@@ -662,7 +827,8 @@ StallCause SmCore::classify_scoreboard(int sched, Cycle now) const {
   bool all_spin = true;
   bool mem = false;
   std::uint64_t candidates =
-      live_mask_ & sched_mask_[static_cast<std::size_t>(sched)] &
+      live_mask_ & ~yield_mask_ &
+      sched_mask_[static_cast<std::size_t>(sched)] &
       policy_->consider_mask(sched);
   while (candidates != 0) {
     const int w = std::countr_zero(candidates);
@@ -688,7 +854,7 @@ StallCause SmCore::classify_idle(int sched, Cycle now) const {
   // In the idle branch every considered live warp is refilling its
   // instruction buffer (otherwise the cycle would have been classified
   // scoreboard or better).
-  if ((live_mask_ & smask & policy_->consider_mask(sched)) != 0)
+  if ((live_mask_ & ~yield_mask_ & smask & policy_->consider_mask(sched)) != 0)
     return StallCause::kFetch;
   bool barrier = false;
   bool finish = false;
@@ -706,7 +872,8 @@ StallCause SmCore::classify_idle(int sched, Cycle now) const {
   }
   if (barrier) return StallCause::kBarrierWait;
   if (finish) return StallCause::kFinishWait;
-  if ((live_mask_ & smask & ~policy_->consider_mask(sched)) != 0)
+  if ((live_mask_ & smask &
+       (~policy_->consider_mask(sched) | yield_mask_)) != 0)
     return StallCause::kThrottled;
   return StallCause::kNoWarp;
 }
@@ -794,6 +961,7 @@ void SmCore::issue_warp(int warp, const Instruction& inst, Cycle now) {
   const int tb_slot = wc.tb_slot;
 
   warp_progress_[warp] += static_cast<std::uint64_t>(lanes);
+  wc.issued_since_launch = true;
   last_issue_[static_cast<std::size_t>(warp)] = now;
   tb_progress_[tb_slot] += static_cast<std::uint64_t>(lanes);
   stats_.thread_insts += static_cast<std::uint64_t>(lanes);

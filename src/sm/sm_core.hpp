@@ -71,6 +71,28 @@ struct TbTimelineEntry {
   Cycle end = 0;
 };
 
+/// Architectural snapshot of one resident TB, taken at a yield point
+/// (preemptive admission, docs/SERVING.md): SIMT stacks, registers, shared
+/// memory, and progress counters — everything needed to re-launch the TB
+/// later, on any SM bound to the same kernel, with identical semantics.
+/// Checkpoints are only taken once the TB is quiescent (yield_quiescent),
+/// so no in-flight loads, writebacks, or LDST transactions belong to it.
+struct TbCheckpoint {
+  int ctaid = -1;
+  std::uint64_t tb_progress = 0;
+  std::vector<RegValue> smem;
+  struct WarpCkpt {
+    SimtStack stack;
+    bool finished = false;
+    bool at_barrier = false;
+    Cycle barrier_arrive = 0;
+    Cycle finish_cycle = 0;
+    std::uint64_t progress = 0;
+  };
+  std::vector<WarpCkpt> warps;  ///< one per warp of the TB, in slot order
+  std::vector<RegValue> regs;   ///< flat [warp_in_tb][lane][reg] block
+};
+
 class SmCore {
  public:
   /// `tbs_waiting` reports whether the GPU-level thread-block scheduler
@@ -89,6 +111,33 @@ class SmCore {
   int max_resident_tbs() const { return max_resident_tbs_; }
   bool can_accept_tb() const;
   void launch_tb(int ctaid, Cycle now);
+
+  // -- preemptive yield/resume (preemptive_slo admission; docs/SERVING.md) --
+  /// True when every resident TB is spin-stuck: each of its warps has
+  /// finished, is parked at a barrier, or sits inside a statically detected
+  /// spin-wait loop. Such an SM makes no forward progress on its own — the
+  /// GPU yields a TB to break the cycle (Cooperative Kernels).
+  bool all_resident_spin_stuck() const;
+  /// Slot of the earliest-launched resident TB (the canonical yield
+  /// victim), or -1 when none is resident.
+  int oldest_tb_slot() const;
+  /// Marks TB `tb_slot` for yielding: its warps stop issuing immediately
+  /// (removed from every scheduler's candidate set) while in-flight loads
+  /// and writebacks drain. One yield may be pending per SM.
+  void request_yield(int tb_slot);
+  /// Slot of the pending yield, or -1 when none is pending.
+  int yield_pending() const { return pending_yield_slot_; }
+  /// True when the pending yield victim has fully drained: no LDST
+  /// operation and no scoreboard-pending register (so no writeback or
+  /// in-flight load) belongs to any of its warps.
+  bool yield_quiescent() const;
+  /// Checkpoints and evicts the (quiescent) pending-yield TB, freeing its
+  /// slot. Closes the TB's timeline span but does not count it executed.
+  TbCheckpoint take_yield_checkpoint(Cycle now);
+  /// Re-launches a checkpointed TB into a free slot, restoring stacks,
+  /// registers, shared memory, and progress counters. The TB gets a fresh
+  /// launch_seq (it is the newest resident), like a hardware re-dispatch.
+  void resume_tb(const TbCheckpoint& ckpt, Cycle now);
 
   /// Advances one cycle. Returns true when the cycle did any work (drained
   /// a response, retired a writeback, dispatched LDST transactions, or
@@ -210,6 +259,14 @@ class SmCore {
     bool allocated = false;
     bool finished = false;
     bool at_barrier = false;
+    /// False until the warp issues its first instruction after its TB was
+    /// launched or resumed. A warp with no issues since (re)launch is never
+    /// spin-stuck evidence: the static in-spin PC classification only
+    /// proves a livelock once the warp has actually executed under the
+    /// current memory state. This also guarantees every demotion round
+    /// lets the victim retire at least one instruction — the preemptive
+    /// yield rotation can therefore never itself livelock.
+    bool issued_since_launch = false;
     Cycle ibuffer_ready = 0;
     Cycle barrier_arrive = 0;  // when at_barrier was set (stats)
     Cycle finish_cycle = 0;    // when the warp retired (stats)
@@ -379,6 +436,11 @@ class SmCore {
   /// launch/finish/barrier transitions so issue_cycle iterates set bits
   /// instead of probing all warp slots every cycle.
   std::uint64_t live_mask_ = 0;
+  /// Bit w set while warp w belongs to a TB with a yield pending: excluded
+  /// from issue so the TB drains to a checkpointable state. Zero except in
+  /// the short window between request_yield and take_yield_checkpoint.
+  std::uint64_t yield_mask_ = 0;
+  int pending_yield_slot_ = -1;
   /// Bit w set when warp slot w belongs to hardware scheduler `sched`
   /// (w % num_schedulers == sched), w < used_warp_slots_.
   std::vector<std::uint64_t> sched_mask_;

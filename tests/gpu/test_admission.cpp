@@ -1,8 +1,10 @@
-// Admission-policy unit tests (gpu/admission.hpp): name round trips plus
-// the per-policy arbitration contracts — FIFO head-of-line exclusivity,
-// SM-modulo partitioning, and the tb_interleaved rotation cursor that may
-// advance ONLY when a rebind actually yields a kernel (the property that
-// keeps quiet cycles skippable by event-driven fast-forward).
+// Admission-policy unit tests (gpu/admission.hpp): registry round trips
+// plus the per-policy arbitration contracts — FIFO head-of-line
+// exclusivity, SM-modulo partitioning, the tb_interleaved rotation cursor
+// that may advance ONLY when a rebind actually yields a kernel (the
+// property that keeps quiet cycles skippable by event-driven
+// fast-forward), and the preemptive_slo focus order (priority, then
+// earliest deadline, then FCFS).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -14,36 +16,46 @@
 namespace prosim {
 namespace {
 
-TEST(Admission, NamesRoundTrip) {
-  EXPECT_EQ(std::string(admission_name(AdmissionKind::kFifoExclusive)),
-            "fifo_exclusive");
-  EXPECT_EQ(std::string(admission_name(AdmissionKind::kSmPartitioned)),
-            "sm_partitioned");
-  EXPECT_EQ(std::string(admission_name(AdmissionKind::kTbInterleaved)),
-            "tb_interleaved");
-  for (const AdmissionKind kind : all_admission_kinds()) {
-    AdmissionKind parsed;
-    ASSERT_TRUE(admission_from_name(admission_name(kind), parsed));
-    EXPECT_EQ(parsed, kind);
+TEST(Admission, RegistryRoundTrips) {
+  ASSERT_EQ(admission_registry().size(), 4u);
+  const char* expected[] = {"fifo_exclusive", "sm_partitioned",
+                            "tb_interleaved", "preemptive_slo"};
+  std::size_t i = 0;
+  for (const AdmissionInfo& info : admission_registry()) {
+    EXPECT_STREQ(info.name, expected[i++]);
+    const AdmissionInfo* found = find_admission(info.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &info);
+    std::unique_ptr<AdmissionPolicy> policy = make_admission(info.name);
+    ASSERT_NE(policy, nullptr);
+    // The instance reports the exact registry spelling it was made from.
+    EXPECT_STREQ(policy->name(), info.name);
+    EXPECT_NE(std::string(info.description), "");
   }
-  AdmissionKind out;
-  EXPECT_FALSE(admission_from_name("round_robin", out));
-  EXPECT_FALSE(admission_from_name("", out));
+  EXPECT_EQ(find_admission("round_robin"), nullptr);
+  EXPECT_EQ(find_admission(""), nullptr);
+  EXPECT_EQ(make_admission("round_robin"), nullptr);
 }
 
-TEST(Admission, CatalogueListsAllKinds) {
-  ASSERT_EQ(all_admission_kinds().size(), 3u);
+TEST(Admission, ListingsNameEveryPolicy) {
   const std::string list = list_admissions();
-  for (const AdmissionKind kind : all_admission_kinds()) {
-    EXPECT_NE(list.find(admission_name(kind)), std::string::npos)
-        << admission_name(kind);
-    EXPECT_EQ(make_admission(kind)->kind(), kind);
+  for (const AdmissionInfo& info : admission_registry()) {
+    EXPECT_NE(list.find(info.name), std::string::npos) << info.name;
+    EXPECT_NE(list.find(info.description), std::string::npos) << info.name;
+  }
+}
+
+TEST(Admission, OnlyPreemptiveSloPreempts) {
+  for (const AdmissionInfo& info : admission_registry()) {
+    const std::unique_ptr<AdmissionPolicy> policy = make_admission(info.name);
+    EXPECT_EQ(policy->preemptive(),
+              std::string(info.name) == "preemptive_slo")
+        << info.name;
   }
 }
 
 TEST(Admission, FifoExclusiveAdmitsOnlyTheOldestActive) {
-  std::unique_ptr<AdmissionPolicy> p =
-      make_admission(AdmissionKind::kFifoExclusive);
+  std::unique_ptr<AdmissionPolicy> p = make_admission("fifo_exclusive");
   const std::vector<int> active = {1, 2, 3};
   const std::vector<int> waiting = {2, 3};
   const AdmissionView view{active, waiting};
@@ -61,8 +73,7 @@ TEST(Admission, FifoExclusiveAdmitsOnlyTheOldestActive) {
 }
 
 TEST(Admission, SmPartitionedSplitsTheActiveSet) {
-  std::unique_ptr<AdmissionPolicy> p =
-      make_admission(AdmissionKind::kSmPartitioned);
+  std::unique_ptr<AdmissionPolicy> p = make_admission("sm_partitioned");
   const std::vector<int> active = {0, 2};
   const std::vector<int> waiting = {0, 2};
   const AdmissionView view{active, waiting};
@@ -83,8 +94,7 @@ TEST(Admission, SmPartitionedSplitsTheActiveSet) {
 }
 
 TEST(Admission, TbInterleavedRotatesAcrossRebinds) {
-  std::unique_ptr<AdmissionPolicy> p =
-      make_admission(AdmissionKind::kTbInterleaved);
+  std::unique_ptr<AdmissionPolicy> p = make_admission("tb_interleaved");
   const std::vector<int> active = {0, 1, 2};
   const std::vector<int> waiting = {0, 1, 2};
   const AdmissionView view{active, waiting};
@@ -99,8 +109,7 @@ TEST(Admission, TbInterleavedRotatesAcrossRebinds) {
 }
 
 TEST(Admission, TbInterleavedCursorHoldsOnMiss) {
-  std::unique_ptr<AdmissionPolicy> p =
-      make_admission(AdmissionKind::kTbInterleaved);
+  std::unique_ptr<AdmissionPolicy> p = make_admission("tb_interleaved");
   const std::vector<int> active = {0, 1};
   const std::vector<int> both = {0, 1};
   const std::vector<int> none = {};
@@ -118,14 +127,89 @@ TEST(Admission, TbInterleavedCursorHoldsOnMiss) {
 }
 
 TEST(Admission, TbInterleavedSkipsNonWaitingKernels) {
-  std::unique_ptr<AdmissionPolicy> p =
-      make_admission(AdmissionKind::kTbInterleaved);
+  std::unique_ptr<AdmissionPolicy> p = make_admission("tb_interleaved");
   const std::vector<int> active = {0, 1, 2};
   const std::vector<int> only_middle = {1};
   // The rotation lands on the only waiting kernel regardless of where the
   // cursor sits.
   EXPECT_EQ(p->next_stream(0, AdmissionView{active, only_middle}), 1);
   EXPECT_EQ(p->next_stream(0, AdmissionView{active, only_middle}), 1);
+}
+
+/// Builds a view over every kernel [0, n) waiting, with SLO metadata.
+struct SloFixture {
+  std::vector<int> ids;
+  std::vector<Cycle> arrivals;
+  std::vector<TenantSpec> tenants;
+
+  explicit SloFixture(int n) {
+    for (int k = 0; k < n; ++k) {
+      ids.push_back(k);
+      arrivals.push_back(0);
+      tenants.push_back(TenantSpec{});
+    }
+  }
+  AdmissionView view() const {
+    return AdmissionView{ids, ids, arrivals.data(), tenants.data(),
+                         static_cast<int>(ids.size())};
+  }
+};
+
+TEST(Admission, PreemptiveSloPicksEarliestDeadline) {
+  std::unique_ptr<AdmissionPolicy> p = make_admission("preemptive_slo");
+  SloFixture f(3);
+  f.arrivals = {0, 100, 200};
+  f.tenants[0].deadline_cycles = 5000;  // absolute 5000
+  f.tenants[1].deadline_cycles = 900;   // absolute 1000 — earliest
+  f.tenants[2].deadline_cycles = 1900;  // absolute 2100
+  EXPECT_EQ(p->next_stream(0, f.view()), 1);
+  EXPECT_EQ(p->preempt_focus(0, f.view()), 1);
+  EXPECT_TRUE(p->may_refill(0, 1, f.view()));
+  EXPECT_FALSE(p->may_refill(0, 0, f.view()));
+}
+
+TEST(Admission, PreemptiveSloNoDeadlineSortsLast) {
+  std::unique_ptr<AdmissionPolicy> p = make_admission("preemptive_slo");
+  SloFixture f(2);
+  // Kernel 0 has no deadline; any deadline on kernel 1 must win.
+  f.tenants[1].deadline_cycles = 1'000'000;
+  EXPECT_EQ(p->preempt_focus(0, f.view()), 1);
+}
+
+TEST(Admission, PreemptiveSloPriorityDominatesDeadline) {
+  std::unique_ptr<AdmissionPolicy> p = make_admission("preemptive_slo");
+  SloFixture f(2);
+  f.tenants[0].deadline_cycles = 10;  // far earlier deadline...
+  f.tenants[1].priority = 1;          // ...but lower priority
+  EXPECT_EQ(p->preempt_focus(0, f.view()), 1);
+}
+
+TEST(Admission, PreemptiveSloTiesBreakFcfs) {
+  std::unique_ptr<AdmissionPolicy> p = make_admission("preemptive_slo");
+  // No SLO metadata at all (the unit-test degenerate view): every kernel
+  // keys equal and the smallest id — FCFS — wins.
+  const std::vector<int> active = {3, 5, 9};
+  const std::vector<int> waiting = {5, 9};
+  EXPECT_EQ(p->preempt_focus(0, AdmissionView{active, waiting}), 5);
+  // Identical explicit keys tie-break the same way.
+  SloFixture f(3);
+  for (TenantSpec& t : f.tenants) t.deadline_cycles = 700;
+  EXPECT_EQ(p->preempt_focus(0, f.view()), 0);
+}
+
+TEST(Admission, PreemptiveSloIsStateless) {
+  std::unique_ptr<AdmissionPolicy> p = make_admission("preemptive_slo");
+  SloFixture f(3);
+  f.tenants[2].priority = 2;
+  // Any number of consultations — including the mutating entry point —
+  // returns the same answer: the policy carries no cursor, so skipped
+  // quiet cycles cannot change a decision.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(p->next_stream(i % 2, f.view()), 2);
+    EXPECT_EQ(p->preempt_focus(i % 2, f.view()), 2);
+  }
+  const std::vector<int> none = {};
+  EXPECT_EQ(p->preempt_focus(0, AdmissionView{f.ids, none}), -1);
 }
 
 }  // namespace

@@ -159,7 +159,8 @@ TEST(EquivalenceFastpath, SingleKernelViaMultiCtorMatchesSeed) {
   constexpr Cell kCell = {"scalarProdGPU", SchedulerKind::kPro,
                           0xf0604c1acd235617ull};
   const Workload& w = find_workload(kCell.kernel);
-  for (const AdmissionKind admission : all_admission_kinds()) {
+  for (const AdmissionInfo& info : admission_registry()) {
+    const std::string admission = info.name;
     GpuConfig cfg;
     cfg.scheduler.kind = kCell.kind;
     GlobalMemory mem;
@@ -177,20 +178,20 @@ TEST(EquivalenceFastpath, SingleKernelViaMultiCtorMatchesSeed) {
     // canonical document then carries the optional serving block. Every
     // *seed* field must still hash to the pinned fingerprint, so strip
     // the optional block and compare against the legacy constant.
-    ASSERT_EQ(r.kernel_slices.size(), 1u) << admission_name(admission);
-    EXPECT_TRUE(r.kernel_slices[0].finished) << admission_name(admission);
+    ASSERT_EQ(r.kernel_slices.size(), 1u) << admission;
+    EXPECT_TRUE(r.kernel_slices[0].finished) << admission;
     // The slice finishes when its last TB drains; the run's cycle count
     // additionally covers the memory-subsystem drain that follows.
-    EXPECT_GT(r.kernel_slices[0].finish, 0u) << admission_name(admission);
+    EXPECT_GT(r.kernel_slices[0].finish, 0u) << admission;
     EXPECT_LE(r.kernel_slices[0].finish, r.cycles)
-        << admission_name(admission);
+        << admission;
     r.kernel_slices.clear();
     const std::string json = gpu_result_to_json(r);
     EXPECT_EQ(json.find("\"serving\""), std::string::npos);
     Fingerprint fp;
     fp.add_bytes(json.data(), json.size());
     EXPECT_EQ(fp.hash(), kCell.expected)
-        << admission_name(admission)
+        << admission
         << ": single-kernel run through the concurrent-kernel "
         << "constructor diverged from the legacy path (actual "
         << "fingerprint 0x" << std::hex << fp.hash() << ")";
@@ -261,7 +262,7 @@ TEST(EquivalenceFastpath, ShardedMultiCtorMatchesSeed) {
   launch.program = w.program;
   launch.memory = &mem;
   launches.push_back(std::move(launch));
-  Gpu gpu(cfg, std::move(launches), AdmissionKind::kFifoExclusive);
+  Gpu gpu(cfg, std::move(launches), "fifo_exclusive");
   GpuResult r = gpu.run();
   ASSERT_EQ(r.kernel_slices.size(), 1u);
   r.kernel_slices.clear();

@@ -111,7 +111,7 @@ TEST(ResultIo, ServingBlockRoundTripsBitExactly) {
   lb.memory = &mem_b;
   lb.arrival = 100;
   launches.push_back(std::move(lb));
-  Gpu gpu(cfg, std::move(launches), AdmissionKind::kTbInterleaved);
+  Gpu gpu(cfg, std::move(launches), "tb_interleaved");
   const GpuResult original = gpu.run();
   ASSERT_EQ(original.kernel_slices.size(), 2u);
 
@@ -143,6 +143,62 @@ TEST(ResultIo, ServingBlockRoundTripsBitExactly) {
       simulate_workload(solo, runner_test::sweep_test_config());
   EXPECT_EQ(gpu_result_to_json(solo_result).find("\"serving\""),
             std::string::npos);
+}
+
+// A run under a preemptive admission policy upgrades the serving block to
+// prosim-serving-v2 (tenant specs + preemption counters), which must
+// round-trip bit-exactly; legacy-admission documents (the test above)
+// stay on v1 bytes — that pair IS the documented fingerprinting rule.
+TEST(ResultIo, ServingV2BlockRoundTripsBitExactly) {
+  GpuConfig cfg = runner_test::sweep_test_config();
+  GlobalMemory mem_a;
+  GlobalMemory mem_b;
+  const Workload a = runner_test::make_mem_workload("slo_a", 3);
+  const Workload b = runner_test::make_alu_workload("slo_b", 2);
+  a.init(mem_a);
+  b.init(mem_b);
+  std::vector<KernelLaunch> launches;
+  KernelLaunch la;
+  la.kernel_id = 0;
+  la.name = "slo_a";
+  la.program = a.program;
+  la.memory = &mem_a;
+  la.tenant.deadline_cycles = 50'000;
+  launches.push_back(std::move(la));
+  KernelLaunch lb;
+  lb.kernel_id = 1;
+  lb.name = "slo_b";
+  lb.program = b.program;
+  lb.memory = &mem_b;
+  lb.arrival = 100;
+  lb.tenant.priority = 2;
+  lb.tenant.deadline_cycles = 9'000;
+  launches.push_back(std::move(lb));
+  Gpu gpu(cfg, std::move(launches), "preemptive_slo");
+  const GpuResult original = gpu.run();
+  ASSERT_EQ(original.kernel_slices.size(), 2u);
+  EXPECT_TRUE(original.kernel_slices[0].slo_active);
+
+  const std::string json = gpu_result_to_json(original);
+  EXPECT_NE(json.find(kServingSchemaV2), std::string::npos);
+  EXPECT_NE(json.find("\"demotions\""), std::string::npos);
+  Expected<GpuResult> parsed = gpu_result_from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(gpu_result_to_json(parsed.value()), json);
+
+  const GpuResult& r = parsed.value();
+  ASSERT_EQ(r.kernel_slices.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const KernelSlice& got = r.kernel_slices[i];
+    const KernelSlice& want = original.kernel_slices[i];
+    EXPECT_TRUE(got.slo_active);
+    EXPECT_EQ(got.tenant.priority, want.tenant.priority);
+    EXPECT_EQ(got.tenant.deadline_cycles, want.tenant.deadline_cycles);
+    EXPECT_EQ(got.demotions, want.demotions);
+    EXPECT_EQ(got.resumptions, want.resumptions);
+    EXPECT_EQ(got.preempted_cycles, want.preempted_cycles);
+    EXPECT_EQ(got.slo_met(), want.slo_met());
+  }
 }
 
 TEST(ResultIo, ServingSchemaMismatchIsRejected) {

@@ -2,7 +2,7 @@
 // determinism and heavy-tail shape, full scheduler × admission cell
 // sweeps on the concurrent-kernel GPU, and the report-level bit-identity
 // guarantees (worker-thread count and event-driven fast-forward must not
-// change a single byte of the prosim-serve-v1 document).
+// change a single byte of the prosim-serve-v2 document).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -30,7 +30,7 @@ ServingOptions small_options() {
   opt.trace = small_spec();
   opt.base = GpuConfig::test_config();
   opt.schedulers = {SchedulerKind::kPro, SchedulerKind::kGto};
-  opt.admissions = all_admission_kinds();
+  opt.admissions = {"fifo_exclusive", "sm_partitioned", "tb_interleaved"};
   return opt;
 }
 
@@ -105,12 +105,11 @@ TEST(Serving, EveryCellCompletesWithFullMetrics) {
   // 2 schedulers x 3 admission policies, scheduler-major.
   ASSERT_EQ(report.cells.size(), 6u);
   EXPECT_EQ(report.cells[0].scheduler, "PRO");
-  EXPECT_EQ(report.cells[0].admission, AdmissionKind::kFifoExclusive);
+  EXPECT_EQ(report.cells[0].admission, "fifo_exclusive");
   EXPECT_EQ(report.cells[5].scheduler, "GTO");
-  EXPECT_EQ(report.cells[5].admission, AdmissionKind::kTbInterleaved);
+  EXPECT_EQ(report.cells[5].admission, "tb_interleaved");
   for (const ServingCell& cell : report.cells) {
-    ASSERT_TRUE(cell.ok()) << cell.scheduler << "/"
-                           << admission_name(cell.admission) << ": "
+    ASSERT_TRUE(cell.ok()) << cell.scheduler << "/" << cell.admission << ": "
                            << cell.error->message;
     EXPECT_GT(cell.makespan, 0u);
     EXPECT_GT(cell.jain_fairness, 0.0);
@@ -156,10 +155,12 @@ TEST(Serving, ReportIsBitIdenticalWithoutFastForward) {
 TEST(Serving, JsonReportIsWellFormed) {
   ServingOptions opt = small_options();
   opt.schedulers = {SchedulerKind::kLrr};
-  opt.admissions = {AdmissionKind::kFifoExclusive};
+  opt.admissions = {"fifo_exclusive"};
   const ServingReport report = run_serving(opt);
   const std::string json = serving_report_to_json(report, opt.trace);
-  EXPECT_NE(json.find("\"schema\":\"prosim-serve-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"prosim-serve-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo_attainment\":"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_cycles\":"), std::string::npos);
   EXPECT_NE(json.find("\"trace\":["), std::string::npos);
   EXPECT_NE(json.find("\"cells\":["), std::string::npos);
   EXPECT_NE(json.find("\"jain_fairness\":"), std::string::npos);
@@ -167,12 +168,61 @@ TEST(Serving, JsonReportIsWellFormed) {
   EXPECT_NE(json.find("scalarProdGPU"), std::string::npos);
 }
 
+TEST(Serving, PreemptiveSloCellReportsAttainmentAndCounters) {
+  ServingOptions opt = small_options();
+  opt.schedulers = {SchedulerKind::kPro};
+  opt.admissions = {"preemptive_slo"};
+  const ServingReport report = run_serving(opt);
+  ASSERT_EQ(report.failures, 0u);
+  const ServingCell& cell = report.cells.front();
+  EXPECT_EQ(cell.admission, "preemptive_slo");
+  for (const TenantMetrics& t : cell.tenants) {
+    // slo_factor defaults to 4.0: every tenant gets a real deadline.
+    EXPECT_EQ(t.deadline_cycles, static_cast<Cycle>(
+                                     4.0 * static_cast<double>(
+                                               t.isolated_cycles)))
+        << t.kernel;
+    EXPECT_GE(t.slo_attainment, 0.0) << t.kernel;
+    EXPECT_LE(t.slo_attainment, 1.0) << t.kernel;
+  }
+  // The v2 JSON carries the preemption counters for every tenant.
+  const std::string json = serving_report_to_json(report, opt.trace);
+  EXPECT_NE(json.find("\"demotions\":"), std::string::npos);
+  EXPECT_NE(json.find("\"preempted_cycles\":"), std::string::npos);
+  EXPECT_NE(json.find("\"slo_met\":"), std::string::npos);
+}
+
+TEST(Serving, ClosedLoopGatesArrivalsOnCompletions) {
+  ServingOptions opt = small_options();
+  opt.schedulers = {SchedulerKind::kPro};
+  opt.admissions = {"tb_interleaved"};
+  opt.closed_loop = true;
+  opt.concurrency = 2;
+  const ServingReport report = run_serving(opt);
+  ASSERT_EQ(report.failures, 0u);
+  const ServingCell& cell = report.cells.front();
+  ASSERT_EQ(cell.requests.size(), 5u);
+  // The first `concurrency` requests arrive immediately; every later one
+  // waits for a completion, so it arrives strictly after cycle 0 and
+  // arrivals stay non-decreasing.
+  EXPECT_EQ(cell.requests[0].arrival, 0u);
+  EXPECT_EQ(cell.requests[1].arrival, 0u);
+  for (std::size_t i = 2; i < cell.requests.size(); ++i) {
+    EXPECT_GT(cell.requests[i].arrival, 0u) << "request " << i;
+    EXPECT_GE(cell.requests[i].arrival, cell.requests[i - 1].arrival);
+  }
+  // Completion-gating is part of the determinism contract too.
+  opt.jobs = 4;
+  EXPECT_EQ(serving_report_to_json(run_serving(opt), opt.trace),
+            serving_report_to_json(report, opt.trace));
+}
+
 TEST(Serving, FifoExclusiveSerializesTheBacklog) {
   // Under fifo_exclusive a request can never start before the previous
   // one finished: completion cycles are strictly ordered by id.
   ServingOptions opt = small_options();
   opt.schedulers = {SchedulerKind::kPro};
-  opt.admissions = {AdmissionKind::kFifoExclusive};
+  opt.admissions = {"fifo_exclusive"};
   const ServingReport report = run_serving(opt);
   ASSERT_EQ(report.failures, 0u);
   const ServingCell& cell = report.cells.front();
