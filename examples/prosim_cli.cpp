@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/argparse.hpp"
+#include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "gpu/admission.hpp"
 #include "gpu/gpu.hpp"
@@ -26,6 +27,7 @@
 #include "gpu/trace_export.hpp"
 #include "isa/assembler.hpp"
 #include "kernels/registry.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/trace_session.hpp"
 
 using namespace prosim;
@@ -102,6 +104,8 @@ int main(int argc, char** argv) {
   bool disasm = false;
   bool stall_report = false;
   std::string trace_arg;
+  std::int64_t metrics_interval = 0;
+  ObservabilityOptions oopts;
 
   ArgParser parser("prosim_cli",
                    "Cycle-level GPU simulation of one kernel.");
@@ -143,13 +147,25 @@ int main(int argc, char** argv) {
                     "bare FILE means tb:FILE");
   parser.add_flag("--stall-report", &stall_report,
                   "collect and print the per-cause stall attribution");
+  parser.add_i64("--metrics-interval", &metrics_interval, "N",
+                 "sample time-series metrics every N cycles (default off)");
+  parser.add_string("--metrics", &oopts.metrics_csv, "FILE",
+                    "write sampled metrics as long-format CSV");
+  parser.add_string("--metrics-json", &oopts.metrics_json, "FILE",
+                    "write sampled metrics as prosim-metrics-v1 JSON");
+  parser.add_string("--events", &oopts.events_jsonl, "FILE",
+                    "write the lifecycle event journal as JSONL");
+  parser.add_string("--kernel-timeline", &oopts.kernel_timeline, "FILE",
+                    "write a Perfetto kernel timeline (pid=kernel, tid=SM)");
   parser.add_flag("--csv", &csv, "emit the result row as CSV");
   parser.add_flag("--json", &json, "emit the full result as JSON");
   parser.set_epilog(list_schedulers() + "\n" + list_admissions());
+  parser.set_version(build_info_line());
 
   switch (parser.parse(argc, argv)) {
     case ArgParser::Status::kOk: break;
     case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kVersion: return 0;
     case ArgParser::Status::kError: return 2;
   }
 
@@ -179,6 +195,16 @@ int main(int argc, char** argv) {
               << "' (want tb:FILE, warps:FILE, windows:FILE, or FILE)\n";
     return 2;
   }
+  if (parser.seen("--metrics-interval") && metrics_interval < 1) {
+    std::cerr << "--metrics-interval must be >= 1\n";
+    return 2;
+  }
+  if ((parser.seen("--metrics") || parser.seen("--metrics-json")) &&
+      metrics_interval == 0) {
+    std::cerr << "--metrics/--metrics-json need --metrics-interval N\n";
+    return 2;
+  }
+  oopts.metrics_interval = static_cast<Cycle>(metrics_interval);
 
   if (list) {
     Table t({"Kernel", "Suite", "App", "TBs", "Block"});
@@ -248,11 +274,13 @@ int main(int argc, char** argv) {
   topts.windows = trace_mode == TraceMode::kWindows;
   TraceSession session(topts);
 
+  ObservabilitySession obs(oopts);
+
   GlobalMemory mem;
   init(mem);
   const auto wall_start = std::chrono::steady_clock::now();
-  Expected<GpuResult> checked =
-      simulate_checked(cfg, program, mem, session.sink());
+  Expected<GpuResult> checked = simulate_checked(
+      cfg, program, mem, session.sink(), obs.metrics(), obs.journal());
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -298,6 +326,14 @@ int main(int argc, char** argv) {
   }
   if (stall_report && !json && r.stall_breakdown.has_value()) {
     print_stall_report(std::cout, *r.stall_breakdown, csv);
+  }
+
+  if (oopts.any()) {
+    std::string obs_error;
+    if (!obs.write({program.info.name}, obs_error)) {
+      std::cerr << obs_error << "\n";
+      return 1;
+    }
   }
 
   switch (trace_mode) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/argparse.hpp"
+#include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "gpu/admission.hpp"
 #include "gpu/scheduler_registry.hpp"
@@ -37,6 +38,8 @@ int main(int argc, char** argv) {
   bool list = false;
   bool background = false;
   bool preemptive = false;
+  std::int64_t metrics_interval = 0;
+  ObservabilityOptions oopts;
 
   ArgParser parser("prosim-litmus",
                    "Forward-progress litmus harness: certifies every warp "
@@ -61,14 +64,32 @@ int main(int argc, char** argv) {
   parser.add_string("--admission", &admission, "A",
                     "admission policy for --background / --preemptive "
                     "(defaults: tb_interleaved / preemptive_slo)");
+  parser.add_section("observability (needs --background or --preemptive)");
+  parser.add_i64("--metrics-interval", &metrics_interval, "N",
+                 "sample time-series metrics every N cycles per cell");
+  parser.add_string("--metrics", &oopts.metrics_csv, "FILE",
+                    "per-cell metrics CSV; the "
+                    "\"<scheduler>.<litmus>.<regime>\" key is inserted "
+                    "before the extension");
+  parser.add_string("--metrics-json", &oopts.metrics_json, "FILE",
+                    "per-cell prosim-metrics-v1 JSON (suffixed like "
+                    "--metrics)");
+  parser.add_string("--events", &oopts.events_jsonl, "FILE",
+                    "per-cell lifecycle event journal JSONL (suffixed "
+                    "like --metrics)");
+  parser.add_string("--kernel-timeline", &oopts.kernel_timeline, "FILE",
+                    "per-cell Perfetto kernel timeline (suffixed like "
+                    "--metrics)");
   parser.add_flag("--quiet", &quiet, "no per-cell progress on stderr");
   parser.add_flag("--list", &list, "list the litmus suite and exit");
   parser.set_epilog(list_schedulers() + "\n" + list_admissions() +
                     "\nexit: 0 ok | 2 usage | 1 I/O error | 3 broken cells "
                     "(wrong_result/error verdicts)");
+  parser.set_version(build_info_line());
   switch (parser.parse(argc, argv)) {
     case ArgParser::Status::kOk: break;
     case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kVersion: return 0;
     case ArgParser::Status::kError: return 2;
   }
 
@@ -93,10 +114,26 @@ int main(int argc, char** argv) {
     std::cerr << "--admission needs --background or --preemptive\n";
     return 2;
   }
+  if (parser.seen("--metrics-interval") && metrics_interval < 1) {
+    std::cerr << "--metrics-interval must be >= 1\n";
+    return 2;
+  }
+  if ((parser.seen("--metrics") || parser.seen("--metrics-json")) &&
+      metrics_interval == 0) {
+    std::cerr << "--metrics/--metrics-json need --metrics-interval N\n";
+    return 2;
+  }
+  oopts.metrics_interval = static_cast<Cycle>(metrics_interval);
+  if (oopts.any() && !background && !preemptive) {
+    std::cerr << "--metrics-interval/--metrics/--metrics-json/--events/"
+                 "--kernel-timeline need --background or --preemptive\n";
+    return 2;
+  }
 
   LitmusOptions opt;
   opt.jobs = jobs;
   opt.admission = admission;
+  opt.obs = oopts;
   for (const std::string& name : scheds) {
     const SchedulerInfo* info = find_scheduler(name);
     if (info == nullptr) {

@@ -14,13 +14,16 @@
 // completion latency, slowdown versus isolated execution, SLO attainment
 // against a slo_factor x isolated deadline, and Jain's fairness index.
 // The whole report is bit-identical whatever --jobs is.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/argparse.hpp"
+#include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "gpu/scheduler_registry.hpp"
 #include "kernels/registry.hpp"
@@ -46,6 +49,9 @@ int main(int argc, char** argv) {
   int concurrency = 4;
   bool quiet = false;
   bool list = false;
+  std::int64_t metrics_interval = 0;
+  ObservabilityOptions oopts;
+  bool progress_line = false;
 
   ArgParser parser("prosim-serve",
                    "Multi-tenant serving harness: replays a deterministic "
@@ -84,6 +90,26 @@ int main(int argc, char** argv) {
                  "in-flight requests under --closed-loop (default 4)");
   parser.add_string("--out", &out_path, "FILE",
                     "report as prosim-serve-v2 JSON ('-' = stdout)");
+  parser.add_section("observability");
+  parser.add_i64("--metrics-interval", &metrics_interval, "N",
+                 "sample time-series metrics every N cycles in each "
+                 "cell's final serving simulation (default off)");
+  parser.add_string("--metrics", &oopts.metrics_csv, "FILE",
+                    "per-cell metrics CSV; with several cells the "
+                    "\"<scheduler>.<admission>\" key is inserted before "
+                    "the extension");
+  parser.add_string("--metrics-json", &oopts.metrics_json, "FILE",
+                    "per-cell prosim-metrics-v1 JSON (suffixed like "
+                    "--metrics)");
+  parser.add_string("--events", &oopts.events_jsonl, "FILE",
+                    "per-cell lifecycle event journal JSONL (suffixed "
+                    "like --metrics)");
+  parser.add_string("--kernel-timeline", &oopts.kernel_timeline, "FILE",
+                    "per-cell Perfetto kernel timeline, pid=kernel tid=SM "
+                    "(suffixed like --metrics)");
+  parser.add_flag("--progress", &progress_line,
+                  "single live progress line (cells done, ETA) instead "
+                  "of per-cell lines");
   parser.add_flag("--quiet", &quiet, "no per-cell progress on stderr");
   parser.add_flag("--list", &list,
                   "list schedulers, admission policies, and kernels; exit");
@@ -91,11 +117,23 @@ int main(int argc, char** argv) {
                     "\nexit: 0 ok | 2 usage | 1 I/O error | 4 cell "
                     "failures (docs/ROBUSTNESS.md has the shared exit-code "
                     "table)");
+  parser.set_version(build_info_line());
   switch (parser.parse(argc, argv)) {
     case ArgParser::Status::kOk: break;
     case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kVersion: return 0;
     case ArgParser::Status::kError: return 2;
   }
+  if (parser.seen("--metrics-interval") && metrics_interval < 1) {
+    std::cerr << "--metrics-interval must be >= 1\n";
+    return 2;
+  }
+  if ((parser.seen("--metrics") || parser.seen("--metrics-json")) &&
+      metrics_interval == 0) {
+    std::cerr << "--metrics/--metrics-json need --metrics-interval N\n";
+    return 2;
+  }
+  oopts.metrics_interval = static_cast<Cycle>(metrics_interval);
 
   if (list) {
     std::cout << list_schedulers() << "\n" << list_admissions() << "\nkernels:\n";
@@ -185,7 +223,24 @@ int main(int argc, char** argv) {
       opt.admissions.push_back(name);
     }
   }
-  if (!quiet) {
+  opt.obs = oopts;
+  const auto progress_t0 = std::chrono::steady_clock::now();
+  if (progress_line) {
+    opt.progress = [progress_t0](const ServingProgress& p) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        progress_t0)
+              .count();
+      const double eta =
+          p.completed > 0
+              ? elapsed * static_cast<double>(p.total - p.completed) /
+                    static_cast<double>(p.completed)
+              : 0.0;
+      std::cerr << "\r[" << p.completed << "/" << p.total << "] ETA "
+                << static_cast<int>(eta + 0.5) << "s   " << std::flush;
+      if (p.completed == p.total) std::cerr << "\n";
+    };
+  } else if (!quiet) {
     opt.progress = [](const ServingProgress& p) {
       std::cerr << "[" << p.completed << "/" << p.total << "] "
                 << p.cell->scheduler << "/" << p.cell->admission

@@ -13,11 +13,13 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/argparse.hpp"
+#include "common/build_info.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "gpu/admission.hpp"
@@ -46,6 +48,10 @@ struct Options {
   std::string csv_path;
   bool quiet = false;
   bool expect_cached = false;
+  std::int64_t metrics_interval = 0;
+  ObservabilityOptions obs;
+  bool profile = false;
+  bool progress_line = false;
 };
 
 /// Builds the job list from whichever selection mechanism was used.
@@ -114,9 +120,28 @@ bool build_jobs(const Options& opt, std::vector<SweepJob>& jobs) {
   return true;
 }
 
+void write_sim_profile_json(std::ostream& os, const SimProfile& p) {
+  os << "{\"total_cycles\": " << p.total_cycles
+     << ", \"parallel_cycles\": " << p.parallel_cycles
+     << ", \"parallel_fraction\": " << p.parallel_fraction()
+     << ", \"conflict_restarts\": " << p.conflict_restarts
+     << ", \"ff_spans\": " << p.ff_spans
+     << ", \"ff_skipped_cycles\": " << p.ff_skipped_cycles
+     << ", \"sm_threads\": " << p.sm_threads
+     << ", \"pool_threads\": " << p.pool_threads;
+  if (p.timed) {
+    os << ", \"worker_busy_seconds\": " << p.worker_busy_seconds
+       << ", \"worker_wait_seconds\": " << p.worker_wait_seconds
+       << ", \"worker_busy_fraction\": " << p.worker_busy_fraction();
+  }
+  os << "}";
+}
+
 void write_results_json(std::ostream& os, const SweepReport& report,
-                        double wall_ms, int jobs_used) {
-  os << "{\n  \"summary\": {\"cells\": " << report.cells.size()
+                        double wall_ms, int jobs_used, bool profile) {
+  os << "{\n  \"build\": ";
+  write_build_info_json(os);
+  os << ",\n  \"summary\": {\"cells\": " << report.cells.size()
      << ", \"jobs\": " << jobs_used << ", \"simulated\": " << report.simulated
      << ", \"cache_hits\": " << report.cache_hits
      << ", \"failures\": " << report.failures << ", \"wall_ms\": " << wall_ms
@@ -138,6 +163,13 @@ void write_results_json(std::ostream& os, const SweepReport& report,
     if (cell.ok()) {
       os << "\"result\": ";
       write_gpu_result_json(os, *cell.result);
+      // Self-profiling rides outside the "result" block: it is wall-clock
+      // measurement metadata, never part of cached or fingerprinted bytes.
+      // Cache hits carry no profile (nothing ran).
+      if (profile && !cell.from_cache) {
+        os << ",\n     \"profile\": ";
+        write_sim_profile_json(os, cell.result->profile);
+      }
     } else {
       os << "\"error\": ";
       cell.error->write_json(os);
@@ -223,7 +255,31 @@ int main(int argc, char** argv) {
   parser.add_flag("--expect-cached", &opt.expect_cached,
                   "fail (exit 5) if any cell had to simulate — asserts a "
                   "warm cache, e.g. in CI");
+  parser.add_section("observability");
+  parser.add_i64("--metrics-interval", &opt.metrics_interval, "N",
+                 "sample time-series metrics every N cycles in every "
+                 "simulated cell (default off)");
+  parser.add_string("--metrics", &opt.obs.metrics_csv, "FILE",
+                    "per-cell metrics CSV; the cell's cache key is "
+                    "inserted before the extension (lands in --trace-dir "
+                    "when set)");
+  parser.add_string("--metrics-json", &opt.obs.metrics_json, "FILE",
+                    "per-cell prosim-metrics-v1 JSON (suffixed like "
+                    "--metrics)");
+  parser.add_string("--events", &opt.obs.events_jsonl, "FILE",
+                    "per-cell lifecycle event journal JSONL (suffixed "
+                    "like --metrics)");
+  parser.add_string("--kernel-timeline", &opt.obs.kernel_timeline, "FILE",
+                    "per-cell Perfetto kernel timeline (suffixed like "
+                    "--metrics)");
+  parser.add_flag("--profile", &opt.profile,
+                  "time the simulator itself (worker busy/wait, "
+                  "fast-forward and conflict-restart stats) and add a "
+                  "per-cell \"profile\" block to --out JSON");
   parser.add_section("output");
+  parser.add_flag("--progress", &opt.progress_line,
+                  "single live progress line (cells done, cache hits, "
+                  "ETA) instead of per-cell lines");
   parser.add_string("--trace-dir", &opt.trace_dir, "DIR",
                     "write per-cell warp-lane + wait-window trace "
                     "artifacts into DIR (created if missing)");
@@ -235,10 +291,12 @@ int main(int argc, char** argv) {
   parser.set_epilog(list_schedulers() + "\n" + list_admissions() +
                     "\nexit: 0 ok | 2 usage | 1 I/O or spec error | "
                     "4 cell failures |\n      5 --expect-cached violated");
+  parser.set_version(build_info_line());
 
   switch (parser.parse(argc, argv)) {
     case ArgParser::Status::kOk: break;
     case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kVersion: return 0;
     case ArgParser::Status::kError: return 2;
   }
   if (parser.seen("--jobs") && opt.jobs < 0) {
@@ -249,6 +307,16 @@ int main(int argc, char** argv) {
     std::cerr << "--sm-threads must be >= 1\n";
     return 2;
   }
+  if (parser.seen("--metrics-interval") && opt.metrics_interval < 1) {
+    std::cerr << "--metrics-interval must be >= 1\n";
+    return 2;
+  }
+  if ((parser.seen("--metrics") || parser.seen("--metrics-json")) &&
+      opt.metrics_interval == 0) {
+    std::cerr << "--metrics/--metrics-json need --metrics-interval N\n";
+    return 2;
+  }
+  opt.obs.metrics_interval = static_cast<Cycle>(opt.metrics_interval);
   opt.have_fault_seed = parser.seen("--fault-seed");
 
   std::vector<SweepJob> jobs;
@@ -263,7 +331,28 @@ int main(int argc, char** argv) {
     sweep_opt.trace.windows = true;
     sweep_opt.trace_dir = opt.trace_dir;
   }
-  if (!opt.quiet) {
+  sweep_opt.obs = opt.obs;
+  sweep_opt.profile_timing = opt.profile;
+  const auto progress_t0 = std::chrono::steady_clock::now();
+  if (opt.progress_line) {
+    auto cache_hits = std::make_shared<int>(0);
+    sweep_opt.progress = [progress_t0, cache_hits](const SweepProgress& p) {
+      if (p.cell->from_cache) ++*cache_hits;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        progress_t0)
+              .count();
+      const double eta =
+          p.completed > 0
+              ? elapsed * static_cast<double>(p.total - p.completed) /
+                    static_cast<double>(p.completed)
+              : 0.0;
+      std::cerr << "\r[" << p.completed << "/" << p.total << "] "
+                << *cache_hits << " cache hits, ETA "
+                << static_cast<int>(eta + 0.5) << "s   " << std::flush;
+      if (p.completed == p.total) std::cerr << "\n";
+    };
+  } else if (!opt.quiet) {
     sweep_opt.progress = [](const SweepProgress& p) {
       std::cerr << "[" << p.completed << "/" << p.total << "] "
                 << p.cell->label << ": ";
@@ -292,7 +381,7 @@ int main(int argc, char** argv) {
 
   if (!opt.out_path.empty() &&
       !write_to(opt.out_path, "results", [&](std::ostream& os) {
-        write_results_json(os, report, wall_ms, jobs_used);
+        write_results_json(os, report, wall_ms, jobs_used, opt.profile);
       })) {
     return 1;
   }

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   switch (parser.parse(argc, argv)) {
     case ArgParser::Status::kOk: break;
     case ArgParser::Status::kHelp: return 0;
+    case ArgParser::Status::kVersion: return 0;
     case ArgParser::Status::kError: return 2;
   }
   const SchedulerInfo* info = find_scheduler(sched);

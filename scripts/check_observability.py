@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate prosim observability artifacts (stdlib only; CI trace-smoke).
+
+Checks any subset of the three artifact families produced by the
+--metrics / --metrics-json / --events / --kernel-timeline flags
+(docs/OBSERVABILITY.md, "Metrics & event journal"):
+
+  * metrics CSV      - long format, well-typed rows, nondecreasing cycles
+  * metrics JSON     - prosim-metrics-v1 schema, samples mirror the CSV
+  * event journal    - JSONL rows, known kinds, lifecycle invariants
+  * kernel timeline  - Chrome Trace Event JSON loadable by Perfetto
+
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+EVENT_KINDS = {
+    "kernel_arrival", "admission_grant", "sm_bind", "tb_launch",
+    "tb_resume", "yield_request", "tb_checkpoint", "demotion",
+    "kernel_finish", "slo_met", "slo_missed", "sim_end",
+}
+SCOPES = {"gpu", "sm", "kernel"}
+
+
+def fail(msg):
+    print(f"check_observability: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows or rows[0] != ["cycle", "scope", "id", "metric", "value"]:
+        fail(f"{path}: bad header {rows[:1]}")
+    if len(rows) < 2:
+        fail(f"{path}: no samples")
+    prev = 0
+    for i, row in enumerate(rows[1:], start=2):
+        if len(row) != 5:
+            fail(f"{path}:{i}: expected 5 columns, got {row}")
+        cycle, scope, ident, metric, value = row
+        if int(cycle) < prev:
+            fail(f"{path}:{i}: cycles went backwards ({cycle} < {prev})")
+        prev = int(cycle)
+        if scope not in SCOPES:
+            fail(f"{path}:{i}: unknown scope {scope!r}")
+        int(ident)
+        float(value)
+        if not metric:
+            fail(f"{path}:{i}: empty metric name")
+    print(f"{path}: {len(rows) - 1} samples ok")
+    return len(rows) - 1
+
+
+def check_metrics_json(path, csv_samples=None):
+    doc = json.load(open(path))
+    if doc.get("schema") != "prosim-metrics-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if int(doc["interval"]) < 1:
+        fail(f"{path}: interval {doc['interval']} < 1")
+    samples = doc["samples"]
+    if not samples:
+        fail(f"{path}: no samples")
+    for s in samples:
+        if s["scope"] not in SCOPES:
+            fail(f"{path}: unknown scope {s['scope']!r} in {s}")
+        for key in ("cycle", "id", "metric", "value"):
+            if key not in s:
+                fail(f"{path}: sample missing {key!r}: {s}")
+    if csv_samples is not None and len(samples) != csv_samples:
+        fail(f"{path}: {len(samples)} samples but the CSV has "
+             f"{csv_samples}")
+    print(f"{path}: {len(samples)} samples ok")
+
+
+def check_events(path):
+    counts = {}
+    prev = 0
+    n = 0
+    for i, line in enumerate(open(path), start=1):
+        e = json.loads(line)
+        if e["event"] not in EVENT_KINDS:
+            fail(f"{path}:{i}: unknown event kind {e['event']!r}")
+        if int(e["cycle"]) < prev:
+            fail(f"{path}:{i}: cycles went backwards")
+        prev = int(e["cycle"])
+        counts[e["event"]] = counts.get(e["event"], 0) + 1
+        n += 1
+    if counts.get("sim_end", 0) != 1:
+        fail(f"{path}: expected exactly one sim_end, got {counts}")
+    if counts.get("kernel_arrival", 0) < 1:
+        fail(f"{path}: no kernel_arrival rows")
+    if counts.get("kernel_finish", 0) > counts["kernel_arrival"]:
+        fail(f"{path}: more finishes than arrivals ({counts})")
+    print(f"{path}: {n} events ok ({counts})")
+
+
+def check_timeline(path):
+    doc = json.load(open(path))
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: empty traceEvents")
+    named = set()
+    slices = 0
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "process_name":
+            named.add(e["pid"])
+        elif e.get("ph") == "X":
+            slices += 1
+            if e["dur"] <= 0 or e["ts"] < 0:
+                fail(f"{path}: degenerate slice {e}")
+            if e["pid"] not in named:
+                fail(f"{path}: slice for unnamed pid {e['pid']}")
+    if not slices:
+        fail(f"{path}: no kernel slices")
+    print(f"{path}: {slices} slices across {len(named)} kernels ok")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics-csv")
+    ap.add_argument("--metrics-json")
+    ap.add_argument("--events")
+    ap.add_argument("--timeline")
+    args = ap.parse_args()
+    if not any(vars(args).values()):
+        fail("nothing to check (pass at least one artifact)")
+    csv_samples = None
+    if args.metrics_csv:
+        csv_samples = check_metrics_csv(args.metrics_csv)
+    if args.metrics_json:
+        check_metrics_json(args.metrics_json, csv_samples)
+    if args.events:
+        check_events(args.events)
+    if args.timeline:
+        check_timeline(args.timeline)
+    print("observability artifacts ok")
+
+
+if __name__ == "__main__":
+    main()

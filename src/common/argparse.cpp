@@ -137,6 +137,10 @@ ArgParser::Status ArgParser::parse(int argc, char** argv) {
       write_help(std::cout);
       return Status::kHelp;
     }
+    if (arg == "--version" && !version_.empty()) {
+      std::cout << version_ << "\n";
+      return Status::kVersion;
+    }
     if (arg.rfind("--", 0) != 0) {
       if (next_positional >= positionals_.size()) {
         return fail("unexpected argument '" + arg + "'");
@@ -233,6 +237,9 @@ void ArgParser::write_help(std::ostream& os) const {
   }
   if (!in_options) os << "\noptions:\n";
   print_row("--help", "show this help and exit");
+  if (!version_.empty()) {
+    print_row("--version", "show build provenance and exit");
+  }
   if (!epilog_.empty()) os << "\n" << epilog_ << "\n";
 }
 

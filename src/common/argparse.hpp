@@ -47,10 +47,15 @@ class ArgParser {
   /// scheduler registry or exit-code conventions).
   void set_epilog(std::string epilog) { epilog_ = std::move(epilog); }
 
+  /// Enables --version: the line is printed verbatim to stdout and parse
+  /// reports Status::kVersion (callers exit 0, like --help).
+  void set_version(std::string version) { version_ = std::move(version); }
+
   enum class Status {
-    kOk,    ///< parsed; proceed
-    kHelp,  ///< --help printed to stdout; exit 0
-    kError  ///< error printed to stderr; exit 2
+    kOk,       ///< parsed; proceed
+    kHelp,     ///< --help printed to stdout; exit 0
+    kVersion,  ///< --version printed to stdout; exit 0
+    kError     ///< error printed to stderr; exit 2
   };
 
   /// Parses argv[1..). Every matched flag is recorded for seen().
@@ -88,6 +93,7 @@ class ArgParser {
   std::string prog_;
   std::string description_;
   std::string epilog_;
+  std::string version_;
   std::vector<Spec> specs_;
   std::vector<Positional> positionals_;
 };

@@ -1,0 +1,58 @@
+#include "common/build_info.hpp"
+
+#include <ostream>
+
+#include "common/json.hpp"
+
+// CMake defines these on prosim_common; the fallbacks keep stray builds
+// (e.g. compile_commands tooling) compiling.
+#ifndef PROSIM_GIT_HASH
+#define PROSIM_GIT_HASH ""
+#endif
+#ifndef PROSIM_BUILD_TYPE
+#define PROSIM_BUILD_TYPE ""
+#endif
+#ifndef PROSIM_COMPILER
+#define PROSIM_COMPILER ""
+#endif
+#ifndef PROSIM_SANITIZE_FLAGS
+#define PROSIM_SANITIZE_FLAGS ""
+#endif
+
+namespace prosim {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{PROSIM_GIT_HASH, PROSIM_BUILD_TYPE,
+                              PROSIM_COMPILER, PROSIM_SANITIZE_FLAGS};
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  std::string line = "prosim ";
+  line += info.git_hash[0] != '\0' ? info.git_hash : "unknown";
+  line += " (";
+  line += info.build_type;
+  line += ", ";
+  line += info.compiler;
+  if (info.sanitize[0] != '\0') {
+    line += ", sanitize=";
+    line += info.sanitize;
+  }
+  line += ")";
+  return line;
+}
+
+void write_build_info_json(std::ostream& os) {
+  os << "{\"git_hash\":";
+  write_json_string(os, build_info().git_hash);
+  os << ",\"build_type\":";
+  write_json_string(os, build_info().build_type);
+  os << ",\"compiler\":";
+  write_json_string(os, build_info().compiler);
+  os << ",\"sanitize\":";
+  write_json_string(os, build_info().sanitize);
+  os << "}";
+}
+
+}  // namespace prosim

@@ -1,0 +1,31 @@
+// Build provenance stamped in by CMake (git hash, compiler, build type,
+// sanitizer flags) — reported by every CLI's --version and embedded in
+// JSON reports *outside* the fingerprinted result blocks, so two builds
+// of the same source produce identical result bytes while the report
+// still says which binary wrote it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace prosim {
+
+/// Static build provenance; every field is a compile-time constant
+/// (empty string when CMake could not determine it, e.g. no git).
+struct BuildInfo {
+  const char* git_hash;    ///< short commit hash ("" outside a checkout)
+  const char* build_type;  ///< CMAKE_BUILD_TYPE
+  const char* compiler;    ///< "<id> <version>"
+  const char* sanitize;    ///< PROSIM_SANITIZE list ("" = off)
+};
+
+const BuildInfo& build_info();
+
+/// One-line human form: "prosim <hash> (<type>, <compiler>[, sanitize=x])".
+std::string build_info_line();
+
+/// JSON object {"git_hash":...,"build_type":...,"compiler":...,
+/// "sanitize":...} for report stamping (never inside a result block).
+void write_build_info_json(std::ostream& os);
+
+}  // namespace prosim

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
+#include "common/percentiles.hpp"
 #include "core/pro_scheduler.hpp"
 #include "gpu/scheduler_registry.hpp"
 #include "gpu/sm_worker_pool.hpp"
+#include "metrics/metrics.hpp"
+#include "trace/trace_session.hpp"
 
 namespace prosim {
 
@@ -146,6 +150,8 @@ Gpu::Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
   reset_machine();
 }
 
+Gpu::~Gpu() = default;
+
 void Gpu::build_streams(std::vector<KernelLaunch> launches) {
   streams_.clear();
   streams_.reserve(launches.size());
@@ -217,6 +223,9 @@ void Gpu::bind_sm(int s, int k) {
   }
   if (trace_ != nullptr) sms_[s]->set_trace_sink(trace_);
   binding_[s] = k;
+  if (journal_ != nullptr) {
+    journal_->record(now_, SimEventKind::kSmBind, k, s);
+  }
 }
 
 const std::vector<RegValue>& Gpu::stream_registers(int kernel) const {
@@ -251,8 +260,15 @@ bool Gpu::assign_tbs() {
         if (!st.launched_any) {
           st.launched_any = true;
           st.first_launch = now_;
+          if (journal_ != nullptr) {
+            journal_->record(now_, SimEventKind::kAdmissionGrant, 0, s);
+          }
         }
-        sms_[s]->launch_tb(st.tbs.pop(), now_);
+        const int ctaid = st.tbs.pop();
+        sms_[s]->launch_tb(ctaid, now_);
+        if (journal_ != nullptr) {
+          journal_->record(now_, SimEventKind::kTbLaunch, 0, s, ctaid);
+        }
         launched = true;
       }
     }
@@ -269,6 +285,10 @@ void Gpu::harvest_yields() {
     Stream& st = *streams_[binding_[s]];
     st.parked.push_back(sms_[s]->take_yield_checkpoint(now_));
     ++st.demotions;
+    if (journal_ != nullptr) {
+      journal_->record(now_, SimEventKind::kTbCheckpoint, binding_[s],
+                       static_cast<int>(s), st.parked.back().ctaid);
+    }
   }
 }
 
@@ -292,7 +312,12 @@ void Gpu::request_yields(const std::vector<int>& active,
     const bool rotate = focus == k && !sms_[s]->can_accept_tb() &&
                         (bound.tbs.has_waiting() || !bound.parked.empty());
     if ((focus != k || rotate) && sms_[s]->all_resident_spin_stuck()) {
-      sms_[s]->request_yield(sms_[s]->oldest_tb_slot());
+      const int slot = sms_[s]->oldest_tb_slot();
+      sms_[s]->request_yield(slot);
+      if (journal_ != nullptr) {
+        journal_->record(now_, SimEventKind::kYieldRequest, k,
+                         static_cast<int>(s), sms_[s]->resident_ctaid(slot));
+      }
     }
   }
 }
@@ -336,6 +361,9 @@ bool Gpu::assign_tbs_multi() {
           // Rebinding away from a kernel that still has work is the
           // stream-level demotion (it stops getting SMs).
           ++streams_[k]->demotions;
+          if (journal_ != nullptr) {
+            journal_->record(now_, SimEventKind::kDemotion, k, s);
+          }
         }
         bind_sm(s, next);
       }
@@ -347,13 +375,24 @@ bool Gpu::assign_tbs_multi() {
         if (!st.launched_any) {
           st.launched_any = true;
           st.first_launch = now_;
+          if (journal_ != nullptr) {
+            journal_->record(now_, SimEventKind::kAdmissionGrant, k, s);
+          }
         }
-        sms_[s]->launch_tb(st.tbs.pop(), now_);
+        const int ctaid = st.tbs.pop();
+        sms_[s]->launch_tb(ctaid, now_);
+        if (journal_ != nullptr) {
+          journal_->record(now_, SimEventKind::kTbLaunch, k, s, ctaid);
+        }
         launched = true;
       } else if (!st.parked.empty()) {
+        const int ctaid = st.parked.front().ctaid;
         sms_[s]->resume_tb(st.parked.front(), now_);
         st.parked.pop_front();
         ++st.resumptions;
+        if (journal_ != nullptr) {
+          journal_->record(now_, SimEventKind::kTbResume, k, s, ctaid);
+        }
         launched = true;
       }
     }
@@ -391,6 +430,7 @@ void Gpu::update_streams() {
     if (!busy) {
       st->finished = true;
       st->finish = now_;
+      if (journal_ != nullptr) journal_finish(*st);
     }
   }
 }
@@ -418,6 +458,11 @@ void Gpu::fast_forward() {
     target = std::min(target, watchdog_.next_check());
   }
   target = std::min(target, config_.max_cycles);
+  // Metrics sampling must observe counters exactly at interval boundaries;
+  // skipping fewer cycles than the quiet span is always bit-identical.
+  if (metrics_ != nullptr) {
+    target = std::min(target, metrics_->next_sample_cycle());
+  }
   if (multi_) {
     // A kernel arrival re-activates TB assignment; never skip past one.
     for (const auto& st : streams_) {
@@ -429,6 +474,8 @@ void Gpu::fast_forward() {
   if (target <= now_) return;
 
   const Cycle skipped = target - now_;
+  ++ff_spans_;
+  ff_skipped_cycles_ += skipped;
   for (auto& sm : sms_) sm->skip_cycles(skipped);
   const auto n = static_cast<Cycle>(sms_.size());
   next_sm_ = static_cast<int>(
@@ -466,6 +513,7 @@ void Gpu::account_preempted(Cycle executed, Cycle count) {
 }
 
 bool Gpu::begin_step() {
+  if (journal_ != nullptr && multi_) journal_arrivals();
   const bool launched = assign_tbs();
   mem_.cycle(now_);
   return launched;
@@ -526,12 +574,205 @@ bool Gpu::finish_step(bool launched, bool sm_active) {
       faults_ == nullptr) {
     fast_forward();
   }
+  if (metrics_ != nullptr && now_ >= metrics_->next_sample_cycle()) {
+    sample_metrics();
+  }
   return running;
 }
 
 void Gpu::set_trace_sink(TraceSink* trace) {
-  trace_ = trace;
-  for (auto& sm : sms_) sm->set_trace_sink(trace);
+  user_trace_ = trace;
+  refresh_trace_sink();
+}
+
+void Gpu::set_metrics(MetricsCollector* metrics) {
+  metrics_ = metrics;
+  refresh_trace_sink();
+}
+
+void Gpu::refresh_trace_sink() {
+  TraceSink* stall =
+      metrics_ != nullptr ? &metrics_->stall_sink() : nullptr;
+  if (user_trace_ != nullptr && stall != nullptr) {
+    obs_tee_ = std::make_unique<TraceTee>();
+    obs_tee_->add(user_trace_);
+    obs_tee_->add(stall);
+    trace_ = obs_tee_.get();
+  } else {
+    trace_ = user_trace_ != nullptr ? user_trace_ : stall;
+  }
+  for (auto& sm : sms_) sm->set_trace_sink(trace_);
+}
+
+void Gpu::set_event_journal(EventJournal* journal) {
+  journal_ = journal;
+  if (journal_ == nullptr) return;
+  // Retro-emit construction-time state so the journal starts complete:
+  // arrivals that already happened (cycle-0 launches) and the initial SM
+  // bindings made by reset_machine before the journal was attached.
+  journal_arrivals();
+  for (std::size_t s = 0; s < sms_.size(); ++s) {
+    journal_->record(now_, SimEventKind::kSmBind, binding_[s],
+                     static_cast<int>(s));
+  }
+}
+
+void Gpu::journal_arrivals() {
+  for (auto& st : streams_) {
+    if (!st->arrival_logged && st->launch.arrival <= now_) {
+      st->arrival_logged = true;
+      journal_->record(st->launch.arrival, SimEventKind::kKernelArrival,
+                       st->launch.kernel_id);
+    }
+  }
+}
+
+void Gpu::sample_metrics() {
+  MetricsCollector& m = *metrics_;
+  const Cycle span = now_ - m.last_sample_cycle();
+  if (span == 0) return;
+  MetricsRegistry& reg = m.registry();
+  const StallBreakdown& stalls = m.stall_sink().breakdown();
+
+  std::vector<std::uint64_t> progress_all;
+  std::vector<std::uint64_t> progress_sm;
+  for (std::size_t s = 0; s < sms_.size(); ++s) {
+    const SmCore& sm = *sms_[s];
+    const int id = static_cast<int>(s);
+    // Counters are cumulative across rebind tear-downs (acc + live core),
+    // so the per-interval deltas telescope to the run totals exactly.
+    const std::uint64_t issued = per_sm_acc_[s].issued + sm.stats().issued;
+    const std::uint64_t d_issued =
+        m.delta(MetricScope::kSm, id, "issued", issued);
+    reg.record(now_, MetricScope::kSm, id, "issued",
+               static_cast<double>(d_issued));
+    reg.record(now_, MetricScope::kSm, id, "ipc",
+               static_cast<double>(d_issued) / static_cast<double>(span));
+    reg.record(now_, MetricScope::kSm, id, "runnable_warps",
+               sm.runnable_warps());
+    reg.record(now_, MetricScope::kSm, id, "resident_tbs",
+               sm.resident_tbs());
+    reg.record(now_, MetricScope::kSm, id, "occupancy",
+               static_cast<double>(sm.resident_tbs()) /
+                   static_cast<double>(sm.max_resident_tbs()));
+    reg.record(now_, MetricScope::kSm, id, "l1_mshr",
+               sm.l1_mshr_occupancy());
+    // The attribution sink creates per-SM rows lazily, so the vector may
+    // still be shorter than num_sms early in the run.
+    if (s < stalls.per_sm.size()) {
+      for (int c = 0; c < kNumStallCauses; ++c) {
+        const auto cause = static_cast<StallCause>(c);
+        const std::string name =
+            std::string("stall.") + stall_cause_name(cause);
+        const std::uint64_t d = m.delta(
+            MetricScope::kSm, id, name.c_str(),
+            stalls.per_sm[s].cause_cycles[c]);
+        reg.record(now_, MetricScope::kSm, id, name,
+                   static_cast<double>(d));
+      }
+    }
+    progress_sm.clear();
+    sm.sample_progress(progress_sm);
+    if (!progress_sm.empty()) {
+      std::uint64_t lo = progress_sm[0];
+      std::uint64_t hi = progress_sm[0];
+      std::uint64_t sum = 0;
+      for (const std::uint64_t p : progress_sm) {
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+        sum += p;
+      }
+      reg.record(now_, MetricScope::kSm, id, "progress_min",
+                 static_cast<double>(lo));
+      reg.record(now_, MetricScope::kSm, id, "progress_max",
+                 static_cast<double>(hi));
+      reg.record(now_, MetricScope::kSm, id, "progress_mean",
+                 static_cast<double>(sum) /
+                     static_cast<double>(progress_sm.size()));
+      progress_all.insert(progress_all.end(), progress_sm.begin(),
+                          progress_sm.end());
+    }
+  }
+
+  if (multi_) {
+    for (const auto& st : streams_) {
+      if (st->launch.arrival > now_) continue;
+      const int k = st->launch.kernel_id;
+      std::uint64_t issued = st->acc.issued;
+      std::uint64_t tbs = st->acc.tbs_executed;
+      int bound = 0;
+      for (std::size_t s = 0; s < sms_.size(); ++s) {
+        if (binding_[s] != k) continue;
+        ++bound;
+        issued += sms_[s]->stats().issued;
+        tbs += sms_[s]->stats().tbs_executed;
+      }
+      reg.record(now_, MetricScope::kKernel, k, "issued",
+                 static_cast<double>(
+                     m.delta(MetricScope::kKernel, k, "issued", issued)));
+      reg.record(now_, MetricScope::kKernel, k, "tbs_executed",
+                 static_cast<double>(m.delta(MetricScope::kKernel, k,
+                                             "tbs_executed", tbs)));
+      reg.record(now_, MetricScope::kKernel, k, "bound_sms", bound);
+      reg.record(now_, MetricScope::kKernel, k, "waiting_tbs",
+                 st->tbs.remaining());
+      reg.record(now_, MetricScope::kKernel, k, "parked_tbs",
+                 static_cast<double>(st->parked.size()));
+      reg.record(now_, MetricScope::kKernel, k, "demotions",
+                 static_cast<double>(m.delta(MetricScope::kKernel, k,
+                                             "demotions", st->demotions)));
+      reg.record(
+          now_, MetricScope::kKernel, k, "resumptions",
+          static_cast<double>(m.delta(MetricScope::kKernel, k, "resumptions",
+                                      st->resumptions)));
+      reg.record(now_, MetricScope::kKernel, k, "preempted_cycles",
+                 static_cast<double>(
+                     m.delta(MetricScope::kKernel, k, "preempted_cycles",
+                             st->preempted_cycles)));
+    }
+  }
+
+  reg.record(now_, MetricScope::kGpu, 0, "l2_hits",
+             static_cast<double>(
+                 m.delta(MetricScope::kGpu, 0, "l2_hits", mem_.l2_hits())));
+  reg.record(now_, MetricScope::kGpu, 0, "l2_misses",
+             static_cast<double>(m.delta(MetricScope::kGpu, 0, "l2_misses",
+                                         mem_.l2_misses())));
+  reg.record(
+      now_, MetricScope::kGpu, 0, "dram_row_hits",
+      static_cast<double>(m.delta(MetricScope::kGpu, 0, "dram_row_hits",
+                                  mem_.dram_row_hits())));
+  reg.record(
+      now_, MetricScope::kGpu, 0, "dram_row_misses",
+      static_cast<double>(m.delta(MetricScope::kGpu, 0, "dram_row_misses",
+                                  mem_.dram_row_misses())));
+  const Interconnect& icnt = mem_.interconnect();
+  std::uint64_t free_slots = 0;
+  for (int p = 0; p < icnt.num_partitions(); ++p) {
+    free_slots += icnt.request_free_slots(p);
+  }
+  reg.record(now_, MetricScope::kGpu, 0, "icnt_request_free_slots",
+             static_cast<double>(free_slots));
+  if (!progress_all.empty()) {
+    const Percentiles pct(std::move(progress_all));
+    reg.record(now_, MetricScope::kGpu, 0, "progress_p10",
+               static_cast<double>(pct.percentile(10)));
+    reg.record(now_, MetricScope::kGpu, 0, "progress_p50",
+               static_cast<double>(pct.percentile(50)));
+    reg.record(now_, MetricScope::kGpu, 0, "progress_p90",
+               static_cast<double>(pct.percentile(90)));
+  }
+  m.mark_sampled(now_);
+}
+
+void Gpu::journal_finish(const Stream& st) {
+  journal_->record(now_, SimEventKind::kKernelFinish, st.launch.kernel_id);
+  if (st.launch.tenant.deadline_cycles == 0) return;
+  const Cycle deadline = st.launch.arrival + st.launch.tenant.deadline_cycles;
+  journal_->record(now_,
+                   st.finish <= deadline ? SimEventKind::kSloMet
+                                         : SimEventKind::kSloMissed,
+                   st.launch.kernel_id, -1, -1, deadline);
 }
 
 // ---------------------------------------------------------------------------
@@ -539,8 +780,12 @@ void Gpu::set_trace_sink(TraceSink* trace) {
 // ---------------------------------------------------------------------------
 
 bool Gpu::parallel_eligible() const {
+  // Metrics imply a trace sink (stall attribution); the journal must also
+  // force the sequential loop because a conflict restart replays from cycle
+  // zero and would double-record every event.
   return sm_threads_ > 1 && config_.num_sms > 1 && faults_ == nullptr &&
-         trace_ == nullptr && !parallel_disabled_;
+         trace_ == nullptr && metrics_ == nullptr && journal_ == nullptr &&
+         !parallel_disabled_;
 }
 
 void Gpu::parallel_sm_cycle(int s, Cycle now) {
@@ -682,12 +927,16 @@ void Gpu::run_loop() {
     {
       SmWorkerPool pool(std::min(sm_threads_, config_.num_sms),
                         config_.num_sms);
+      if (profile_timing_) pool.enable_timing();
       try {
         while (step_parallel(pool)) {
         }
       } catch (const ParallelConflict&) {
         conflict = true;
       }
+      pool_threads_ = pool.threads();
+      pool_busy_seconds_ += pool.busy_seconds();
+      pool_wait_seconds_ += pool.wait_seconds();
     }  // pool joined before any state is rebuilt
     if (!conflict) return;
     // Kernels with genuine same-cycle cross-SM memory dependencies (e.g.
@@ -701,10 +950,14 @@ void Gpu::run_loop() {
 
 GpuResult Gpu::run() {
   run_loop();
+  if (metrics_ != nullptr && now_ > metrics_->last_sample_cycle()) {
+    sample_metrics();  // final partial interval
+  }
   if (trace_ != nullptr) {
     for (auto& sm : sms_) sm->trace_finalize(now_);
     trace_->on_sim_end(now_);
   }
+  if (journal_ != nullptr) journal_->record(now_, SimEventKind::kSimEnd);
   return collect();
 }
 
@@ -735,6 +988,16 @@ GpuResult Gpu::collect() const {
     result.timelines.push_back(std::move(timeline));
   }
   if (faults_ != nullptr) result.faults_injected = faults_->total_faults();
+  result.profile.parallel_cycles = parallel_cycles_;
+  result.profile.total_cycles = now_;
+  result.profile.conflict_restarts = conflict_restarts_;
+  result.profile.ff_spans = ff_spans_;
+  result.profile.ff_skipped_cycles = ff_skipped_cycles_;
+  result.profile.sm_threads = sm_threads_;
+  result.profile.pool_threads = pool_threads_;
+  result.profile.timed = profile_timing_;
+  result.profile.worker_busy_seconds = pool_busy_seconds_;
+  result.profile.worker_wait_seconds = pool_wait_seconds_;
   result.l2_hits = mem_.l2_hits();
   result.l2_misses = mem_.l2_misses();
   result.dram_row_hits = mem_.dram_row_hits();
@@ -776,18 +1039,25 @@ GpuResult Gpu::collect() const {
 }
 
 GpuResult simulate(const GpuConfig& config, const Program& program,
-                   GlobalMemory& memory, TraceSink* trace) {
+                   GlobalMemory& memory, TraceSink* trace,
+                   MetricsCollector* metrics, EventJournal* journal) {
   Gpu gpu(config, program, memory);
   if (trace != nullptr) gpu.set_trace_sink(trace);
+  if (metrics != nullptr) gpu.set_metrics(metrics);
+  if (journal != nullptr) gpu.set_event_journal(journal);
   return gpu.run();
 }
 
 Expected<GpuResult> simulate_checked(const GpuConfig& config,
                                      const Program& program,
-                                     GlobalMemory& memory, TraceSink* trace) {
+                                     GlobalMemory& memory, TraceSink* trace,
+                                     MetricsCollector* metrics,
+                                     EventJournal* journal) {
   try {
     Gpu gpu(config, program, memory);
     if (trace != nullptr) gpu.set_trace_sink(trace);
+    if (metrics != nullptr) gpu.set_metrics(metrics);
+    if (journal != nullptr) gpu.set_event_journal(journal);
     return gpu.run();
   } catch (SimException& e) {
     return e.take_error();

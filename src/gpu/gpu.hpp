@@ -44,6 +44,9 @@
 namespace prosim {
 
 class SmWorkerPool;
+class MetricsCollector;
+class EventJournal;
+class TraceTee;
 
 /// One kernel of a concurrent (multi-stream) run. `memory` must outlive
 /// the Gpu; each kernel mutates its own GlobalMemory, so co-resident
@@ -75,6 +78,9 @@ class Gpu {
   Gpu(const GpuConfig& config, std::vector<KernelLaunch> launches,
       const std::string& admission);
 
+  /// Out-of-line: the header only forward-declares TraceTee.
+  ~Gpu();
+
   /// Runs the kernel to completion and returns the collected results.
   /// Throws SimException when the simulated program misbehaves (deadlock,
   /// livelock, out-of-range accesses) — see run_checked() for the
@@ -105,6 +111,26 @@ class Gpu {
   /// nullptr detaches). Strictly observational — results are bit-identical
   /// with tracing on or off. Attach before the first step()/run().
   void set_trace_sink(TraceSink* trace);
+
+  /// Attaches a time-series metrics collector (metrics/; nullptr
+  /// detaches). The Gpu samples per-SM/per-kernel/GPU series at every
+  /// interval boundary (the fast-forward path clamps to boundaries, which
+  /// is provably bit-identical) plus one final partial sample at run end.
+  /// Strictly observational, same contract as set_trace_sink; attach
+  /// before the first step()/run().
+  void set_metrics(MetricsCollector* metrics);
+
+  /// Attaches a serving-lifecycle event journal (metrics/; nullptr
+  /// detaches). Construction-time state (kernel arrivals at cycle 0 and
+  /// the initial SM bindings) is retro-emitted at attach time so the
+  /// journal always starts from a complete picture. Strictly
+  /// observational; attach before the first step()/run().
+  void set_event_journal(EventJournal* journal);
+
+  /// Enables wall-clock worker-pool timing in the run's SimProfile.
+  /// Off by default so the sharded hot path stays clock-free; never
+  /// affects simulation results.
+  void set_profile_timing(bool timed) { profile_timing_ = timed; }
 
   /// The attached fault injector, or nullptr when faults are disabled.
   const FaultInjector* fault_injector() const { return faults_.get(); }
@@ -141,6 +167,8 @@ class Gpu {
     std::uint64_t resumptions = 0;  ///< parked TBs re-launched
     /// Cycles the stream had runnable work but zero SMs bound to it.
     std::uint64_t preempted_cycles = 0;
+    /// The event journal logged this stream's kernel_arrival row.
+    bool arrival_logged = false;
 
     explicit Stream(KernelLaunch l)
         : launch(std::move(l)), tbs(launch.program.info.grid_dim) {}
@@ -213,6 +241,18 @@ class Gpu {
   void update_streams();
   /// Unassigned TBs across arrived, unfinished streams (watchdog context).
   int waiting_tbs() const;
+
+  // -- metrics + event journal (metrics/; strictly observational) ----------
+  /// Recomputes the effective sink from the user trace sink and the
+  /// metrics collector's stall-attribution sink (teed when both are
+  /// present) and propagates it to every SM.
+  void refresh_trace_sink();
+  /// Records one row of every configured series at cycle now_.
+  void sample_metrics();
+  /// Emits kernel_arrival rows for streams whose arrival cycle has come.
+  void journal_arrivals();
+  /// Emits stream `st`'s finish-time rows (kernel_finish + SLO verdict).
+  void journal_finish(const Stream& st);
   /// After a globally quiet cycle (no launch, no SM did any work), jumps
   /// the clock to the earliest pending event, bulk-applying the per-cycle
   /// constant stat increments. Bit-identical to ticking through the same
@@ -238,7 +278,21 @@ class Gpu {
   int next_sm_ = 0;
   bool multi_ = false;
   bool fast_forward_enabled_ = true;
+  /// Effective sink the SMs see: user_trace_, the metrics stall sink, or
+  /// a tee of both (refresh_trace_sink).
   TraceSink* trace_ = nullptr;
+  TraceSink* user_trace_ = nullptr;
+  std::unique_ptr<TraceTee> obs_tee_;
+  MetricsCollector* metrics_ = nullptr;
+  EventJournal* journal_ = nullptr;
+
+  // -- self-profiling (SimProfile; always cheap, timing opt-in) -------------
+  bool profile_timing_ = false;
+  std::uint64_t ff_spans_ = 0;
+  std::uint64_t ff_skipped_cycles_ = 0;
+  int pool_threads_ = 0;
+  double pool_busy_seconds_ = 0.0;
+  double pool_wait_seconds_ = 0.0;
 
   /// Flat per-kernel SLO context handed to AdmissionView (indexed by
   /// kernel id; rebuilt with the streams).
@@ -270,16 +324,21 @@ class Gpu {
 };
 
 /// One-shot convenience wrapper (throws SimException on stuck programs).
-/// An optional trace sink observes the run; tracing never changes results.
+/// Optional observers (trace sink, metrics collector, event journal) watch
+/// the run; none of them ever changes results.
 GpuResult simulate(const GpuConfig& config, const Program& program,
-                   GlobalMemory& memory, TraceSink* trace = nullptr);
+                   GlobalMemory& memory, TraceSink* trace = nullptr,
+                   MetricsCollector* metrics = nullptr,
+                   EventJournal* journal = nullptr);
 
 /// One-shot non-throwing wrapper: construction and run errors come back as
 /// a structured SimError instead of an exception.
 Expected<GpuResult> simulate_checked(const GpuConfig& config,
                                      const Program& program,
                                      GlobalMemory& memory,
-                                     TraceSink* trace = nullptr);
+                                     TraceSink* trace = nullptr,
+                                     MetricsCollector* metrics = nullptr,
+                                     EventJournal* journal = nullptr);
 
 /// Creates a scheduler policy instance from a spec (one per SM).
 std::unique_ptr<SchedulerPolicy> make_policy(const SchedulerSpec& spec);

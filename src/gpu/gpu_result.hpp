@@ -42,6 +42,48 @@ struct SimThroughput {
   }
 };
 
+/// Simulator self-profiling for one run (docs/OBSERVABILITY.md): how the
+/// engine executed, never what it computed. Like SimThroughput it is
+/// deliberately excluded from result_io serialization and all
+/// fingerprints — execution-strategy knobs (thread counts, fast-forward)
+/// are bit-identical by contract, so none of this may reach canonical
+/// result bytes. The cheap counters are always filled; the wall-clock
+/// worker timings only when Gpu::set_profile_timing(true) was called
+/// before run() (the hot path stays clock-free otherwise).
+struct SimProfile {
+  /// Cycles executed by the sharded (staged) path / by any path.
+  std::uint64_t parallel_cycles = 0;
+  std::uint64_t total_cycles = 0;
+  /// Times a cross-SM conflict forced a sequential restart (0 or 1).
+  std::uint64_t conflict_restarts = 0;
+  /// Event-driven fast-forward: jumps taken and cycles crossed by them.
+  std::uint64_t ff_spans = 0;
+  std::uint64_t ff_skipped_cycles = 0;
+  /// Worker-pool shape: effective thread request and pool width (0 when
+  /// the run never engaged the pool).
+  int sm_threads = 1;
+  int pool_threads = 0;
+  /// True when set_profile_timing enabled the wall-clock measurements.
+  bool timed = false;
+  /// Summed across shards: seconds inside SM shard work, and seconds
+  /// workers spent waiting on the epoch baton (shard 0's wait is the
+  /// caller-side completion wait).
+  double worker_busy_seconds = 0.0;
+  double worker_wait_seconds = 0.0;
+
+  /// Share of executed cycles the sharded path covered.
+  double parallel_fraction() const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(parallel_cycles) /
+                                   static_cast<double>(total_cycles);
+  }
+  /// Mean worker busy fraction while the pool was engaged (timed only).
+  double worker_busy_fraction() const {
+    const double total = worker_busy_seconds + worker_wait_seconds;
+    return total <= 0.0 ? 0.0 : worker_busy_seconds / total;
+  }
+};
+
 /// Per-kernel accounting of a concurrent (multi-stream) run: one slice per
 /// launched kernel, accumulated across every SM generation that executed
 /// its TBs. Empty for single-kernel runs, so the canonical result bytes —
@@ -118,6 +160,10 @@ struct GpuResult {
   /// driver after simulation, zero for cache hits. NOT serialized by
   /// result_io and NOT part of any fingerprint.
   SimThroughput throughput;
+
+  /// Simulator self-profiling (see SimProfile); filled by Gpu::run().
+  /// NOT serialized by result_io and NOT part of any fingerprint.
+  SimProfile profile;
 
   /// Per-cause stall attribution; only present when the run was traced
   /// with a StallAttributionSink (see trace/). Like `throughput` it is

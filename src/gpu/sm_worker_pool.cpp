@@ -14,7 +14,10 @@ constexpr int kSpinIterations = 4096;
 }  // namespace
 
 SmWorkerPool::SmWorkerPool(int threads, int num_sms)
-    : threads_(threads), num_sms_(num_sms) {
+    : threads_(threads),
+      num_sms_(num_sms),
+      busy_ns_(static_cast<std::size_t>(threads)),
+      wait_ns_(static_cast<std::size_t>(threads)) {
   PROSIM_CHECK(threads_ >= 1);
   PROSIM_CHECK(num_sms_ >= 1);
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
@@ -31,10 +34,22 @@ SmWorkerPool::~SmWorkerPool() {
 }
 
 void SmWorkerPool::run_shard(int shard, const Job& job) {
+  if (!timing_.load(std::memory_order_relaxed)) {
+    for (int sm = shard; sm < num_sms_; sm += threads_) job(sm);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
   for (int sm = shard; sm < num_sms_; sm += threads_) job(sm);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  busy_ns_[static_cast<std::size_t>(shard)].fetch_add(
+      static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
 }
 
 void SmWorkerPool::run_epoch(const Job& job) {
+  const bool timing = timing_.load(std::memory_order_relaxed);
+  ++epochs_run_;
   job_ = &job;
   pending_.store(threads_ - 1, std::memory_order_release);
   epoch_.fetch_add(1, std::memory_order_release);
@@ -42,6 +57,8 @@ void SmWorkerPool::run_epoch(const Job& job) {
 
   run_shard(0, job);
 
+  std::chrono::steady_clock::time_point wait_start;
+  if (timing) wait_start = std::chrono::steady_clock::now();
   int spins = 0;
   while (true) {
     const int left = pending_.load(std::memory_order_acquire);
@@ -49,12 +66,38 @@ void SmWorkerPool::run_epoch(const Job& job) {
     if (++spins < kSpinIterations) continue;
     pending_.wait(left, std::memory_order_acquire);
   }
+  if (timing) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wait_start)
+                        .count();
+    wait_ns_[0].fetch_add(static_cast<std::uint64_t>(ns),
+                          std::memory_order_relaxed);
+  }
   job_ = nullptr;
+}
+
+double SmWorkerPool::busy_seconds() const {
+  std::uint64_t ns = 0;
+  for (const auto& shard : busy_ns_) {
+    ns += shard.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(ns) * 1e-9;
+}
+
+double SmWorkerPool::wait_seconds() const {
+  std::uint64_t ns = 0;
+  for (const auto& shard : wait_ns_) {
+    ns += shard.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(ns) * 1e-9;
 }
 
 void SmWorkerPool::worker_main(int shard) {
   std::uint64_t seen = 0;
   while (true) {
+    const bool timing = timing_.load(std::memory_order_relaxed);
+    std::chrono::steady_clock::time_point wait_start;
+    if (timing) wait_start = std::chrono::steady_clock::now();
     int spins = 0;
     std::uint64_t cur;
     while ((cur = epoch_.load(std::memory_order_acquire)) == seen) {
@@ -63,6 +106,13 @@ void SmWorkerPool::worker_main(int shard) {
       spins = 0;
     }
     seen = cur;
+    if (timing) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - wait_start)
+                          .count();
+      wait_ns_[static_cast<std::size_t>(shard)].fetch_add(
+          static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+    }
     if (stop_.load(std::memory_order_acquire)) return;
     run_shard(shard, *job_);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {

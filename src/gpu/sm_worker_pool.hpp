@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -38,6 +39,19 @@ class SmWorkerPool {
 
   int threads() const { return threads_; }
 
+  // -- self-profiling (SimProfile; docs/OBSERVABILITY.md) -------------------
+  /// Enables wall-clock shard timing. Off by default so the per-epoch hot
+  /// path stays clock-free; an epoch is one simulated cycle, so two clock
+  /// reads per shard per epoch are only paid when profiling was requested.
+  void enable_timing() { timing_.store(true, std::memory_order_relaxed); }
+  /// Epochs driven through run_epoch so far (caller thread only).
+  std::uint64_t epochs() const { return epochs_run_; }
+  /// Seconds inside shard jobs, summed across shards (timed runs only).
+  double busy_seconds() const;
+  /// Seconds spent waiting on the epoch baton: workers waiting for the
+  /// next epoch plus the caller waiting for shard completion.
+  double wait_seconds() const;
+
  private:
   void worker_main(int shard);
   void run_shard(int shard, const Job& job);
@@ -48,6 +62,12 @@ class SmWorkerPool {
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<int> pending_{0};
   std::atomic<bool> stop_{false};
+  /// Profiling state: each shard owns its slot; readers harvest after an
+  /// epoch completed, so relaxed atomics suffice (TSan-clean).
+  std::atomic<bool> timing_{false};
+  std::uint64_t epochs_run_ = 0;
+  std::vector<std::atomic<std::uint64_t>> busy_ns_;
+  std::vector<std::atomic<std::uint64_t>> wait_ns_;
   std::vector<std::thread> workers_;
 };
 

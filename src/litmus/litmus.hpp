@@ -35,6 +35,7 @@
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_result.hpp"
 #include "isa/program.hpp"
+#include "metrics/metrics.hpp"
 
 namespace prosim::runner {
 struct SweepProgress;
@@ -142,6 +143,11 @@ struct LitmusOptions {
   std::string admission;
   /// Per-cell progress callback (forwarded to the sweep runner).
   std::function<void(const runner::SweepProgress&)> progress;
+  /// Metrics/journal products for the concurrent-kernel harnesses
+  /// (run_litmus_bg / run_litmus_preemptive); each cell's output paths
+  /// get a "<scheduler>.<litmus>.<regime>" suffix. Ignored by the base
+  /// single-kernel harness. Verdicts are identical on or off.
+  ObservabilityOptions obs;
 };
 
 /// The GpuConfig every litmus cell simulates under: one SM, registers

@@ -8,6 +8,7 @@
 // allowed to change *cycles*, never *verdict classes*, except by honestly
 // promoting cells whose grid now fits the doubled residency.
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "common/check.hpp"
@@ -23,6 +24,13 @@ namespace {
 
 constexpr Regime kRegimes[] = {Regime::kResident, Regime::kOversubscribed};
 constexpr int kBackgroundGrid = 6;
+
+/// Per-cell suffix for observability output paths.
+std::string cell_key(SchedulerKind kind, const std::string& test,
+                     Regime regime) {
+  return std::string(scheduler_name(kind)) + "." + test + "." +
+         regime_name(regime);
+}
 
 }  // namespace
 
@@ -145,9 +153,20 @@ LitmusReport run_litmus_bg(const LitmusOptions& options) {
       background.memory = &background_memory;
       launches.push_back(std::move(background));
 
+      std::unique_ptr<ObservabilitySession> obs;
+      if (options.obs.any()) {
+        obs = std::make_unique<ObservabilitySession>(options.obs.for_cell(
+            cell_key(meta.kind, meta.test->name, meta.regime)));
+      }
       try {
         Gpu gpu(litmus_bg_config(meta.kind), std::move(launches),
                 admission);
+        if (obs != nullptr) {
+          if (obs->metrics() != nullptr) gpu.set_metrics(obs->metrics());
+          if (obs->journal() != nullptr) {
+            gpu.set_event_journal(obs->journal());
+          }
+        }
         Expected<GpuResult> result = gpu.run_checked();
         if (result.has_value()) {
           // The checkers read the litmus kernel's registers; splice the
@@ -168,6 +187,10 @@ LitmusReport run_litmus_bg(const LitmusOptions& options) {
         cell.detect_cycle = e.error().cycle;
         cell.detail = e.error().message;
         cell.verdict = classify_sim_error(e.error());
+      }
+      if (obs != nullptr) {
+        std::string obs_error;
+        obs->write({meta.test->name, "background_tenant"}, obs_error);
       }
       report.cells[static_cast<std::size_t>(i)] = std::move(cell);
     }
@@ -259,8 +282,19 @@ LitmusReport run_litmus_preemptive(const LitmusOptions& options) {
       foreground.memory = &memory;
       launches.push_back(std::move(foreground));
 
+      std::unique_ptr<ObservabilitySession> obs;
+      if (options.obs.any()) {
+        obs = std::make_unique<ObservabilitySession>(options.obs.for_cell(
+            cell_key(meta.kind, meta.test->name, meta.regime)));
+      }
       try {
         Gpu gpu(litmus_config(meta.kind), std::move(launches), admission);
+        if (obs != nullptr) {
+          if (obs->metrics() != nullptr) gpu.set_metrics(obs->metrics());
+          if (obs->journal() != nullptr) {
+            gpu.set_event_journal(obs->journal());
+          }
+        }
         Expected<GpuResult> result = gpu.run_checked();
         if (result.has_value()) {
           GpuResult view = std::move(result.value());
@@ -278,6 +312,10 @@ LitmusReport run_litmus_preemptive(const LitmusOptions& options) {
         cell.detect_cycle = e.error().cycle;
         cell.detail = e.error().message;
         cell.verdict = classify_sim_error(e.error());
+      }
+      if (obs != nullptr) {
+        std::string obs_error;
+        obs->write({meta.test->name}, obs_error);
       }
       report.cells[static_cast<std::size_t>(i)] = std::move(cell);
     }

@@ -1,0 +1,330 @@
+#include "metrics/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace prosim {
+
+namespace {
+
+/// Shortest-round-trip style numeric rendering: integral values print with
+/// no decimal point (most series are counter deltas), everything else as
+/// %.9g — matching the serving report's fmt_double discipline so outputs
+/// are byte-stable across platforms.
+void append_value(std::ostream& os, double value) {
+  const auto as_int = static_cast<long long>(value);
+  if (static_cast<double>(as_int) == value) {
+    os << as_int;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  os << buf;
+}
+
+}  // namespace
+
+const char* metric_scope_name(MetricScope scope) {
+  switch (scope) {
+    case MetricScope::kGpu:
+      return "gpu";
+    case MetricScope::kSm:
+      return "sm";
+    case MetricScope::kKernel:
+      return "kernel";
+  }
+  return "gpu";
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "cycle,scope,id,metric,value\n";
+  for (const MetricSample& s : samples_) {
+    os << s.cycle << ',' << metric_scope_name(s.scope) << ',' << s.id << ','
+       << s.metric << ',';
+    append_value(os, s.value);
+    os << '\n';
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os, Cycle interval) const {
+  os << "{\"schema\":\"prosim-metrics-v1\",\"interval\":" << interval
+     << ",\"samples\":[";
+  bool first = true;
+  for (const MetricSample& s : samples_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"cycle\":" << s.cycle << ",\"scope\":\""
+       << metric_scope_name(s.scope) << "\",\"id\":" << s.id << ",\"metric\":";
+    write_json_string(os, s.metric);
+    os << ",\"value\":";
+    append_value(os, s.value);
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+MetricsCollector::MetricsCollector(Cycle interval)
+    : interval_(interval), next_(interval) {
+  PROSIM_CHECK(interval >= 1);
+}
+
+void MetricsCollector::mark_sampled(Cycle cycle) {
+  last_ = cycle;
+  next_ = (cycle / interval_ + 1) * interval_;
+}
+
+std::uint64_t MetricsCollector::delta(MetricScope scope, int id,
+                                      const char* metric,
+                                      std::uint64_t cumulative) {
+  std::uint64_t& last =
+      last_values_[{static_cast<int>(scope), id, std::string(metric)}];
+  const std::uint64_t d = cumulative - last;
+  last = cumulative;
+  return d;
+}
+
+const char* sim_event_kind_name(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kKernelArrival:
+      return "kernel_arrival";
+    case SimEventKind::kAdmissionGrant:
+      return "admission_grant";
+    case SimEventKind::kSmBind:
+      return "sm_bind";
+    case SimEventKind::kTbLaunch:
+      return "tb_launch";
+    case SimEventKind::kTbResume:
+      return "tb_resume";
+    case SimEventKind::kYieldRequest:
+      return "yield_request";
+    case SimEventKind::kTbCheckpoint:
+      return "tb_checkpoint";
+    case SimEventKind::kDemotion:
+      return "demotion";
+    case SimEventKind::kKernelFinish:
+      return "kernel_finish";
+    case SimEventKind::kSloMet:
+      return "slo_met";
+    case SimEventKind::kSloMissed:
+      return "slo_missed";
+    case SimEventKind::kSimEnd:
+      return "sim_end";
+  }
+  return "unknown";
+}
+
+std::size_t EventJournal::count(SimEventKind kind) const {
+  std::size_t n = 0;
+  for (const SimEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void EventJournal::write_jsonl(std::ostream& os) const {
+  for (const SimEvent& e : events_) {
+    os << "{\"cycle\":" << e.cycle << ",\"event\":\""
+       << sim_event_kind_name(e.kind) << '"';
+    if (e.kernel >= 0) os << ",\"kernel\":" << e.kernel;
+    if (e.sm >= 0) os << ",\"sm\":" << e.sm;
+    if (e.tb >= 0) os << ",\"tb\":" << e.tb;
+    if (e.aux != 0) os << ",\"aux\":" << e.aux;
+    os << "}\n";
+  }
+}
+
+void EventJournal::write_kernel_timeline(
+    std::ostream& os, const std::vector<std::string>& kernel_names) const {
+  auto name_of = [&kernel_names](int kernel) {
+    if (kernel >= 0 && kernel < static_cast<int>(kernel_names.size()) &&
+        !kernel_names[static_cast<std::size_t>(kernel)].empty()) {
+      return kernel_names[static_cast<std::size_t>(kernel)];
+    }
+    return "kernel " + std::to_string(kernel);
+  };
+
+  // Rebuild each SM's binding spans from the sm_bind stream; everything
+  // else becomes an instant marker on the owning kernel's track.
+  struct Slice {
+    int kernel;
+    int sm;
+    Cycle start;
+    Cycle end;
+  };
+  struct Instant {
+    const char* name;
+    int kernel;
+    int sm;
+    Cycle at;
+  };
+  std::map<int, std::pair<int, Cycle>> open;  // sm -> (kernel, since)
+  std::vector<Slice> slices;
+  std::vector<Instant> instants;
+  std::map<int, std::set<int>> tracks;  // kernel -> SMs seen
+  Cycle end = 0;
+  for (const SimEvent& e : events_) {
+    end = std::max(end, e.cycle);
+    switch (e.kind) {
+      case SimEventKind::kSmBind: {
+        auto it = open.find(e.sm);
+        if (it != open.end() && e.cycle > it->second.second) {
+          slices.push_back({it->second.first, e.sm, it->second.second,
+                            e.cycle});
+        }
+        open[e.sm] = {e.kernel, e.cycle};
+        tracks[e.kernel].insert(e.sm);
+        break;
+      }
+      case SimEventKind::kTbCheckpoint:
+      case SimEventKind::kTbResume:
+      case SimEventKind::kYieldRequest:
+      case SimEventKind::kSloMet:
+      case SimEventKind::kSloMissed:
+      case SimEventKind::kKernelFinish:
+        if (e.kernel >= 0) {
+          instants.push_back({sim_event_kind_name(e.kind), e.kernel,
+                              e.sm >= 0 ? e.sm : 0, e.cycle});
+          tracks[e.kernel].insert(e.sm >= 0 ? e.sm : 0);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [sm, bound] : open) {
+    if (end > bound.second) {
+      slices.push_back({bound.first, sm, bound.second, end});
+    }
+  }
+
+  // One simulated cycle renders as one microsecond, like the warp-lane
+  // view, so both traces line up when loaded together in Perfetto.
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&os, &first] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& [kernel, sms] : tracks) {
+    sep();
+    os << R"({"name":"process_name","ph":"M","pid":)" << kernel
+       << R"(,"args":{"name":)";
+    write_json_string(os, name_of(kernel));
+    os << "}}";
+    sep();
+    os << R"({"name":"process_sort_index","ph":"M","pid":)" << kernel
+       << R"(,"args":{"sort_index":)" << kernel << "}}";
+    for (const int sm : sms) {
+      sep();
+      os << R"({"name":"thread_name","ph":"M","pid":)" << kernel
+         << R"(,"tid":)" << sm << R"(,"args":{"name":"SM )" << sm << R"("}})";
+    }
+  }
+  for (const Slice& s : slices) {
+    sep();
+    os << R"({"name":)";
+    write_json_string(os, name_of(s.kernel));
+    os << R"(,"ph":"X","pid":)" << s.kernel << R"(,"tid":)" << s.sm
+       << R"(,"ts":)" << s.start << R"(,"dur":)" << s.end - s.start << "}";
+  }
+  for (const Instant& i : instants) {
+    sep();
+    os << R"({"name":")" << i.name << R"(","ph":"i","pid":)" << i.kernel
+       << R"(,"tid":)" << i.sm << R"(,"ts":)" << i.at << R"(,"s":"t"})";
+  }
+  os << "]}\n";
+}
+
+std::string suffixed_path(const std::string& path, const std::string& key) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + key;
+  }
+  return path.substr(0, dot) + "." + key + path.substr(dot);
+}
+
+ObservabilityOptions ObservabilityOptions::for_cell(
+    const std::string& key) const {
+  ObservabilityOptions cell = *this;
+  if (!cell.metrics_csv.empty()) {
+    cell.metrics_csv = suffixed_path(cell.metrics_csv, key);
+  }
+  if (!cell.metrics_json.empty()) {
+    cell.metrics_json = suffixed_path(cell.metrics_json, key);
+  }
+  if (!cell.events_jsonl.empty()) {
+    cell.events_jsonl = suffixed_path(cell.events_jsonl, key);
+  }
+  if (!cell.kernel_timeline.empty()) {
+    cell.kernel_timeline = suffixed_path(cell.kernel_timeline, key);
+  }
+  return cell;
+}
+
+ObservabilitySession::ObservabilitySession(
+    const ObservabilityOptions& options)
+    : options_(options) {
+  if (options_.metrics_enabled()) {
+    metrics_ = std::make_unique<MetricsCollector>(options_.metrics_interval);
+  }
+  if (options_.journal_enabled()) {
+    journal_ = std::make_unique<EventJournal>();
+  }
+}
+
+bool ObservabilitySession::write(
+    const std::vector<std::string>& kernel_names, std::string& error) const {
+  auto write_file = [&error](const std::string& path, auto&& emit) {
+    std::ofstream os(path);
+    if (!os) {
+      error = "cannot open " + path;
+      return false;
+    }
+    emit(os);
+    if (!os) {
+      error = "write failed: " + path;
+      return false;
+    }
+    return true;
+  };
+  if (metrics_ != nullptr) {
+    if (!options_.metrics_csv.empty() &&
+        !write_file(options_.metrics_csv, [this](std::ostream& os) {
+          metrics_->registry().write_csv(os);
+        })) {
+      return false;
+    }
+    if (!options_.metrics_json.empty() &&
+        !write_file(options_.metrics_json, [this](std::ostream& os) {
+          metrics_->registry().write_json(os, metrics_->interval());
+        })) {
+      return false;
+    }
+  }
+  if (journal_ != nullptr) {
+    if (!options_.events_jsonl.empty() &&
+        !write_file(options_.events_jsonl, [this](std::ostream& os) {
+          journal_->write_jsonl(os);
+        })) {
+      return false;
+    }
+    if (!options_.kernel_timeline.empty() &&
+        !write_file(options_.kernel_timeline,
+                    [this, &kernel_names](std::ostream& os) {
+                      journal_->write_kernel_timeline(os, kernel_names);
+                    })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace prosim

@@ -65,11 +65,45 @@ SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
     config.sm_threads = capped_sm_threads(options.sm_threads, options.jobs);
   }
 
+  // Per-cell observability products, suffixed by cache key so concurrent
+  // cells never collide; relative paths land in trace_dir when set.
+  std::unique_ptr<ObservabilitySession> obs;
+  if (options.obs.any()) {
+    ObservabilityOptions oopts = options.obs;
+    if (!options.trace_dir.empty()) {
+      const std::string dir = options.trace_dir + "/";
+      if (!oopts.metrics_csv.empty())
+        oopts.metrics_csv = dir + oopts.metrics_csv;
+      if (!oopts.metrics_json.empty())
+        oopts.metrics_json = dir + oopts.metrics_json;
+      if (!oopts.events_jsonl.empty())
+        oopts.events_jsonl = dir + oopts.events_jsonl;
+      if (!oopts.kernel_timeline.empty())
+        oopts.kernel_timeline = dir + oopts.kernel_timeline;
+    }
+    obs = std::make_unique<ObservabilitySession>(
+        oopts.for_cell(cell.cache_key));
+  }
+
   GlobalMemory mem;
   if (job.workload.init) job.workload.init(mem);
   const auto wall_start = std::chrono::steady_clock::now();
-  Expected<GpuResult> outcome =
-      simulate_checked(config, job.workload.program, mem, session.sink());
+  Expected<GpuResult> outcome = [&]() -> Expected<GpuResult> {
+    try {
+      Gpu gpu(config, job.workload.program, mem);
+      if (session.sink() != nullptr) gpu.set_trace_sink(session.sink());
+      if (obs != nullptr && obs->metrics() != nullptr) {
+        gpu.set_metrics(obs->metrics());
+      }
+      if (obs != nullptr && obs->journal() != nullptr) {
+        gpu.set_event_journal(obs->journal());
+      }
+      if (options.profile_timing) gpu.set_profile_timing(true);
+      return gpu.run();
+    } catch (SimException& e) {
+      return e.take_error();
+    }
+  }();
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -94,6 +128,10 @@ SweepCell run_cell(const SweepJob& job, const ResultCache* cache,
         session.write_windows_csv_file(stem + ".windows.csv");
         session.write_window_histograms_file(stem + ".windows.hist.csv");
       }
+    }
+    if (obs != nullptr) {
+      std::string obs_error;
+      obs->write({job.workload.kernel}, obs_error);  // best-effort per cell
     }
     if (cache != nullptr) cache->store(cell.cache_key, *cell.result);
   } else {

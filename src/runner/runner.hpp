@@ -27,6 +27,7 @@
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_result.hpp"
 #include "kernels/registry.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/trace_session.hpp"
 
 namespace prosim::runner {
@@ -88,6 +89,14 @@ struct SweepOptions {
   /// <cache_key>.windows.hist.csv (wait windows). Empty keeps tracing
   /// in-memory only.
   std::string trace_dir;
+  /// Metrics/journal products per simulated cell (cache hits skip them,
+  /// like `trace`). Output paths are suffixed with the cell's cache key
+  /// (ObservabilityOptions::for_cell); relative paths land in trace_dir
+  /// when one is configured.
+  ObservabilityOptions obs;
+  /// Time the SM worker pool (SimProfile busy/wait fractions) in every
+  /// simulated cell. Wall-clock only — results stay bit-identical.
+  bool profile_timing = false;
 };
 
 struct SweepReport {

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "common/build_info.hpp"
 #include "common/check.hpp"
 #include "common/json.hpp"
 #include "common/percentiles.hpp"
@@ -36,7 +38,8 @@ std::string fmt_double(double v) {
 Expected<GpuResult> run_requests(const std::vector<Request>& reqs,
                                  const GpuConfig& config,
                                  const std::string& admission,
-                                 const std::vector<Cycle>& deadlines) {
+                                 const std::vector<Cycle>& deadlines,
+                                 ObservabilitySession* obs = nullptr) {
   std::vector<GlobalMemory> memories(reqs.size());
   std::vector<KernelLaunch> launches;
   launches.reserve(reqs.size());
@@ -54,6 +57,10 @@ Expected<GpuResult> run_requests(const std::vector<Request>& reqs,
     launches.push_back(std::move(launch));
   }
   Gpu gpu(config, std::move(launches), admission);
+  if (obs != nullptr) {
+    if (obs->metrics() != nullptr) gpu.set_metrics(obs->metrics());
+    if (obs->journal() != nullptr) gpu.set_event_journal(obs->journal());
+  }
   return gpu.run_checked();
 }
 
@@ -149,11 +156,30 @@ ServingCell simulate_cell(const std::vector<Request>& trace,
     if (!cell.ok()) return cell;
   }
 
+  // Observability attaches only to the final serving simulation, never
+  // the closed-loop prefix sims above.
+  std::unique_ptr<ObservabilitySession> obs;
+  if (options.obs.any()) {
+    const bool multi_cell =
+        options.schedulers.size() * options.admissions.size() > 1;
+    obs = std::make_unique<ObservabilitySession>(
+        multi_cell
+            ? options.obs.for_cell(cell.scheduler + "." + cell.admission)
+            : options.obs);
+  }
+
   Expected<GpuResult> result =
-      run_requests(reqs, config, admission, deadlines);
+      run_requests(reqs, config, admission, deadlines, obs.get());
   if (!result.has_value()) {
     cell.error = std::move(result.error());
     return cell;
+  }
+  if (obs != nullptr) {
+    std::vector<std::string> kernel_names;
+    kernel_names.reserve(reqs.size());
+    for (const Request& req : reqs) kernel_names.push_back(req.kernel);
+    std::string obs_error;
+    obs->write(kernel_names, obs_error);  // best-effort per cell
   }
   const GpuResult& r = result.value();
   cell.makespan = r.cycles;
@@ -306,6 +332,11 @@ std::string serving_report_to_json(const ServingReport& report,
                                    const TraceSpec& spec) {
   std::ostringstream os;
   os << "{\"schema\":\"prosim-serve-v2\"";
+  // Build provenance rides at the top level, outside every fingerprinted
+  // or cross-run-compared block: one binary stamps one constant value, so
+  // the determinism byte-diffs (e.g. --jobs 4 vs 1 in CI) still hold.
+  os << ",\"build\":";
+  write_build_info_json(os);
   os << ",\"spec\":{\"seed\":" << spec.seed
      << ",\"requests\":" << spec.requests
      << ",\"gap_scale\":" << spec.gap_scale << ",\"mix\":[";

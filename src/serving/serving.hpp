@@ -18,6 +18,7 @@
 #include "common/sim_error.hpp"
 #include "gpu/admission.hpp"
 #include "gpu/gpu_config.hpp"
+#include "metrics/metrics.hpp"
 #include "serving/arrival.hpp"
 
 namespace prosim::serving {
@@ -103,6 +104,12 @@ struct ServingOptions {
   int jobs = 1;
   /// Invoked after every cell completes, serialized under a mutex.
   std::function<void(const ServingProgress&)> progress;
+  /// Metrics/journal products per cell, attached only to the cell's final
+  /// serving simulation (closed-loop prefix simulations stay unobserved).
+  /// With more than one cell, output paths get a
+  /// "<scheduler>.<admission>" suffix (ObservabilityOptions::for_cell).
+  /// Strictly observational: the report bytes are identical on or off.
+  ObservabilityOptions obs;
 };
 
 struct ServingReport {

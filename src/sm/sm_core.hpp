@@ -12,6 +12,7 @@
 // consistent with a real in-order SIMT pipeline (see DESIGN.md).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -173,6 +174,29 @@ class SmCore {
   int resident_tbs() const { return resident_tbs_; }
   /// True when no TB is resident and no memory/writeback event is pending.
   bool drained() const;
+
+  // -- sampling accessors (metrics/; cold path, read-only) ------------------
+  /// Warps currently eligible for the issue scan: allocated, unfinished,
+  /// not parked at a barrier, and not draining toward a yield.
+  int runnable_warps() const {
+    return std::popcount(live_mask_ & ~yield_mask_);
+  }
+  /// Outstanding L1 miss lines (MSHR entries in flight).
+  int l1_mshr_occupancy() const { return l1_mshr_.occupancy(); }
+  /// ctaid of the TB resident in `tb_slot`, or -1 when the slot is free.
+  int resident_ctaid(int tb_slot) const {
+    return tb_ctaid_[static_cast<std::size_t>(tb_slot)];
+  }
+  /// Appends the PRO progress counter of every allocated, unfinished warp
+  /// (the progress-spread input of the paper's §III signal).
+  void sample_progress(std::vector<std::uint64_t>& out) const {
+    for (int w = 0; w < used_warp_slots_; ++w) {
+      const WarpCtx& ctx = warps_[static_cast<std::size_t>(w)];
+      if (ctx.allocated && !ctx.finished) {
+        out.push_back(warp_progress_[static_cast<std::size_t>(w)]);
+      }
+    }
+  }
 
   const SmStats& stats() const { return stats_; }
   const Cache& l1() const { return l1_; }

@@ -17,10 +17,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/fingerprint.hpp"
+#include "metrics/metrics.hpp"
 #include "gpu/admission.hpp"
 #include "gpu/gpu.hpp"
 #include "gpu/result_io.hpp"
@@ -286,6 +288,76 @@ TEST(EquivalenceFastpath, FaultInjectedCellMatchesSeed) {
   EXPECT_EQ(actual, 0xadab3da89f00b3abull)
       << "fault-injected cell diverged from the seed implementation "
       << "(actual fingerprint 0x" << std::hex << actual << ")";
+}
+
+// Metrics sampling and the event journal are observers under the same
+// contract as tracing: attaching both may not move a single bit of the
+// canonical result, even though sampling clamps fast-forward spans at
+// interval boundaries (skipping fewer cycles is provably bit-identical).
+// The pinned constants are the untouched seed values.
+TEST(EquivalenceFastpath, MetricsAndJournalAreBitIdentical) {
+  constexpr Cell kObservedCells[] = {
+      {"scalarProdGPU", SchedulerKind::kPro, 0xf0604c1acd235617ull},
+      {"GPU_laplace3d", SchedulerKind::kLrr, 0x7cb9bc88114d6244ull},
+      {"bfs_kernel", SchedulerKind::kTl, 0x2a1b77df2e26072full},
+      {"calculate_temp", SchedulerKind::kGto, 0xf73d34b299219e61ull},
+  };
+  for (const Cell& cell : kObservedCells) {
+    GpuConfig cfg;
+    cfg.scheduler.kind = cell.kind;
+    const Workload& w = find_workload(cell.kernel);
+    GlobalMemory mem;
+    if (w.init) w.init(mem);
+    MetricsCollector metrics(777);  // deliberately an odd interval
+    EventJournal journal;
+    const GpuResult r = simulate(cfg, w.program, mem, nullptr, &metrics,
+                                 &journal);
+    EXPECT_FALSE(metrics.registry().samples().empty()) << cell.kernel;
+    EXPECT_GE(journal.count(SimEventKind::kTbLaunch), 1u) << cell.kernel;
+    EXPECT_EQ(journal.count(SimEventKind::kSimEnd), 1u) << cell.kernel;
+    const std::string json = gpu_result_to_json(r);
+    EXPECT_EQ(json.find("\"profile\""), std::string::npos)
+        << "SimProfile leaked into the canonical document";
+    Fingerprint fp;
+    fp.add_bytes(json.data(), json.size());
+    EXPECT_EQ(fp.hash(), cell.expected)
+        << cell.kernel << "/" << scheduler_name(cell.kind)
+        << ": result changed when metrics + journal were attached "
+        << "(actual fingerprint 0x" << std::hex << fp.hash() << ")";
+  }
+}
+
+// The same contract with the optimizations toggled around the observers:
+// plain ticking (PROSIM_NO_FASTFORWARD=1) and a requested sharded run
+// (PROSIM_SM_THREADS=4 — the Gpu must decline sharding while observers
+// are attached, since conflict-restart replays would double-log journal
+// events) both reproduce the pinned seed fingerprint.
+TEST(EquivalenceFastpath, ObserversBitIdenticalAcrossExecutionModes) {
+  constexpr Cell kCell = {"scalarProdGPU", SchedulerKind::kPro,
+                          0xf0604c1acd235617ull};
+  const Workload& w = find_workload(kCell.kernel);
+  for (const char* env : {"PROSIM_NO_FASTFORWARD", "PROSIM_SM_THREADS"}) {
+    ::setenv(env, env == std::string("PROSIM_SM_THREADS") ? "4" : "1", 1);
+    GpuConfig cfg;
+    cfg.scheduler.kind = kCell.kind;
+    GlobalMemory mem;
+    if (w.init) w.init(mem);
+    MetricsCollector metrics(500);
+    EventJournal journal;
+    Gpu gpu(cfg, w.program, mem);
+    gpu.set_metrics(&metrics);
+    gpu.set_event_journal(&journal);
+    const GpuResult r = gpu.run();
+    ::unsetenv(env);
+    EXPECT_EQ(gpu.parallel_cycles(), 0u)
+        << env << ": sharding engaged with observers attached";
+    const std::string json = gpu_result_to_json(r);
+    Fingerprint fp;
+    fp.add_bytes(json.data(), json.size());
+    EXPECT_EQ(fp.hash(), kCell.expected)
+        << env << ": observed run diverged (actual fingerprint 0x"
+        << std::hex << fp.hash() << ")";
+  }
 }
 
 // Faults + sharding: the fault injector draws per-cycle random numbers,
